@@ -1,0 +1,119 @@
+// Command figures regenerates every table and figure of the Klotski
+// paper's evaluation section on synthetic Meta-style topologies.
+//
+// Usage:
+//
+//	figures [-exp all|table1|table3|fig8|fig9|fig10|fig11|fig12|fig13] [-scale 0.25] [-timeout 2m]
+//
+// At -scale 1 the generated topologies approximate the paper's Table-3
+// sizes (up to ~10,000 switches); the default 0.25 reproduces every
+// qualitative result in a few minutes on a laptop. Planner failures
+// (unsupported migration type, infeasible constraints, exhausted budget)
+// render as crosses, as in the paper's figures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"klotski/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all, table1, table3, fig8, fig9, fig10, fig11, fig12, fig13, types (comma-separated)")
+	scale := fs.Float64("scale", 0.25, "topology scale (1 = paper-sized Table 3)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-planner time budget")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	jsonOut := map[string]any{}
+
+	cfg := experiments.Config{Scale: *scale, Timeout: *timeout}
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := selected["all"]
+	want := func(name string) bool { return all || selected[name] }
+	ran := 0
+
+	if want("table1") {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		if *asJSON {
+			jsonOut["table1"] = rows
+		} else {
+			experiments.PrintTable1(stdout, rows)
+		}
+		ran++
+	}
+	if want("table3") {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return fmt.Errorf("table3: %w", err)
+		}
+		if *asJSON {
+			jsonOut["table3"] = rows
+		} else {
+			experiments.PrintTable3(stdout, rows, *scale)
+		}
+		ran++
+	}
+	figs := []struct {
+		name  string
+		title string
+		run   func(experiments.Config) ([]experiments.CaseResult, error)
+	}{
+		{"fig8", "Figure 8: planners vs topology size (A–E, HGRID V1→V2)", experiments.Fig8},
+		{"fig9", "Figure 9: planners vs migration type (E, E-DMAG, E-SSW)", experiments.Fig9},
+		{"fig10", "Figure 10: Klotski design ablations (w/o OB, w/o A*, w/o ESC)", experiments.Fig10},
+		{"fig11", "Figure 11: operation-block factor sweep (topology E)", experiments.Fig11},
+		{"fig12", "Figure 12: utilization-bound sweep θ=55–95% (topology E)", experiments.Fig12},
+		{"fig13", "Figure 13: cost-function sweep α=0–1 (topology E)", experiments.Fig13},
+		{"types", "Extension: action-type granularity (|A|=2 vs |A|=4 on topology C)", experiments.TypeGranularity},
+	}
+	for _, f := range figs {
+		if !want(f.name) {
+			continue
+		}
+		rows, err := f.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		if *asJSON {
+			jsonOut[f.name] = rows
+		} else {
+			experiments.PrintCaseResults(stdout, f.title, rows)
+		}
+		ran++
+	}
+	if *asJSON && ran > 0 {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			return err
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("nothing selected by -exp=%s", *exp)
+	}
+	return nil
+}

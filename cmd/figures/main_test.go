@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "table1,table3", "-scale", "0.1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 3", "HGRID", "E-SSW"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-scale", "0.1", "-json"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(out.Bytes(), &payload); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if _, ok := payload["table3"]; !ok {
+		t.Error("JSON missing table3 key")
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "fig12", "-scale", "0.1", "-timeout", "30s"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 12") || !strings.Contains(out.String(), "Klotski-A*") {
+		t.Errorf("figure output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown experiment selection should error")
+	}
+}

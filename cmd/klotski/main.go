@@ -1,0 +1,173 @@
+// Command klotski plans a datacenter network migration from an NPD
+// document and emits the ordered topology phases as JSON.
+//
+// Usage:
+//
+//	klotski -npd region.json [-o plan.json] [-planner astar|dp|mrc|janus]
+//	        [-theta 0.75] [-alpha 0] [-growth 0] [-maxrun 0] [-timeout 5m] [-v]
+//	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
+//
+// The NPD document must carry a migration part; see cmd/topogen for
+// generating example documents. With -v the plan's runs and per-phase
+// network snapshots are printed to stderr. With -resume, the first
+// -executed actions of an earlier plan document are treated as done and
+// only the remainder is re-planned (demand may have shifted; pass -growth
+// or edit the NPD demand part accordingly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"klotski"
+	"klotski/internal/demand"
+	"klotski/internal/npd"
+	"klotski/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "klotski:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("klotski", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		npdPath = fs.String("npd", "", "path to the NPD document (required)")
+		outPath = fs.String("o", "", "write the plan document here (default stdout)")
+		planner = fs.String("planner", "astar", "planner: astar, dp, mrc, janus")
+		theta   = fs.Float64("theta", 0, "utilization bound (default 0.75)")
+		alpha   = fs.Float64("alpha", 0, "within-run marginal cost α of f_cost(x)=1+α(x−1)")
+		growth  = fs.Float64("growth", 0, "forecasted demand growth per migration step (e.g. 0.002)")
+		maxRun  = fs.Int("maxrun", 0, "maintenance-window cap: max same-type actions per run (0 = unlimited)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "planning time budget")
+		verbose = fs.Bool("v", false, "print the plan's runs and phase snapshots to stderr")
+
+		resume   = fs.String("resume", "", "earlier plan document to resume from")
+		executed = fs.Int("executed", 0, "number of actions of the -resume plan already executed")
+		simulate = fs.Int("simulate", 0, "replay the plan this many times with randomized asynchrony and report transient exposure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *npdPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-npd is required")
+	}
+
+	f, err := os.Open(*npdPath)
+	if err != nil {
+		return err
+	}
+	doc, err := klotski.LoadNPD(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	cfg := klotski.PipelineConfig{
+		Planner:       klotski.PlannerName(*planner),
+		CampaignSeeds: *simulate,
+		Options: klotski.Options{
+			Theta: *theta, Alpha: *alpha, Timeout: *timeout, MaxRunLength: *maxRun,
+		},
+	}
+	if *growth > 0 {
+		cfg.Forecast = demand.Forecast{GrowthPerStep: *growth}
+	}
+
+	start := time.Now()
+	var res *klotski.PipelineResult
+	if *resume != "" {
+		res, err = replanFromDocument(doc, cfg, *resume, *executed)
+	} else {
+		res, err = klotski.RunPipeline(doc, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *verbose {
+		fmt.Fprintf(stderr, "planned in %s (%d states, %d checks, %d cache hits)\n",
+			time.Since(start).Round(time.Millisecond),
+			res.Plan.Metrics.StatesCreated, res.Plan.Metrics.Checks, res.Plan.Metrics.CacheHits)
+		if res.Replans > 0 {
+			fmt.Fprintf(stderr, "forecast integration re-planned %d time(s)\n", res.Replans)
+		}
+		if err := report.Timeline(stderr, res.Document); err != nil {
+			return err
+		}
+		if err := report.Margins(stderr, res.Document); err != nil {
+			return err
+		}
+	}
+	if res.Campaign != nil {
+		fmt.Fprintln(stderr, res.Campaign)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return res.Document.Encode(out)
+}
+
+// replanFromDocument rebuilds the scenario from the NPD document, replays
+// the first n actions of the earlier plan document, and re-plans the
+// remainder.
+func replanFromDocument(doc *klotski.NPDDocument, cfg klotski.PipelineConfig, planPath string, n int) (*klotski.PipelineResult, error) {
+	f, err := os.Open(planPath)
+	if err != nil {
+		return nil, err
+	}
+	prev, err := npd.DecodePlan(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	scenario, err := doc.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	task := scenario.Task
+	byName := make(map[string]int, len(task.Blocks))
+	for i := range task.Blocks {
+		byName[task.Blocks[i].Name] = i
+	}
+	var executed []int
+	for _, ph := range prev.Phases {
+		for _, name := range ph.Blocks {
+			if len(executed) == n {
+				break
+			}
+			id, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("plan block %q not found in scenario %q — was the NPD document edited?", name, doc.Name)
+			}
+			executed = append(executed, id)
+		}
+	}
+	if len(executed) < n {
+		return nil, fmt.Errorf("-executed %d exceeds the %d actions in %s", n, len(executed), planPath)
+	}
+	plan, err := klotski.ReplanMigration(task, executed, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	planDoc, err := npd.BuildPlanDocumentFrom(task, executed, plan, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &klotski.PipelineResult{Scenario: scenario, Task: task, Plan: plan, Document: planDoc}, nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testNPD = `{
+	"version": 1,
+	"name": "cmd-test",
+	"fabric": [{"dc": 0, "pods": 2, "rswPerPod": 2, "planes": 4, "sswPerPlane": 2, "fswUplinks": 1}],
+	"hgrid": {"grids": 4, "faduPerGrid": 2, "fauuPerGrid": 1, "sswDownlinks": 1},
+	"eb": {"count": 2, "linkTbps": 40},
+	"dr": {"count": 1, "linkTbps": 80},
+	"bb": {"ebbs": 1},
+	"migration": {"kind": "hgrid-v1-v2"}
+}`
+
+func writeNPD(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "region.json")
+	if err := os.WriteFile(p, []byte(testNPD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunPlansDocument(t *testing.T) {
+	npdPath := writeNPD(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-npd", npdPath, "-v"}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc["task"] != "cmd-test" {
+		t.Errorf("plan document task = %v", doc["task"])
+	}
+	if !strings.Contains(errBuf.String(), "planned in") {
+		t.Errorf("verbose output missing: %s", errBuf.String())
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	npdPath := writeNPD(t)
+	outPath := filepath.Join(t.TempDir(), "plan.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-npd", npdPath, "-o", outPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"phases"`) {
+		t.Error("plan file missing phases")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty when -o is set")
+	}
+}
+
+func TestRunResume(t *testing.T) {
+	npdPath := writeNPD(t)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-npd", npdPath, "-resume", planPath, "-executed", "2"}, &out, &errBuf); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	var doc struct {
+		Actions int `json:"actions"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Actions != 6 { // 8 total actions, 2 executed
+		t.Errorf("resumed plan has %d actions, want 6", doc.Actions)
+	}
+}
+
+func TestRunResumeTooManyExecuted(t *testing.T) {
+	npdPath := writeNPD(t)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-npd", npdPath, "-resume", planPath, "-executed", "99"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want exceeds error, got %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, &out, &errBuf); err == nil {
+		t.Error("missing -npd should error")
+	}
+	if err := run([]string{"-npd", "/does/not/exist.json"}, &out, &errBuf); err == nil {
+		t.Error("missing file should error")
+	}
+	npdPath := writeNPD(t)
+	if err := run([]string{"-npd", npdPath, "-planner", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown planner should error")
+	}
+}
+
+func TestRunPlannerVariants(t *testing.T) {
+	npdPath := writeNPD(t)
+	for _, planner := range []string{"astar", "dp", "mrc", "janus"} {
+		var out, errBuf bytes.Buffer
+		if err := run([]string{"-npd", npdPath, "-planner", planner}, &out, &errBuf); err != nil {
+			t.Errorf("planner %s: %v", planner, err)
+		}
+	}
+}
+
+func TestRunMaxRun(t *testing.T) {
+	npdPath := writeNPD(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-npd", npdPath, "-maxrun", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Phases []struct {
+			Blocks []string `json:"blocks"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range doc.Phases {
+		if len(ph.Blocks) > 1 {
+			t.Errorf("phase %d has %d blocks despite -maxrun 1", i, len(ph.Blocks))
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a small migration task by hand, plan it, audit it, and
+// read the result.
+//
+// The scenario is the smallest interesting migration: a row of old
+// aggregation switches is replaced by a new generation with more capacity,
+// but the uplink switch only has spare ports for one new device at a time —
+// so "undrain everything, then drain everything" is physically impossible
+// and the planner must interleave.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"klotski"
+)
+
+func main() {
+	// --- Topology universe -------------------------------------------------
+	// One traffic source (a rack switch) and one sink (a backbone router),
+	// bridged by 3 old switches (active) and 3 new ones (not yet in
+	// service). All six exist physically; activity flags say who carries
+	// traffic today.
+	topo := klotski.NewTopology("quickstart")
+	src := topo.AddSwitch(klotski.Switch{Name: "rsw", Role: klotski.RoleRSW})
+	dst := topo.AddSwitch(klotski.Switch{Name: "ebb", Role: klotski.RoleEBB})
+
+	task := &klotski.Task{Name: "swap-aggregation-row", Topo: topo}
+	drainOld := task.AddType(klotski.ActionTypeInfo{
+		Name: "drain-old-agg", Op: klotski.Drain, Role: klotski.RoleFADU,
+	})
+	undrainNew := task.AddType(klotski.ActionTypeInfo{
+		Name: "undrain-new-agg", Op: klotski.Undrain, Role: klotski.RoleFADU,
+	})
+
+	for i := 0; i < 3; i++ {
+		old := topo.AddSwitch(klotski.Switch{
+			Name: fmt.Sprintf("agg-old-%d", i), Role: klotski.RoleFADU, Generation: 1,
+		})
+		topo.AddCircuit(src, old, 1.0) // 1 Tbps
+		topo.AddCircuit(old, dst, 1.0)
+		task.AddBlock(klotski.Block{Type: drainOld, Switches: []klotski.SwitchID{old}})
+
+		new := topo.AddSwitch(klotski.Switch{
+			Name: fmt.Sprintf("agg-new-%d", i), Role: klotski.RoleFADU, Generation: 2,
+		})
+		topo.SetSwitchActive(new, false) // not yet onboarded
+		topo.AddCircuit(src, new, 1.6)   // new generation: more capacity
+		topo.AddCircuit(new, dst, 1.6)
+		task.AddBlock(klotski.Block{Type: undrainNew, Switches: []klotski.SwitchID{new}})
+	}
+
+	// The physical constraint that makes planning non-trivial: the rack
+	// switch has 6 circuits wired but only 4 ports live at any moment.
+	topo.SetPorts(src, 4)
+
+	// --- Traffic -----------------------------------------------------------
+	// 1.5 Tbps flows src → dst; ECMP spreads it across whatever bridges
+	// are up. No intermediate state may push any circuit above θ = 75%.
+	task.Demands.Add(klotski.Demand{Name: "uplink", Src: src, Dst: dst, Rate: 1.5})
+
+	// --- Plan --------------------------------------------------------------
+	plan, err := klotski.PlanAStar(task, klotski.Options{Theta: 0.75})
+	if err != nil {
+		log.Fatalf("planning failed: %v", err)
+	}
+	fmt.Print(plan)
+	fmt.Printf("planner effort: %d states, %d satisfiability checks (%d answered from cache)\n\n",
+		plan.Metrics.StatesCreated, plan.Metrics.Checks, plan.Metrics.CacheHits)
+
+	// --- Audit and inspect --------------------------------------------------
+	if err := klotski.VerifyPlan(task, plan.Sequence, klotski.Options{}); err != nil {
+		log.Fatalf("audit failed: %v", err)
+	}
+	doc, err := klotski.BuildPlanDocument(task, plan, klotski.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network state after each run:")
+	for _, ph := range doc.Phases {
+		fmt.Printf("  phase %d %-18s: %d switches up, %.1f Tbps capacity, max util %.0f%%\n",
+			ph.Index, "("+ph.Op+")", ph.ActiveSwitches, ph.CapacityTbps, ph.MaxUtilization*100)
+	}
+}

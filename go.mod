@@ -1,0 +1,3 @@
+module klotski
+
+go 1.22

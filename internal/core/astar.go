@@ -1,0 +1,177 @@
+package core
+
+import (
+	"container/heap"
+
+	"klotski/internal/migration"
+)
+
+// PlanAStar finds a minimum-cost safe migration plan with the A* search
+// planner (paper §4.4, Algorithm 2).
+//
+// States are (compact vector, last action type); the priority is
+// f = g + h with the consistent heuristic of space.heuristic, tie-broken by
+// the number of finished actions (states closer to the target first) and
+// then by insertion order for determinism. The search starts from the
+// original network state (or a replanning checkpoint) and returns the
+// moment the target topology is popped, which — with a consistent
+// heuristic — is guaranteed optimal.
+func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	sp, err := newSpace(task, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	startIdx, _ := sp.intern(sp.initial)
+	startLast := opts.InitialLast
+	if opts.InitialCounts == nil {
+		startLast = NoLast
+	}
+	if !sp.feasible(startIdx, NoLast) {
+		return nil, planErrf(ErrInfeasible, "initial network state violates constraints")
+	}
+	targetIdx, _ := sp.intern(sp.totals)
+	if !sp.feasible(targetIdx, NoLast) {
+		return nil, planErrf(ErrInfeasible, "target network state violates constraints")
+	}
+
+	best := make(map[int64]float64) // lowest g per (vec, last, tail)
+	closed := make(map[int64]bool)  // expanded states
+	prev := make(map[int64]prevInfo)
+
+	pq := &openHeap{secondary: !opts.DisableSecondaryPriority}
+	push := func(vecIdx int32, last migration.ActionType, tail int, g float64) {
+		k := sp.extKeyT(vecIdx, last, tail)
+		if old, ok := best[k]; ok && old <= g {
+			return
+		}
+		best[k] = g
+		sp.metrics.StatesCreated++
+		heap.Push(pq, openItem{
+			f:        g + sp.heuristicCapped(vecIdx, last, tail),
+			finished: int32(sp.finished(vecIdx)),
+			order:    int64(sp.metrics.StatesCreated),
+			g:        g,
+			vecIdx:   vecIdx,
+			last:     last,
+			tail:     int16(tail),
+		})
+	}
+	startTail := 0
+	if opts.InitialCounts != nil {
+		startTail = opts.InitialRunLength
+	}
+	push(startIdx, startLast, startTail, 0)
+
+	scratch := make([]uint16, sp.nTypes)
+	for pq.Len() > 0 {
+		if sp.overBudget() {
+			return nil, planErrf(ErrBudget, "A* exceeded budget after %d states, %d checks",
+				sp.metrics.StatesCreated, sp.metrics.Checks)
+		}
+		it := heap.Pop(pq).(openItem)
+		k := sp.extKeyT(it.vecIdx, it.last, int(it.tail))
+		if closed[k] || it.g > best[k] {
+			continue // stale duplicate
+		}
+		closed[k] = true
+		sp.metrics.StatesPopped++
+
+		if sp.isTarget(it.vecIdx) {
+			seq := sp.reconstruct(prev, it.vecIdx, it.last, int(it.tail))
+			return &Plan{
+				Task:     task,
+				Sequence: seq,
+				Runs:     RunsOf(task, seq, opts.MaxRunLength),
+				Cost:     it.g,
+				Metrics:  sp.elapsedMetrics(),
+			}, nil
+		}
+
+		// Constraint semantics (paper Eq. 4–6 "s.t." clause): consecutive
+		// same-type actions are operated in parallel, so the network is
+		// only observed — and therefore only checked — when the action
+		// type changes and at the end of the sequence. Extending the
+		// current run needs no check; switching run types requires the
+		// state being left (the completed run's boundary) to be safe.
+		cur := sp.vec(it.vecIdx)
+		boundaryOK := true
+		boundaryChecked := false
+		for a := 0; a < sp.nTypes; a++ {
+			if cur[a] >= sp.totals[a] {
+				continue
+			}
+			at := migration.ActionType(a)
+			stepCost, newTail, needsBoundary := sp.step(it.last, at, int(it.tail))
+			if needsBoundary && it.last != NoLast {
+				if !boundaryChecked {
+					boundaryOK = sp.feasible(it.vecIdx, it.last)
+					boundaryChecked = true
+				}
+				if !boundaryOK {
+					continue
+				}
+			}
+			copy(scratch, cur)
+			scratch[a]++
+			nextIdx, _ := sp.intern(scratch)
+			ng := it.g + stepCost
+			nk := sp.extKeyT(nextIdx, at, newTail)
+			if closed[nk] {
+				continue
+			}
+			if old, ok := best[nk]; !ok || ng < old {
+				prev[nk] = prevInfo{last: it.last, tail: it.tail}
+				push(nextIdx, at, newTail, ng)
+			}
+		}
+	}
+	return nil, planErrf(ErrInfeasible, "search space exhausted after %d states without reaching target",
+		sp.metrics.StatesPopped)
+}
+
+// openItem is one priority-queue entry. Lower f wins; among equal f, more
+// finished actions wins (secondary priority, §4.4); ties fall back to
+// insertion order for deterministic plans.
+type openItem struct {
+	f        float64
+	finished int32
+	order    int64
+	g        float64
+	vecIdx   int32
+	last     migration.ActionType
+	tail     int16 // in-progress run length, used under Options.MaxRunLength
+}
+
+type openHeap struct {
+	items     []openItem
+	secondary bool
+}
+
+func (h *openHeap) Len() int { return len(h.items) }
+
+func (h *openHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	if h.secondary && a.finished != b.finished {
+		return a.finished > b.finished
+	}
+	return a.order < b.order
+}
+
+func (h *openHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *openHeap) Push(x any) { h.items = append(h.items, x.(openItem)) }
+
+func (h *openHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

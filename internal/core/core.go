@@ -1,0 +1,367 @@
+// Package core implements the Klotski migration planners: the A* search
+// planner (paper §4.4, Algorithm 2) and the DP-based planner (§4.3,
+// Algorithm 1), both operating on the pruned operation-block search space
+// with efficient satisfiability checking (§4.2).
+//
+// # State space
+//
+// A search state is (V, a): the compact topology representation V — the
+// vector counting finished actions per action type — plus the type a of the
+// last finished action. Blocks of one type are operated in canonical
+// (insertion) order, so V fully determines which blocks are done and hence
+// the intermediate topology; this is the ordering-agnostic representation
+// of Definition 1 that lets satisfiability results be cached per V rather
+// than per action sequence.
+//
+// # Cost model
+//
+// Plan cost follows Eq. 1 generalized by the §5 cost function
+// f_cost(x) = 1 + α(x−1): an action of type a costs unit_a when it starts a
+// new run (previous action had a different type) and α·unit_a when it
+// extends the current run. With α = 0 and unit costs of 1 this is exactly
+// "number of action-type changes + 1".
+//
+// # Heuristic
+//
+// The A* priority is f = g + h with h the cheapest conceivable completion:
+// every remaining type must be visited at least once, except that the
+// current run's type can be finished without starting a new run. This is
+// the paper's Eq. 9 heuristic made tight (and consistent) in the corner
+// case where the last action's type still has pending actions; see
+// heuristic() for the algebra.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// Planning errors.
+var (
+	// ErrInfeasible means no safe action sequence exists under the given
+	// constraints (or the initial/target state itself violates them).
+	ErrInfeasible = errors.New("core: no feasible migration plan")
+
+	// ErrBudget means the planner exceeded its state or time budget before
+	// finding an optimal plan (rendered as a cross in the paper's figures).
+	ErrBudget = errors.New("core: planning budget exceeded")
+
+	// ErrUnsupported is returned by planners that cannot handle the task
+	// (used by baselines for topology-changing migrations).
+	ErrUnsupported = errors.New("core: migration type not supported by this planner")
+)
+
+// NoLast marks "no action finished yet" in replanning options and run
+// reconstruction.
+const NoLast migration.ActionType = -1
+
+// Options parameterizes a planning run. The zero value gives the paper's
+// defaults: θ = 0.75, α = 0, A* heuristic and secondary priority on,
+// satisfiability cache on, no funneling headroom, no space constraints.
+type Options struct {
+	// Theta is the maximum circuit utilization bound (Eq. 5). 0 means the
+	// paper default of 0.75.
+	Theta float64
+
+	// Alpha is the within-run marginal cost of the generalized cost
+	// function f_cost(x) = 1 + α(x−1) (§5), in [0, 1].
+	Alpha float64
+
+	// Split selects the traffic-splitting policy of the safety checker:
+	// plain ECMP (default, the paper's model) or capacity-weighted WCMP,
+	// modeling the temporary routing configurations of §7.1.
+	Split routing.SplitMode
+
+	// DisableCache turns off efficient satisfiability checking (the
+	// "Klotski w/o ESC" ablation of Fig. 10): every state re-checks its
+	// topology even when an equivalent state was already checked.
+	DisableCache bool
+
+	// DisableHeuristic reduces A* to uniform-cost search (the "Klotski
+	// w/o A*" ablation of Fig. 10).
+	DisableHeuristic bool
+
+	// DisableSecondaryPriority turns off the finished-action-count
+	// tiebreak among states with equal f (§4.4).
+	DisableSecondaryPriority bool
+
+	// FunnelFactor, when > 1, reserves transient headroom against traffic
+	// funneling (§7.2): circuits parallel to the block being operated are
+	// held to θ/FunnelFactor.
+	FunnelFactor float64
+
+	// MaxRunLength caps how many same-type actions execute as one parallel
+	// run (a maintenance-window / affinity rule in the spirit of §7.2):
+	// after MaxRunLength consecutive same-type actions the crews stop, the
+	// network is observed — and therefore checked — and a new run begins
+	// at full cost. 0 means unlimited (the paper's model).
+	MaxRunLength int
+
+	// SpaceBudget, when non-nil, caps the number of physically present
+	// switches per datacenter during the transient (§7.2 space and power
+	// constraints): old switches occupy space until drained, new switches
+	// occupy space from the moment they are undrained. Missing DCs are
+	// unconstrained.
+	SpaceBudget map[int]int
+
+	// DisableIncrementalView rebuilds the intermediate topology from
+	// scratch for every satisfiability check instead of applying block
+	// deltas from the previously checked state. Kept for the overlay
+	// ablation benchmark; never faster.
+	DisableIncrementalView bool
+
+	// MaxStates caps the number of states the planner may create. 0 means
+	// the default of 4,000,000.
+	MaxStates int
+
+	// Timeout caps wall-clock planning time. 0 means no limit.
+	Timeout time.Duration
+
+	// InitialCounts and InitialLast resume planning from a partially
+	// executed migration (replanning after demand shifts or failures,
+	// §7.1–7.2): InitialCounts[i] blocks of type i are already done and the
+	// last executed action had type InitialLast (NoLast if none).
+	// InitialRunLength is the length of the in-progress run, relevant only
+	// under MaxRunLength.
+	InitialCounts    []int
+	InitialLast      migration.ActionType
+	InitialRunLength int
+
+	// Evaluator optionally supplies a routing evaluator to reuse across
+	// planning runs over the same topology. When nil a fresh one is built.
+	Evaluator *routing.Evaluator
+}
+
+// validate rejects option combinations that would silently produce
+// nonsense: utilization bounds outside (0, 1], α outside [0, 1], negative
+// budgets or run caps, and funneling factors below 1.
+func (o *Options) validate() error {
+	if o.Theta < 0 || o.Theta > 1 {
+		return fmt.Errorf("core: Theta %v outside (0, 1] (0 selects the default 0.75)", o.Theta)
+	}
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: Alpha %v outside [0, 1]", o.Alpha)
+	}
+	if o.MaxStates < 0 {
+		return fmt.Errorf("core: negative MaxStates %d", o.MaxStates)
+	}
+	if o.MaxRunLength < 0 {
+		return fmt.Errorf("core: negative MaxRunLength %d", o.MaxRunLength)
+	}
+	if o.FunnelFactor != 0 && o.FunnelFactor < 1 {
+		return fmt.Errorf("core: FunnelFactor %v below 1 would loosen the bound", o.FunnelFactor)
+	}
+	if o.InitialRunLength < 0 {
+		return fmt.Errorf("core: negative InitialRunLength %d", o.InitialRunLength)
+	}
+	return nil
+}
+
+func (o *Options) theta() float64 {
+	if o.Theta <= 0 {
+		return 0.75
+	}
+	return o.Theta
+}
+
+func (o *Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 4_000_000
+	}
+	return o.MaxStates
+}
+
+// Run is a maximal subsequence of consecutive same-type actions in a plan.
+// All blocks of a run are operated in parallel by field crews (§3).
+type Run struct {
+	Type   migration.ActionType
+	Blocks []int // block IDs, in execution order
+}
+
+// Metrics reports planner effort.
+type Metrics struct {
+	StatesCreated int           // distinct (V, last) states materialized
+	StatesPopped  int           // states expanded from the queue / DP table
+	Checks        int           // satisfiability checks actually executed
+	CacheHits     int           // checks answered from the equivalent-state cache
+	PlanningTime  time.Duration // wall clock
+}
+
+// Plan is an ordered, safe, minimum-cost migration plan.
+type Plan struct {
+	Task     *migration.Task
+	Sequence []int // block IDs in execution order
+	Runs     []Run
+	Cost     float64
+	Metrics  Metrics
+}
+
+// String renders the plan as one line per run.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s: cost %g, %d actions in %d runs\n",
+		p.Task.Name, p.Cost, len(p.Sequence), len(p.Runs))
+	for i, r := range p.Runs {
+		fmt.Fprintf(&b, "  run %d: %s × %d (%s)\n",
+			i+1, p.Task.Types[r.Type].Name, len(r.Blocks), blockNames(p.Task, r.Blocks, 4))
+	}
+	return b.String()
+}
+
+func blockNames(t *migration.Task, ids []int, max int) string {
+	var names []string
+	for i, id := range ids {
+		if i == max {
+			names = append(names, fmt.Sprintf("… %d more", len(ids)-max))
+			break
+		}
+		names = append(names, t.Blocks[id].Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// runsFromSequence groups a block sequence into runs.
+func runsFromSequence(t *migration.Task, seq []int) []Run {
+	return RunsOf(t, seq, 0)
+}
+
+// RunsOf groups a block sequence into runs, splitting same-type runs every
+// maxRun actions when maxRun > 0 (Options.MaxRunLength semantics).
+func RunsOf(t *migration.Task, seq []int, maxRun int) []Run {
+	var runs []Run
+	for _, id := range seq {
+		ty := t.Blocks[id].Type
+		startNew := len(runs) == 0 || runs[len(runs)-1].Type != ty
+		if !startNew && maxRun > 0 && len(runs[len(runs)-1].Blocks) >= maxRun {
+			startNew = true
+		}
+		if startNew {
+			runs = append(runs, Run{Type: ty})
+		}
+		last := &runs[len(runs)-1]
+		last.Blocks = append(last.Blocks, id)
+	}
+	return runs
+}
+
+// SequenceCost computes the generalized cost of executing the given block
+// sequence, starting from a run of type initialLast (NoLast for a fresh
+// start). It is the reference implementation of Eq. 1 + §5 used by tests
+// and by baseline planners.
+func SequenceCost(t *migration.Task, seq []int, alpha float64, initialLast migration.ActionType) float64 {
+	return SequenceCostCapped(t, seq, alpha, initialLast, 0, 0)
+}
+
+// SequenceCostCapped is SequenceCost under Options.MaxRunLength semantics:
+// runs are force-split every maxRun same-type actions, each split paying a
+// fresh unit cost. initialRun is the length of the in-progress run at the
+// start (relevant when resuming mid-run).
+func SequenceCostCapped(t *migration.Task, seq []int, alpha float64, initialLast migration.ActionType, maxRun, initialRun int) float64 {
+	cost := 0.0
+	last := initialLast
+	tail := initialRun
+	for _, id := range seq {
+		ty := t.Blocks[id].Type
+		unit := unitCost(t, ty)
+		switch {
+		case ty != last:
+			cost += unit
+			tail = 1
+		case maxRun > 0 && tail >= maxRun:
+			cost += unit
+			tail = 1
+		default:
+			cost += alpha * unit
+			tail++
+		}
+		last = ty
+	}
+	return cost
+}
+
+// ValidateSequence checks that a block sequence is a permutation of the
+// task's blocks not yet executed (given initialCounts, which may be nil)
+// and that blocks of each type appear in canonical order. Baselines and
+// the execution simulator rely on it.
+func ValidateSequence(t *migration.Task, seq []int, initialCounts []int) error {
+	counts := make([]int, t.NumTypes())
+	if initialCounts != nil {
+		copy(counts, initialCounts)
+	}
+	seen := make(map[int]bool, len(seq))
+	for _, id := range seq {
+		if id < 0 || id >= len(t.Blocks) {
+			return fmt.Errorf("core: sequence references invalid block %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("core: block %d appears twice in sequence", id)
+		}
+		seen[id] = true
+		ty := t.Blocks[id].Type
+		ofType := t.BlocksOfType(ty)
+		if counts[ty] >= len(ofType) {
+			return fmt.Errorf("core: too many blocks of type %s in sequence", t.Types[ty].Name)
+		}
+		if want := ofType[counts[ty]]; want != id {
+			return fmt.Errorf("core: block %d of type %s out of canonical order (want %d)",
+				id, t.Types[ty].Name, want)
+		}
+		counts[ty]++
+	}
+	for ty, c := range counts {
+		if c != len(t.BlocksOfType(migration.ActionType(ty))) {
+			return fmt.Errorf("core: sequence incomplete for type %s (%d of %d)",
+				t.Types[ty].Name, c, len(t.BlocksOfType(migration.ActionType(ty))))
+		}
+	}
+	return nil
+}
+
+// unitCost returns the effective unit cost of an action type.
+func unitCost(t *migration.Task, a migration.ActionType) float64 {
+	u := t.Types[a].UnitCost
+	if u == 0 {
+		return 1
+	}
+	return u
+}
+
+// funnelCircuits lists the up circuits that survive next to the circuits a
+// block takes down — the circuits onto which traffic funnels while the
+// block's elements drain asynchronously (§2.2). For an undrain block the
+// set is empty: adding capacity does not funnel traffic.
+func funnelCircuits(t *migration.Task, blockID int) []topo.CircuitID {
+	b := &t.Blocks[blockID]
+	if t.Types[b.Type].Op != migration.Drain {
+		return nil
+	}
+	affected := make(map[topo.SwitchID]bool)
+	operatedCk := make(map[topo.CircuitID]bool)
+	for _, s := range b.Switches {
+		for _, c := range t.Topo.Switch(s).Circuits() {
+			operatedCk[c] = true
+			affected[t.Topo.Circuit(c).Other(s)] = true
+		}
+	}
+	for _, c := range b.Circuits {
+		operatedCk[c] = true
+		ck := t.Topo.Circuit(c)
+		affected[ck.A] = true
+		affected[ck.B] = true
+	}
+	var out []topo.CircuitID
+	for s := range affected {
+		for _, c := range t.Topo.Switch(s).Circuits() {
+			if !operatedCk[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

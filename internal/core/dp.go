@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"klotski/internal/migration"
+)
+
+// PlanDP finds a minimum-cost safe migration plan with the DP-based planner
+// (paper §4.3, Algorithm 1).
+//
+// The DP state f(V, a) is the minimal cost of reaching the compact topology
+// V with a last action of type a; it is computed over every vector between
+// the initial and target vectors (memoized top-down, which evaluates states
+// in the same dependency order as the paper's ascending-total-actions
+// sweep). Unlike A*, the DP planner must materialize the entire product
+// space, which is why the paper reports it 1.7–3.8× slower.
+func PlanDP(task *migration.Task, opts Options) (*Plan, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	return planDPWithPrewarm(task, opts, nil)
+}
+
+// planDPWithPrewarm is the DP planner body; prewarm, when non-nil, runs
+// after the search space is constructed and before the sweep (used by
+// PlanDPParallel to precompute the satisfiability cache concurrently).
+func planDPWithPrewarm(task *migration.Task, opts Options, prewarm func(*space)) (*Plan, error) {
+	sp, err := newSpace(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	if prewarm != nil {
+		prewarm(sp)
+	}
+
+	startLast := opts.InitialLast
+	if opts.InitialCounts == nil {
+		startLast = NoLast
+	}
+	startIdx, _ := sp.intern(sp.initial)
+	if !sp.feasible(startIdx, NoLast) {
+		return nil, planErrf(ErrInfeasible, "initial network state violates constraints")
+	}
+	if tIdx, _ := sp.intern(sp.totals); !sp.feasible(tIdx, NoLast) {
+		return nil, planErrf(ErrInfeasible, "target network state violates constraints")
+	}
+
+	startTail := 0
+	if opts.InitialCounts != nil {
+		startTail = opts.InitialRunLength
+	}
+	d := &dpRun{
+		sp:        sp,
+		startLast: startLast,
+		startTail: startTail,
+		memo:      make(map[int64]float64),
+		prev:      make(map[int64]prevInfo),
+	}
+
+	targetVec := append([]uint16(nil), sp.totals...)
+	targetIdx, _ := sp.intern(targetVec)
+	if sp.remaining(targetIdx) != 0 {
+		panic("core: target vector construction error")
+	}
+	if targetIdx == startIdx {
+		return &Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()}, nil
+	}
+
+	bestCost := math.Inf(1)
+	bestLast := NoLast
+	bestTail := 0
+	for a := 0; a < sp.nTypes; a++ {
+		if sp.totals[a] == sp.initial[a] {
+			continue
+		}
+		for _, t := range d.tails() {
+			c, err := d.f(targetIdx, migration.ActionType(a), t)
+			if err != nil {
+				return nil, err
+			}
+			if c < bestCost {
+				bestCost = c
+				bestLast = migration.ActionType(a)
+				bestTail = t
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, planErrf(ErrInfeasible, "DP table contains no path to target (%d states evaluated)",
+			sp.metrics.StatesPopped)
+	}
+	seq := sp.reconstruct(d.prev, targetIdx, bestLast, bestTail)
+	return &Plan{
+		Task:     task,
+		Sequence: seq,
+		Runs:     RunsOf(task, seq, opts.MaxRunLength),
+		Cost:     bestCost,
+		Metrics:  sp.elapsedMetrics(),
+	}, nil
+}
+
+type dpRun struct {
+	sp        *space
+	startLast migration.ActionType
+	startTail int
+	memo      map[int64]float64
+	prev      map[int64]prevInfo
+}
+
+// tails returns the valid in-progress run lengths: {0} when runs are
+// uncapped, 1..MaxRunLength otherwise.
+func (d *dpRun) tails() []int {
+	k := d.sp.runCap()
+	if k == 0 {
+		return []int{0}
+	}
+	ts := make([]int, k)
+	for i := range ts {
+		ts[i] = i + 1
+	}
+	return ts
+}
+
+// f computes the DP recurrence (paper Eq. 7–8, extended with the
+// in-progress run length t under Options.MaxRunLength): the minimal cost
+// of reaching vector vecIdx with a run of t actions of type a at the tail,
+// or +Inf when unreachable through feasible states.
+func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) {
+	sp := d.sp
+	key := sp.extKeyT(vecIdx, a, t)
+	if c, ok := d.memo[key]; ok {
+		return c, nil
+	}
+	sp.metrics.StatesCreated++
+	if sp.overBudget() {
+		return 0, planErrf(ErrBudget, "DP exceeded budget after %d states, %d checks",
+			sp.metrics.StatesCreated, sp.metrics.Checks)
+	}
+	// Seed the memo to guard against cycles (none exist — every step
+	// strictly increases the action total — but a sentinel keeps a bug
+	// from recursing forever).
+	d.memo[key] = math.Inf(1)
+
+	v := sp.vec(vecIdx)
+	if v[a] <= sp.initial[a] {
+		return math.Inf(1), nil // a cannot have been the last action
+	}
+	sp.metrics.StatesPopped++
+
+	pred := append([]uint16(nil), v...)
+	pred[a]--
+	predIdx, _ := sp.intern(pred)
+
+	atInitial := true
+	for i := range pred {
+		if pred[i] != sp.initial[i] {
+			atInitial = false
+			break
+		}
+	}
+
+	// Boundary-check semantics (Eq. 4–6 "s.t." clause): the predecessor
+	// state is only observed by the network — and therefore only needs to
+	// be safe — when the incoming action starts a new run (type change, or
+	// a forced split once the run reaches MaxRunLength). The initial and
+	// target states are pre-checked by PlanDP.
+	best := math.Inf(1)
+	bestPrev := prevInfo{last: NoLast}
+	if atInitial {
+		c, nt, _ := sp.step(d.startLast, a, d.startTail)
+		if nt == t || (sp.runCap() == 0 && t == 0) {
+			best = c
+			bestPrev = prevInfo{last: d.startLast, tail: int16(d.startTail)}
+		}
+	} else {
+		predFeasible := -1 // lazy: -1 unknown, 0 no, 1 yes
+		checkPred := func(bt migration.ActionType) bool {
+			if sp.opts.FunnelFactor > 1 {
+				// Funneling makes feasibility depend on the in-flight
+				// block, so it cannot be reused across last-types.
+				return sp.feasible(predIdx, bt)
+			}
+			if predFeasible < 0 {
+				if sp.feasible(predIdx, bt) {
+					predFeasible = 1
+				} else {
+					predFeasible = 0
+				}
+			}
+			return predFeasible == 1
+		}
+		consider := func(bt migration.ActionType, pt int, step float64) error {
+			pc, err := d.f(predIdx, bt, pt)
+			if err != nil {
+				return err
+			}
+			if c := pc + step; c < best {
+				best = c
+				bestPrev = prevInfo{last: bt, tail: int16(pt)}
+			}
+			return nil
+		}
+		k := sp.runCap()
+		unit := sp.units[a]
+		switch {
+		case k == 0:
+			// Uncapped: same-type extension at α, type change at unit with
+			// a boundary check on the predecessor.
+			for b := 0; b < sp.nTypes; b++ {
+				bt := migration.ActionType(b)
+				if pred[b] <= sp.initial[b] {
+					continue
+				}
+				step := sp.opts.Alpha * unit
+				if bt != a {
+					if !checkPred(bt) {
+						continue
+					}
+					step = unit
+				}
+				if err := consider(bt, 0, step); err != nil {
+					return 0, err
+				}
+			}
+		case t > 1:
+			// Mid-run: the only predecessor is the same run, one shorter.
+			if err := consider(a, t-1, sp.opts.Alpha*unit); err != nil {
+				return 0, err
+			}
+		default: // t == 1: a fresh run started here; predecessor observed.
+			for b := 0; b < sp.nTypes; b++ {
+				bt := migration.ActionType(b)
+				if pred[b] <= sp.initial[b] {
+					continue
+				}
+				if bt == a {
+					// Same type: only a forced split (full previous chunk)
+					// may start a new run.
+					if !checkPred(bt) {
+						continue
+					}
+					if err := consider(a, k, unit); err != nil {
+						return 0, err
+					}
+					continue
+				}
+				if !checkPred(bt) {
+					continue
+				}
+				for _, pt := range d.tails() {
+					if err := consider(bt, pt, unit); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+	}
+	d.memo[key] = best
+	if !math.IsInf(best, 1) {
+		d.prev[key] = bestPrev
+	}
+	return best, nil
+}
+
+// planErrf wraps a sentinel planning error with detail while keeping it
+// matchable via errors.Is.
+func planErrf(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"klotski/internal/migration"
+)
+
+// Parallel satisfiability prechecking.
+//
+// The DP planner must evaluate every vector of the compact product space
+// (§4.3), and satisfiability checks dominate its runtime. The checks are
+// independent per state, so they shard perfectly across workers — each
+// with its own routing evaluator and scratch view — after which the DP
+// sweep itself runs entirely against the warmed cache.
+//
+// Prechecking is incompatible with funneling headroom (feasibility then
+// depends on the in-flight block, not just the vector) and pointless when
+// the cache is disabled; PlanDP falls back to lazy checking in both cases.
+
+// precheckParallel enumerates the full product space between the initial
+// and target vectors and fills the satisfiability cache using `workers`
+// goroutines. It honors the state budget: spaces larger than maxStates are
+// left to lazy checking (the DP will then hit its own budget guard).
+func (sp *space) precheckParallel(workers int) {
+	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
+		return
+	}
+	// Enumerate the product space, bounding by the budget.
+	size := 1
+	for i := range sp.totals {
+		span := int(sp.totals[i]-sp.initial[i]) + 1
+		if size > sp.opts.maxStates()/span {
+			return // too large to precompute; fall back to lazy checks
+		}
+		size *= span
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 || size < 4*workers {
+		return
+	}
+
+	vecs := make([][]uint16, 0, size)
+	cur := append([]uint16(nil), sp.initial...)
+	var enum func(i int)
+	enum = func(i int) {
+		if i == len(cur) {
+			vecs = append(vecs, append([]uint16(nil), cur...))
+			return
+		}
+		for v := sp.initial[i]; v <= sp.totals[i]; v++ {
+			cur[i] = v
+			enum(i + 1)
+		}
+		cur[i] = sp.initial[i]
+	}
+	enum(0)
+
+	results := make([]int8, len(vecs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns an independent checker: its own evaluator,
+			// scratch view, and (empty) cache.
+			wopts := sp.opts
+			wopts.Evaluator = nil
+			wsp, err := newSpace(sp.task, wopts)
+			if err != nil {
+				return // leave this shard to lazy checking
+			}
+			for i := w; i < len(vecs); i += workers {
+				if wsp.check(mustIntern(wsp, vecs[i]), NoLast, false) {
+					results[i] = feasYes
+				} else {
+					results[i] = feasNo
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, vec := range vecs {
+		if results[i] == 0 {
+			continue
+		}
+		idx, _ := sp.intern(vec)
+		sp.feas[sp.extKey(idx, NoLast)] = results[i]
+	}
+	sp.metrics.Checks += len(vecs)
+}
+
+func mustIntern(sp *space, vec []uint16) int32 {
+	idx, _ := sp.intern(vec)
+	return idx
+}
+
+// PlanDPParallel runs the DP planner with satisfiability checks
+// precomputed across the given number of workers (0 picks GOMAXPROCS).
+// Results are identical to PlanDP; only wall-clock time changes.
+func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	// newSpace + precheck happen inside a thin wrapper around PlanDP: the
+	// planner accepts a pre-warmed space via the prewarm hook.
+	return planDPWithPrewarm(task, opts, func(sp *space) {
+		sp.precheckParallel(workers)
+	})
+}

@@ -1,0 +1,566 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"klotski/internal/demand"
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// space is the shared search-state machinery used by both planners: vector
+// interning for the compact topology representation, the satisfiability
+// cache (efficient satisfiability checking, §4.2), the incremental view
+// builder, and the heuristic.
+type space struct {
+	task *migration.Task
+	opts Options
+
+	nTypes  int
+	totals  []uint16 // blocks per type: the target vector V*
+	initial []uint16 // already-executed blocks per type (replanning)
+	units   []float64
+
+	// Vector interning. Every distinct V gets a dense index; the
+	// satisfiability cache is a slice aligned with those indices.
+	key     keyer
+	index64 map[uint64]int32
+	indexS  map[string]int32
+	vecs    []uint16 // flattened: vector i occupies [i*nTypes, (i+1)*nTypes)
+
+	// feas is the equivalent-state satisfiability cache: one entry per
+	// interned vector (per (V, last) when funneling makes feasibility
+	// depend on the in-flight block).
+	feas map[int64]int8 // 1 feasible, 2 infeasible
+
+	eval    *routing.Evaluator
+	view    *topo.View
+	demands *demand.Set
+
+	// curVec tracks the vector currently materialized in view, enabling
+	// incremental delta application between consecutive checks (planners
+	// mostly check near-neighbor states, so the delta is usually one or
+	// two blocks instead of a full rebuild). nil until the first build.
+	curVec []uint16
+
+	metrics  Metrics
+	deadline time.Time
+	started  time.Time
+
+	// Space/power budget precompute: per-block occupancy delta per DC.
+	occBase  map[int]int
+	occDelta []map[int]int // nil when SpaceBudget is nil
+}
+
+const (
+	feasYes int8 = 1
+	feasNo  int8 = 2
+)
+
+func newSpace(task *migration.Task, opts Options) (*space, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if task.NumTypes() == 0 || task.NumActions() == 0 {
+		return nil, fmt.Errorf("core: task %q has no actions to plan", task.Name)
+	}
+	sp := &space{
+		task:    task,
+		opts:    opts,
+		nTypes:  task.NumTypes(),
+		demands: &task.Demands,
+		started: time.Now(),
+	}
+	if opts.Timeout > 0 {
+		sp.deadline = sp.started.Add(opts.Timeout)
+	}
+	sp.totals = make([]uint16, sp.nTypes)
+	sp.units = make([]float64, sp.nTypes)
+	for i, c := range task.Counts() {
+		if c > 0xFFFF {
+			return nil, fmt.Errorf("core: type %s has %d blocks, exceeding planner limit", task.Types[i].Name, c)
+		}
+		sp.totals[i] = uint16(c)
+		sp.units[i] = unitCost(task, migration.ActionType(i))
+	}
+	sp.initial = make([]uint16, sp.nTypes)
+	if opts.InitialCounts != nil {
+		if len(opts.InitialCounts) != sp.nTypes {
+			return nil, fmt.Errorf("core: InitialCounts has %d entries, task has %d types",
+				len(opts.InitialCounts), sp.nTypes)
+		}
+		for i, c := range opts.InitialCounts {
+			if c < 0 || c > int(sp.totals[i]) {
+				return nil, fmt.Errorf("core: InitialCounts[%d]=%d out of range [0,%d]", i, c, sp.totals[i])
+			}
+			sp.initial[i] = uint16(c)
+		}
+	}
+	sp.key = newKeyer(sp.totals)
+	if sp.key.fits64 {
+		sp.index64 = make(map[uint64]int32, 1024)
+	} else {
+		sp.indexS = make(map[string]int32, 1024)
+	}
+	sp.feas = make(map[int64]int8, 1024)
+	sp.eval = opts.Evaluator
+	if sp.eval == nil {
+		sp.eval = routing.NewEvaluator(task.Topo)
+	}
+	sp.view = task.Topo.NewView()
+	if opts.SpaceBudget != nil {
+		sp.precomputeOccupancy()
+	}
+	return sp, nil
+}
+
+// keyer packs a count vector into a uint64 when the per-type totals fit,
+// falling back to a byte-string key otherwise.
+type keyer struct {
+	fits64 bool
+	shifts []uint
+}
+
+func newKeyer(totals []uint16) keyer {
+	k := keyer{shifts: make([]uint, len(totals))}
+	bitsUsed := uint(0)
+	k.fits64 = true
+	for i, t := range totals {
+		w := uint(bits.Len16(t)) // enough for values 0..t
+		if w == 0 {
+			w = 1
+		}
+		k.shifts[i] = bitsUsed
+		bitsUsed += w
+	}
+	if bitsUsed > 64 {
+		k.fits64 = false
+	}
+	return k
+}
+
+func (k *keyer) key64(vec []uint16) uint64 {
+	var out uint64
+	for i, v := range vec {
+		out |= uint64(v) << k.shifts[i]
+	}
+	return out
+}
+
+func (k *keyer) keyStr(vec []uint16) string {
+	buf := make([]byte, 2*len(vec))
+	for i, v := range vec {
+		binary.BigEndian.PutUint16(buf[2*i:], v)
+	}
+	return string(buf)
+}
+
+// intern returns the dense index for vec, creating it if new. The returned
+// bool is true when the vector was already known.
+func (sp *space) intern(vec []uint16) (int32, bool) {
+	if sp.key.fits64 {
+		k := sp.key.key64(vec)
+		if idx, ok := sp.index64[k]; ok {
+			return idx, true
+		}
+		idx := sp.addVec(vec)
+		sp.index64[k] = idx
+		return idx, false
+	}
+	k := sp.key.keyStr(vec)
+	if idx, ok := sp.indexS[k]; ok {
+		return idx, true
+	}
+	idx := sp.addVec(vec)
+	sp.indexS[k] = idx
+	return idx, false
+}
+
+// lookup returns the dense index for vec without creating it.
+func (sp *space) lookup(vec []uint16) (int32, bool) {
+	if sp.key.fits64 {
+		idx, ok := sp.index64[sp.key.key64(vec)]
+		return idx, ok
+	}
+	idx, ok := sp.indexS[sp.key.keyStr(vec)]
+	return idx, ok
+}
+
+func (sp *space) addVec(vec []uint16) int32 {
+	idx := int32(len(sp.vecs) / sp.nTypes)
+	sp.vecs = append(sp.vecs, vec...)
+	return idx
+}
+
+// vec returns the interned vector at idx. The returned slice aliases
+// space-owned storage; do not modify.
+func (sp *space) vec(idx int32) []uint16 {
+	return sp.vecs[int(idx)*sp.nTypes : (int(idx)+1)*sp.nTypes]
+}
+
+// isTarget reports whether idx is the fully-migrated vector.
+func (sp *space) isTarget(idx int32) bool {
+	v := sp.vec(idx)
+	for i := range v {
+		if v[i] != sp.totals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finished returns the total number of finished actions in the vector —
+// the secondary priority of §4.4.
+func (sp *space) finished(idx int32) int {
+	n := 0
+	for _, v := range sp.vec(idx) {
+		n += int(v)
+	}
+	return n
+}
+
+// remaining returns the number of actions still to do.
+func (sp *space) remaining(idx int32) int {
+	n := 0
+	v := sp.vec(idx)
+	for i := range v {
+		n += int(sp.totals[i]) - int(v[i])
+	}
+	return n
+}
+
+// extKey builds the (vector, last-action) state key used by the planners'
+// best-cost tables.
+func (sp *space) extKey(vecIdx int32, last migration.ActionType) int64 {
+	return int64(vecIdx)*int64(sp.nTypes+1) + int64(last) + 1
+}
+
+// runCap returns the maximum run length, or 0 for unlimited.
+func (sp *space) runCap() int { return sp.opts.MaxRunLength }
+
+// extKeyT extends extKey with the tail length of the in-progress run —
+// needed only when MaxRunLength is set (the tail is always 0 otherwise, so
+// keys coincide with extKey).
+func (sp *space) extKeyT(vecIdx int32, last migration.ActionType, tail int) int64 {
+	return sp.extKey(vecIdx, last)*int64(sp.runCap()+1) + int64(tail%(sp.runCap()+1))
+}
+
+// prevInfo records a state's best predecessor for plan reconstruction.
+type prevInfo struct {
+	last migration.ActionType
+	tail int16
+}
+
+// step computes one action's incremental cost under the (optional) run
+// cap: a different type — or a same-type action once the current run has
+// reached MaxRunLength — starts a new run at full unit cost and requires
+// the state being left to pass a boundary check.
+func (sp *space) step(last, a migration.ActionType, tail int) (cost float64, newTail int, boundary bool) {
+	k := sp.runCap()
+	if a != last {
+		if k == 0 {
+			return sp.units[a], 0, true
+		}
+		return sp.units[a], 1, true
+	}
+	if k == 0 {
+		// Uncapped: the tail never matters; keep it at 0 so state keys
+		// coincide with the plain (vector, last) encoding.
+		return sp.opts.Alpha * sp.units[a], 0, false
+	}
+	if tail >= k {
+		return sp.units[a], 1, true
+	}
+	return sp.opts.Alpha * sp.units[a], tail + 1, false
+}
+
+// stepCost is the incremental cost of performing an action of type a after
+// an action of type last (Eq. 1 + §5 generalization).
+func (sp *space) stepCost(last, a migration.ActionType) float64 {
+	if a == last {
+		return sp.opts.Alpha * sp.units[a]
+	}
+	return sp.units[a]
+}
+
+// heuristic is the admissible, consistent cost-to-go lower bound (Eq. 9
+// adjusted for the in-progress run): every remaining type a≠last needs at
+// least one fresh run costing unit_a(1 + α(rem_a − 1)); remaining actions
+// of the current run's type can extend it at α·unit_last each.
+//
+// Under Options.MaxRunLength = K the bound strengthens: finishing rem
+// actions of a type needs at least ⌈rem/K⌉ runs (⌈(rem−(K−tail))/K⌉ fresh
+// runs for the in-progress type, whose current chunk still has K−tail
+// α-cost slots). See heuristicCapped.
+func (sp *space) heuristic(vecIdx int32, last migration.ActionType) float64 {
+	if sp.opts.DisableHeuristic {
+		return 0
+	}
+	if sp.runCap() > 0 {
+		// The A* open list stores the tail; the heuristic used for
+		// ordering is computed via heuristicCapped at push time. This
+		// entry point (tail unknown) uses the weakest tail assumption,
+		// keeping it admissible wherever it is still called.
+		return sp.heuristicCapped(vecIdx, last, sp.runCap())
+	}
+	v := sp.vec(vecIdx)
+	h := 0.0
+	alpha := sp.opts.Alpha
+	for i := range v {
+		rem := float64(sp.totals[i] - v[i])
+		if rem == 0 {
+			continue
+		}
+		if migration.ActionType(i) == last {
+			h += alpha * sp.units[i] * rem
+		} else {
+			h += sp.units[i] * (1 + alpha*(rem-1))
+		}
+	}
+	return h
+}
+
+// heuristicCapped is the cost-to-go lower bound under a run cap K, given
+// the in-progress run's tail length. For each type with rem pending
+// actions: fresh runs cost unit each, extensions α·unit each, and at most
+// K actions fit per run; the in-progress type gets K−tail free extension
+// slots before its first fresh run.
+func (sp *space) heuristicCapped(vecIdx int32, last migration.ActionType, tail int) float64 {
+	if sp.opts.DisableHeuristic {
+		return 0
+	}
+	k := sp.runCap()
+	if k == 0 {
+		return sp.heuristic(vecIdx, last)
+	}
+	v := sp.vec(vecIdx)
+	h := 0.0
+	alpha := sp.opts.Alpha
+	for i := range v {
+		rem := int(sp.totals[i]) - int(v[i])
+		if rem == 0 {
+			continue
+		}
+		unit := sp.units[i]
+		if migration.ActionType(i) == last {
+			free := k - tail // α-cost slots left in the current chunk
+			if free < 0 {
+				free = 0
+			}
+			if rem <= free {
+				h += alpha * unit * float64(rem)
+				continue
+			}
+			rest := rem - free
+			runs := (rest + k - 1) / k
+			h += alpha*unit*float64(free) + unit*float64(runs) + alpha*unit*float64(rest-runs)
+		} else {
+			runs := (rem + k - 1) / k
+			h += unit*float64(runs) + alpha*unit*float64(rem-runs)
+		}
+	}
+	return h
+}
+
+// overBudget reports whether the planner has exhausted its state or time
+// budget. Time is only polled every few hundred calls to keep it off the
+// hot path.
+func (sp *space) overBudget() bool {
+	if sp.metrics.StatesCreated > sp.opts.maxStates() {
+		return true
+	}
+	if !sp.deadline.IsZero() && sp.metrics.StatesCreated%256 == 0 {
+		if time.Now().After(sp.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// feasible checks the safety of the intermediate topology identified by the
+// interned vector, consulting the equivalent-state cache first. last is the
+// action type that produced this state; it matters only when funneling
+// headroom is enabled (the in-flight block determines which circuits need
+// headroom), in which case the cache key includes it.
+func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
+	funneling := sp.opts.FunnelFactor > 1 && last >= 0
+	var ck int64
+	if funneling {
+		ck = sp.extKey(vecIdx, last)
+	} else {
+		ck = sp.extKey(vecIdx, NoLast)
+	}
+	if !sp.opts.DisableCache {
+		if f, ok := sp.feas[ck]; ok {
+			sp.metrics.CacheHits++
+			return f == feasYes
+		}
+	}
+	ok := sp.check(vecIdx, last, funneling)
+	res := feasNo
+	if ok {
+		res = feasYes
+	}
+	sp.feas[ck] = res
+	return ok
+}
+
+// check performs the actual satisfiability check: rebuild the view for the
+// vector's canonical prefix of blocks, then verify space, port, and demand
+// constraints.
+func (sp *space) check(vecIdx int32, last migration.ActionType, funneling bool) bool {
+	sp.metrics.Checks++
+	v := sp.vec(vecIdx)
+	sp.buildView(v)
+
+	if sp.occDelta != nil && !sp.occupancyOK(v) {
+		return false
+	}
+
+	copts := routing.CheckOpts{Theta: sp.opts.theta(), Split: sp.opts.Split}
+	if funneling {
+		blocks := sp.task.BlocksOfType(last)
+		blockID := blocks[int(v[last])-1]
+		copts.FunnelFactor = sp.opts.FunnelFactor
+		copts.FunnelCircuits = funnelCircuits(sp.task, blockID)
+	}
+	viol := sp.eval.Check(sp.view, sp.demands, copts)
+	return viol.OK()
+}
+
+// buildView materializes the state for vector v in the scratch view.
+//
+// Because every switch and circuit is operated by at most one block
+// (Task.Validate enforces this) and Apply/Revert set activity flags
+// absolutely, the view for v can be reached from the view for any other
+// vector by applying or reverting exactly the differing blocks. Planners
+// check near-neighbor states most of the time, so the delta is typically a
+// single block instead of an O(|S|+|C|) rebuild. Options.DisableIncrementalView
+// forces the full rebuild (kept for the ablation benchmark and as a
+// correctness cross-check in tests).
+func (sp *space) buildView(v []uint16) {
+	if sp.opts.DisableIncrementalView || sp.curVec == nil {
+		sp.view.Reset()
+		for ty := 0; ty < sp.nTypes; ty++ {
+			blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+			for j := 0; j < int(v[ty]); j++ {
+				sp.task.Apply(sp.view, blocks[j])
+			}
+		}
+		if !sp.opts.DisableIncrementalView {
+			sp.curVec = append(sp.curVec[:0], v...)
+		}
+		return
+	}
+	for ty := 0; ty < sp.nTypes; ty++ {
+		cur, want := int(sp.curVec[ty]), int(v[ty])
+		if cur == want {
+			continue
+		}
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := cur; j < want; j++ {
+			sp.task.Apply(sp.view, blocks[j])
+		}
+		for j := cur; j > want; j-- {
+			sp.task.Revert(sp.view, blocks[j-1])
+		}
+		sp.curVec[ty] = uint16(want)
+	}
+}
+
+// precomputeOccupancy derives per-block space-occupancy deltas: draining a
+// switch frees its slot (the hardware is decommissioned and removed);
+// undraining a switch requires its slot from that step on.
+func (sp *space) precomputeOccupancy() {
+	t := sp.task
+	sp.occBase = make(map[int]int)
+	for i := 0; i < t.Topo.NumSwitches(); i++ {
+		s := t.Topo.Switch(topo.SwitchID(i))
+		if t.Topo.SwitchActive(s.ID) {
+			sp.occBase[s.DC]++
+		}
+	}
+	sp.occDelta = make([]map[int]int, len(t.Blocks))
+	for i := range t.Blocks {
+		b := &t.Blocks[i]
+		d := make(map[int]int)
+		sign := 1
+		if t.Types[b.Type].Op == migration.Drain {
+			sign = -1
+		}
+		for _, sw := range b.Switches {
+			d[t.Topo.Switch(sw).DC] += sign
+		}
+		sp.occDelta[i] = d
+	}
+}
+
+// occupancyOK verifies the transient space/power budget for the state.
+func (sp *space) occupancyOK(v []uint16) bool {
+	occ := make(map[int]int, len(sp.occBase))
+	for dc, n := range sp.occBase {
+		occ[dc] = n
+	}
+	for ty := 0; ty < sp.nTypes; ty++ {
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := 0; j < int(v[ty]); j++ {
+			for dc, d := range sp.occDelta[blocks[j]] {
+				occ[dc] += d
+			}
+		}
+	}
+	for dc, n := range occ {
+		if budget, ok := sp.opts.SpaceBudget[dc]; ok && budget > 0 && n > budget {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstruct walks the best-cost predecessor table back from the target
+// state to the initial state, emitting block IDs in execution order.
+func (sp *space) reconstruct(prev map[int64]prevInfo, vecIdx int32, last migration.ActionType, tail int) []int {
+	var rev []int
+	cur := append([]uint16(nil), sp.vec(vecIdx)...)
+	for last != NoLast {
+		atInitial := true
+		for i := range cur {
+			if cur[i] != sp.initial[i] {
+				atInitial = false
+				break
+			}
+		}
+		if atInitial {
+			break
+		}
+		blocks := sp.task.BlocksOfType(last)
+		rev = append(rev, blocks[int(cur[last])-1])
+		idx, ok := sp.lookup(cur)
+		if !ok {
+			panic("core: reconstruction reached unknown state")
+		}
+		p, ok := prev[sp.extKeyT(idx, last, tail)]
+		if !ok {
+			panic("core: reconstruction missing predecessor")
+		}
+		cur[last]--
+		last = p.last
+		tail = int(p.tail)
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// elapsedMetrics finalizes and returns the metrics for a finished run.
+func (sp *space) elapsedMetrics() Metrics {
+	m := sp.metrics
+	m.PlanningTime = time.Since(sp.started)
+	return m
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"klotski/internal/migration"
+)
+
+// TestIncrementalViewMatchesRebuild cross-checks the incremental
+// delta-application view builder against the from-scratch rebuild: both
+// must judge every state identically, so both planner variants must find
+// identical costs and equal plans.
+func TestIncrementalViewMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		nOld := 2 + rng.Intn(3)
+		nNew := 2 + rng.Intn(3)
+		task := bridgeTask(t, nOld, nNew, 1, 0.8+rng.Float64(), 0.5+rng.Float64(), 2*nOld+1+rng.Intn(3))
+		for _, planner := range []func(*migration.Task, Options) (*Plan, error){PlanAStar, PlanDP} {
+			inc, errInc := planner(task, Options{})
+			reb, errReb := planner(task, Options{DisableIncrementalView: true})
+			if (errInc == nil) != (errReb == nil) {
+				t.Fatalf("trial %d: feasibility disagreement: %v vs %v", trial, errInc, errReb)
+			}
+			if errInc != nil {
+				continue
+			}
+			if math.Abs(inc.Cost-reb.Cost) > 1e-9 {
+				t.Fatalf("trial %d: incremental cost %v != rebuild cost %v", trial, inc.Cost, reb.Cost)
+			}
+			if len(inc.Sequence) != len(reb.Sequence) {
+				t.Fatalf("trial %d: sequence lengths differ", trial)
+			}
+			for i := range inc.Sequence {
+				if inc.Sequence[i] != reb.Sequence[i] {
+					t.Fatalf("trial %d: plans diverge at step %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalViewExactState drives buildView through a random walk of
+// vectors and verifies the materialized view equals a fresh rebuild after
+// every move.
+func TestIncrementalViewExactState(t *testing.T) {
+	task := bridgeTask(t, 3, 4, 1, 1, 0.5, 0)
+	sp, err := newSpace(task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := newSpace(task, Options{DisableIncrementalView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	vec := make([]uint16, sp.nTypes)
+	for step := 0; step < 200; step++ {
+		ty := rng.Intn(sp.nTypes)
+		if rng.Intn(2) == 0 && vec[ty] < sp.totals[ty] {
+			vec[ty]++
+		} else if vec[ty] > 0 {
+			vec[ty]--
+		}
+		sp.buildView(vec)
+		ref.buildView(vec)
+		if !sp.view.Equal(ref.view) {
+			t.Fatalf("step %d: incremental view diverged at vector %v", step, vec)
+		}
+	}
+}
+
+// TestPlanDPParallelMatchesSerial verifies the parallel precheck changes
+// nothing but wall-clock: identical costs and sequences on randomized
+// tasks, across worker counts.
+func TestPlanDPParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		task := bridgeTask(t, 2+rng.Intn(3), 2+rng.Intn(3), 1, 0.8+rng.Float64(),
+			0.5+rng.Float64(), 0)
+		serial, errS := PlanDP(task, Options{})
+		for _, workers := range []int{0, 2, 4} {
+			par, errP := PlanDPParallel(task, Options{}, workers)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("trial %d workers %d: error disagreement %v vs %v", trial, workers, errS, errP)
+			}
+			if errS != nil {
+				continue
+			}
+			if math.Abs(par.Cost-serial.Cost) > 1e-9 {
+				t.Fatalf("trial %d workers %d: cost %v vs %v", trial, workers, par.Cost, serial.Cost)
+			}
+			for i := range par.Sequence {
+				if par.Sequence[i] != serial.Sequence[i] {
+					t.Fatalf("trial %d workers %d: sequences diverge", trial, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDPParallelOnFunneling falls back to lazy checking (prechecking is
+// incompatible with block-dependent feasibility) but must still agree.
+func TestPlanDPParallelOnFunneling(t *testing.T) {
+	task := bridgeTask(t, 3, 3, 1, 1, 1.1, 0)
+	opts := Options{Theta: 0.8, FunnelFactor: 1.1}
+	serial, errS := PlanDP(task, opts)
+	par, errP := PlanDPParallel(task, opts, 4)
+	if (errS == nil) != (errP == nil) {
+		t.Fatalf("error disagreement: %v vs %v", errS, errP)
+	}
+	if errS == nil && math.Abs(par.Cost-serial.Cost) > 1e-9 {
+		t.Fatalf("cost %v vs %v", par.Cost, serial.Cost)
+	}
+}

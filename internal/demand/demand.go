@@ -1,0 +1,138 @@
+// Package demand models traffic demands and demand forecasting.
+//
+// A demand is an aggregate (source switch, destination switch, rate) triple.
+// The Klotski paper (§6.1) evaluates with three kinds of source/target
+// pairs — RSW→EBB, EBB→RSW, and RSW→RSW — with total volume in the hundreds
+// of Tbps. Demands here play exactly that role: the satisfiability checker
+// routes each demand over the intermediate topology with ECMP and verifies
+// per-circuit utilization bounds.
+//
+// The package also implements the demand-forecast integration described in
+// the paper's deployment section (§7.1): traffic grows organically during a
+// months-long migration, so plans must be checked against forecasted rather
+// than current demand, and re-planned when the forecast shifts.
+package demand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"klotski/internal/topo"
+)
+
+// Demand is an aggregate traffic requirement from Src to Dst.
+type Demand struct {
+	Name string
+	Src  topo.SwitchID
+	Dst  topo.SwitchID
+	Rate float64 // Tbps
+}
+
+// Set is a collection of demands. The zero value is an empty, usable set.
+type Set struct {
+	Demands []Demand
+}
+
+// Add appends a demand to the set.
+func (s *Set) Add(d Demand) { s.Demands = append(s.Demands, d) }
+
+// Len returns the number of demands.
+func (s *Set) Len() int { return len(s.Demands) }
+
+// Total returns the aggregate rate across all demands in Tbps.
+func (s *Set) Total() float64 {
+	t := 0.0
+	for _, d := range s.Demands {
+		t += d.Rate
+	}
+	return t
+}
+
+// Scaled returns a copy of the set with every rate multiplied by f.
+func (s *Set) Scaled(f float64) Set {
+	out := Set{Demands: make([]Demand, len(s.Demands))}
+	for i, d := range s.Demands {
+		d.Rate *= f
+		out.Demands[i] = d
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() Set {
+	return Set{Demands: append([]Demand(nil), s.Demands...)}
+}
+
+// Destinations returns the distinct destination switches, sorted by ID.
+// The satisfiability checker batches routing work per destination, so the
+// size of this slice — not the number of demands — dominates check cost.
+func (s *Set) Destinations() []topo.SwitchID {
+	seen := make(map[topo.SwitchID]bool, 8)
+	var out []topo.SwitchID
+	for _, d := range s.Demands {
+		if !seen[d.Dst] {
+			seen[d.Dst] = true
+			out = append(out, d.Dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that all endpoints are in range for the topology, all
+// rates are finite and positive, and no demand is a self-loop.
+func (s *Set) Validate(t *topo.Topology) error {
+	n := topo.SwitchID(t.NumSwitches())
+	for i, d := range s.Demands {
+		if d.Src < 0 || d.Src >= n || d.Dst < 0 || d.Dst >= n {
+			return fmt.Errorf("demand: demand %d (%s) has out-of-range endpoint", i, d.Name)
+		}
+		if d.Src == d.Dst {
+			return fmt.Errorf("demand: demand %d (%s) is a self-loop", i, d.Name)
+		}
+		if d.Rate <= 0 || math.IsNaN(d.Rate) || math.IsInf(d.Rate, 0) {
+			return fmt.Errorf("demand: demand %d (%s) has invalid rate %v", i, d.Name, d.Rate)
+		}
+	}
+	return nil
+}
+
+// Forecast models organic traffic growth over the duration of a migration
+// (paper §7.1). GrowthPerStep is the fractional increase applied per
+// migration step; a ten-percent increase over a month-long migration with
+// 20 steps corresponds to GrowthPerStep ≈ 0.0048.
+type Forecast struct {
+	GrowthPerStep float64
+}
+
+// At returns the demand set forecast after the given number of completed
+// migration steps: every rate is multiplied by (1+GrowthPerStep)^steps.
+func (f Forecast) At(s Set, steps int) Set {
+	if steps <= 0 || f.GrowthPerStep == 0 {
+		return s.Clone()
+	}
+	return s.Scaled(math.Pow(1+f.GrowthPerStep, float64(steps)))
+}
+
+// Surge models an unexpected service-behavior change (paper §7.2: a warm
+// storage backup-placement change caused days of traffic spikes during a
+// migration). Fraction of demands, chosen pseudo-randomly, are multiplied
+// by Multiplier.
+type Surge struct {
+	Fraction   float64 // fraction of demands affected, in [0,1]
+	Multiplier float64 // rate multiplier for affected demands, ≥ 1
+}
+
+// Apply returns a copy of the set with the surge applied, using rng to pick
+// the affected demands.
+func (su Surge) Apply(s Set, rng *rand.Rand) Set {
+	out := s.Clone()
+	for i := range out.Demands {
+		if rng.Float64() < su.Fraction {
+			out.Demands[i].Rate *= su.Multiplier
+		}
+	}
+	return out
+}

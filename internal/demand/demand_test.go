@@ -1,0 +1,170 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"klotski/internal/topo"
+)
+
+func twoSwitchTopo() *topo.Topology {
+	t := topo.New("pair")
+	a := t.AddSwitch(topo.Switch{Name: "a", Role: topo.RoleRSW})
+	b := t.AddSwitch(topo.Switch{Name: "b", Role: topo.RoleEBB})
+	t.AddCircuit(a, b, 1)
+	return t
+}
+
+func TestSetTotalAndScale(t *testing.T) {
+	var s Set
+	s.Add(Demand{Name: "d1", Src: 0, Dst: 1, Rate: 2})
+	s.Add(Demand{Name: "d2", Src: 1, Dst: 0, Rate: 3})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Total(); got != 5 {
+		t.Fatalf("Total = %v, want 5", got)
+	}
+	scaled := s.Scaled(2)
+	if got := scaled.Total(); got != 10 {
+		t.Fatalf("scaled Total = %v, want 10", got)
+	}
+	if s.Total() != 5 {
+		t.Error("Scaled must not mutate the source set")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	var s Set
+	s.Add(Demand{Name: "d", Src: 0, Dst: 1, Rate: 1})
+	c := s.Clone()
+	c.Demands[0].Rate = 99
+	if s.Demands[0].Rate != 1 {
+		t.Error("Clone should copy demand storage")
+	}
+}
+
+func TestDestinations(t *testing.T) {
+	var s Set
+	s.Add(Demand{Src: 0, Dst: 5, Rate: 1})
+	s.Add(Demand{Src: 1, Dst: 3, Rate: 1})
+	s.Add(Demand{Src: 2, Dst: 5, Rate: 1})
+	ds := s.Destinations()
+	if len(ds) != 2 || ds[0] != 3 || ds[1] != 5 {
+		t.Fatalf("Destinations = %v, want [3 5]", ds)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tp := twoSwitchTopo()
+	good := Set{Demands: []Demand{{Name: "ok", Src: 0, Dst: 1, Rate: 1}}}
+	if err := good.Validate(tp); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	cases := []Demand{
+		{Name: "self", Src: 0, Dst: 0, Rate: 1},
+		{Name: "range", Src: 0, Dst: 9, Rate: 1},
+		{Name: "neg", Src: 0, Dst: 1, Rate: -1},
+		{Name: "zero", Src: 0, Dst: 1, Rate: 0},
+		{Name: "nan", Src: 0, Dst: 1, Rate: math.NaN()},
+		{Name: "inf", Src: 0, Dst: 1, Rate: math.Inf(1)},
+	}
+	for _, d := range cases {
+		bad := Set{Demands: []Demand{d}}
+		if err := bad.Validate(tp); err == nil {
+			t.Errorf("demand %q should fail validation", d.Name)
+		}
+	}
+}
+
+func TestForecastGrowth(t *testing.T) {
+	s := Set{Demands: []Demand{{Src: 0, Dst: 1, Rate: 100}}}
+	f := Forecast{GrowthPerStep: 0.1}
+	grown := f.At(s, 2)
+	want := 100 * 1.1 * 1.1
+	if got := grown.Demands[0].Rate; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("grown rate = %v, want %v", got, want)
+	}
+	if s.Demands[0].Rate != 100 {
+		t.Error("Forecast.At must not mutate source")
+	}
+	same := f.At(s, 0)
+	if same.Demands[0].Rate != 100 {
+		t.Error("zero steps should be identity")
+	}
+}
+
+func TestForecastZeroGrowthIdentity(t *testing.T) {
+	s := Set{Demands: []Demand{{Src: 0, Dst: 1, Rate: 7}}}
+	out := Forecast{}.At(s, 100)
+	if out.Demands[0].Rate != 7 {
+		t.Error("zero growth should be identity")
+	}
+}
+
+func TestSurge(t *testing.T) {
+	var s Set
+	for i := 0; i < 100; i++ {
+		s.Add(Demand{Src: 0, Dst: 1, Rate: 1})
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := Surge{Fraction: 0.5, Multiplier: 3}.Apply(s, rng)
+	surged := 0
+	for _, d := range out.Demands {
+		switch d.Rate {
+		case 1:
+		case 3:
+			surged++
+		default:
+			t.Fatalf("unexpected rate %v", d.Rate)
+		}
+	}
+	if surged < 30 || surged > 70 {
+		t.Errorf("surged %d of 100 demands; expected roughly half", surged)
+	}
+	if s.Total() != 100 {
+		t.Error("Surge.Apply must not mutate source")
+	}
+}
+
+// Property: Total is linear under Scaled.
+func TestScaledLinearity(t *testing.T) {
+	f := func(rates []float64, factor float64) bool {
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			return true
+		}
+		var s Set
+		sum := 0.0
+		for _, r := range rates {
+			r = math.Abs(r)
+			if math.IsInf(r, 0) || math.IsNaN(r) || r > 1e12 {
+				return true
+			}
+			s.Add(Demand{Src: 0, Dst: 1, Rate: r})
+			sum += r
+		}
+		scaled := s.Scaled(2)
+		got := scaled.Total()
+		return math.Abs(got-2*sum) <= 1e-6*math.Max(1, math.Abs(2*sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Forecast.At(s, a+b) == Forecast.At(Forecast.At(s, a), b).
+func TestForecastComposes(t *testing.T) {
+	f := func(a, b uint8) bool {
+		sa, sb := int(a%20), int(b%20)
+		s := Set{Demands: []Demand{{Src: 0, Dst: 1, Rate: 10}}}
+		fc := Forecast{GrowthPerStep: 0.03}
+		direct := fc.At(s, sa+sb).Demands[0].Rate
+		composed := fc.At(fc.At(s, sa), sb).Demands[0].Rate
+		return math.Abs(direct-composed) < 1e-9*direct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

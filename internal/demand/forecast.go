@@ -1,0 +1,107 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Telemetry-driven forecasting.
+//
+// The paper's demands are "forecasted based on historical data collected by
+// Meta's DCNs, reflecting the average traffic requirements in the near
+// future" (§6.1), and §7.1 describes re-running the forecast after every
+// migration step. This file provides the fitting half of that loop:
+// turn a rate history into a calibrated base rate plus a Forecast growth
+// model, and summarize histories with the percentiles capacity planners
+// actually provision for.
+
+// FitForecast fits an exponential growth model rate(t) = base·(1+g)^t to a
+// rate history (one sample per step, oldest first) by least squares on
+// log-rates, and returns the fitted rate at the *last* sample (the "now"
+// a migration plan starts from) together with the per-step growth.
+//
+// At least two samples are required and every rate must be positive —
+// exponential fitting is meaningless otherwise.
+func FitForecast(history []float64) (base float64, f Forecast, err error) {
+	if len(history) < 2 {
+		return 0, Forecast{}, fmt.Errorf("demand: FitForecast needs at least 2 samples, got %d", len(history))
+	}
+	logs := make([]float64, len(history))
+	for i, r := range history {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return 0, Forecast{}, fmt.Errorf("demand: sample %d has non-positive rate %v", i, r)
+		}
+		logs[i] = math.Log(r)
+	}
+	// Least squares: logs[i] ≈ a + b·i.
+	n := float64(len(logs))
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range logs {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, Forecast{}, fmt.Errorf("demand: degenerate sample spacing")
+	}
+	b := (n*sumXY - sumX*sumY) / den
+	a := (sumY - b*sumX) / n
+	base = math.Exp(a + b*float64(len(logs)-1))
+	return base, Forecast{GrowthPerStep: math.Exp(b) - 1}, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 1) of the samples using
+// linear interpolation between order statistics — the summary capacity
+// planners provision against (p95/p99 rather than means).
+func Percentile(samples []float64, p float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("demand: Percentile of empty sample set")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("demand: percentile %v outside [0,1]", p)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// FitSetForecast fits a shared growth model across a demand set's
+// histories: histories[i] is the rate history of set.Demands[i]. It
+// returns a new set whose rates are the fitted current values, plus the
+// demand-weighted average growth — one Forecast for the whole set, which
+// is how the pipeline's step-wise re-verification consumes it.
+func FitSetForecast(set Set, histories [][]float64) (Set, Forecast, error) {
+	if len(histories) != len(set.Demands) {
+		return Set{}, Forecast{}, fmt.Errorf("demand: %d histories for %d demands",
+			len(histories), len(set.Demands))
+	}
+	out := set.Clone()
+	var totalRate, weightedGrowth float64
+	for i, h := range histories {
+		base, f, err := FitForecast(h)
+		if err != nil {
+			return Set{}, Forecast{}, fmt.Errorf("demand %q: %w", set.Demands[i].Name, err)
+		}
+		out.Demands[i].Rate = base
+		totalRate += base
+		weightedGrowth += base * f.GrowthPerStep
+	}
+	if totalRate == 0 {
+		return Set{}, Forecast{}, fmt.Errorf("demand: fitted rates sum to zero")
+	}
+	return out, Forecast{GrowthPerStep: weightedGrowth / totalRate}, nil
+}

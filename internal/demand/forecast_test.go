@@ -1,0 +1,163 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitForecastRecoversExactGrowth(t *testing.T) {
+	// Noiseless exponential: the fit must be exact.
+	history := make([]float64, 20)
+	rate := 100.0
+	for i := range history {
+		history[i] = rate
+		rate *= 1.01
+	}
+	base, f, err := FitForecast(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.GrowthPerStep-0.01) > 1e-9 {
+		t.Errorf("growth = %v, want 0.01", f.GrowthPerStep)
+	}
+	if math.Abs(base-history[len(history)-1]) > 1e-6*base {
+		t.Errorf("base = %v, want %v (rate at last sample)", base, history[len(history)-1])
+	}
+}
+
+func TestFitForecastUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	history := make([]float64, 60)
+	rate := 50.0
+	for i := range history {
+		history[i] = rate * (1 + 0.02*(rng.Float64()-0.5))
+		rate *= 1.005
+	}
+	_, f, err := FitForecast(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.GrowthPerStep-0.005) > 0.002 {
+		t.Errorf("noisy growth estimate %v too far from 0.005", f.GrowthPerStep)
+	}
+}
+
+func TestFitForecastFlatHistory(t *testing.T) {
+	history := []float64{10, 10, 10, 10}
+	base, f, err := FitForecast(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.GrowthPerStep) > 1e-12 {
+		t.Errorf("flat history growth = %v, want 0", f.GrowthPerStep)
+	}
+	if math.Abs(base-10) > 1e-9 {
+		t.Errorf("flat history base = %v, want 10", base)
+	}
+}
+
+func TestFitForecastErrors(t *testing.T) {
+	if _, _, err := FitForecast([]float64{5}); err == nil {
+		t.Error("single sample should error")
+	}
+	if _, _, err := FitForecast([]float64{5, -1}); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, _, err := FitForecast([]float64{5, 0}); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, _, err := FitForecast([]float64{5, math.NaN()}); err == nil {
+		t.Error("NaN rate should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{4, 1, 3, 2, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.95, 4.8},
+	}
+	for _, c := range cases {
+		got, err := Percentile(samples, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, err := Percentile(samples, 1.5); err == nil {
+		t.Error("out-of-range p should error")
+	}
+	// Percentile must not mutate its input.
+	if samples[0] != 4 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		var samples []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				samples = append(samples, r)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		p1 = math.Abs(math.Mod(p1, 1))
+		p2 = math.Abs(math.Mod(p2, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		a, err1 := Percentile(samples, p1)
+		b, err2 := Percentile(samples, p2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitSetForecast(t *testing.T) {
+	var set Set
+	set.Add(Demand{Name: "a", Src: 0, Dst: 1, Rate: 1})
+	set.Add(Demand{Name: "b", Src: 1, Dst: 0, Rate: 1})
+	histories := [][]float64{
+		growthSeries(100, 0.01, 10),
+		growthSeries(300, 0.00, 10),
+	}
+	out, f, err := FitSetForecast(set, histories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates replaced by fitted current values.
+	if math.Abs(out.Demands[0].Rate-histories[0][9]) > 1e-6*out.Demands[0].Rate {
+		t.Errorf("demand a rate = %v, want %v", out.Demands[0].Rate, histories[0][9])
+	}
+	// Weighted growth between 0 and 0.01, closer to 0 (demand b is 3× bigger).
+	if f.GrowthPerStep <= 0 || f.GrowthPerStep >= 0.005 {
+		t.Errorf("weighted growth = %v, want in (0, 0.005)", f.GrowthPerStep)
+	}
+	if _, _, err := FitSetForecast(set, histories[:1]); err == nil {
+		t.Error("mismatched history count should error")
+	}
+}
+
+func growthSeries(base, g float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base
+		base *= 1 + g
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PrintCaseResults renders planner-comparison rows as an aligned text
+// table: one line per (case, planner) with cost, normalized cost, raw and
+// normalized planning time. Crosses render as the planner's failure note.
+func PrintCaseResults(w io.Writer, title string, rows []CaseResult) {
+	fmt.Fprintf(w, "== %s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "case\tplanner\tcost\tnorm cost\ttime\tnorm time\tstates\tchecks")
+	for _, row := range rows {
+		for _, o := range row.Outcomes {
+			if !o.OK() {
+				fmt.Fprintf(tw, "%s\t%s\t✗ %s\t\t\t\t\t\n", row.Case, o.Planner, o.Note)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.2f\t%s\t%.2f\t%d\t%d\n",
+				row.Case, o.Planner, o.Cost, o.NormCost, o.Time.Round(o.Time/100+1), o.NormTime,
+				o.States, o.Checks)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintTable1 renders Table-1 rows next to the paper's reported ranges.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "== Table 1: migration statistics per region (paper ranges in brackets)")
+	paper := map[string]string{
+		"HGRID":        "[320-352 sw, 13.7k-26.8k ck, 1.3-6.3T, 4-9 months]",
+		"SSW Forklift": "[144-288 sw, 14.1k-40.3k ck, 14-16T, 3-4 months]",
+		"DMAG":         "[48-64 sw, 1.6k-5.6k ck, 0.2-0.5T, 1-2 weeks]",
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "migration\tswitches\tcircuits\tcapacity (Tbps)\truns\tduration\tpaper")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%s\t%s\n",
+			r.Migration, r.Switches, r.Circuits, r.CapacityTbps, r.Runs, r.Duration, paper[r.Migration])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintTable3 renders Table-3 rows next to the paper's reported values.
+func PrintTable3(w io.Writer, rows []Table3Row, scale float64) {
+	fmt.Fprintf(w, "== Table 3: topology configurations at scale %g (paper values at scale 1 in brackets)\n", scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tswitches\tcircuits\tactions\tpaper")
+	for _, r := range rows {
+		p := PaperTable3[r.Topology]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t[~%d sw, ~%d ck, ~%d actions]\n",
+			r.Topology, r.Switches, r.Circuits, r.Actions, p.Switches, p.Circuits, p.Actions)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// randomRegionParams draws structurally valid region parameters: plane
+// counts in {4, 8}, grid counts that are either ≤ minPlanes (plane-level
+// striping) or ≥ 4×maxPlanes (dilution striping) — the two regimes the
+// generators are designed for.
+func randomRegionParams(rng *rand.Rand) RegionParams {
+	nDC := 1 + rng.Intn(3)
+	var dcs []FabricParams
+	minPlanes, maxPlanes := 8, 4
+	for i := 0; i < nDC; i++ {
+		planes := 4
+		if rng.Intn(4) == 0 {
+			planes = 8
+		}
+		if planes < minPlanes {
+			minPlanes = planes
+		}
+		if planes > maxPlanes {
+			maxPlanes = planes
+		}
+		dcs = append(dcs, FabricParams{
+			Pods:        1 + rng.Intn(4),
+			RSWPerPod:   1 + rng.Intn(3),
+			Planes:      planes,
+			SSWPerPlane: 1 + rng.Intn(4),
+			FSWUplinks:  1 + rng.Intn(2),
+		})
+	}
+	grids := minPlanes // plane-level regime
+	if rng.Intn(3) == 0 {
+		grids = 4 * maxPlanes // dilution regime
+	}
+	return RegionParams{
+		Name: "rand-region",
+		DCs:  dcs,
+		HGRID: HGRIDParams{
+			Grids:        grids,
+			FADUPerGrid:  1 + rng.Intn(4),
+			FAUUPerGrid:  1 + rng.Intn(3),
+			SSWDownlinks: 1 + rng.Intn(2),
+		},
+		EBs: 2 + 2*rng.Intn(3), DRs: 1 + rng.Intn(3), EBBs: 1 + rng.Intn(3),
+		EBCap: 40, DRCap: 80,
+	}
+}
+
+// TestBuildRegionInvariants: any structurally valid parameter draw yields a
+// valid, fully-routable region.
+func TestBuildRegionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		params := randomRegionParams(rng)
+		r := BuildRegion(params)
+		if err := r.Topo.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid topology: %v (params %+v)", trial, err, params)
+		}
+		ds := BuildDemands(r, DemandSpec{})
+		eval := routing.NewEvaluator(r.Topo)
+		res, viol := eval.Evaluate(r.Topo.NewView(), &ds, routing.CheckOpts{Theta: 1e9})
+		if viol.Kind == routing.ViolationUnreachable || res.Unreachable > 0 {
+			t.Fatalf("trial %d: base region cannot route demands: %v (params %+v)",
+				trial, viol, params)
+		}
+		// Structural accounting: every RSW has exactly FSWPerPod uplinks.
+		for d, rsws := range r.RSWs {
+			per := params.DCs[d].FSWPerPod
+			if per == 0 {
+				per = 4
+			}
+			for _, id := range rsws {
+				if got := len(r.Topo.Switch(id).Circuits()); got != per {
+					t.Fatalf("trial %d: RSW %s has %d circuits, want %d",
+						trial, r.Topo.Switch(id).Name, got, per)
+				}
+			}
+		}
+	}
+}
+
+// TestHGRIDScenarioInvariants: scenarios over random regions validate,
+// plan, and verify end to end.
+func TestHGRIDScenarioInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	planned := 0
+	for trial := 0; trial < 15; trial++ {
+		params := randomRegionParams(rng)
+		s, err := HGRIDScenario("rand", HGRIDScenarioParams{Region: params})
+		if err != nil {
+			t.Fatalf("trial %d: scenario build failed: %v (params %+v)", trial, err, params)
+		}
+		if err := s.Task.Validate(); err != nil {
+			t.Fatalf("trial %d: task invalid: %v", trial, err)
+		}
+		p, err := core.PlanAStar(s.Task, core.Options{MaxStates: 300_000})
+		if err != nil {
+			// Some random draws are legitimately too tight to migrate;
+			// what matters is that the failures are clean.
+			continue
+		}
+		planned++
+		if err := core.VerifyPlan(s.Task, p.Sequence, core.Options{}); err != nil {
+			t.Fatalf("trial %d: plan failed verification: %v", trial, err)
+		}
+	}
+	if planned < 8 {
+		t.Errorf("only %d of 15 random scenarios plannable; generators drifting too tight", planned)
+	}
+}
+
+// TestViewIsolationUnderPlanning: planning must never mutate the base
+// topology's activity state.
+func TestViewIsolationUnderPlanning(t *testing.T) {
+	s := buildSuite(t, "B", testScale)
+	before := s.Task.Topo.Stats()
+	if _, err := core.PlanAStar(s.Task, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.PlanDP(s.Task, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Task.Topo.Stats()
+	if before.Switches != after.Switches || before.Circuits != after.Circuits ||
+		before.Capacity != after.Capacity {
+		t.Fatalf("planning mutated base activity: %+v vs %+v", before, after)
+	}
+}
+
+// TestDemandEndpointsAlwaysActive: generated demands must never target a
+// switch the migration operates — planning would otherwise chase a moving
+// endpoint.
+func TestDemandEndpointsAlwaysActive(t *testing.T) {
+	for _, name := range SuiteNames() {
+		s := buildSuite(t, name, testScale)
+		operated := map[topo.SwitchID]bool{}
+		for _, b := range s.Task.Blocks {
+			for _, sw := range b.Switches {
+				operated[sw] = true
+			}
+		}
+		for _, d := range s.Task.Demands.Demands {
+			if operated[d.Src] || operated[d.Dst] {
+				t.Errorf("%s: demand %s endpoints are operated switches", name, d.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"fmt"
+
+	"klotski/internal/demand"
+	"klotski/internal/migration"
+	"klotski/internal/topo"
+)
+
+// Joint multi-region migration (paper §2.2, "Consider multiple DCs").
+//
+// When two regions are migrated in the same period, their plans are
+// coupled through the inter-region traffic: a region's drained capacity is
+// also lost to the WAN flows that transit it, so per-region planning can
+// produce combinations of states that are individually safe and jointly
+// not. JointScenario merges two HGRID scenarios into one planning problem:
+// one topology universe, the two regions' EBBs interconnected by WAN
+// circuits, inter-region demands riding them, and the regions' operation
+// blocks carrying distinct action types (distinct field crews).
+
+// JointParams parameterizes a joint two-region migration.
+type JointParams struct {
+	// A and B are the constituent scenarios' region parameters (both
+	// undergo HGRID V1→V2 migration).
+	A, B RegionParams
+
+	// WANCircuits is the number of EBB↔EBB circuits between the regions
+	// (default: one per EBB pair, round-robin).
+	WANCircuits int
+
+	// InterRegionWeight sizes the inter-region demands relative to the
+	// per-region demand weights (default 1.0).
+	InterRegionWeight float64
+
+	Demand DemandSpec
+}
+
+// JointScenario builds the merged two-region migration task.
+func JointScenario(name string, p JointParams) (*Scenario, error) {
+	if p.InterRegionWeight == 0 {
+		p.InterRegionWeight = 1
+	}
+	p.Demand.setDefaults()
+
+	// Build each region's scenario independently (unshaped demands are
+	// replaced below, so BaseUtil here only affects intermediate
+	// calibration that we redo on the merged universe).
+	sa, err := HGRIDScenario(name+"-A", HGRIDScenarioParams{Region: p.A, Demand: p.Demand})
+	if err != nil {
+		return nil, fmt.Errorf("gen: joint region A: %w", err)
+	}
+	sb, err := HGRIDScenario(name+"-B", HGRIDScenarioParams{Region: p.B, Demand: p.Demand})
+	if err != nil {
+		return nil, fmt.Errorf("gen: joint region B: %w", err)
+	}
+
+	merged, swOffset, _ := topo.Merge(name, "a/", sa.Task.Topo, "b/", sb.Task.Topo)
+
+	// Interconnect the regions at the EBB layer. WAN capacity is sized
+	// from the smaller region's EBB attachment so inter-region demands are
+	// carried comfortably but not freely.
+	ebbA := remapIDs(sa.Region.EBBSw, 0)
+	ebbB := remapIDs(sb.Region.EBBSw, swOffset)
+	wan := p.WANCircuits
+	if wan == 0 {
+		wan = max(len(ebbA), len(ebbB))
+	}
+	wanCap := layerCapacity(merged, topo.RoleDR, topo.RoleEBB) * 2
+	for i := 0; i < wan; i++ {
+		merged.AddCircuit(ebbA[i%len(ebbA)], ebbB[i%len(ebbB)], wanCap)
+	}
+
+	// The joint task: both regions' blocks, with per-region action types.
+	task := &migration.Task{Name: name, Topo: merged}
+	remapTask(task, sa.Task, "a/", 0)
+	remapTask(task, sb.Task, "b/", swOffset)
+
+	// Demands: both regions' sets (remapped), plus inter-region flows
+	// between representative RSWs across the WAN.
+	var ds demand.Set
+	for _, d := range sa.Task.Demands.Demands {
+		d.Name = "a/" + d.Name
+		ds.Add(d)
+	}
+	for _, d := range sb.Task.Demands.Demands {
+		d.Name = "b/" + d.Name
+		d.Src += swOffset
+		d.Dst += swOffset
+		ds.Add(d)
+	}
+	repsA := representativeRSWs(sa.Region, p.Demand.SourcesPerDC)
+	repsB := representativeRSWs(sb.Region, p.Demand.SourcesPerDC)
+	for i := 0; i < min(len(repsA), len(repsB)); i++ {
+		src := repsA[i][0]
+		dst := repsB[i][0] + swOffset
+		rate := p.InterRegionWeight
+		ds.Add(demand.Demand{Name: fmt.Sprintf("inter-a%d-b%d", i, i), Src: src, Dst: dst, Rate: rate})
+		ds.Add(demand.Demand{Name: fmt.Sprintf("inter-b%d-a%d", i, i), Src: dst, Dst: src, Rate: rate})
+	}
+
+	// Re-calibrate on the merged universe so the joint base state peaks at
+	// the configured utilization.
+	ds, _, err = Calibrate(merged, ds, p.Demand.BaseUtil)
+	if err != nil {
+		return nil, err
+	}
+	task.Demands = ds
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Keep region A's structural references for callers that need them;
+	// the merged Region is synthetic.
+	region := &Region{Params: p.A, Topo: merged}
+	return &Scenario{
+		Name: name,
+		Description: fmt.Sprintf("joint migration of two regions (%d + %d blocks, %d WAN circuits)",
+			sa.Task.NumActions(), sb.Task.NumActions(), wan),
+		Task:     task,
+		Region:   region,
+		BaseUtil: p.Demand.BaseUtil,
+	}, nil
+}
+
+// remapTask copies src's types and blocks into dst with prefixed type
+// names and offset IDs.
+func remapTask(dst *migration.Task, src *migration.Task, prefix string, swOffset topo.SwitchID) {
+	typeMap := make([]migration.ActionType, len(src.Types))
+	for i, info := range src.Types {
+		info.Name = prefix + info.Name
+		typeMap[i] = dst.AddType(info)
+	}
+	for i := range src.Blocks {
+		b := src.Blocks[i]
+		nb := migration.Block{
+			Type: typeMap[b.Type],
+			Name: prefix + b.Name,
+			DC:   b.DC,
+		}
+		for _, s := range b.Switches {
+			nb.Switches = append(nb.Switches, s+swOffset)
+		}
+		// Circuit-only blocks do not occur in HGRID scenarios; circuit IDs
+		// would need their own offset if they did.
+		if len(b.Circuits) > 0 {
+			panic("gen: joint scenarios do not support circuit-only blocks")
+		}
+		dst.AddBlock(nb)
+	}
+}
+
+func remapIDs(ids []topo.SwitchID, offset topo.SwitchID) []topo.SwitchID {
+	out := make([]topo.SwitchID, len(ids))
+	for i, id := range ids {
+		out[i] = id + offset
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

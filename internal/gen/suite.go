@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The Table-3 topology suite: five production-scale topologies A–E in
+// ascending size, plus the E-DMAG and E-SSW migration variants of §6.3.
+// At scale = 1 the generated sizes approximate the paper's Table 3
+// (40–10,000 switches, 80–100,000 circuits, 50–700 switch-level actions);
+// smaller scales shrink every dimension proportionally with sensible
+// floors, for laptop-sized runs of the full evaluation harness.
+
+// SuiteNames lists the scenario names accepted by Suite, in Table-3 order.
+func SuiteNames() []string {
+	names := make([]string, 0, len(suiteBuilders))
+	for n := range suiteBuilders {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return suiteOrder[names[i]] < suiteOrder[names[j]] })
+	return names
+}
+
+var suiteOrder = map[string]int{
+	"A": 0, "B": 1, "C": 2, "D": 3, "E": 4, "E-DMAG": 5, "E-SSW": 6,
+}
+
+var suiteBuilders = map[string]func(scale float64) (*Scenario, error){
+	"A":      TopologyA,
+	"B":      TopologyB,
+	"C":      TopologyC,
+	"D":      TopologyD,
+	"E":      TopologyE,
+	"E-DMAG": EDMAG,
+	"E-SSW":  ESSW,
+}
+
+// Suite builds one of the named evaluation scenarios at the given scale
+// (1 = paper-sized, smaller values shrink proportionally).
+func Suite(name string, scale float64) (*Scenario, error) {
+	b, ok := suiteBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown suite scenario %q (have %v)", name, SuiteNames())
+	}
+	return b(scale)
+}
+
+// sc scales a count with a floor.
+func sc(base int, scale float64, min int) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// TopologyA builds the smallest Table-3 case: a single-building region
+// (~40 switches, ~80 circuits) under HGRID V1→V2 migration (~50 actions).
+func TopologyA(scale float64) (*Scenario, error) {
+	return HGRIDScenario("A", HGRIDScenarioParams{
+		Region: RegionParams{
+			Name: "region-A",
+			DCs: []FabricParams{
+				{Pods: sc(2, scale, 1), RSWPerPod: sc(2, scale, 1), Planes: 4,
+					SSWPerPlane: sc(2, scale, 1), FSWUplinks: 1},
+			},
+			HGRID: HGRIDParams{Grids: 4, FADUPerGrid: sc(2, scale, 1),
+				FAUUPerGrid: sc(2, scale, 1), SSWDownlinks: 1},
+			EBs: 2, DRs: 1, EBBs: 1,
+			EBCap: 40, DRCap: 80,
+		},
+		V2FADUPerGrid: sc(2, scale, 1),
+		V2FAUUPerGrid: 1,
+	})
+}
+
+// TopologyB builds the second Table-3 case: two buildings
+// (~100 switches, ~600 circuits, ~100 actions).
+func TopologyB(scale float64) (*Scenario, error) {
+	fab := FabricParams{Pods: sc(4, scale, 1), RSWPerPod: sc(3, scale, 1), Planes: 4,
+		SSWPerPlane: sc(4, scale, 2), FSWUplinks: sc(4, scale, 1)}
+	return HGRIDScenario("B", HGRIDScenarioParams{
+		Region: RegionParams{
+			Name: "region-B",
+			DCs:  []FabricParams{fab, fab},
+			HGRID: HGRIDParams{Grids: 4, FADUPerGrid: sc(8, scale, 2),
+				FAUUPerGrid: sc(2, scale, 1), SSWDownlinks: 2},
+			EBs: 4, DRs: 2, EBBs: 2,
+			EBCap: 40, DRCap: 80,
+		},
+	})
+}
+
+// TopologyC builds the third Table-3 case: three buildings
+// (~600 switches, ~8,000 circuits, ~300 actions).
+func TopologyC(scale float64) (*Scenario, error) {
+	fab := FabricParams{Pods: sc(12, scale, 2), RSWPerPod: sc(8, scale, 2), Planes: 4,
+		SSWPerPlane: sc(8, scale, 2), FSWUplinks: sc(8, scale, 2)}
+	return HGRIDScenario("C", HGRIDScenarioParams{
+		Region: RegionParams{
+			Name: "region-C",
+			DCs:  []FabricParams{fab, fab, fab},
+			HGRID: HGRIDParams{Grids: 4, FADUPerGrid: sc(20, scale, 2),
+				FAUUPerGrid: sc(8, scale, 1), SSWDownlinks: 2},
+			EBs: 8, DRs: 4, EBBs: 2,
+			EBCap: 40, DRCap: 80,
+		},
+		V2FADUPerGrid: sc(15, scale, 2),
+		V2FAUUPerGrid: sc(6, scale, 1),
+	})
+}
+
+// TopologyD builds the fourth Table-3 case: four buildings, one of them an
+// upgraded 8-plane generation (the mixed-generation complication of §2.2),
+// ~1,000 switches, ~20,000 circuits, ~300 actions.
+func TopologyD(scale float64) (*Scenario, error) {
+	fab4 := FabricParams{Pods: sc(16, scale, 2), RSWPerPod: sc(10, scale, 2), Planes: 4,
+		SSWPerPlane: sc(12, scale, 4), FSWUplinks: sc(12, scale, 2)}
+	fab8 := FabricParams{Pods: sc(16, scale, 2), RSWPerPod: sc(10, scale, 2), Planes: 8,
+		SSWPerPlane: sc(6, scale, 2), FSWUplinks: sc(6, scale, 1)}
+	return HGRIDScenario("D", HGRIDScenarioParams{
+		Region: RegionParams{
+			Name: "region-D",
+			DCs:  []FabricParams{fab4, fab4, fab4, fab8},
+			HGRID: HGRIDParams{Grids: 4, FADUPerGrid: sc(20, scale, 2),
+				FAUUPerGrid: sc(6, scale, 1), SSWDownlinks: 2},
+			EBs: 8, DRs: 4, EBBs: 2,
+			EBCap: 60, DRCap: 120,
+		},
+		V2FADUPerGrid: sc(15, scale, 2),
+		V2FAUUPerGrid: sc(5, scale, 1),
+	})
+}
+
+// eRegion is the Table-3 "E" region, comparable to a full Meta DCN region:
+// six buildings (one upgraded to 8 planes), a 32-grid HGRID, and a
+// 16-EB backbone boundary. At scale 1 it has ≈10,000 switches.
+func eRegion(scale float64) RegionParams {
+	fab4 := FabricParams{Pods: sc(40, scale, 2), RSWPerPod: sc(31, scale, 2), Planes: 4,
+		SSWPerPlane: sc(36, scale, 4), FSWUplinks: sc(36, scale, 2)}
+	fab8 := FabricParams{Pods: sc(40, scale, 2), RSWPerPod: sc(31, scale, 2), Planes: 8,
+		SSWPerPlane: sc(18, scale, 2), FSWUplinks: sc(18, scale, 1)}
+	return RegionParams{
+		Name: "region-E",
+		DCs:  []FabricParams{fab4, fab4, fab4, fab4, fab4, fab8},
+		// The grid count is structural, not scaled: 32 grids give every
+		// 4-plane DC 8 stripes per plane (and the 8-plane DC 4), which is
+		// what lets ECMP dilute a drained stripe across its siblings.
+		HGRID: HGRIDParams{Grids: 32, FADUPerGrid: sc(8, scale, 2),
+			FAUUPerGrid: sc(3, scale, 1), SSWDownlinks: 2},
+		EBs: sc(16, scale, 4), DRs: sc(8, scale, 2), EBBs: sc(4, scale, 2),
+		EBCap: 80, DRCap: 160,
+	}
+}
+
+// TopologyE builds the largest Table-3 case under HGRID V1→V2 migration
+// (~10,000 switches, ~700 actions).
+func TopologyE(scale float64) (*Scenario, error) {
+	return HGRIDScenario("E", HGRIDScenarioParams{
+		Region:        eRegion(scale),
+		V2FADUPerGrid: sc(4, scale, 2),
+		V2FAUUPerGrid: sc(2, scale, 1),
+	})
+}
+
+// EDMAG builds the E-DMAG case: the E region under DMAG migration
+// (~100 actions; topology-changing, unplannable by MRC and Janus).
+func EDMAG(scale float64) (*Scenario, error) {
+	return DMAGScenario("E-DMAG", DMAGParams{Region: eRegion(scale)})
+}
+
+// ESSW builds the E-SSW case: the E region under an SSW forklift of one
+// 4-plane building (~300 actions).
+func ESSW(scale float64) (*Scenario, error) {
+	return ForkliftScenario("E-SSW", ForkliftParams{Region: eRegion(scale), DC: 0})
+}
+
+// SuiteParams returns a suite topology's region parameters at the given
+// scale, for building derived scenarios (joint migrations, custom demand
+// specs, role-split ablations) without rebuilding the whole scenario.
+func SuiteParams(name string, scale float64) (RegionParams, error) {
+	s, err := Suite(name, scale)
+	if err != nil {
+		return RegionParams{}, err
+	}
+	return s.Region.Params, nil
+}

@@ -1,0 +1,251 @@
+package migration
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"klotski/internal/topo"
+)
+
+// Operation-block organization policies (paper §4.1, §5, Fig. 11).
+//
+// Generators build the default operation blocks from domain knowledge
+// (grids for HGRID migrations, per-plane groups for SSW forklifts, per-EB
+// groups for DMAG). This file provides the transformations the paper
+// evaluates on top of that default: re-blocking by a merge/split factor
+// (Fig. 11) and falling back to raw symmetry blocks (the "Klotski w/o OB"
+// ablation and the Janus baseline's granularity).
+
+// Reblock returns a copy of the task whose operation blocks have been
+// merged or split so the block count is approximately factor times the
+// original. factor > 1 splits each block into round(factor) pieces
+// (finer-grained actions, potentially cheaper plans, slower planning);
+// factor < 1 merges runs of round(1/factor) same-type blocks (coarser
+// actions, faster planning, potentially infeasible). factor == 1 returns a
+// logical copy.
+func Reblock(t *Task, factor float64) (*Task, error) {
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("migration: invalid reblock factor %v", factor)
+	}
+	nt := &Task{
+		Name:             fmt.Sprintf("%s[x%g]", t.Name, factor),
+		Topo:             t.Topo,
+		Types:            append([]ActionTypeInfo(nil), t.Types...),
+		Demands:          t.Demands,
+		TopologyChanging: t.TopologyChanging,
+	}
+	switch {
+	case factor > 1:
+		k := int(math.Round(factor))
+		if k < 2 {
+			k = 2
+		}
+		for i := range t.Blocks {
+			for _, nb := range splitBlock(t, &t.Blocks[i], k) {
+				nt.AddBlock(nb)
+			}
+		}
+	case factor < 1:
+		group := int(math.Round(1 / factor))
+		if group < 2 {
+			group = 2
+		}
+		// Merge blocks type by type, in canonical order, preferring to keep
+		// same-DC blocks together: sort each type's blocks by (DC, ID).
+		for ty := range t.Types {
+			ids := append([]int(nil), t.BlocksOfType(ActionType(ty))...)
+			sort.Slice(ids, func(i, j int) bool {
+				a, b := &t.Blocks[ids[i]], &t.Blocks[ids[j]]
+				if a.DC != b.DC {
+					return a.DC < b.DC
+				}
+				return a.ID < b.ID
+			})
+			for start := 0; start < len(ids); start += group {
+				end := start + group
+				if end > len(ids) {
+					end = len(ids)
+				}
+				merged := Block{
+					Type: ActionType(ty),
+					Name: fmt.Sprintf("%s+%d", t.Blocks[ids[start]].Name, end-start-1),
+					DC:   t.Blocks[ids[start]].DC,
+				}
+				for _, id := range ids[start:end] {
+					b := &t.Blocks[id]
+					merged.Switches = append(merged.Switches, b.Switches...)
+					merged.Circuits = append(merged.Circuits, b.Circuits...)
+					if b.DC != merged.DC {
+						merged.DC = -1 // spans DCs
+					}
+				}
+				nt.AddBlock(merged)
+			}
+		}
+	default:
+		for i := range t.Blocks {
+			b := t.Blocks[i]
+			b.Switches = append([]topo.SwitchID(nil), b.Switches...)
+			b.Circuits = append([]topo.CircuitID(nil), b.Circuits...)
+			nt.AddBlock(b)
+		}
+	}
+	return nt, nil
+}
+
+// splitBlock partitions a block into up to k non-empty sub-blocks. Switches
+// are dealt round-robin after sorting by ID so the pieces stay balanced;
+// each explicitly-operated circuit follows the piece owning one of its
+// endpoints, defaulting to piece 0 when no endpoint is operated by this
+// block (circuit-only blocks split their circuit list directly).
+func splitBlock(t *Task, b *Block, k int) []Block {
+	if len(b.Switches) == 0 {
+		// Circuit-only block: split the circuit list.
+		if k > len(b.Circuits) {
+			k = len(b.Circuits)
+		}
+		if k <= 1 {
+			return []Block{{Type: b.Type, Name: b.Name, DC: b.DC,
+				Circuits: append([]topo.CircuitID(nil), b.Circuits...)}}
+		}
+		out := make([]Block, k)
+		for i := range out {
+			out[i] = Block{Type: b.Type, Name: fmt.Sprintf("%s/%d", b.Name, i), DC: b.DC}
+		}
+		for i, c := range b.Circuits {
+			p := &out[i%k]
+			p.Circuits = append(p.Circuits, c)
+		}
+		return out
+	}
+
+	if k > len(b.Switches) {
+		k = len(b.Switches)
+	}
+	sw := append([]topo.SwitchID(nil), b.Switches...)
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	out := make([]Block, k)
+	owner := make(map[topo.SwitchID]int, len(sw))
+	for i := range out {
+		out[i] = Block{Type: b.Type, Name: fmt.Sprintf("%s/%d", b.Name, i), DC: b.DC}
+	}
+	// Contiguous ranges keep physically adjacent switches (consecutive IDs
+	// from the generators) together, preserving locality within pieces.
+	per := (len(sw) + k - 1) / k
+	for i, s := range sw {
+		p := i / per
+		if p >= k {
+			p = k - 1
+		}
+		out[p].Switches = append(out[p].Switches, s)
+		owner[s] = p
+	}
+	for _, c := range b.Circuits {
+		ck := t.Topo.Circuit(c)
+		p := 0
+		if o, ok := owner[ck.A]; ok {
+			p = o
+		} else if o, ok := owner[ck.B]; ok {
+			p = o
+		}
+		out[p].Circuits = append(out[p].Circuits, c)
+	}
+	// Drop any empty pieces (possible when k ≈ len(sw)).
+	res := out[:0]
+	for i := range out {
+		if len(out[i].Switches) > 0 || len(out[i].Circuits) > 0 {
+			res = append(res, out[i])
+		}
+	}
+	return res
+}
+
+// SymmetryGranularity returns a copy of the task re-blocked at strict
+// symmetry-block granularity: each operation block is replaced by one block
+// per symmetry class of its switches (circuit-only blocks are split per
+// circuit-equivalence class). This is the granularity the Janus baseline
+// plans at, and the "Klotski w/o OB" ablation of Fig. 10.
+func SymmetryGranularity(t *Task) *Task {
+	nt := &Task{
+		Name:             t.Name + "[sym]",
+		Topo:             t.Topo,
+		Types:            append([]ActionTypeInfo(nil), t.Types...),
+		Demands:          t.Demands,
+		TopologyChanging: t.TopologyChanging,
+	}
+	for i := range t.Blocks {
+		b := &t.Blocks[i]
+		if len(b.Switches) == 0 {
+			for _, nb := range splitCircuitsBySymmetry(t, b) {
+				nt.AddBlock(nb)
+			}
+			continue
+		}
+		owner := make(map[topo.SwitchID]int)
+		symBlocks := StrictSymmetryBlocks(t.Topo, b.Switches)
+		pieces := make([]Block, len(symBlocks))
+		for j, sb := range symBlocks {
+			pieces[j] = Block{
+				Type:     b.Type,
+				Name:     fmt.Sprintf("%s/sym%d", b.Name, j),
+				DC:       b.DC,
+				Switches: sb,
+			}
+			for _, s := range sb {
+				owner[s] = j
+			}
+		}
+		for _, c := range b.Circuits {
+			ck := t.Topo.Circuit(c)
+			j := 0
+			if o, ok := owner[ck.A]; ok {
+				j = o
+			} else if o, ok := owner[ck.B]; ok {
+				j = o
+			}
+			pieces[j].Circuits = append(pieces[j].Circuits, c)
+		}
+		for _, p := range pieces {
+			nt.AddBlock(p)
+		}
+	}
+	return nt
+}
+
+// splitCircuitsBySymmetry groups a circuit-only block's circuits into
+// equivalence classes by the structural position of their endpoints
+// (role, DC, plane, grid, generation on both sides plus capacity).
+func splitCircuitsBySymmetry(t *Task, b *Block) []Block {
+	classes := make(map[string][]topo.CircuitID)
+	var order []string
+	for _, c := range b.Circuits {
+		ck := t.Topo.Circuit(c)
+		key := circuitClassKey(t.Topo, ck)
+		if _, ok := classes[key]; !ok {
+			order = append(order, key)
+		}
+		classes[key] = append(classes[key], c)
+	}
+	sort.Strings(order)
+	out := make([]Block, 0, len(order))
+	for j, key := range order {
+		out = append(out, Block{
+			Type:     b.Type,
+			Name:     fmt.Sprintf("%s/csym%d", b.Name, j),
+			DC:       b.DC,
+			Circuits: classes[key],
+		})
+	}
+	return out
+}
+
+func circuitClassKey(t *topo.Topology, c *topo.Circuit) string {
+	a, b := t.Switch(c.A), t.Switch(c.B)
+	ka := fmt.Sprintf("%s/d%d/p%d/g%d/v%d", a.Role, a.DC, a.Plane, a.Grid, a.Generation)
+	kb := fmt.Sprintf("%s/d%d/p%d/g%d/v%d", b.Role, b.DC, b.Plane, b.Grid, b.Generation)
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	return fmt.Sprintf("%s--%s@%g", ka, kb, c.Capacity)
+}

@@ -1,0 +1,61 @@
+package npd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the NPD parser: arbitrary bytes must never panic, and
+// any document that decodes successfully must survive an encode/decode
+// round trip unchanged at the JSON level.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sampleDoc().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"name":"x"}`))
+	f.Add([]byte(`{"version":1,"name":"x","fabric":[{"dc":0,"pods":1,"rswPerPod":1,"planes":4,"sswPerPlane":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"name":"x","fabric":[{"pods":-5}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := doc.Encode(&out); err != nil {
+			t.Fatalf("decoded document failed to encode: %v", err)
+		}
+		again, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-encoded document failed to decode: %v", err)
+		}
+		if again.Name != doc.Name || len(again.Fabric) != len(doc.Fabric) {
+			t.Fatalf("round trip drift: %+v vs %+v", again, doc)
+		}
+	})
+}
+
+// FuzzDecodePlan hardens the plan-document parser the same way.
+func FuzzDecodePlan(f *testing.F) {
+	f.Add([]byte(`{"version":1,"task":"t","cost":2,"theta":0.75,"actions":1,"phases":[]}`))
+	f.Add([]byte(`{"version":9}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := p.Encode(&out); err != nil {
+			t.Fatalf("decoded plan failed to encode: %v", err)
+		}
+		if !strings.Contains(out.String(), `"version"`) {
+			t.Fatal("encoded plan missing version")
+		}
+	})
+}

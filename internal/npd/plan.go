@@ -1,0 +1,115 @@
+package npd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"klotski/internal/core"
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+)
+
+// PlanDocument is the serialized output of the EDP-Lite pipeline: an
+// ordered list of topology phases, one per migration run (paper §5:
+// "Klotski returns an ordered list of topology phases. Each phase
+// corresponds to one migration step").
+type PlanDocument struct {
+	Version int     `json:"version"`
+	Task    string  `json:"task"`
+	Cost    float64 `json:"cost"`
+	Theta   float64 `json:"theta"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Actions int     `json:"actions"`
+	Phases  []Phase `json:"phases"`
+}
+
+// Phase is the network state after one migration run completes.
+type Phase struct {
+	Index      int      `json:"index"`
+	ActionType string   `json:"actionType"`
+	Op         string   `json:"op"`
+	Blocks     []string `json:"blocks"`
+	SwitchOps  int      `json:"switchOps"`
+
+	// Snapshot of the network after the run.
+	ActiveSwitches int     `json:"activeSwitches"`
+	UpCircuits     int     `json:"upCircuits"`
+	CapacityTbps   float64 `json:"capacityTbps"`
+	MaxUtilization float64 `json:"maxUtilization"`
+}
+
+// BuildPlanDocument converts a plan into its phase document, evaluating the
+// network snapshot after every run.
+func BuildPlanDocument(task *migration.Task, plan *core.Plan, opts core.Options) (*PlanDocument, error) {
+	return BuildPlanDocumentFrom(task, nil, plan, opts)
+}
+
+// BuildPlanDocumentFrom builds the phase document for a plan that resumes a
+// partially executed migration: executed lists the block IDs already
+// operated, which are applied before the first phase snapshot.
+func BuildPlanDocumentFrom(task *migration.Task, executed []int, plan *core.Plan, opts core.Options) (*PlanDocument, error) {
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+	doc := &PlanDocument{
+		Version: Version,
+		Task:    task.Name,
+		Cost:    plan.Cost,
+		Theta:   theta,
+		Alpha:   opts.Alpha,
+		Actions: len(plan.Sequence),
+	}
+	eval := routing.NewEvaluator(task.Topo)
+	view := task.Topo.NewView()
+	for _, id := range executed {
+		task.Apply(view, id)
+	}
+	for i, run := range plan.Runs {
+		info := task.Types[run.Type]
+		ph := Phase{
+			Index:      i + 1,
+			ActionType: info.Name,
+			Op:         info.Op.String(),
+		}
+		for _, id := range run.Blocks {
+			task.Apply(view, id)
+			ph.Blocks = append(ph.Blocks, task.Blocks[id].Name)
+			ph.SwitchOps += len(task.Blocks[id].Switches)
+		}
+		st := view.Stats()
+		ph.ActiveSwitches = st.Switches
+		ph.UpCircuits = st.Circuits
+		ph.CapacityTbps = st.Capacity
+		res, viol := eval.Evaluate(view, &task.Demands, routing.CheckOpts{Theta: 1e9, Split: opts.Split})
+		if viol.Kind == routing.ViolationUnreachable {
+			return nil, fmt.Errorf("npd: phase %d leaves demands unreachable: %s", i+1, viol)
+		}
+		ph.MaxUtilization = res.MaxUtil
+		doc.Phases = append(doc.Phases, ph)
+	}
+	return doc, nil
+}
+
+// EncodePlan writes a plan document as indented JSON.
+func (p *PlanDocument) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("npd: encode plan: %w", err)
+	}
+	return nil
+}
+
+// DecodePlan reads a plan document from JSON.
+func DecodePlan(r io.Reader) (*PlanDocument, error) {
+	var p PlanDocument
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("npd: decode plan: %w", err)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("npd: unsupported plan version %d", p.Version)
+	}
+	return &p, nil
+}

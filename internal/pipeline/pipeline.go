@@ -1,0 +1,326 @@
+// Package pipeline implements the EDP-Lite migration pipeline (paper §5)
+// and the operational practices around it from the deployment section (§7):
+//
+//   - end-to-end planning: NPD document → topology/task → planner → audited
+//     plan → ordered topology phases;
+//   - demand-forecast integration (§7.1): plans are re-verified against
+//     forecasted demand at every step and re-planned when growth breaks
+//     them;
+//   - replanning after partial execution, demand shifts, or out-of-band
+//     equipment outages (§7.2 "failures during operation duration" and
+//     "simultaneous operations");
+//   - independent plan audits before anything is handed to operators.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"klotski/internal/baseline"
+	"klotski/internal/core"
+	"klotski/internal/demand"
+	"klotski/internal/gen"
+	"klotski/internal/migration"
+	"klotski/internal/npd"
+	"klotski/internal/sim"
+	"klotski/internal/topo"
+)
+
+// Planner selects the planning algorithm.
+type Planner string
+
+// Available planners. The baselines are exposed for evaluation runs.
+const (
+	PlannerAStar Planner = "astar"
+	PlannerDP    Planner = "dp"
+	PlannerMRC   Planner = "mrc"
+	PlannerJanus Planner = "janus"
+)
+
+// Plan dispatches to the selected planning algorithm.
+func (p Planner) Plan(task *migration.Task, opts core.Options) (*core.Plan, error) {
+	switch p {
+	case PlannerAStar, "":
+		return core.PlanAStar(task, opts)
+	case PlannerDP:
+		return core.PlanDP(task, opts)
+	case PlannerMRC:
+		return baseline.PlanMRC(task, opts)
+	case PlannerJanus:
+		return baseline.PlanJanus(task, opts)
+	}
+	return nil, fmt.Errorf("pipeline: unknown planner %q", p)
+}
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	Planner Planner
+	Options core.Options
+
+	// Forecast, when non-zero, is the organic demand growth per completed
+	// migration step (§7.1). The pipeline verifies the plan against grown
+	// demand at every step and re-plans from the first step where growth
+	// makes the remainder unsafe.
+	Forecast demand.Forecast
+
+	// UnitCosts overrides action-type unit costs by type name — the OPEX
+	// cost model of §7.2 (different crews and sites have different costs).
+	UnitCosts map[string]float64
+
+	// SkipAudit disables the independent post-planning audit. Only tests
+	// use it; production runs always audit.
+	SkipAudit bool
+
+	// CampaignSeeds, when > 0, replays the audited plan that many times
+	// with randomized intra-run asynchrony (worst-case circuit-level
+	// drains) and attaches the transient-exposure distribution to the
+	// result — the funneling risk report of §2.2/§7.2.
+	CampaignSeeds int
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	Scenario *gen.Scenario
+	Task     *migration.Task
+	Plan     *core.Plan
+	Document *npd.PlanDocument
+
+	// Replans counts how many times forecast integration had to re-plan.
+	Replans int
+
+	// Campaign is the transient-exposure distribution when
+	// Config.CampaignSeeds > 0.
+	Campaign *sim.CampaignReport
+}
+
+// Run executes the full pipeline on an NPD document with a migration part.
+func Run(doc *npd.Document, cfg Config) (*Result, error) {
+	scenario, err := doc.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	task := scenario.Task
+	if doc.Migration != nil && doc.Migration.BlockFactor > 0 && doc.Migration.BlockFactor != 1 {
+		task, err = migration.Reblock(task, doc.Migration.BlockFactor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := RunTask(task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Scenario = scenario
+	return res, nil
+}
+
+// RunTask executes the pipeline on an already-built migration task.
+func RunTask(task *migration.Task, cfg Config) (*Result, error) {
+	applyUnitCosts(task, cfg.UnitCosts)
+	plan, replans, err := planWithForecast(task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipAudit {
+		if err := audit(task, plan, cfg); err != nil {
+			return nil, fmt.Errorf("pipeline: plan failed audit: %w", err)
+		}
+	}
+	docPlan, err := npd.BuildPlanDocument(task, plan, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Task: task, Plan: plan, Document: docPlan, Replans: replans}
+	if cfg.CampaignSeeds > 0 {
+		res.Campaign, err = sim.NewExecutor(task).Campaign(plan.Sequence, sim.Options{
+			Theta: cfg.Options.Theta,
+			Split: cfg.Options.Split,
+		}, cfg.CampaignSeeds)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: funneling campaign: %w", err)
+		}
+	}
+	return res, nil
+}
+
+func applyUnitCosts(task *migration.Task, unitCosts map[string]float64) {
+	for name, c := range unitCosts {
+		for i := range task.Types {
+			if task.Types[i].Name == name {
+				task.Types[i].UnitCost = c
+			}
+		}
+	}
+}
+
+// planWithForecast plans the task, then walks the plan under demand growth
+// (§7.1): after each completed step demand grows by the forecast rate; the
+// first unsafe boundary triggers a re-plan of the remainder against the
+// grown demand. The loop is bounded by the number of actions.
+func planWithForecast(task *migration.Task, cfg Config) (*core.Plan, int, error) {
+	plan, err := cfg.Planner.Plan(task, cfg.Options)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.Forecast.GrowthPerStep == 0 {
+		return plan, 0, nil
+	}
+
+	baseDemands := task.Demands
+	executed := []int(nil)
+	replans := 0
+	for attempt := 0; attempt <= task.NumActions(); attempt++ {
+		broken := firstUnsafeStep(task, plan, executed, cfg)
+		if broken < 0 {
+			// Safe under growth end to end. Re-assemble the full plan.
+			full := append(append([]int(nil), executed...), plan.Sequence...)
+			cost := core.SequenceCost(task, full, cfg.Options.Alpha, core.NoLast)
+			return &core.Plan{
+				Task:     task,
+				Sequence: full,
+				Runs:     runsOf(task, full),
+				Cost:     cost,
+				Metrics:  plan.Metrics,
+			}, replans, nil
+		}
+		// Execute up to (and including) the step before the break, then
+		// re-plan the remainder with demand grown to that point.
+		executed = append(executed, plan.Sequence[:broken]...)
+		grown := cfg.Forecast.At(baseDemands, len(executed))
+		replanTask := task.WithDemands(grown)
+		opts := cfg.Options
+		opts.InitialCounts = countsOf(task, executed)
+		opts.InitialLast = core.NoLast
+		if len(executed) > 0 {
+			opts.InitialLast = task.Blocks[executed[len(executed)-1]].Type
+		}
+		replans++
+		plan, err = cfg.Planner.Plan(replanTask, opts)
+		if err != nil {
+			return nil, replans, fmt.Errorf("pipeline: replanning under forecast after %d steps: %w",
+				len(executed), err)
+		}
+	}
+	return nil, replans, errors.New("pipeline: forecast replanning did not converge")
+}
+
+// firstUnsafeStep verifies the plan's boundaries against demand grown per
+// executed step and returns the index (within plan.Sequence) of the first
+// step whose boundary is unsafe, or -1 when the whole plan holds.
+func firstUnsafeStep(task *migration.Task, plan *core.Plan, executed []int, cfg Config) int {
+	base := task.Demands
+	last := core.NoLast
+	if len(executed) > 0 {
+		last = task.Blocks[executed[len(executed)-1]].Type
+	}
+	for i := range plan.Sequence {
+		stepsDone := len(executed) + i
+		grown := cfg.Forecast.At(base, stepsDone)
+		// Check the boundary *before* step i when it switches type, and
+		// the final state after the last step, with the demand level at
+		// that time.
+		ty := task.Blocks[plan.Sequence[i]].Type
+		if last != core.NoLast && ty != last {
+			if !boundarySafe(task, executed, plan.Sequence[:i], grown, cfg.Options) {
+				return i
+			}
+		}
+		last = ty
+	}
+	grownFinal := cfg.Forecast.At(base, len(executed)+len(plan.Sequence))
+	if !boundarySafe(task, executed, plan.Sequence, grownFinal, cfg.Options) {
+		// The final state itself is unsafe under growth: replanning from
+		// any prefix cannot fix a task whose target no longer fits, but
+		// signal the last step so the caller re-plans and surfaces the
+		// infeasibility with the grown demand attached.
+		return len(plan.Sequence) - 1
+	}
+	return -1
+}
+
+// boundarySafe checks one network state (base executed + prefix applied)
+// against the given demand level.
+func boundarySafe(task *migration.Task, executed, prefix []int, ds demand.Set, opts core.Options) bool {
+	probe := task.WithDemands(ds)
+	seqCounts := countsOf(task, append(append([]int(nil), executed...), prefix...))
+	checkOpts := opts
+	checkOpts.InitialCounts = nil
+	checkOpts.InitialLast = core.NoLast
+	return core.CheckState(probe, seqCounts, checkOpts) == nil
+}
+
+func countsOf(task *migration.Task, seq []int) []int {
+	counts := make([]int, task.NumTypes())
+	for _, id := range seq {
+		counts[task.Blocks[id].Type]++
+	}
+	return counts
+}
+
+func runsOf(task *migration.Task, seq []int) []core.Run {
+	var runs []core.Run
+	for _, id := range seq {
+		ty := task.Blocks[id].Type
+		if len(runs) == 0 || runs[len(runs)-1].Type != ty {
+			runs = append(runs, core.Run{Type: ty})
+		}
+		runs[len(runs)-1].Blocks = append(runs[len(runs)-1].Blocks, id)
+	}
+	return runs
+}
+
+// audit independently re-verifies the plan (§7.2 "we add extra audits and
+// safety checks to Klotski's plans during operation"). Baseline planners
+// are not bound to canonical within-type order, so they verify free-order.
+func audit(task *migration.Task, plan *core.Plan, cfg Config) error {
+	opts := cfg.Options
+	opts.InitialCounts = nil
+	opts.InitialLast = core.NoLast
+	if cfg.Planner == PlannerMRC || cfg.Planner == PlannerJanus {
+		return core.VerifyPlanFreeOrder(task, plan.Sequence, opts)
+	}
+	return core.VerifyPlan(task, plan.Sequence, opts)
+}
+
+// Replan continues a partially executed migration: executed lists the block
+// IDs already operated (in order); newDemands, when non-nil, replaces the
+// task's demand set (demand shifted mid-migration, §7.1–7.2).
+func Replan(task *migration.Task, executed []int, newDemands *demand.Set, cfg Config) (*core.Plan, error) {
+	planTask := task
+	if newDemands != nil {
+		planTask = task.WithDemands(*newDemands)
+	}
+	opts := cfg.Options
+	opts.InitialCounts = countsOf(task, executed)
+	opts.InitialLast = core.NoLast
+	if len(executed) > 0 {
+		opts.InitialLast = task.Blocks[executed[len(executed)-1]].Type
+	}
+	return cfg.Planner.Plan(planTask, opts)
+}
+
+// ReplanAfterOutage continues a partially executed migration after
+// out-of-band maintenance or failures took switches down (§7.2
+// "simultaneous operations": firmware upgrades and device rebuilds are not
+// controlled by Klotski but change the real-time topology). The down
+// switches must not themselves be operated by the migration.
+func ReplanAfterOutage(task *migration.Task, executed []int, down []topo.SwitchID, cfg Config) (*core.Plan, error) {
+	operated := make(map[topo.SwitchID]int)
+	for i := range task.Blocks {
+		for _, s := range task.Blocks[i].Switches {
+			operated[s] = i
+		}
+	}
+	for _, s := range down {
+		if b, ok := operated[s]; ok {
+			return nil, fmt.Errorf("pipeline: switch %q is down but operated by block %q; resolve the conflict first",
+				task.Topo.Switch(s).Name, task.Blocks[b].Name)
+		}
+	}
+	outageTopo := task.Topo.Clone()
+	for _, s := range down {
+		outageTopo.SetSwitchActive(s, false)
+	}
+	outageTask := task.WithTopology(outageTopo)
+	return Replan(outageTask, executed, nil, cfg)
+}

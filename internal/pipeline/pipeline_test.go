@@ -1,0 +1,287 @@
+package pipeline
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/demand"
+	"klotski/internal/gen"
+	"klotski/internal/migration"
+	"klotski/internal/npd"
+	"klotski/internal/topo"
+)
+
+func sampleDoc() *npd.Document {
+	return &npd.Document{
+		Version: npd.Version,
+		Name:    "region-pipe",
+		Fabric: []npd.FabricPart{
+			{DC: 0, Pods: 2, RSWPerPod: 2, Planes: 4, SSWPerPlane: 2, FSWUplinks: 1},
+		},
+		HGRID:     &npd.HGRIDPart{Grids: 4, FADUPerGrid: 2, FAUUPerGrid: 1, SSWDownlinks: 1},
+		EB:        &npd.EBPart{Count: 2, LinkTbps: 40},
+		DR:        &npd.DRPart{Count: 1, LinkTbps: 80},
+		BB:        &npd.BBPart{EBBs: 1},
+		Migration: &npd.MigrationPart{Kind: npd.MigrationHGRID},
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(sampleDoc(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Document == nil || res.Scenario == nil {
+		t.Fatal("incomplete result")
+	}
+	if len(res.Document.Phases) != len(res.Plan.Runs) {
+		t.Fatalf("document phases %d != plan runs %d", len(res.Document.Phases), len(res.Plan.Runs))
+	}
+	if res.Replans != 0 {
+		t.Errorf("no forecast configured, but %d replans", res.Replans)
+	}
+}
+
+func TestRunWithEachPlanner(t *testing.T) {
+	for _, pl := range []Planner{PlannerAStar, PlannerDP, PlannerMRC, PlannerJanus} {
+		res, err := Run(sampleDoc(), Config{Planner: pl})
+		if err != nil {
+			t.Errorf("planner %s: %v", pl, err)
+			continue
+		}
+		verify := core.VerifyPlan
+		if pl == PlannerMRC || pl == PlannerJanus {
+			verify = core.VerifyPlanFreeOrder
+		}
+		if err := verify(res.Task, res.Plan.Sequence, Config{}.Options); err != nil {
+			t.Errorf("planner %s produced invalid plan: %v", pl, err)
+		}
+	}
+	if _, err := (Planner("bogus")).Plan(nil, core.Options{}); err == nil {
+		t.Error("unknown planner should error")
+	}
+}
+
+func TestRunWithBlockFactor(t *testing.T) {
+	doc := sampleDoc()
+	doc.Migration.BlockFactor = 2
+	res, err := Run(doc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(sampleDoc(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Task.NumActions() <= base.Task.NumActions() {
+		t.Errorf("block factor 2 should split blocks: %d vs %d",
+			res.Task.NumActions(), base.Task.NumActions())
+	}
+}
+
+func TestUnitCostsApplied(t *testing.T) {
+	doc := sampleDoc()
+	res, err := Run(doc, Config{UnitCosts: map[string]float64{"drain-hgrid-v1-grid": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(sampleDoc(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Cost <= base.Plan.Cost {
+		t.Errorf("raising drain unit cost should raise plan cost: %v vs %v",
+			res.Plan.Cost, base.Plan.Cost)
+	}
+}
+
+func TestForecastTriggersReplanning(t *testing.T) {
+	// Aggressive growth: the original plan's later boundaries break and
+	// the pipeline must re-plan mid-flight at least once, still producing
+	// a complete valid plan.
+	doc := sampleDoc()
+	res, err := Run(doc, Config{Forecast: demand.Forecast{GrowthPerStep: 0.03}})
+	if err != nil {
+		// Very aggressive growth can make the migration genuinely
+		// impossible; that is a legitimate outcome, reported as such.
+		if errors.Is(err, core.ErrInfeasible) {
+			t.Skip("growth made migration infeasible at this scale")
+		}
+		t.Fatal(err)
+	}
+	if err := core.VerifyPlan(res.Task, res.Plan.Sequence, core.Options{}); err != nil {
+		t.Fatalf("forecast-adjusted plan invalid at base demand: %v", err)
+	}
+	t.Logf("replans under growth: %d", res.Replans)
+}
+
+func TestForecastZeroGrowthNoReplan(t *testing.T) {
+	res, err := Run(sampleDoc(), Config{Forecast: demand.Forecast{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 0 {
+		t.Errorf("zero growth should not replan, got %d", res.Replans)
+	}
+}
+
+func buildScenario(t *testing.T) *gen.Scenario {
+	t.Helper()
+	s, err := gen.TopologyA(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReplanContinuesFromPrefix(t *testing.T) {
+	s := buildScenario(t)
+	full, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(full.Runs[0].Blocks)
+	executed := full.Sequence[:k]
+	re, err := Replan(s.Task, executed, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([]int(nil), executed...), re.Sequence...)
+	if err := core.VerifyPlan(s.Task, combined, core.Options{}); err != nil {
+		t.Fatalf("combined replan invalid: %v", err)
+	}
+}
+
+func TestReplanWithNewDemands(t *testing.T) {
+	s := buildScenario(t)
+	full, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := full.Sequence[:1]
+	// A modest surge: demands up 10%.
+	grown := s.Task.Demands.Scaled(1.1)
+	re, err := Replan(s.Task, executed, &grown, Config{})
+	if err != nil {
+		t.Fatalf("replan with grown demand: %v", err)
+	}
+	if len(re.Sequence)+len(executed) != s.Task.NumActions() {
+		t.Errorf("replan incomplete: %d + %d != %d",
+			len(re.Sequence), len(executed), s.Task.NumActions())
+	}
+}
+
+func TestReplanAfterOutage(t *testing.T) {
+	// Topology C has multiple pods per DC, so losing one FSW to routine
+	// maintenance leaves enough redundancy to finish the migration.
+	s, err := gen.TopologyC(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := full.Sequence[:1]
+
+	// Take one non-operated FSW down (routine maintenance).
+	var down topo.SwitchID = -1
+	operated := map[topo.SwitchID]bool{}
+	for _, b := range s.Task.Blocks {
+		for _, sw := range b.Switches {
+			operated[sw] = true
+		}
+	}
+	for i := 0; i < s.Task.Topo.NumSwitches(); i++ {
+		sw := s.Task.Topo.Switch(topo.SwitchID(i))
+		if sw.Role == topo.RoleFSW && !operated[sw.ID] {
+			down = sw.ID
+			break
+		}
+	}
+	if down < 0 {
+		t.Fatal("no non-operated FSW found")
+	}
+	re, err := ReplanAfterOutage(s.Task, executed, []topo.SwitchID{down}, Config{})
+	if err != nil {
+		t.Fatalf("ReplanAfterOutage: %v", err)
+	}
+	if len(re.Sequence)+len(executed) != s.Task.NumActions() {
+		t.Error("outage replan incomplete")
+	}
+}
+
+func TestReplanAfterOutageRejectsOperatedSwitch(t *testing.T) {
+	s := buildScenario(t)
+	operatedSwitch := s.Task.Blocks[0].Switches[0]
+	_, err := ReplanAfterOutage(s.Task, nil, []topo.SwitchID{operatedSwitch}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "operated by block") {
+		t.Fatalf("want operated-switch conflict error, got %v", err)
+	}
+}
+
+func TestAuditCatchesCorruptedPlan(t *testing.T) {
+	s := buildScenario(t)
+	res, err := RunTask(s.Task, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the plan: drop the last action.
+	bad := res.Plan.Sequence[:len(res.Plan.Sequence)-1]
+	if err := core.VerifyPlan(s.Task, bad, core.Options{}); err == nil {
+		t.Error("audit should reject truncated plan")
+	}
+}
+
+func TestCheckStateHelper(t *testing.T) {
+	s := buildScenario(t)
+	counts := make([]int, s.Task.NumTypes())
+	if err := core.CheckState(s.Task, counts, core.Options{}); err != nil {
+		t.Fatalf("initial state should be safe: %v", err)
+	}
+	// Drain every grid with nothing undrained: unsafe.
+	counts[0] = len(s.Task.BlocksOfType(migration.ActionType(0)))
+	if err := core.CheckState(s.Task, counts, core.Options{}); err == nil {
+		t.Error("all-drained state should be unsafe")
+	}
+}
+
+func TestPlannerCostsOrdered(t *testing.T) {
+	s := buildScenario(t)
+	opt, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []Planner{PlannerDP, PlannerJanus} {
+		p, err := pl.Plan(s.Task, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", pl, err)
+		}
+		if math.Abs(p.Cost-opt.Cost) > 1e-9 {
+			t.Errorf("%s cost %v != optimal %v", pl, p.Cost, opt.Cost)
+		}
+	}
+	mrc, err := PlannerMRC.Plan(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrc.Cost < opt.Cost-1e-9 {
+		t.Errorf("MRC cost %v below optimal %v", mrc.Cost, opt.Cost)
+	}
+}
+
+func TestCampaignSeedsAttachReport(t *testing.T) {
+	res, err := Run(sampleDoc(), Config{CampaignSeeds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaign == nil {
+		t.Fatal("campaign report missing")
+	}
+	if res.Campaign.Seeds != 6 || res.Campaign.PeakMax <= 0 {
+		t.Fatalf("campaign report = %+v", res.Campaign)
+	}
+}

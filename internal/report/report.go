@@ -1,0 +1,98 @@
+// Package report renders migration plans for humans: a text timeline of
+// the ordered phases with capacity and utilization annotations, the view
+// operators review before signing off on field work.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"klotski/internal/npd"
+)
+
+// Timeline writes a phase-per-line overview of a plan document:
+//
+//	plan for region-B: cost 6, 12 actions in 6 phases (θ=0.75)
+//	 1 drain   drain-hgrid-v1-grid    ×3 [██████████████░░░░]  58.7%  120.8 Tbps
+//	 2 undrain undrain-hgrid-v2-grid  ×3 [█████████░░░░░░░░░]  38.9%  132.2 Tbps
+//	...
+//
+// The bar shows the phase's peak utilization against θ; a bar touching its
+// right edge is a phase with no remaining safety margin.
+func Timeline(w io.Writer, doc *npd.PlanDocument) error {
+	if _, err := fmt.Fprintf(w, "plan for %s: cost %g, %d actions in %d phases (θ=%.2f)\n",
+		doc.Task, doc.Cost, doc.Actions, len(doc.Phases), doc.Theta); err != nil {
+		return err
+	}
+	nameW := 0
+	for _, ph := range doc.Phases {
+		if len(ph.ActionType) > nameW {
+			nameW = len(ph.ActionType)
+		}
+	}
+	for _, ph := range doc.Phases {
+		bar := UtilBar(ph.MaxUtilization, doc.Theta, 18)
+		if _, err := fmt.Fprintf(w, "%3d %-7s %-*s ×%-3d [%s] %5.1f%%  %7.1f Tbps up\n",
+			ph.Index, ph.Op, nameW, ph.ActionType, len(ph.Blocks), bar,
+			ph.MaxUtilization*100, ph.CapacityTbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UtilBar renders utilization as a fixed-width bar scaled so the bound θ
+// is the full width; utilization beyond θ overflows with '!' markers.
+func UtilBar(util, theta float64, width int) string {
+	if width <= 0 {
+		width = 10
+	}
+	if theta <= 0 {
+		theta = 0.75
+	}
+	filled := int(util / theta * float64(width))
+	over := 0
+	if filled > width {
+		over = filled - width
+		if over > 3 {
+			over = 3
+		}
+		filled = width
+	}
+	var b strings.Builder
+	for i := 0; i < filled; i++ {
+		b.WriteRune('█')
+	}
+	for i := filled; i < width; i++ {
+		b.WriteRune('░')
+	}
+	for i := 0; i < over; i++ {
+		b.WriteRune('!')
+	}
+	return b.String()
+}
+
+// Margins writes the per-phase safety margin (θ − peak utilization) and
+// flags the tightest phase — the step where the migration spends its
+// headroom and the first candidate for re-planning when demand grows.
+func Margins(w io.Writer, doc *npd.PlanDocument) error {
+	tightest, tightestMargin := -1, 1.0
+	for i, ph := range doc.Phases {
+		margin := doc.Theta - ph.MaxUtilization
+		if margin < tightestMargin {
+			tightestMargin = margin
+			tightest = i
+		}
+		if _, err := fmt.Fprintf(w, "phase %2d: margin %+.3f\n", ph.Index, margin); err != nil {
+			return err
+		}
+	}
+	if tightest >= 0 {
+		if _, err := fmt.Fprintf(w, "tightest: phase %d (%s) with %.3f of headroom\n",
+			doc.Phases[tightest].Index, doc.Phases[tightest].ActionType, tightestMargin); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/gen"
+	"klotski/internal/npd"
+)
+
+func buildDoc(t *testing.T) *npd.PlanDocument {
+	t.Helper()
+	s, err := gen.TopologyA(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := npd.BuildPlanDocument(s.Task, plan, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestTimeline(t *testing.T) {
+	doc := buildDoc(t)
+	var b strings.Builder
+	if err := Timeline(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "plan for A") || !strings.Contains(out, "θ=0.75") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != len(doc.Phases)+1 {
+		t.Errorf("want one line per phase plus header:\n%s", out)
+	}
+	if !strings.Contains(out, "drain") || !strings.Contains(out, "Tbps up") {
+		t.Errorf("phase lines incomplete:\n%s", out)
+	}
+}
+
+func TestUtilBar(t *testing.T) {
+	cases := []struct {
+		util, theta float64
+		width       int
+		filled      int
+		over        bool
+	}{
+		{0, 0.75, 10, 0, false},
+		{0.375, 0.75, 10, 5, false},
+		{0.75, 0.75, 10, 10, false},
+		{0.9, 0.75, 10, 10, true},
+	}
+	for _, c := range cases {
+		bar := UtilBar(c.util, c.theta, c.width)
+		if got := strings.Count(bar, "█"); got != c.filled {
+			t.Errorf("UtilBar(%v): %d filled, want %d (%q)", c.util, got, c.filled, bar)
+		}
+		if over := strings.Contains(bar, "!"); over != c.over {
+			t.Errorf("UtilBar(%v): overflow %v, want %v (%q)", c.util, over, c.over, bar)
+		}
+	}
+	// Degenerate arguments fall back to defaults instead of panicking.
+	if UtilBar(0.5, 0, 0) == "" {
+		t.Error("degenerate UtilBar should render something")
+	}
+}
+
+func TestMargins(t *testing.T) {
+	doc := buildDoc(t)
+	var b strings.Builder
+	if err := Margins(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "tightest: phase") {
+		t.Errorf("margins output missing tightest phase:\n%s", out)
+	}
+	if strings.Count(out, "margin") != len(doc.Phases) {
+		t.Errorf("want one margin per phase:\n%s", out)
+	}
+	if strings.Contains(out, "margin -") {
+		t.Errorf("safe plan shows negative margin:\n%s", out)
+	}
+}

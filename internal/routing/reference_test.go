@@ -1,0 +1,99 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"klotski/internal/demand"
+	"klotski/internal/topo"
+)
+
+// randomLayeredTopo builds a random 4-layer network: RSW sources, two
+// middle layers, EBB sinks, with random extra edges, capacities, and
+// metrics. Layered structure keeps the reference evaluator's recursion
+// bounded while still exercising convergent/divergent ECMP DAGs.
+func randomLayeredTopo(rng *rand.Rand) (*topo.Topology, []topo.SwitchID, []topo.SwitchID) {
+	t := topo.New("rand")
+	layers := [][]topo.SwitchID{}
+	roles := []topo.Role{topo.RoleRSW, topo.RoleFSW, topo.RoleSSW, topo.RoleEBB}
+	for li, role := range roles {
+		n := 2 + rng.Intn(3)
+		var layer []topo.SwitchID
+		for i := 0; i < n; i++ {
+			layer = append(layer, t.AddSwitch(topo.Switch{
+				Name: role.String() + "-" + string(rune('a'+li)) + string(rune('0'+i)),
+				Role: role,
+			}))
+		}
+		layers = append(layers, layer)
+	}
+	// Wire consecutive layers: every node gets at least one uplink, plus
+	// random extras with random capacity and occasional metric 2.
+	for li := 0; li+1 < len(layers); li++ {
+		for _, a := range layers[li] {
+			up := layers[li+1][rng.Intn(len(layers[li+1]))]
+			cid := t.AddCircuit(a, up, 1+4*rng.Float64())
+			if rng.Intn(4) == 0 {
+				t.SetMetric(cid, 2)
+			}
+			for _, b := range layers[li+1] {
+				if b != up && rng.Intn(3) == 0 {
+					cid := t.AddCircuit(a, b, 1+4*rng.Float64())
+					if rng.Intn(4) == 0 {
+						t.SetMetric(cid, 2)
+					}
+				}
+			}
+		}
+	}
+	return t, layers[0], layers[len(layers)-1]
+}
+
+// TestEvaluatorMatchesReference cross-validates the production evaluator
+// (Dial's buckets, reverse-order sweep, versioned shared buffers) against
+// the independent reference implementation (Bellman-Ford + memoized
+// top-down recursion) on randomized layered topologies, random drains, and
+// both splitting policies.
+func TestEvaluatorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 80; trial++ {
+		tp, srcs, dsts := randomLayeredTopo(rng)
+		view := tp.NewView()
+		// Random drains (avoiding sources and sinks).
+		for i := 0; i < tp.NumSwitches()/4; i++ {
+			id := topo.SwitchID(rng.Intn(tp.NumSwitches()))
+			if tp.Switch(id).Role == topo.RoleFSW || tp.Switch(id).Role == topo.RoleSSW {
+				view.DrainSwitch(id)
+			}
+		}
+		var ds demand.Set
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			ds.Add(demand.Demand{
+				Name: "d" + string(rune('0'+i)),
+				Src:  srcs[rng.Intn(len(srcs))],
+				Dst:  dsts[rng.Intn(len(dsts))],
+				Rate: 0.5 + 2*rng.Float64(),
+			})
+		}
+		for _, split := range []SplitMode{SplitEqual, SplitCapacityWeighted} {
+			want, routed := ReferenceLoads(tp, view, &ds, split)
+			eval := NewEvaluator(tp)
+			_, viol := eval.Evaluate(view, &ds, CheckOpts{Theta: 1e9, Split: split})
+			gotRouted := viol.Kind != ViolationUnreachable
+			if routed != gotRouted {
+				t.Fatalf("trial %d split %v: routability disagreement (ref %v, eval %v: %v)",
+					trial, split, routed, gotRouted, viol)
+			}
+			for c := 0; c < tp.NumCircuits(); c++ {
+				cid := topo.CircuitID(c)
+				ab, ba := eval.CircuitLoad(cid)
+				got := ab + ba
+				if math.Abs(got-want[cid]) > 1e-9*(1+want[cid]) {
+					t.Fatalf("trial %d split %v circuit %d: eval %v, reference %v",
+						trial, split, cid, got, want[cid])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package routing evaluates traffic placement on datacenter topologies.
+//
+// Klotski checks the safety of every intermediate network state a migration
+// plan passes through (paper Eq. 4–6): every demand must have a path, and
+// no circuit's utilization may exceed a bound θ. Following the paper (§5),
+// the model is macro-scale: traffic is placed with equal-cost multi-path
+// (ECMP) routing over hop-shortest paths, splitting equally at every hop,
+// and only aggregate per-circuit load is tracked — no queueing or
+// micro-scale congestion.
+//
+// The evaluator batches work per distinct destination: one reverse BFS
+// computes hop distances for all demands sharing a destination, and one
+// reverse-order sweep propagates all their flow simultaneously. A full
+// check therefore costs O(|D_dst| · (|S| + |C|)) where |D_dst| is the number
+// of distinct destinations — typically tens even when the demand set has
+// hundreds of entries.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"klotski/internal/demand"
+	"klotski/internal/topo"
+)
+
+// ViolationKind classifies why a network state failed its safety check.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	ViolationNone        ViolationKind = iota
+	ViolationUnreachable               // a demand has no path (Eq. 4)
+	ViolationUtilization               // a circuit exceeds the utilization bound (Eq. 5)
+	ViolationPorts                     // a switch exceeds its port budget (Eq. 6)
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationNone:
+		return "none"
+	case ViolationUnreachable:
+		return "unreachable demand"
+	case ViolationUtilization:
+		return "circuit over utilization bound"
+	case ViolationPorts:
+		return "switch over port budget"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+}
+
+// Violation describes the first constraint failure found during a check.
+// The zero value means "no violation".
+type Violation struct {
+	Kind    ViolationKind
+	Circuit topo.CircuitID // for utilization violations
+	Switch  topo.SwitchID  // for port violations
+	Demand  demand.Demand  // for unreachable-demand violations
+	Util    float64        // offending utilization, for utilization violations
+}
+
+// OK reports whether the violation is empty (the state passed).
+func (v Violation) OK() bool { return v.Kind == ViolationNone }
+
+func (v Violation) String() string {
+	switch v.Kind {
+	case ViolationNone:
+		return "ok"
+	case ViolationUnreachable:
+		return fmt.Sprintf("unreachable: %s (%d -> %d)", v.Demand.Name, v.Demand.Src, v.Demand.Dst)
+	case ViolationUtilization:
+		return fmt.Sprintf("utilization %.3f on circuit %d", v.Util, v.Circuit)
+	case ViolationPorts:
+		return fmt.Sprintf("port budget exceeded on switch %d", v.Switch)
+	}
+	return v.Kind.String()
+}
+
+// SplitMode selects how traffic divides among equal-cost next hops.
+type SplitMode uint8
+
+const (
+	// SplitEqual is plain ECMP: equal shares per next-hop circuit. The
+	// paper's evaluation model (§5).
+	SplitEqual SplitMode = iota
+
+	// SplitCapacityWeighted divides flow proportionally to next-hop
+	// circuit capacity (WCMP). This models the temporary routing
+	// configurations operators install when parallel paths have
+	// asymmetric capacity — the paper's §7.1 outage: equal ECMP across
+	// HGRID v1 and v2 overloads the smaller generation.
+	SplitCapacityWeighted
+)
+
+func (m SplitMode) String() string {
+	if m == SplitCapacityWeighted {
+		return "capacity-weighted"
+	}
+	return "equal"
+}
+
+// CheckOpts parameterizes a safety check.
+type CheckOpts struct {
+	// Theta is the maximum allowed circuit utilization (paper default 0.75).
+	Theta float64
+
+	// Split selects ECMP (default) or capacity-weighted WCMP splitting.
+	Split SplitMode
+
+	// FunnelFactor, when > 1, models transient traffic funneling (paper
+	// §2.2, §7.2): circuits listed in FunnelCircuits are held to the
+	// tighter bound Theta/FunnelFactor, leaving headroom for the moment
+	// when sibling circuits drain asynchronously and traffic piles onto
+	// the survivors. Zero or 1 disables the adjustment.
+	FunnelFactor   float64
+	FunnelCircuits []topo.CircuitID
+}
+
+// Result summarizes a full (non-early-exit) evaluation of a network state.
+type Result struct {
+	MaxUtil        float64        // highest circuit utilization observed
+	MaxUtilCircuit topo.CircuitID // circuit achieving MaxUtil
+	MinResidual    float64        // lowest spare fraction (1 - util) over up circuits that carry load or could
+	Unreachable    int            // number of demands with no path
+	TotalLoad      float64        // sum of per-circuit loads (Tbps·hops)
+}
+
+// Evaluator computes ECMP traffic placement over views of one topology.
+// It reuses internal buffers across calls and is therefore not safe for
+// concurrent use; create one evaluator per goroutine with Clone or
+// NewEvaluator.
+type Evaluator struct {
+	t *topo.Topology
+
+	// Per-switch scratch, versioned to avoid O(|S|) clears per destination.
+	dist    []int32
+	inflow  []float64
+	version []uint32
+	epoch   uint32
+	queue   []topo.SwitchID
+	buckets [][]topo.SwitchID // Dial's algorithm distance buckets
+
+	// Per-circuit directional load, cleared per call.
+	// load[2c] is flow A→B on circuit c; load[2c+1] is flow B→A.
+	load []float64
+
+	// Per-circuit funneling flag for the current call.
+	funnel    []bool
+	funnelSet bool
+
+	// Per-switch up-circuit count, for port checks.
+	degree []int32
+
+	// Stats counters for the lifetime of the evaluator.
+	Checks int // number of Check/Evaluate calls
+	BFSes  int // number of per-destination BFS sweeps
+}
+
+// NewEvaluator returns an evaluator for views over t.
+func NewEvaluator(t *topo.Topology) *Evaluator {
+	n, m := t.NumSwitches(), t.NumCircuits()
+	return &Evaluator{
+		t:       t,
+		dist:    make([]int32, n),
+		inflow:  make([]float64, n),
+		version: make([]uint32, n),
+		queue:   make([]topo.SwitchID, 0, n),
+		load:    make([]float64, 2*m),
+		funnel:  make([]bool, m),
+		degree:  make([]int32, n),
+	}
+}
+
+// Clone returns an independent evaluator over the same topology, for use
+// from another goroutine.
+func (e *Evaluator) Clone() *Evaluator { return NewEvaluator(e.t) }
+
+// Check verifies the demand and port constraints on the view and returns
+// the first violation found, exiting as early as possible. A zero Violation
+// (Kind == ViolationNone) means the state is safe.
+func (e *Evaluator) Check(v *topo.View, ds *demand.Set, opts CheckOpts) Violation {
+	return e.run(v, ds, opts, true, nil)
+}
+
+// Evaluate places all demands and returns aggregate statistics without
+// early exit. Constraint violations are still detected: if the returned
+// Violation is non-zero the Result fields describe the full placement
+// anyway (useful for greedy baselines that rank states by residual
+// capacity).
+func (e *Evaluator) Evaluate(v *topo.View, ds *demand.Set, opts CheckOpts) (Result, Violation) {
+	var res Result
+	viol := e.run(v, ds, opts, false, &res)
+	return res, viol
+}
+
+// CircuitLoad returns the directional loads placed on circuit c by the most
+// recent Check or Evaluate call. Valid until the next call.
+func (e *Evaluator) CircuitLoad(c topo.CircuitID) (ab, ba float64) {
+	return e.load[2*c], e.load[2*c+1]
+}
+
+func (e *Evaluator) run(v *topo.View, ds *demand.Set, opts CheckOpts, earlyExit bool, res *Result) Violation {
+	e.Checks++
+	t := e.t
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+
+	// Port constraints (Eq. 6): the number of up circuits on a switch must
+	// not exceed its physical port budget.
+	for i := range e.degree {
+		e.degree[i] = 0
+	}
+	for c := 0; c < t.NumCircuits(); c++ {
+		if v.CircuitUp(topo.CircuitID(c)) {
+			ck := t.Circuit(topo.CircuitID(c))
+			e.degree[ck.A]++
+			e.degree[ck.B]++
+		}
+	}
+	for i := 0; i < t.NumSwitches(); i++ {
+		s := t.Switch(topo.SwitchID(i))
+		if s.Ports > 0 && int(e.degree[i]) > s.Ports {
+			if earlyExit {
+				return Violation{Kind: ViolationPorts, Switch: s.ID}
+			}
+			// Record the first port violation but keep evaluating so the
+			// caller still gets full placement statistics.
+			return e.evalDemands(v, ds, opts, theta, earlyExit, res,
+				Violation{Kind: ViolationPorts, Switch: s.ID})
+		}
+	}
+	return e.evalDemands(v, ds, opts, theta, earlyExit, res, Violation{})
+}
+
+func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, theta float64, earlyExit bool, res *Result, pending Violation) Violation {
+	t := e.t
+	for i := range e.load {
+		e.load[i] = 0
+	}
+	e.setFunnel(opts)
+
+	// Group demands by destination and process each group with one reverse
+	// BFS plus one reverse-topological flow sweep.
+	firstViol := pending
+	record := func(viol Violation) bool {
+		if firstViol.Kind == ViolationNone {
+			firstViol = viol
+		}
+		return earlyExit
+	}
+
+	// Iteration is per distinct destination; demands are scanned once per
+	// destination group. Demand sets here are small (hundreds), so the
+	// rescan is cheaper than building an index.
+	dsts := ds.Destinations()
+	for _, dst := range dsts {
+		if !v.SwitchActive(dst) {
+			for _, d := range ds.Demands {
+				if d.Dst != dst {
+					continue
+				}
+				if res != nil {
+					res.Unreachable++
+				}
+				if record(Violation{Kind: ViolationUnreachable, Demand: d}) {
+					return firstViol
+				}
+			}
+			continue
+		}
+		e.bfs(v, dst)
+
+		// Seed inflow at each source of this destination group.
+		for _, d := range ds.Demands {
+			if d.Dst != dst {
+				continue
+			}
+			if !v.SwitchActive(d.Src) || e.distOf(d.Src) < 0 {
+				if res != nil {
+					res.Unreachable++
+				}
+				if record(Violation{Kind: ViolationUnreachable, Demand: d}) {
+					return firstViol
+				}
+				continue
+			}
+			e.addInflow(d.Src, d.Rate)
+		}
+
+		// Propagate flow from farthest switches toward the destination.
+		// e.queue holds the BFS visitation order (distance-ascending), so a
+		// reverse scan processes each switch after all flow into it has
+		// accumulated.
+		for qi := len(e.queue) - 1; qi >= 0; qi-- {
+			u := e.queue[qi]
+			f := e.inflowOf(u)
+			if f == 0 || u == dst {
+				continue
+			}
+			du := e.distOf(u)
+			// Total next-hop weight: the count of shortest-path circuits
+			// for plain ECMP, or their capacity sum for WCMP.
+			weight := 0.0
+			sw := t.Switch(u)
+			for _, cid := range sw.Circuits() {
+				if !v.CircuitUp(cid) {
+					continue
+				}
+				ck := t.Circuit(cid)
+				if e.distOf(ck.Other(u)) == du-ck.Metric {
+					if opts.Split == SplitCapacityWeighted {
+						weight += ck.Capacity
+					} else {
+						weight++
+					}
+				}
+			}
+			if weight == 0 {
+				// Unreachable flow should have been caught at the source;
+				// this can only happen on a disconnected shortest-path DAG,
+				// which BFS construction precludes.
+				panic("routing: internal error: flow stranded at switch with no next hop")
+			}
+			for _, cid := range sw.Circuits() {
+				if !v.CircuitUp(cid) {
+					continue
+				}
+				ck := t.Circuit(cid)
+				w := ck.Other(u)
+				if e.distOf(w) != du-ck.Metric {
+					continue
+				}
+				share := f / weight
+				if opts.Split == SplitCapacityWeighted {
+					share = f * ck.Capacity / weight
+				}
+				dir := 0
+				if ck.B == u { // flow travels B→A
+					dir = 1
+				}
+				li := 2*int(cid) + dir
+				e.load[li] += share
+				e.addInflow(w, share)
+
+				util := (e.load[2*cid] + e.load[2*cid+1]) / ck.Capacity
+				bound := theta
+				if e.funnelSet && e.funnel[cid] {
+					bound = theta / opts.FunnelFactor
+				}
+				if util > bound {
+					if record(Violation{Kind: ViolationUtilization, Circuit: cid, Util: util}) {
+						return firstViol
+					}
+				}
+			}
+		}
+	}
+
+	if res != nil {
+		e.fillResult(v, theta, res)
+	}
+	return firstViol
+}
+
+// setFunnel populates the per-circuit funneling flags for this call.
+func (e *Evaluator) setFunnel(opts CheckOpts) {
+	if e.funnelSet {
+		for i := range e.funnel {
+			e.funnel[i] = false
+		}
+		e.funnelSet = false
+	}
+	if opts.FunnelFactor > 1 && len(opts.FunnelCircuits) > 0 {
+		for _, c := range opts.FunnelCircuits {
+			e.funnel[c] = true
+		}
+		e.funnelSet = true
+	}
+}
+
+// bfs computes metric-shortest distances from dst over the active graph of
+// v, filling e.dist/e.version/e.queue. Distances are valid for switches
+// whose version matches the current epoch; distOf returns -1 otherwise.
+// After the call e.queue holds the settled switches in ascending-distance
+// order, which the load sweep consumes in reverse.
+//
+// The implementation is Dial's bucket-queue variant of Dijkstra: routing
+// metrics are small positive integers (IGP-style), so distances are
+// bounded by diameter × max-metric and a bucket array beats a heap.
+func (e *Evaluator) bfs(v *topo.View, dst topo.SwitchID) {
+	e.BFSes++
+	e.epoch++
+	if e.epoch == 0 { // wrapped; reset versions
+		for i := range e.version {
+			e.version[i] = 0
+		}
+		e.epoch = 1
+	}
+	t := e.t
+	e.queue = e.queue[:0]
+	for i := range e.buckets {
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	e.setDist(dst, 0)
+	e.pushBucket(0, dst)
+	for d := 0; d < len(e.buckets); d++ {
+		for bi := 0; bi < len(e.buckets[d]); bi++ {
+			u := e.buckets[d][bi]
+			if e.distOf(u) != int32(d) {
+				continue // stale entry: settled earlier at a shorter distance
+			}
+			e.queue = append(e.queue, u)
+			for _, cid := range t.Switch(u).Circuits() {
+				if !v.CircuitUp(cid) {
+					continue
+				}
+				ck := t.Circuit(cid)
+				w := ck.Other(u)
+				nd := int32(d) + ck.Metric
+				if cur := e.distOf(w); cur < 0 || nd < cur {
+					e.setDist(w, nd)
+					e.pushBucket(int(nd), w)
+				}
+			}
+		}
+	}
+}
+
+// pushBucket appends a switch to the distance bucket, growing the bucket
+// array as needed.
+func (e *Evaluator) pushBucket(d int, s topo.SwitchID) {
+	for d >= len(e.buckets) {
+		e.buckets = append(e.buckets, nil)
+	}
+	e.buckets[d] = append(e.buckets[d], s)
+}
+
+func (e *Evaluator) distOf(s topo.SwitchID) int32 {
+	if e.version[s] != e.epoch {
+		return -1
+	}
+	return e.dist[s]
+}
+
+func (e *Evaluator) setDist(s topo.SwitchID, d int32) {
+	e.version[s] = e.epoch
+	e.dist[s] = d
+	e.inflow[s] = 0
+}
+
+func (e *Evaluator) inflowOf(s topo.SwitchID) float64 {
+	if e.version[s] != e.epoch {
+		return 0
+	}
+	return e.inflow[s]
+}
+
+func (e *Evaluator) addInflow(s topo.SwitchID, f float64) {
+	e.inflow[s] += f
+}
+
+func (e *Evaluator) fillResult(v *topo.View, theta float64, res *Result) {
+	t := e.t
+	res.MinResidual = math.Inf(1)
+	res.MaxUtilCircuit = topo.NoCircuit
+	for c := 0; c < t.NumCircuits(); c++ {
+		cid := topo.CircuitID(c)
+		if !v.CircuitUp(cid) {
+			continue
+		}
+		ck := t.Circuit(cid)
+		load := e.load[2*c] + e.load[2*c+1]
+		util := load / ck.Capacity
+		res.TotalLoad += load
+		if util > res.MaxUtil {
+			res.MaxUtil = util
+			res.MaxUtilCircuit = cid
+		}
+		if resid := 1 - util; resid < res.MinResidual {
+			res.MinResidual = resid
+		}
+	}
+	if math.IsInf(res.MinResidual, 1) {
+		res.MinResidual = 0
+	}
+}

@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"testing"
+
+	"klotski/internal/topo"
+)
+
+func TestTraceDiamond(t *testing.T) {
+	tp, sw, ck := diamond()
+	e := NewEvaluator(tp)
+	dag, err := e.Trace(tp.NewView(), sw[0], sw[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Cost != 2 {
+		t.Errorf("cost = %d, want 2", dag.Cost)
+	}
+	if dag.Width() != 2 {
+		t.Errorf("width = %d, want 2 (both branches)", dag.Width())
+	}
+	if got := len(dag.Switches()); got != 3 { // src, m1, m2
+		t.Errorf("on-path switches = %d, want 3", got)
+	}
+	if len(dag.NextHops[sw[1]]) != 1 || dag.NextHops[sw[1]][0] != ck[2] {
+		t.Errorf("m1 next hops = %v, want [%d]", dag.NextHops[sw[1]], ck[2])
+	}
+}
+
+func TestTraceNarrowsWhenBranchDrained(t *testing.T) {
+	tp, sw, _ := diamond()
+	v := tp.NewView()
+	v.DrainSwitch(sw[2])
+	e := NewEvaluator(tp)
+	dag, err := e.Trace(v, sw[0], sw[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Width() != 1 {
+		t.Errorf("width = %d, want 1 after draining a branch", dag.Width())
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	tp, sw, _ := diamond()
+	e := NewEvaluator(tp)
+	v := tp.NewView()
+	v.DrainSwitch(sw[3])
+	if _, err := e.Trace(v, sw[0], sw[3]); err == nil {
+		t.Error("inactive destination should error")
+	}
+	v.Reset()
+	v.DrainSwitch(sw[1])
+	v.DrainSwitch(sw[2])
+	if _, err := e.Trace(v, sw[0], sw[3]); err == nil {
+		t.Error("disconnected pair should error")
+	}
+}
+
+func TestTraceRespectsMetrics(t *testing.T) {
+	tp, sw, ck := diamond()
+	tp.SetMetric(ck[0], 3) // m1 branch now costs 3+1
+	e := NewEvaluator(tp)
+	dag, err := e.Trace(tp.NewView(), sw[0], sw[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Cost != 2 || dag.Width() != 1 {
+		t.Errorf("cost=%d width=%d, want cost 2 via the metric-1 branch only", dag.Cost, dag.Width())
+	}
+	if dag.NextHops[sw[0]][0] != ck[1] {
+		t.Errorf("src should forward on circuit %d, got %v", ck[1], dag.NextHops[sw[0]])
+	}
+}
+
+func TestTraceMixedHopCounts(t *testing.T) {
+	// Direct metric-2 circuit plus a 2-hop metric-1+1 detour: both on the
+	// DAG.
+	tp := topo.New("mixed")
+	src := tp.AddSwitch(topo.Switch{Name: "src", Role: topo.RoleFAUU})
+	mid := tp.AddSwitch(topo.Switch{Name: "ma", Role: topo.RoleMA})
+	dst := tp.AddSwitch(topo.Switch{Name: "eb", Role: topo.RoleEB})
+	direct := tp.AddCircuit(src, dst, 10)
+	tp.SetMetric(direct, 2)
+	tp.AddCircuit(src, mid, 10)
+	tp.AddCircuit(mid, dst, 10)
+	e := NewEvaluator(tp)
+	dag, err := e.Trace(tp.NewView(), src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Width() != 2 {
+		t.Errorf("width = %d, want 2 (direct + detour)", dag.Width())
+	}
+	if len(dag.NextHops[mid]) != 1 {
+		t.Errorf("MA should forward on one circuit, got %v", dag.NextHops[mid])
+	}
+}

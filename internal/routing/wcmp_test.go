@@ -1,0 +1,106 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"klotski/internal/demand"
+	"klotski/internal/topo"
+)
+
+// asymmetricDiamond builds two parallel src→dst bridges with capacities 1
+// and 2 — the HGRID v1/v2 coexistence situation of paper §7.1.
+func asymmetricDiamond() (*topo.Topology, []topo.SwitchID, []topo.CircuitID) {
+	t := topo.New("asym")
+	src := t.AddSwitch(topo.Switch{Name: "src", Role: topo.RoleSSW})
+	v1 := t.AddSwitch(topo.Switch{Name: "hgrid-v1", Role: topo.RoleFADU, Generation: 1})
+	v2 := t.AddSwitch(topo.Switch{Name: "hgrid-v2", Role: topo.RoleFADU, Generation: 2})
+	dst := t.AddSwitch(topo.Switch{Name: "eb", Role: topo.RoleEB})
+	c0 := t.AddCircuit(src, v1, 1)
+	c1 := t.AddCircuit(src, v2, 2)
+	c2 := t.AddCircuit(v1, dst, 1)
+	c3 := t.AddCircuit(v2, dst, 2)
+	return t, []topo.SwitchID{src, v1, v2, dst}, []topo.CircuitID{c0, c1, c2, c3}
+}
+
+func TestWCMPSplitsByCapacity(t *testing.T) {
+	tp, sw, ck := asymmetricDiamond()
+	e := NewEvaluator(tp)
+	ds := demand.Set{Demands: []demand.Demand{{Name: "d", Src: sw[0], Dst: sw[3], Rate: 1.8}}}
+	res, viol := e.Evaluate(tp.NewView(), &ds, CheckOpts{Theta: 0.9, Split: SplitCapacityWeighted})
+	if !viol.OK() {
+		t.Fatalf("violation: %v", viol)
+	}
+	ab, ba := e.CircuitLoad(ck[0])
+	if math.Abs(ab+ba-0.6) > 1e-9 {
+		t.Errorf("v1 branch load = %v, want 0.6 (1/3 of 1.8)", ab+ba)
+	}
+	ab, ba = e.CircuitLoad(ck[1])
+	if math.Abs(ab+ba-1.2) > 1e-9 {
+		t.Errorf("v2 branch load = %v, want 1.2 (2/3 of 1.8)", ab+ba)
+	}
+	// Utilization equalizes at 0.6 on both branches.
+	if math.Abs(res.MaxUtil-0.6) > 1e-9 {
+		t.Errorf("MaxUtil = %v, want 0.6", res.MaxUtil)
+	}
+}
+
+// TestWCMPFixesTheSection71Outage replays the paper's §7.1 incident: with
+// HGRID v1 and v2 coexisting, plain ECMP sends half the traffic to the
+// small v1 path and overloads it; capacity-weighted splitting balances it.
+func TestWCMPFixesTheSection71Outage(t *testing.T) {
+	tp, sw, _ := asymmetricDiamond()
+	e := NewEvaluator(tp)
+	ds := demand.Set{Demands: []demand.Demand{{Name: "d", Src: sw[0], Dst: sw[3], Rate: 1.8}}}
+
+	viol := e.Check(tp.NewView(), &ds, CheckOpts{Theta: 0.75})
+	if viol.Kind != ViolationUtilization {
+		t.Fatalf("plain ECMP should overload the v1 path (0.9 util), got %v", viol)
+	}
+	viol = e.Check(tp.NewView(), &ds, CheckOpts{Theta: 0.75, Split: SplitCapacityWeighted})
+	if !viol.OK() {
+		t.Fatalf("WCMP should balance the asymmetric paths: %v", viol)
+	}
+}
+
+func TestWCMPFlowConservation(t *testing.T) {
+	tp, sw, _ := asymmetricDiamond()
+	e := NewEvaluator(tp)
+	ds := demand.Set{Demands: []demand.Demand{{Name: "d", Src: sw[0], Dst: sw[3], Rate: 1.5}}}
+	if _, viol := e.Evaluate(tp.NewView(), &ds, CheckOpts{Theta: 1e9, Split: SplitCapacityWeighted}); !viol.OK() {
+		t.Fatal(viol)
+	}
+	into := 0.0
+	for _, cid := range tp.Switch(sw[3]).Circuits() {
+		ab, ba := e.CircuitLoad(cid)
+		into += ab + ba
+	}
+	if math.Abs(into-1.5) > 1e-9 {
+		t.Errorf("flow into dst = %v, want 1.5", into)
+	}
+}
+
+func TestWCMPEqualCapacitiesMatchECMP(t *testing.T) {
+	tp, sw, ck := diamond() // symmetric capacities
+	e := NewEvaluator(tp)
+	ds := oneDemand(sw[0], sw[3], 8)
+	e.Evaluate(tp.NewView(), &ds, CheckOpts{Theta: 1e9})
+	var equal [4]float64
+	for i, c := range ck {
+		ab, ba := e.CircuitLoad(c)
+		equal[i] = ab + ba
+	}
+	e.Evaluate(tp.NewView(), &ds, CheckOpts{Theta: 1e9, Split: SplitCapacityWeighted})
+	for i, c := range ck {
+		ab, ba := e.CircuitLoad(c)
+		if math.Abs(ab+ba-equal[i]) > 1e-9 {
+			t.Errorf("circuit %d: WCMP %v != ECMP %v on symmetric topology", c, ab+ba, equal[i])
+		}
+	}
+}
+
+func TestSplitModeString(t *testing.T) {
+	if SplitEqual.String() != "equal" || SplitCapacityWeighted.String() != "capacity-weighted" {
+		t.Error("SplitMode strings wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CampaignReport aggregates a Monte Carlo replay campaign: the same plan
+// executed under many random intra-run asynchrony orders. Because the
+// planner only guarantees run boundaries, the transient exposure of a plan
+// is a distribution, not a number — operators care about its tail (§2.2's
+// funneling incidents are exactly bad draws from this distribution).
+type CampaignReport struct {
+	Seeds int
+
+	// Peak utilization distribution across seeds.
+	PeakMin, PeakMean, PeakMax float64
+
+	// TransientViolations distribution: excursions over θ observed inside
+	// runs (boundary states are identical across seeds).
+	ViolationsMin, ViolationsMax int
+	ViolationsMean               float64
+	SeedsWithViolations          int
+
+	// WorstSeed reproduces the highest-peak replay via Options.Seed.
+	WorstSeed int64
+}
+
+// Campaign replays the sequence `seeds` times with different asynchrony
+// orders (seeds 0..seeds-1 offset by opts.Seed) at the given granularity,
+// and aggregates the transient exposure. Boundary violations are a plan
+// defect rather than bad luck, so any boundary violation fails the
+// campaign with an error.
+func (e *Executor) Campaign(seq []int, opts Options, seeds int) (*CampaignReport, error) {
+	if seeds <= 0 {
+		seeds = 16
+	}
+	if opts.Granularity == GranularityRun {
+		opts.Granularity = GranularityCircuit
+	}
+	rep := &CampaignReport{
+		Seeds:   seeds,
+		PeakMin: math.Inf(1),
+	}
+	base := opts.Seed
+	for s := 0; s < seeds; s++ {
+		opts.Seed = base + int64(s)
+		r, err := e.Execute(seq, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.BoundaryViolations > 0 {
+			return nil, fmt.Errorf("sim: boundary violation under seed %d — the plan itself is unsafe, not the asynchrony", opts.Seed)
+		}
+		if r.PeakUtil < rep.PeakMin {
+			rep.PeakMin = r.PeakUtil
+		}
+		if r.PeakUtil > rep.PeakMax {
+			rep.PeakMax = r.PeakUtil
+			rep.WorstSeed = opts.Seed
+		}
+		rep.PeakMean += r.PeakUtil / float64(seeds)
+		v := r.TransientViolations
+		if s == 0 || v < rep.ViolationsMin {
+			rep.ViolationsMin = v
+		}
+		if v > rep.ViolationsMax {
+			rep.ViolationsMax = v
+		}
+		rep.ViolationsMean += float64(v) / float64(seeds)
+		if v > 0 {
+			rep.SeedsWithViolations++
+		}
+	}
+	return rep, nil
+}
+
+// String renders a one-line campaign summary.
+func (r *CampaignReport) String() string {
+	return fmt.Sprintf("campaign over %d seeds: peak util %.3f–%.3f (mean %.3f), transient violations %d–%d (mean %.1f, %d/%d seeds affected)",
+		r.Seeds, r.PeakMin, r.PeakMax, r.PeakMean,
+		r.ViolationsMin, r.ViolationsMax, r.ViolationsMean,
+		r.SeedsWithViolations, r.Seeds)
+}

@@ -1,0 +1,65 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the view as a Graphviz digraph for debugging and
+// documentation: one node per active switch (shaped and ranked by role),
+// one edge per up circuit labeled with its capacity. Inactive elements are
+// omitted. Output is deterministic.
+//
+// Large topologies produce large graphs; the intended use is small
+// examples and extracted neighborhoods.
+func (v *View) WriteDOT(w io.Writer) error {
+	t := v.t
+	if _, err := fmt.Fprintf(w, "graph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", t.Name); err != nil {
+		return err
+	}
+	// Group switches by role for same-rank clustering, bottom-up.
+	byRole := map[Role][]SwitchID{}
+	for i := 0; i < t.NumSwitches(); i++ {
+		id := SwitchID(i)
+		if v.SwitchActive(id) {
+			byRole[t.Switch(id).Role] = append(byRole[t.Switch(id).Role], id)
+		}
+	}
+	roles := Roles()
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	for _, r := range roles {
+		ids := byRole[r]
+		if len(ids) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  { rank=same;"); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if _, err := fmt.Fprintf(w, " %q;", t.Switch(id).Name); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, " }"); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < t.NumCircuits(); c++ {
+		cid := CircuitID(c)
+		if !v.CircuitUp(cid) {
+			continue
+		}
+		ck := t.Circuit(cid)
+		label := fmt.Sprintf("%g", ck.Capacity)
+		if ck.Metric != 1 {
+			label = fmt.Sprintf("%g/m%d", ck.Capacity, ck.Metric)
+		}
+		if _, err := fmt.Fprintf(w, "  %q -- %q [label=%q];\n",
+			t.Switch(ck.A).Name, t.Switch(ck.B).Name, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

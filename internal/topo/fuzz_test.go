@@ -1,0 +1,28 @@
+package topo
+
+import "testing"
+
+// FuzzParseRole: arbitrary strings must never panic, and every successful
+// parse must round-trip through String.
+func FuzzParseRole(f *testing.F) {
+	for _, r := range Roles() {
+		f.Add(r.String())
+	}
+	f.Add("")
+	f.Add("  ssw  ")
+	f.Add("UNKNOWN")
+	f.Add("ROLE(77)")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRole(s)
+		if err != nil {
+			return
+		}
+		if !r.Valid() {
+			t.Fatalf("ParseRole(%q) returned invalid role %v without error", s, r)
+		}
+		back, err := ParseRole(r.String())
+		if err != nil || back != r {
+			t.Fatalf("role %v did not round trip: %v, %v", r, back, err)
+		}
+	})
+}

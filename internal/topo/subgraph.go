@@ -1,0 +1,66 @@
+package topo
+
+// Neighborhood returns the switches within the given hop radius of center
+// over up circuits in the view (BFS, including center itself), in
+// ascending ID order within each distance ring. Radius 0 returns just the
+// center.
+func (v *View) Neighborhood(center SwitchID, radius int) []SwitchID {
+	t := v.t
+	if !v.SwitchActive(center) {
+		return nil
+	}
+	seen := map[SwitchID]bool{center: true}
+	frontier := []SwitchID{center}
+	out := []SwitchID{center}
+	for hop := 0; hop < radius; hop++ {
+		var next []SwitchID
+		for _, u := range frontier {
+			for _, cid := range t.Switch(u).Circuits() {
+				if !v.CircuitUp(cid) {
+					continue
+				}
+				w := t.Circuit(cid).Other(u)
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+					out = append(out, w)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Subgraph builds a fresh topology containing exactly the given switches
+// and the circuits between them, preserving names, attributes, metrics,
+// and base activity. Use with View.Neighborhood and WriteDOT to extract a
+// debuggable slice of a large region.
+func (t *Topology) Subgraph(name string, switches []SwitchID) *Topology {
+	sub := New(name)
+	idMap := make(map[SwitchID]SwitchID, len(switches))
+	for _, id := range switches {
+		if _, dup := idMap[id]; dup {
+			continue
+		}
+		s := *t.Switch(id)
+		nid := sub.AddSwitch(s)
+		sub.SetSwitchActive(nid, t.SwitchActive(id))
+		idMap[id] = nid
+	}
+	for c := 0; c < t.NumCircuits(); c++ {
+		ck := t.Circuit(CircuitID(c))
+		na, okA := idMap[ck.A]
+		nb, okB := idMap[ck.B]
+		if !okA || !okB {
+			continue
+		}
+		nc := sub.AddCircuit(na, nb, ck.Capacity)
+		sub.SetMetric(nc, ck.Metric)
+		sub.SetCircuitActive(nc, t.CircuitActive(CircuitID(c)))
+	}
+	return sub
+}

@@ -1,0 +1,103 @@
+package topo
+
+import "testing"
+
+func TestNeighborhood(t *testing.T) {
+	tp, sw, ck := buildDiamond(t)
+	v := tp.NewView()
+	if got := v.Neighborhood(sw[0], 0); len(got) != 1 || got[0] != sw[0] {
+		t.Fatalf("radius 0 = %v", got)
+	}
+	if got := v.Neighborhood(sw[0], 1); len(got) != 3 { // rsw + both fsws
+		t.Fatalf("radius 1 = %v, want 3 switches", got)
+	}
+	if got := v.Neighborhood(sw[0], 2); len(got) != 4 {
+		t.Fatalf("radius 2 = %v, want full diamond", got)
+	}
+	// Draining a branch shrinks the neighborhood.
+	v.DrainCircuit(ck[0])
+	if got := v.Neighborhood(sw[0], 1); len(got) != 2 {
+		t.Fatalf("radius 1 after drain = %v, want 2", got)
+	}
+	// Inactive center yields nothing.
+	v.DrainSwitch(sw[0])
+	if got := v.Neighborhood(sw[0], 3); got != nil {
+		t.Fatalf("inactive center = %v, want nil", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	tp, sw, ck := buildDiamond(t)
+	tp.SetMetric(ck[2], 2)
+	tp.SetSwitchActive(sw[2], false)
+	sub := tp.Subgraph("slice", []SwitchID{sw[0], sw[1], sw[3]})
+	if sub.NumSwitches() != 3 {
+		t.Fatalf("subgraph switches = %d", sub.NumSwitches())
+	}
+	// Induced circuits: rsw-fsw1 and fsw1-ssw only (fsw2 excluded).
+	if sub.NumCircuits() != 2 {
+		t.Fatalf("subgraph circuits = %d, want 2", sub.NumCircuits())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subgraph invalid: %v", err)
+	}
+	// Names and attributes preserved.
+	s, ok := sub.SwitchByName("fsw1")
+	if !ok || s.Role != RoleFSW {
+		t.Fatal("subgraph lost switch identity")
+	}
+	// Metric preserved on the fsw1-ssw circuit.
+	found := false
+	for c := 0; c < sub.NumCircuits(); c++ {
+		if sub.Circuit(CircuitID(c)).Metric == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("subgraph lost circuit metric")
+	}
+	// Duplicate input IDs are deduplicated.
+	dup := tp.Subgraph("dup", []SwitchID{sw[0], sw[0]})
+	if dup.NumSwitches() != 1 {
+		t.Fatalf("duplicate inputs produced %d switches", dup.NumSwitches())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, swA, _ := buildDiamond(t)
+	b, swB, _ := buildDiamond(t)
+	b.SetSwitchActive(swB[1], false)
+	m, swOff, ckOff := Merge("merged", "a/", a, "b/", b)
+	if m.NumSwitches() != a.NumSwitches()+b.NumSwitches() {
+		t.Fatalf("merged switches = %d", m.NumSwitches())
+	}
+	if m.NumCircuits() != a.NumCircuits()+b.NumCircuits() {
+		t.Fatalf("merged circuits = %d", m.NumCircuits())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	// Prefixed names resolve; activity preserved across the offset.
+	if m.MustSwitch("a/rsw") != swA[0] {
+		t.Error("a-side IDs should be unchanged")
+	}
+	if got := m.MustSwitch("b/rsw"); got != swB[0]+swOff {
+		t.Errorf("b/rsw = %d, want offset %d", got, swB[0]+swOff)
+	}
+	if m.SwitchActive(swB[1] + swOff) {
+		t.Error("b-side activity not preserved")
+	}
+	if ckOff != CircuitID(a.NumCircuits()) {
+		t.Errorf("circuit offset = %d", ckOff)
+	}
+}
+
+func TestMustSwitchPanics(t *testing.T) {
+	tp, _, _ := buildDiamond(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSwitch on missing name should panic")
+		}
+	}()
+	tp.MustSwitch("missing")
+}

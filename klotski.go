@@ -1,0 +1,412 @@
+// Package klotski is an open reproduction of "Klotski: Efficient and Safe
+// Network Migration of Large Production Datacenters" (SIGCOMM 2023): a
+// planner that turns a datacenter-network migration — adding, removing, or
+// swapping switches and circuits at regional scale — into a minimum-cost
+// ordered sequence of drain/undrain actions whose every observable
+// intermediate state satisfies traffic-demand and physical-port safety
+// constraints.
+//
+// # Model
+//
+// A Topology is an immutable universe of typed switches (RSW, FSW, SSW,
+// FADU, FAUU, MA, EB, DR, EBB) and circuits covering the network before,
+// during, and after the migration; activity flags record what carries
+// traffic. A Task groups the elements to operate into operation blocks,
+// each with an action type (equipment kind × drain/undrain). A Plan orders
+// the blocks; consecutive same-type actions form runs executed in parallel
+// by field crews, and plan cost is (essentially) the number of runs —
+// f_cost(x) = 1 + α(x−1) per run of length x.
+//
+// Safety is checked with a macro-scale ECMP model: every demand must route,
+// and no circuit may exceed the utilization bound θ, at every run boundary
+// and at the end of the plan (paper Eq. 4–6).
+//
+// # Planning
+//
+//	task := ... // from a generator, an NPD document, or built by hand
+//	plan, err := klotski.PlanAStar(task, klotski.Options{Theta: 0.75})
+//
+// PlanAStar uses the A* search planner with the paper's compact
+// ordering-agnostic state representation, cached satisfiability checking,
+// and an admissible domain-specific heuristic; PlanDP is the
+// dynamic-programming planner of §4.3, and PlanMRC / PlanJanus are the
+// evaluation baselines. All four return identical Plan values.
+//
+// # Scenarios and the evaluation suite
+//
+// The gen-layer entry points (BuildRegion, HGRIDScenario, ForkliftScenario,
+// DMAGScenario, Suite) synthesize Meta-style regions and the paper's three
+// production migration types; Suite("A".."E", "E-DMAG", "E-SSW") builds the
+// Table-3 evaluation cases at any scale. NPD documents (LoadNPD,
+// RunPipeline) drive the same machinery declaratively, and the simulator
+// (NewExecutor) replays plans with asynchronous drains, demand surges, and
+// failures.
+package klotski
+
+import (
+	"io"
+
+	"klotski/internal/baseline"
+	"klotski/internal/core"
+	"klotski/internal/demand"
+	"klotski/internal/gen"
+	"klotski/internal/migration"
+	"klotski/internal/npd"
+	"klotski/internal/pipeline"
+	"klotski/internal/report"
+	"klotski/internal/routing"
+	"klotski/internal/sim"
+	"klotski/internal/topo"
+)
+
+// Topology model.
+type (
+	// Topology is the immutable switch/circuit universe plus base activity.
+	Topology = topo.Topology
+	// Switch is one network element.
+	Switch = topo.Switch
+	// Circuit is a link between two switches with capacity and routing metric.
+	Circuit = topo.Circuit
+	// View is a mutable activity overlay used to evaluate hypothetical states.
+	View = topo.View
+	// Role identifies a switch's layer (RSW … EBB).
+	Role = topo.Role
+	// SwitchID indexes switches within a topology.
+	SwitchID = topo.SwitchID
+	// CircuitID indexes circuits within a topology.
+	CircuitID = topo.CircuitID
+	// TopologyStats summarizes a topology or view.
+	TopologyStats = topo.Stats
+)
+
+// Switch roles, bottom-up through the DCN (paper §2.1).
+const (
+	RoleRSW  = topo.RoleRSW
+	RoleFSW  = topo.RoleFSW
+	RoleSSW  = topo.RoleSSW
+	RoleFADU = topo.RoleFADU
+	RoleFAUU = topo.RoleFAUU
+	RoleMA   = topo.RoleMA
+	RoleEB   = topo.RoleEB
+	RoleDR   = topo.RoleDR
+	RoleEBB  = topo.RoleEBB
+)
+
+// NewTopology returns an empty named topology.
+func NewTopology(name string) *Topology { return topo.New(name) }
+
+// MergeTopologies combines two universes into one (prefixing names),
+// returning the merged topology and the ID offsets applied to b's switches
+// and circuits. Used to plan multi-region migrations jointly (§2.2).
+func MergeTopologies(name, prefixA string, a *Topology, prefixB string, b *Topology) (*Topology, SwitchID, CircuitID) {
+	return topo.Merge(name, prefixA, a, prefixB, b)
+}
+
+// ParseRole converts a role name such as "SSW" back to a Role.
+func ParseRole(s string) (Role, error) { return topo.ParseRole(s) }
+
+// Traffic demands.
+type (
+	// Demand is an aggregate (source, destination, rate) requirement.
+	Demand = demand.Demand
+	// DemandSet is a collection of demands.
+	DemandSet = demand.Set
+	// Forecast models organic demand growth per migration step (§7.1).
+	Forecast = demand.Forecast
+	// Surge models an unexpected traffic spike (§7.2).
+	Surge = demand.Surge
+)
+
+// Migration tasks.
+type (
+	// Task is a migration-planning problem: topology universe, operation
+	// blocks with interned action types, and demands.
+	Task = migration.Task
+	// Block is one operation block, operated atomically.
+	Block = migration.Block
+	// ActionType identifies a kind of action within a task.
+	ActionType = migration.ActionType
+	// ActionTypeInfo describes an interned action type.
+	ActionTypeInfo = migration.ActionTypeInfo
+	// OpType is the drain/undrain direction of an action.
+	OpType = migration.OpType
+	// TaskStats summarizes a task's scale (Table 1 columns).
+	TaskStats = migration.TaskStats
+)
+
+// Operation directions.
+const (
+	Drain   = migration.Drain
+	Undrain = migration.Undrain
+)
+
+// Reblock merges or splits a task's operation blocks by the given factor
+// (Fig. 11's organization-policy sweep).
+func Reblock(t *Task, factor float64) (*Task, error) { return migration.Reblock(t, factor) }
+
+// SymmetryGranularity re-blocks a task at strict symmetry-block
+// granularity — the Janus baseline's granularity and the "w/o OB" ablation.
+func SymmetryGranularity(t *Task) *Task { return migration.SymmetryGranularity(t) }
+
+// StrictSymmetryBlocks partitions switches into Janus-style symmetry
+// blocks: equivalent iff they share role, generation, and exact
+// (neighbor, capacity) multisets.
+func StrictSymmetryBlocks(t *Topology, switches []SwitchID) [][]SwitchID {
+	return migration.StrictSymmetryBlocks(t, switches)
+}
+
+// Planners.
+type (
+	// Options parameterizes planning (θ, α, ablations, budgets, replanning).
+	Options = core.Options
+	// Plan is an ordered, safe, minimum-cost migration plan.
+	Plan = core.Plan
+	// PlanRun is a maximal same-type subsequence of a plan.
+	PlanRun = core.Run
+	// Metrics reports planner effort.
+	Metrics = core.Metrics
+)
+
+// Planning errors, matchable with errors.Is.
+var (
+	ErrInfeasible  = core.ErrInfeasible
+	ErrBudget      = core.ErrBudget
+	ErrUnsupported = core.ErrUnsupported
+)
+
+// NoLast marks "no action executed yet" in replanning options.
+const NoLast = core.NoLast
+
+// PlanAStar finds a minimum-cost safe migration plan with the A* search
+// planner (paper §4.4) — the production configuration.
+func PlanAStar(task *Task, opts Options) (*Plan, error) { return core.PlanAStar(task, opts) }
+
+// PlanDP finds a minimum-cost safe plan with the DP-based planner (§4.3).
+func PlanDP(task *Task, opts Options) (*Plan, error) { return core.PlanDP(task, opts) }
+
+// PlanDPParallel is PlanDP with satisfiability checks precomputed across
+// the given number of workers (0 picks GOMAXPROCS). The DP planner must
+// check every state of the compact product space, and those checks shard
+// perfectly; results are identical to PlanDP.
+func PlanDPParallel(task *Task, opts Options, workers int) (*Plan, error) {
+	return core.PlanDPParallel(task, opts, workers)
+}
+
+// PlanMRC plans greedily by maximizing minimum residual capacity — the
+// MRC baseline of the evaluation (§6.1). Plans are safe but not optimal.
+func PlanMRC(task *Task, opts Options) (*Plan, error) { return baseline.PlanMRC(task, opts) }
+
+// PlanJanus plans with a Janus-style symmetry planner — the second
+// evaluation baseline. It finds optimal plans when it finishes, but its
+// state space is pruned only by topological symmetry, so on
+// production-like (asymmetric) topologies it grows exponentially and
+// returns ErrBudget; it also rejects topology-changing migrations.
+func PlanJanus(task *Task, opts Options) (*Plan, error) { return baseline.PlanJanus(task, opts) }
+
+// VerifyPlan independently audits a plan: canonical ordering plus safety of
+// the initial state, every run boundary, and the final state.
+func VerifyPlan(task *Task, seq []int, opts Options) error {
+	return core.VerifyPlan(task, seq, opts)
+}
+
+// VerifyPlanFreeOrder audits a plan that may operate same-type blocks out
+// of canonical order (the baseline planners' output).
+func VerifyPlanFreeOrder(task *Task, seq []int, opts Options) error {
+	return core.VerifyPlanFreeOrder(task, seq, opts)
+}
+
+// CheckState verifies a single network state given per-type progress counts.
+func CheckState(task *Task, counts []int, opts Options) error {
+	return core.CheckState(task, counts, opts)
+}
+
+// SequenceCost computes the generalized cost (Eq. 1 + §5) of a block
+// sequence.
+func SequenceCost(task *Task, seq []int, alpha float64, initialLast ActionType) float64 {
+	return core.SequenceCost(task, seq, alpha, initialLast)
+}
+
+// SequenceCostCapped is SequenceCost under Options.MaxRunLength semantics
+// (runs force-split every maxRun actions).
+func SequenceCostCapped(task *Task, seq []int, alpha float64, initialLast ActionType, maxRun, initialRun int) float64 {
+	return core.SequenceCostCapped(task, seq, alpha, initialLast, maxRun, initialRun)
+}
+
+// RunsOf groups a block sequence into runs, splitting same-type runs every
+// maxRun actions when maxRun > 0.
+func RunsOf(task *Task, seq []int, maxRun int) []PlanRun {
+	return core.RunsOf(task, seq, maxRun)
+}
+
+// Routing / safety evaluation.
+type (
+	// Evaluator places traffic with ECMP and checks safety constraints.
+	Evaluator = routing.Evaluator
+	// CheckOpts parameterizes a safety check (θ, funneling headroom).
+	CheckOpts = routing.CheckOpts
+	// Violation describes a constraint failure.
+	Violation = routing.Violation
+	// EvalResult summarizes a full traffic placement.
+	EvalResult = routing.Result
+	// SplitMode selects ECMP or capacity-weighted (WCMP) traffic splitting.
+	SplitMode = routing.SplitMode
+	// PathDAG is the ECMP forwarding structure of one (src, dst) pair,
+	// from Evaluator.Trace.
+	PathDAG = routing.PathDAG
+)
+
+// Traffic-splitting policies. SplitCapacityWeighted models the temporary
+// routing configurations of paper §7.1 for asymmetric parallel paths.
+const (
+	SplitEqual            = routing.SplitEqual
+	SplitCapacityWeighted = routing.SplitCapacityWeighted
+)
+
+// NewEvaluator returns a routing evaluator for views over t.
+func NewEvaluator(t *Topology) *Evaluator { return routing.NewEvaluator(t) }
+
+// Generators and the Table-3 suite.
+type (
+	// RegionParams describes a Meta-style region to synthesize.
+	RegionParams = gen.RegionParams
+	// FabricParams describes one building's fabric.
+	FabricParams = gen.FabricParams
+	// HGRIDParams describes the fabric-aggregation layer.
+	HGRIDParams = gen.HGRIDParams
+	// Region is a built topology plus structural references.
+	Region = gen.Region
+	// Scenario is a ready-to-plan migration over a generated region.
+	Scenario = gen.Scenario
+	// DemandSpec parameterizes synthetic demand generation.
+	DemandSpec = gen.DemandSpec
+	// HGRIDScenarioParams parameterizes the HGRID V1→V2 migration.
+	HGRIDScenarioParams = gen.HGRIDScenarioParams
+	// ForkliftParams parameterizes the SSW forklift migration.
+	ForkliftParams = gen.ForkliftParams
+	// DMAGParams parameterizes the DMAG layer-insertion migration.
+	DMAGParams = gen.DMAGParams
+	// JointParams parameterizes a joint two-region migration.
+	JointParams = gen.JointParams
+)
+
+// BuildRegion constructs a generation-1 region topology.
+func BuildRegion(p RegionParams) *Region { return gen.BuildRegion(p) }
+
+// HGRIDScenario builds an HGRID V1→V2 migration task (paper §2.4, Fig. 3a).
+func HGRIDScenario(name string, p HGRIDScenarioParams) (*Scenario, error) {
+	return gen.HGRIDScenario(name, p)
+}
+
+// ForkliftScenario builds an SSW forklift migration task (Fig. 3b).
+func ForkliftScenario(name string, p ForkliftParams) (*Scenario, error) {
+	return gen.ForkliftScenario(name, p)
+}
+
+// DMAGScenario builds a DMAG layer-insertion migration task (Fig. 3c).
+func DMAGScenario(name string, p DMAGParams) (*Scenario, error) {
+	return gen.DMAGScenario(name, p)
+}
+
+// Suite builds one of the Table-3 evaluation scenarios ("A".."E", "E-DMAG",
+// "E-SSW") at the given scale (1 = paper-sized).
+func Suite(name string, scale float64) (*Scenario, error) { return gen.Suite(name, scale) }
+
+// SuiteParams returns a suite topology's region parameters at the given
+// scale, for building derived scenarios.
+func SuiteParams(name string, scale float64) (RegionParams, error) {
+	return gen.SuiteParams(name, scale)
+}
+
+// JointScenario merges two regions' HGRID migrations into one coupled
+// planning problem (paper §2.2, "Consider multiple DCs").
+func JointScenario(name string, p JointParams) (*Scenario, error) {
+	return gen.JointScenario(name, p)
+}
+
+// SuiteNames lists the scenario names accepted by Suite, in Table-3 order.
+func SuiteNames() []string { return gen.SuiteNames() }
+
+// NPD format and EDP-Lite pipeline.
+type (
+	// NPDDocument is a declarative region + migration description (§5).
+	NPDDocument = npd.Document
+	// PlanDocument is the serialized ordered-phases planner output.
+	PlanDocument = npd.PlanDocument
+	// PipelineConfig parameterizes a pipeline run.
+	PipelineConfig = pipeline.Config
+	// PipelineResult is the output of a pipeline run.
+	PipelineResult = pipeline.Result
+	// PlannerName selects the pipeline's planning algorithm.
+	PlannerName = pipeline.Planner
+)
+
+// Pipeline planner names.
+const (
+	PlannerAStar = pipeline.PlannerAStar
+	PlannerDP    = pipeline.PlannerDP
+	PlannerMRC   = pipeline.PlannerMRC
+	PlannerJanus = pipeline.PlannerJanus
+)
+
+// LoadNPD reads and validates an NPD document from JSON.
+func LoadNPD(r io.Reader) (*NPDDocument, error) { return npd.Decode(r) }
+
+// RunPipeline executes the EDP-Lite pipeline on an NPD document: build the
+// scenario, plan, audit, and emit ordered topology phases.
+func RunPipeline(doc *NPDDocument, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(doc, cfg)
+}
+
+// RunPipelineTask executes the pipeline on an already-built task.
+func RunPipelineTask(task *Task, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.RunTask(task, cfg)
+}
+
+// ReplanMigration continues a partially executed migration, optionally with
+// a new demand set (§7.1–7.2).
+func ReplanMigration(task *Task, executed []int, newDemands *DemandSet, cfg PipelineConfig) (*Plan, error) {
+	return pipeline.Replan(task, executed, newDemands, cfg)
+}
+
+// ReplanAfterOutage continues a partially executed migration after
+// out-of-band maintenance took switches down (§7.2).
+func ReplanAfterOutage(task *Task, executed []int, down []SwitchID, cfg PipelineConfig) (*Plan, error) {
+	return pipeline.ReplanAfterOutage(task, executed, down, cfg)
+}
+
+// BuildPlanDocument converts a plan into its ordered-phases document.
+func BuildPlanDocument(task *Task, plan *Plan, opts Options) (*PlanDocument, error) {
+	return npd.BuildPlanDocument(task, plan, opts)
+}
+
+// WriteTimeline renders a plan document as a phase-per-line text timeline
+// with utilization bars.
+func WriteTimeline(w io.Writer, doc *PlanDocument) error { return report.Timeline(w, doc) }
+
+// WriteMargins renders the per-phase safety margins and flags the tightest
+// phase.
+func WriteMargins(w io.Writer, doc *PlanDocument) error { return report.Margins(w, doc) }
+
+// Execution simulation.
+type (
+	// SimExecutor replays plans against the routing model.
+	SimExecutor = sim.Executor
+	// SimOptions parameterizes a simulation (asynchrony, surges, failures).
+	SimOptions = sim.Options
+	// SimReport summarizes an execution.
+	SimReport = sim.Report
+	// SimCampaignReport aggregates a Monte Carlo asynchrony campaign.
+	SimCampaignReport = sim.CampaignReport
+	// SimGranularity controls intra-run asynchrony.
+	SimGranularity = sim.Granularity
+)
+
+// Simulation granularities.
+const (
+	GranularityRun     = sim.GranularityRun
+	GranularityBlock   = sim.GranularityBlock
+	GranularityCircuit = sim.GranularityCircuit
+)
+
+// NewExecutor returns a plan executor for the task.
+func NewExecutor(task *Task) *SimExecutor { return sim.NewExecutor(task) }
