@@ -5,6 +5,7 @@
 //
 //	klotski -npd region.json [-o plan.json] [-planner astar|dp|mrc|janus]
 //	        [-theta 0.75] [-alpha 0] [-growth 0] [-maxrun 0] [-timeout 5m] [-v]
+//	        [-checkpoint ckpt.json] [-chaos 0] [-chaos-faults 3] [-chaos-seed 1]
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
 //
 // The NPD document must carry a migration part; see cmd/topogen for
@@ -13,13 +14,30 @@
 // -executed actions of an earlier plan document are treated as done and
 // only the remainder is re-planned (demand may have shifted; pass -growth
 // or edit the NPD demand part accordingly).
+//
+// Planning is interruptible: on SIGINT (or -timeout expiry) the search
+// stops at a checkpoint instead of discarding its work. With -checkpoint
+// the best safe partial sequence explored so far is written as a plan
+// document that the -resume/-executed flow accepts once those actions have
+// been executed.
+//
+// With -chaos N the planned migration is additionally driven through N
+// Monte Carlo chaos runs: each run draws a random fault train (switch
+// outages, circuit flaps, demand surges, transient action failures) and
+// executes the migration with the fault-tolerant control loop — retries,
+// backoff, and replanning — reporting completion rate and worst-case
+// boundary utilization to stderr.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"klotski"
@@ -29,13 +47,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "klotski:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("klotski", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -52,6 +72,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume   = fs.String("resume", "", "earlier plan document to resume from")
 		executed = fs.Int("executed", 0, "number of actions of the -resume plan already executed")
 		simulate = fs.Int("simulate", 0, "replay the plan this many times with randomized asynchrony and report transient exposure")
+
+		ckptPath    = fs.String("checkpoint", "", "on interrupted planning (SIGINT, -timeout), write the best safe partial sequence here")
+		chaos       = fs.Int("chaos", 0, "run the plan through this many chaos-campaign control-loop runs")
+		chaosFaults = fs.Int("chaos-faults", 3, "faults per chaos run")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "base seed for the chaos campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,11 +110,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	var res *klotski.PipelineResult
 	if *resume != "" {
-		res, err = replanFromDocument(doc, cfg, *resume, *executed)
+		res, err = replanFromDocument(ctx, doc, cfg, *resume, *executed)
 	} else {
-		res, err = klotski.RunPipeline(doc, cfg)
+		res, err = klotski.RunPipelineContext(ctx, doc, cfg)
 	}
 	if err != nil {
+		var interrupted *klotski.Interrupted
+		if errors.As(err, &interrupted) && *ckptPath != "" {
+			n, werr := writeCheckpoint(*ckptPath, interrupted, cfg.Options)
+			if werr != nil {
+				return fmt.Errorf("%w (writing checkpoint also failed: %v)", err, werr)
+			}
+			fmt.Fprintf(stderr, "planning interrupted (%v); %d safe actions checkpointed to %s\n", interrupted.Reason, n, *ckptPath)
+			fmt.Fprintf(stderr, "after executing them, continue with: -resume %s -executed %d\n", *ckptPath, n)
+		}
 		return err
 	}
 
@@ -110,6 +144,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if res.Campaign != nil {
 		fmt.Fprintln(stderr, res.Campaign)
 	}
+	if *chaos > 0 {
+		rep, err := klotski.ChaosCampaign(ctx, res.Task, klotski.ChaosCampaignOptions{
+			Seeds:    *chaos,
+			Seed:     *chaosSeed,
+			Schedule: klotski.FaultScheduleOptions{Faults: *chaosFaults},
+			Run:      klotski.ControlOptions{Config: cfg},
+		})
+		if err != nil {
+			return fmt.Errorf("chaos campaign: %w", err)
+		}
+		fmt.Fprintln(stderr, rep)
+	}
 
 	out := stdout
 	if *outPath != "" {
@@ -123,10 +169,79 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return res.Document.Encode(out)
 }
 
+// writeCheckpoint renders the interrupted search's best partial sequence
+// as a plan document so the -resume/-executed flow accepts it, with the
+// planner's interruption details under an extra "checkpoint" key.
+//
+// The search only verifies states at run boundaries, but an operator who
+// executes the partial sequence and pauses there makes its endpoint an
+// observable network state — so the partial is first trimmed to the
+// longest prefix whose paused state satisfies the constraints.
+func writeCheckpoint(path string, interrupted *klotski.Interrupted, opts klotski.Options) (int, error) {
+	cp := interrupted.Checkpoint
+	if cp == nil {
+		return 0, fmt.Errorf("planner returned no checkpoint")
+	}
+	task := cp.Task()
+	partial := append([]int(nil), cp.Partial...)
+	for len(partial) > 0 {
+		counts := make([]int, len(task.Types))
+		for _, b := range partial {
+			counts[task.Blocks[b].Type]++
+		}
+		if klotski.CheckState(task, counts, opts) == nil {
+			break
+		}
+		partial = partial[:len(partial)-1]
+	}
+	pd := &klotski.PlanDocument{
+		Version: npd.Version,
+		Task:    task.Name,
+		Theta:   opts.Theta,
+		Alpha:   opts.Alpha,
+		Actions: len(partial),
+	}
+	for i, run := range klotski.RunsOf(task, partial, 0) {
+		info := task.Types[run.Type]
+		names := make([]string, len(run.Blocks))
+		for j, b := range run.Blocks {
+			names[j] = task.Blocks[b].Name
+		}
+		pd.Phases = append(pd.Phases, klotski.PlanPhase{
+			Index: i, ActionType: info.Name, Op: info.Op.String(), Blocks: names,
+		})
+	}
+	doc := struct {
+		*klotski.PlanDocument
+		Checkpoint struct {
+			Planner string          `json:"planner"`
+			Reason  string          `json:"reason"`
+			Counts  []int           `json:"counts"`
+			Metrics klotski.Metrics `json:"metrics"`
+		} `json:"checkpoint"`
+	}{PlanDocument: pd}
+	doc.Checkpoint.Planner = cp.Planner
+	doc.Checkpoint.Reason = interrupted.Reason.Error()
+	doc.Checkpoint.Counts = cp.Counts
+	doc.Checkpoint.Metrics = cp.Metrics
+
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return len(partial), f.Close()
+}
+
 // replanFromDocument rebuilds the scenario from the NPD document, replays
 // the first n actions of the earlier plan document, and re-plans the
 // remainder.
-func replanFromDocument(doc *klotski.NPDDocument, cfg klotski.PipelineConfig, planPath string, n int) (*klotski.PipelineResult, error) {
+func replanFromDocument(ctx context.Context, doc *klotski.NPDDocument, cfg klotski.PipelineConfig, planPath string, n int) (*klotski.PipelineResult, error) {
 	f, err := os.Open(planPath)
 	if err != nil {
 		return nil, err
@@ -161,7 +276,7 @@ func replanFromDocument(doc *klotski.NPDDocument, cfg klotski.PipelineConfig, pl
 	if len(executed) < n {
 		return nil, fmt.Errorf("-executed %d exceeds the %d actions in %s", n, len(executed), planPath)
 	}
-	plan, err := klotski.ReplanMigration(task, executed, nil, cfg)
+	plan, err := klotski.ReplanMigrationContext(ctx, task, executed, nil, cfg)
 	if err != nil {
 		return nil, err
 	}

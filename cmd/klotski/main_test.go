@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +35,7 @@ func writeNPD(t *testing.T) string {
 func TestRunPlansDocument(t *testing.T) {
 	npdPath := writeNPD(t)
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-npd", npdPath, "-v"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-v"}, &out, &errBuf); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
 	}
 	var doc map[string]any
@@ -51,7 +54,7 @@ func TestRunWritesOutputFile(t *testing.T) {
 	npdPath := writeNPD(t)
 	outPath := filepath.Join(t.TempDir(), "plan.json")
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-npd", npdPath, "-o", outPath}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-o", outPath}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -70,11 +73,11 @@ func TestRunResume(t *testing.T) {
 	npdPath := writeNPD(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-npd", npdPath, "-resume", planPath, "-executed", "2"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-resume", planPath, "-executed", "2"}, &out, &errBuf); err != nil {
 		t.Fatalf("resume: %v", err)
 	}
 	var doc struct {
@@ -92,25 +95,89 @@ func TestRunResumeTooManyExecuted(t *testing.T) {
 	npdPath := writeNPD(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-o", planPath}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	err := run([]string{"-npd", npdPath, "-resume", planPath, "-executed", "99"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-npd", npdPath, "-resume", planPath, "-executed", "99"}, &out, &errBuf)
 	if err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("want exceeds error, got %v", err)
 	}
 }
 
+// TestRunCheckpointOnTimeout: an expired planning budget must leave a
+// checkpoint document that the -resume/-executed flow accepts.
+func TestRunCheckpointOnTimeout(t *testing.T) {
+	npdPath := writeNPD(t)
+	ckptPath := filepath.Join(t.TempDir(), "ckpt.json")
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{"-npd", npdPath, "-timeout", "1ns", "-checkpoint", ckptPath}, &out, &errBuf)
+	if err == nil {
+		t.Fatal("1ns budget should interrupt planning")
+	}
+	if !strings.Contains(errBuf.String(), "checkpointed to") {
+		t.Fatalf("stderr missing checkpoint notice: %s", errBuf.String())
+	}
+	data, rerr := os.ReadFile(ckptPath)
+	if rerr != nil {
+		t.Fatalf("checkpoint file not written: %v", rerr)
+	}
+	var doc struct {
+		Version    int `json:"version"`
+		Actions    int `json:"actions"`
+		Checkpoint struct {
+			Planner string `json:"planner"`
+			Reason  string `json:"reason"`
+		} `json:"checkpoint"`
+	}
+	if jerr := json.Unmarshal(data, &doc); jerr != nil {
+		t.Fatalf("checkpoint is not JSON: %v", jerr)
+	}
+	if doc.Version != 1 || doc.Checkpoint.Planner != "astar" || doc.Checkpoint.Reason == "" {
+		t.Errorf("checkpoint fields: %+v", doc)
+	}
+	// The checkpoint must be consumable by -resume with its own action count.
+	out.Reset()
+	if err := run(context.Background(), []string{"-npd", npdPath, "-resume", ckptPath, "-executed", fmt.Sprint(doc.Actions)}, &out, &errBuf); err != nil {
+		t.Fatalf("resume from checkpoint: %v", err)
+	}
+}
+
+// TestRunCancelledContext: SIGINT surfaces as a cancelled context; run must
+// stop with the context error rather than plan on.
+func TestRunCancelledContext(t *testing.T) {
+	npdPath := writeNPD(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	err := run(ctx, []string{"-npd", npdPath}, &out, &errBuf)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunChaosCampaign: -chaos N drives the plan through the control loop
+// and prints a campaign summary.
+func TestRunChaosCampaign(t *testing.T) {
+	npdPath := writeNPD(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-npd", npdPath, "-chaos", "2", "-chaos-faults", "2", "-chaos-seed", "5"}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "chaos campaign over 2 seeds") {
+		t.Errorf("missing chaos campaign report: %s", errBuf.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run(nil, &out, &errBuf); err == nil {
+	if err := run(context.Background(), nil, &out, &errBuf); err == nil {
 		t.Error("missing -npd should error")
 	}
-	if err := run([]string{"-npd", "/does/not/exist.json"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-npd", "/does/not/exist.json"}, &out, &errBuf); err == nil {
 		t.Error("missing file should error")
 	}
 	npdPath := writeNPD(t)
-	if err := run([]string{"-npd", npdPath, "-planner", "bogus"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-planner", "bogus"}, &out, &errBuf); err == nil {
 		t.Error("unknown planner should error")
 	}
 }
@@ -119,7 +186,7 @@ func TestRunPlannerVariants(t *testing.T) {
 	npdPath := writeNPD(t)
 	for _, planner := range []string{"astar", "dp", "mrc", "janus"} {
 		var out, errBuf bytes.Buffer
-		if err := run([]string{"-npd", npdPath, "-planner", planner}, &out, &errBuf); err != nil {
+		if err := run(context.Background(), []string{"-npd", npdPath, "-planner", planner}, &out, &errBuf); err != nil {
 			t.Errorf("planner %s: %v", planner, err)
 		}
 	}
@@ -128,7 +195,7 @@ func TestRunPlannerVariants(t *testing.T) {
 func TestRunMaxRun(t *testing.T) {
 	npdPath := writeNPD(t)
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-npd", npdPath, "-maxrun", "1"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-npd", npdPath, "-maxrun", "1"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

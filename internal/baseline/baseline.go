@@ -18,6 +18,8 @@
 package baseline
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -35,16 +37,30 @@ const mrcStickiness = 0.02
 // (Fig. 8a): the greedy choice ignores run structure, so it changes action
 // types more often than necessary.
 func PlanMRC(task *migration.Task, opts core.Options) (*core.Plan, error) {
+	return PlanMRCContext(context.Background(), task, opts)
+}
+
+// PlanMRCContext is PlanMRC with cooperative cancellation: the context and
+// the Options.Timeout/MaxStates budget are checked at every greedy step,
+// and overruns wrap core.ErrBudget exactly like the core planners'.
+func PlanMRCContext(ctx context.Context, task *migration.Task, opts core.Options) (*core.Plan, error) {
 	if task.TopologyChanging {
 		return nil, core.ErrUnsupported
 	}
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 4_000_000
 	}
 	theta := opts.Theta
 	if theta <= 0 {
@@ -87,8 +103,16 @@ func PlanMRC(task *migration.Task, opts core.Options) (*core.Plan, error) {
 		last = opts.InitialLast
 	}
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baseline: MRC cancelled after %d steps: %w", len(seq), err)
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, core.ErrBudget
+			return nil, fmt.Errorf("%w: MRC exceeded its time budget after %d steps, %d checks",
+				core.ErrBudget, len(seq), metrics.Checks)
+		}
+		if metrics.StatesCreated > maxStates {
+			return nil, fmt.Errorf("%w: MRC exceeded %d states after %d steps",
+				core.ErrBudget, maxStates, len(seq))
 		}
 		// Boundary-check semantics (paper Eq. 4–6): switching action types
 		// ends the current parallel run, so the current state must be safe
@@ -112,9 +136,11 @@ func PlanMRC(task *migration.Task, opts core.Options) (*core.Plan, error) {
 			task.Apply(view, blockID)
 			// MRC ranks candidates by full placement statistics, so it
 			// cannot use an early-exit check: every candidate costs a
-			// complete evaluation.
+			// complete evaluation. Each evaluated candidate materializes
+			// one hypothetical state, which is what MaxStates bounds.
 			res, viol := eval.Evaluate(view, &task.Demands, copts)
 			metrics.Checks++
+			metrics.StatesCreated++
 			task.Revert(view, blockID)
 			score := res.MinResidual
 			if at == last {
@@ -149,7 +175,6 @@ func PlanMRC(task *migration.Task, opts core.Options) (*core.Plan, error) {
 		last = task.Blocks[bestBlock].Type
 		remaining--
 		metrics.StatesPopped++
-		metrics.StatesCreated++
 	}
 	// The final state ends the last run and must itself be safe.
 	if viol := eval.Check(view, &task.Demands, copts); !viol.OK() {

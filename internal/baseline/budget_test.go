@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"klotski/internal/core"
+	"klotski/internal/migration"
+)
+
+// TestBudgetErrorsUnified asserts all four planners — core A* and DP plus
+// the MRC and Janus baselines — honor Options.MaxStates and
+// Options.Timeout and surface overruns as errors matching core.ErrBudget
+// via errors.Is, so callers can handle budget exhaustion uniformly
+// regardless of planner.
+func TestBudgetErrorsUnified(t *testing.T) {
+	task := bridgeTask(t, 3, 3, 100, 100, 150, 0)
+
+	planners := []struct {
+		name string
+		plan func(context.Context, *migration.Task, core.Options) (*core.Plan, error)
+	}{
+		{"astar", core.PlanAStarContext},
+		{"dp", core.PlanDPContext},
+		{"mrc", PlanMRCContext},
+		{"janus", PlanJanusContext},
+	}
+	budgets := []struct {
+		name string
+		opts core.Options
+	}{
+		{"max-states", core.Options{Alpha: 0.2, MaxStates: 1}},
+		{"timeout", core.Options{Alpha: 0.2, Timeout: time.Nanosecond}},
+	}
+
+	for _, p := range planners {
+		for _, b := range budgets {
+			t.Run(p.name+"/"+b.name, func(t *testing.T) {
+				_, err := p.plan(context.Background(), task, b.opts)
+				if err == nil {
+					t.Fatalf("%s should exhaust its %s budget, got a plan", p.name, b.name)
+				}
+				if !errors.Is(err, core.ErrBudget) {
+					t.Fatalf("%s under %s: want errors.Is(err, core.ErrBudget), got %v", p.name, b.name, err)
+				}
+			})
+		}
+		t.Run(p.name+"/cancelled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := p.plan(ctx, task, core.Options{Alpha: 0.2})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s under cancelled ctx: want context.Canceled, got %v", p.name, err)
+			}
+		})
+	}
+
+	// The budget must bound work, not forbid planning: every planner
+	// completes the same task under a generous budget.
+	for _, p := range planners {
+		if _, err := p.plan(context.Background(), task,
+			core.Options{Alpha: 0.2, MaxStates: 1_000_000, Timeout: time.Minute}); err != nil {
+			t.Fatalf("%s with generous budget: %v", p.name, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,14 +33,24 @@ import (
 // Options.MaxStates / Options.Timeout surface as core.ErrBudget, which the
 // figures render as crosses.
 func PlanJanus(task *migration.Task, opts core.Options) (*core.Plan, error) {
+	return PlanJanusContext(context.Background(), task, opts)
+}
+
+// PlanJanusContext is PlanJanus with cooperative cancellation: the context
+// is polled alongside the MaxStates/Timeout budget in the search loop, and
+// budget overruns wrap core.ErrBudget exactly like the core planners'.
+func PlanJanusContext(ctx context.Context, task *migration.Task, opts core.Options) (*core.Plan, error) {
 	if task.TopologyChanging {
 		return nil, core.ErrUnsupported
 	}
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	j := &janusRun{task: task, opts: opts, view: task.Topo.NewView()}
+	j := &janusRun{task: task, opts: opts, view: task.Topo.NewView(), ctx: ctx}
 	if opts.Timeout > 0 {
 		j.deadline = start.Add(opts.Timeout)
 	}
@@ -91,6 +102,7 @@ type janusRun struct {
 	deadline time.Time
 	maxNodes int
 	view     *topo.View
+	ctx      context.Context
 
 	classOf      []int   // block → symmetry class
 	classMembers [][]int // class → member block IDs, ascending
@@ -255,14 +267,27 @@ func (j *janusRun) search(initial []byte, initialLast migration.ActionType, star
 	startKey := j.key(initial, initialLast)
 	push(initial, initialLast, 0, "", -1)
 
+	// Context and deadline are polled every pollInterval pops; the first
+	// pop always polls, so an expired deadline or cancelled context trips
+	// deterministically even on tiny searches.
+	const pollInterval = 64
+	pollCountdown := 1
 	for pq.Len() > 0 {
 		if j.metrics.StatesCreated > j.maxNodes {
 			return nil, fmt.Errorf("%w: Janus exceeded %d states (%d symmetry classes over %d blocks)",
 				core.ErrBudget, j.maxNodes, len(j.classMembers), len(task.Blocks))
 		}
-		if !j.deadline.IsZero() && j.metrics.StatesCreated%64 == 0 && time.Now().After(j.deadline) {
-			return nil, fmt.Errorf("%w: Janus exceeded its time budget after %d states",
-				core.ErrBudget, j.metrics.StatesCreated)
+		pollCountdown--
+		if pollCountdown <= 0 {
+			pollCountdown = pollInterval
+			if err := j.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("baseline: Janus cancelled after %d states: %w",
+					j.metrics.StatesCreated, err)
+			}
+			if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+				return nil, fmt.Errorf("%w: Janus exceeded its time budget after %d states",
+					core.ErrBudget, j.metrics.StatesCreated)
+			}
 		}
 		it := heap.Pop(&pq).(janusItem)
 		node := nodes[it.key]

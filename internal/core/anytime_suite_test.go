@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"klotski/internal/core"
+	"klotski/internal/gen"
+)
+
+// TestAnytimeSuiteTopologies is the acceptance test for anytime planning
+// on the Table-3 evaluation topologies A–C: an A* run interrupted by a
+// tight budget (and separately by a cancelled context) must return a
+// resumable checkpoint, and resuming must land the exact optimal plan of
+// an uninterrupted run.
+func TestAnytimeSuiteTopologies(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale float64
+	}{
+		{"A", 0.2},
+		{"B", 0.15},
+		{"C", 0.1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := gen.Suite(tc.name, tc.scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task := sc.Task
+			opts := core.Options{Alpha: 0.2}
+
+			ref, err := core.PlanAStar(task, opts)
+			if err != nil {
+				t.Fatalf("uninterrupted PlanAStar: %v", err)
+			}
+
+			// Interrupt with a tight Timeout, then resume to completion
+			// under a doubling MaxStates ladder.
+			topts := opts
+			topts.Timeout = time.Nanosecond
+			_, err = core.PlanAStarContext(context.Background(), task, topts)
+			var intr *core.Interrupted
+			if !errors.As(err, &intr) {
+				t.Fatalf("1ns timeout should interrupt, got %v", err)
+			}
+			if !errors.Is(err, core.ErrBudget) {
+				t.Fatalf("timeout interruption should wrap ErrBudget, got %v", intr.Reason)
+			}
+			plan := resumeToCompletion(t, intr.Checkpoint, opts)
+			assertSamePlan(t, "timeout", plan, ref)
+
+			// Interrupt with a cancelled context mid-flight.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err = core.PlanAStarContext(ctx, task, opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled ctx should surface context.Canceled, got %v", err)
+			}
+			if !errors.As(err, &intr) {
+				t.Fatalf("cancellation should carry a checkpoint, got %v", err)
+			}
+			plan = resumeToCompletion(t, intr.Checkpoint, opts)
+			assertSamePlan(t, "cancel", plan, ref)
+		})
+	}
+}
+
+// resumeToCompletion resumes a checkpoint under doubling MaxStates budgets
+// until the plan completes, asserting every intermediate interruption is
+// itself resumable.
+func resumeToCompletion(t *testing.T, cp *core.Checkpoint, opts core.Options) *core.Plan {
+	t.Helper()
+	budget := 64
+	for hops := 0; hops < 64; hops++ {
+		ropts := opts
+		ropts.MaxStates = budget
+		plan, err := core.Resume(context.Background(), cp, ropts)
+		if err == nil {
+			return plan
+		}
+		var intr *core.Interrupted
+		if !errors.As(err, &intr) {
+			t.Fatalf("resume hop %d: want *Interrupted, got %v", hops, err)
+		}
+		cp = intr.Checkpoint
+		budget *= 2
+	}
+	t.Fatal("resume ladder did not converge")
+	return nil
+}
+
+func assertSamePlan(t *testing.T, mode string, got, want *core.Plan) {
+	t.Helper()
+	if math.Abs(got.Cost-want.Cost) > 1e-9 {
+		t.Fatalf("%s: resumed cost %v != uninterrupted %v", mode, got.Cost, want.Cost)
+	}
+	if !reflect.DeepEqual(got.Sequence, want.Sequence) {
+		t.Fatalf("%s: resumed sequence differs from uninterrupted run", mode)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"klotski/internal/migration"
 )
@@ -17,12 +18,23 @@ import (
 // moment the target topology is popped, which — with a consistent
 // heuristic — is guaranteed optimal.
 func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
+	return PlanAStarContext(context.Background(), task, opts)
+}
+
+// PlanAStarContext is PlanAStar with cooperative cancellation: the context
+// is polled alongside the MaxStates/Timeout budget, and on cancellation or
+// budget exhaustion the search returns an *Interrupted error carrying a
+// resumable Checkpoint instead of discarding its work.
+func PlanAStarContext(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
 	sp, err := newSpace(task, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		sp.ctx = ctx
 	}
 
 	startIdx, _ := sp.intern(sp.initial)
@@ -38,54 +50,78 @@ func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
 		return nil, planErrf(ErrInfeasible, "target network state violates constraints")
 	}
 
-	best := make(map[int64]float64) // lowest g per (vec, last, tail)
-	closed := make(map[int64]bool)  // expanded states
-	prev := make(map[int64]prevInfo)
-
-	pq := &openHeap{secondary: !opts.DisableSecondaryPriority}
-	push := func(vecIdx int32, last migration.ActionType, tail int, g float64) {
-		k := sp.extKeyT(vecIdx, last, tail)
-		if old, ok := best[k]; ok && old <= g {
-			return
-		}
-		best[k] = g
-		sp.metrics.StatesCreated++
-		heap.Push(pq, openItem{
-			f:        g + sp.heuristicCapped(vecIdx, last, tail),
-			finished: int32(sp.finished(vecIdx)),
-			order:    int64(sp.metrics.StatesCreated),
-			g:        g,
-			vecIdx:   vecIdx,
-			last:     last,
-			tail:     int16(tail),
-		})
+	s := &astarSearch{
+		sp:      sp,
+		best:    make(map[int64]float64),
+		closed:  make(map[int64]bool),
+		prev:    make(map[int64]prevInfo),
+		pq:      &openHeap{secondary: !opts.DisableSecondaryPriority},
+		scratch: make([]uint16, sp.nTypes),
 	}
 	startTail := 0
 	if opts.InitialCounts != nil {
 		startTail = opts.InitialRunLength
 	}
-	push(startIdx, startLast, startTail, 0)
+	s.push(startIdx, startLast, startTail, 0)
+	return s.run()
+}
 
-	scratch := make([]uint16, sp.nTypes)
-	for pq.Len() > 0 {
-		if sp.overBudget() {
-			return nil, planErrf(ErrBudget, "A* exceeded budget after %d states, %d checks",
-				sp.metrics.StatesCreated, sp.metrics.Checks)
+// astarSearch is the complete mutable state of one A* run: it survives
+// interruptions inside a Checkpoint, so Resume continues the identical
+// search — same open list, same closed set, same satisfiability cache.
+type astarSearch struct {
+	sp      *space
+	best    map[int64]float64 // lowest g per (vec, last, tail)
+	closed  map[int64]bool    // expanded states
+	prev    map[int64]prevInfo
+	pq      *openHeap
+	scratch []uint16
+	front   frontier
+}
+
+func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g float64) {
+	sp := s.sp
+	k := sp.extKeyT(vecIdx, last, tail)
+	if old, ok := s.best[k]; ok && old <= g {
+		return
+	}
+	s.best[k] = g
+	sp.metrics.StatesCreated++
+	s.front.observe(sp, vecIdx, last, tail)
+	heap.Push(s.pq, openItem{
+		f:        g + sp.heuristicCapped(vecIdx, last, tail),
+		finished: int32(sp.finished(vecIdx)),
+		order:    int64(sp.metrics.StatesCreated),
+		g:        g,
+		vecIdx:   vecIdx,
+		last:     last,
+		tail:     int16(tail),
+	})
+}
+
+// run drives the search loop to completion, interruption, or exhaustion.
+// It is re-entered by Resume after an interruption.
+func (s *astarSearch) run() (*Plan, error) {
+	sp := s.sp
+	task := sp.task
+	for s.pq.Len() > 0 {
+		if reason := sp.interrupted(); reason != nil {
+			return nil, s.interrupt(reason)
 		}
-		it := heap.Pop(pq).(openItem)
+		it := heap.Pop(s.pq).(openItem)
 		k := sp.extKeyT(it.vecIdx, it.last, int(it.tail))
-		if closed[k] || it.g > best[k] {
+		if s.closed[k] || it.g > s.best[k] {
 			continue // stale duplicate
 		}
-		closed[k] = true
+		s.closed[k] = true
 		sp.metrics.StatesPopped++
 
 		if sp.isTarget(it.vecIdx) {
-			seq := sp.reconstruct(prev, it.vecIdx, it.last, int(it.tail))
+			seq := sp.reconstruct(s.prev, it.vecIdx, it.last, int(it.tail))
 			return &Plan{
 				Task:     task,
 				Sequence: seq,
-				Runs:     RunsOf(task, seq, opts.MaxRunLength),
+				Runs:     RunsOf(task, seq, sp.opts.MaxRunLength),
 				Cost:     it.g,
 				Metrics:  sp.elapsedMetrics(),
 			}, nil
@@ -115,22 +151,43 @@ func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
 					continue
 				}
 			}
-			copy(scratch, cur)
-			scratch[a]++
-			nextIdx, _ := sp.intern(scratch)
+			copy(s.scratch, cur)
+			s.scratch[a]++
+			nextIdx, _ := sp.intern(s.scratch)
 			ng := it.g + stepCost
 			nk := sp.extKeyT(nextIdx, at, newTail)
-			if closed[nk] {
+			if s.closed[nk] {
 				continue
 			}
-			if old, ok := best[nk]; !ok || ng < old {
-				prev[nk] = prevInfo{last: it.last, tail: it.tail}
-				push(nextIdx, at, newTail, ng)
+			if old, ok := s.best[nk]; !ok || ng < old {
+				s.prev[nk] = prevInfo{last: it.last, tail: it.tail}
+				s.push(nextIdx, at, newTail, ng)
 			}
 		}
 	}
 	return nil, planErrf(ErrInfeasible, "search space exhausted after %d states without reaching target",
 		sp.metrics.StatesPopped)
+}
+
+// interrupt packages the live search into a resumable checkpoint.
+func (s *astarSearch) interrupt(reason error) error {
+	sp := s.sp
+	sp.pause()
+	counts, partial := s.front.snapshot(sp, s.prev)
+	cp := &Checkpoint{
+		Planner: "astar",
+		Counts:  counts,
+		Partial: partial,
+		Metrics: sp.elapsedMetrics(),
+		task:    sp.task,
+	}
+	cp.resume = func(ctx context.Context, opts Options) (*Plan, error) {
+		sp.rebudget(ctx, opts)
+		return s.run()
+	}
+	return interruptErrf(reason, cp,
+		"A* stopped after %d states, %d checks (frontier %d/%d actions)",
+		sp.metrics.StatesCreated, sp.metrics.Checks, s.front.finished, sp.task.NumActions())
 }
 
 // openItem is one priority-queue entry. Lower f wins; among equal f, more

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"klotski/internal/migration"
+)
+
+// Checkpoint captures the state of an interrupted planning run so it can be
+// resumed without redoing completed work (the paper's §7.2 operating regime:
+// planners run under a hard budget — 24 hours in production — and a budget
+// overrun must not throw the search away). A* checkpoints retain the open
+// list, the best-cost and closed tables, and the satisfiability cache; DP
+// checkpoints retain the memo table, the predecessor table, and the cache.
+//
+// The exported fields describe the best partial result at interruption
+// time: Counts is the per-type finished-action vector of the most advanced
+// explored state, Partial the canonical-order block sequence reaching it
+// (every intermediate run boundary of Partial was verified safe during the
+// search), and Metrics the effort spent so far. They are advisory — Resume
+// continues the exact internal search, not the Partial prefix.
+type Checkpoint struct {
+	Planner string  // "astar" or "dp"
+	Counts  []int   // per-type finished counts of the most advanced explored state
+	Partial []int   // block IDs reaching Counts, in execution order
+	Metrics Metrics // planner effort up to the interruption
+
+	task   *migration.Task
+	resume func(context.Context, Options) (*Plan, error)
+}
+
+// Task returns the migration task the checkpointed search is planning.
+func (cp *Checkpoint) Task() *migration.Task { return cp.task }
+
+// Resume continues an interrupted search from its checkpoint under a fresh
+// budget envelope: opts.MaxStates and opts.Timeout bound the resumed leg
+// (counted from the resumption, not cumulatively), and ctx cancels it
+// cooperatively. All other options are taken from the original run — they
+// shaped the cached search state and cannot change mid-search. A resumed
+// search continues exactly where it stopped: no state is re-expanded, no
+// satisfiability check is repeated, and the eventual plan is identical to
+// what an uninterrupted run would have produced. Resuming may itself be
+// interrupted again, returning a further *Interrupted checkpoint.
+func Resume(ctx context.Context, cp *Checkpoint, opts Options) (*Plan, error) {
+	if cp == nil || cp.resume == nil {
+		return nil, fmt.Errorf("core: nil or non-resumable checkpoint")
+	}
+	return cp.resume(ctx, opts)
+}
+
+// Interrupted is the error returned when a planner stops before finding an
+// optimal plan because its budget ran out or its context was cancelled. It
+// wraps the reason — ErrBudget, context.Canceled, or
+// context.DeadlineExceeded, matchable with errors.Is — and carries the
+// checkpoint to continue from.
+type Interrupted struct {
+	Reason     error // ErrBudget or the context's error
+	Checkpoint *Checkpoint
+	Detail     string
+}
+
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("core: planning interrupted (%v): %s", e.Reason, e.Detail)
+}
+
+func (e *Interrupted) Unwrap() error { return e.Reason }
+
+// interruptErrf builds an *Interrupted for a stopped search.
+func interruptErrf(reason error, cp *Checkpoint, format string, args ...any) error {
+	return &Interrupted{Reason: reason, Checkpoint: cp, Detail: fmt.Sprintf(format, args...)}
+}
+
+// frontier tracks the most advanced (most finished actions) state pushed
+// during a search, for checkpoint reporting.
+type frontier struct {
+	valid    bool
+	finished int
+	vecIdx   int32
+	last     migration.ActionType
+	tail     int
+}
+
+func (f *frontier) observe(sp *space, vecIdx int32, last migration.ActionType, tail int) {
+	fin := sp.finished(vecIdx)
+	if !f.valid || fin > f.finished {
+		f.valid = true
+		f.finished = fin
+		f.vecIdx = vecIdx
+		f.last = last
+		f.tail = tail
+	}
+}
+
+// snapshot renders the frontier as (counts, partial sequence) using the
+// predecessor table. An empty frontier (interrupted before the first push)
+// yields the initial counts and an empty sequence.
+func (f *frontier) snapshot(sp *space, prev map[int64]prevInfo) (counts []int, partial []int) {
+	counts = make([]int, sp.nTypes)
+	if !f.valid {
+		for i, v := range sp.initial {
+			counts[i] = int(v)
+		}
+		return counts, nil
+	}
+	for i, v := range sp.vec(f.vecIdx) {
+		counts[i] = int(v)
+	}
+	return counts, sp.reconstruct(prev, f.vecIdx, f.last, f.tail)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,22 +18,37 @@ import (
 // sweep). Unlike A*, the DP planner must materialize the entire product
 // space, which is why the paper reports it 1.7–3.8× slower.
 func PlanDP(task *migration.Task, opts Options) (*Plan, error) {
+	return PlanDPContext(context.Background(), task, opts)
+}
+
+// PlanDPContext is PlanDP with cooperative cancellation: the context is
+// polled alongside the MaxStates/Timeout budget, and on cancellation or
+// budget exhaustion the sweep returns an *Interrupted error carrying a
+// resumable Checkpoint (the warmed memo table and satisfiability cache)
+// instead of discarding its work.
+func PlanDPContext(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	return planDPWithPrewarm(task, opts, nil)
+	return planDPWithPrewarm(ctx, task, opts, nil)
 }
 
 // planDPWithPrewarm is the DP planner body; prewarm, when non-nil, runs
 // after the search space is constructed and before the sweep (used by
-// PlanDPParallel to precompute the satisfiability cache concurrently).
-func planDPWithPrewarm(task *migration.Task, opts Options, prewarm func(*space)) (*Plan, error) {
+// PlanDPParallel to precompute the satisfiability cache concurrently). A
+// prewarm error — e.g. a recovered worker panic — aborts planning.
+func planDPWithPrewarm(ctx context.Context, task *migration.Task, opts Options, prewarm func(*space) error) (*Plan, error) {
 	sp, err := newSpace(task, opts)
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil {
+		sp.ctx = ctx
+	}
 	if prewarm != nil {
-		prewarm(sp)
+		if err := prewarm(sp); err != nil {
+			return nil, err
+		}
 	}
 
 	startLast := opts.InitialLast
@@ -67,7 +83,32 @@ func planDPWithPrewarm(task *migration.Task, opts Options, prewarm func(*space))
 	if targetIdx == startIdx {
 		return &Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()}, nil
 	}
+	d.targetIdx = targetIdx
+	return d.sweep()
+}
 
+type dpRun struct {
+	sp        *space
+	startLast migration.ActionType
+	startTail int
+	targetIdx int32
+	memo      map[int64]float64
+	prev      map[int64]prevInfo
+
+	// stack holds the keys of memo entries currently being computed (the
+	// recursion's in-flight path). On interruption those entries hold the
+	// cycle sentinel, not a final value, and must be evicted before the
+	// memo can serve as a checkpoint.
+	stack []int64
+}
+
+// sweep evaluates the DP at the target over every admissible last action
+// and tail length, reconstructs the optimal sequence, and assembles the
+// plan. It is re-entered by Resume after an interruption, at which point
+// every previously finalized memo entry answers instantly.
+func (d *dpRun) sweep() (*Plan, error) {
+	sp := d.sp
+	task := sp.task
 	bestCost := math.Inf(1)
 	bestLast := NoLast
 	bestTail := 0
@@ -76,9 +117,9 @@ func planDPWithPrewarm(task *migration.Task, opts Options, prewarm func(*space))
 			continue
 		}
 		for _, t := range d.tails() {
-			c, err := d.f(targetIdx, migration.ActionType(a), t)
+			c, err := d.f(d.targetIdx, migration.ActionType(a), t)
 			if err != nil {
-				return nil, err
+				return nil, d.interrupt(err)
 			}
 			if c < bestCost {
 				bestCost = c
@@ -91,22 +132,54 @@ func planDPWithPrewarm(task *migration.Task, opts Options, prewarm func(*space))
 		return nil, planErrf(ErrInfeasible, "DP table contains no path to target (%d states evaluated)",
 			sp.metrics.StatesPopped)
 	}
-	seq := sp.reconstruct(d.prev, targetIdx, bestLast, bestTail)
+	seq := sp.reconstruct(d.prev, d.targetIdx, bestLast, bestTail)
 	return &Plan{
 		Task:     task,
 		Sequence: seq,
-		Runs:     RunsOf(task, seq, opts.MaxRunLength),
+		Runs:     RunsOf(task, seq, sp.opts.MaxRunLength),
 		Cost:     bestCost,
 		Metrics:  sp.elapsedMetrics(),
 	}, nil
 }
 
-type dpRun struct {
-	sp        *space
-	startLast migration.ActionType
-	startTail int
-	memo      map[int64]float64
-	prev      map[int64]prevInfo
+// interrupt evicts half-computed memo entries and packages the finalized
+// DP table into a resumable checkpoint.
+func (d *dpRun) interrupt(reason error) error {
+	sp := d.sp
+	for _, k := range d.stack {
+		delete(d.memo, k)
+	}
+	d.stack = d.stack[:0]
+	sp.pause()
+	counts, partial := d.frontierSnapshot()
+	cp := &Checkpoint{
+		Planner: "dp",
+		Counts:  counts,
+		Partial: partial,
+		Metrics: sp.elapsedMetrics(),
+		task:    sp.task,
+	}
+	cp.resume = func(ctx context.Context, opts Options) (*Plan, error) {
+		sp.rebudget(ctx, opts)
+		return d.sweep()
+	}
+	return interruptErrf(reason, cp, "DP stopped after %d states, %d checks",
+		sp.metrics.StatesCreated, sp.metrics.Checks)
+}
+
+// frontierSnapshot finds the most advanced reachable state among finalized
+// memo entries and reconstructs the partial sequence leading to it.
+func (d *dpRun) frontierSnapshot() (counts []int, partial []int) {
+	sp := d.sp
+	var front frontier
+	for key, c := range d.memo {
+		if math.IsInf(c, 1) {
+			continue
+		}
+		vecIdx, last, tail := sp.decodeKeyT(key)
+		front.observe(sp, vecIdx, last, tail)
+	}
+	return front.snapshot(sp, d.prev)
 }
 
 // tails returns the valid in-progress run lengths: {0} when runs are
@@ -134,18 +207,33 @@ func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) 
 		return c, nil
 	}
 	sp.metrics.StatesCreated++
-	if sp.overBudget() {
-		return 0, planErrf(ErrBudget, "DP exceeded budget after %d states, %d checks",
-			sp.metrics.StatesCreated, sp.metrics.Checks)
+	if err := sp.interrupted(); err != nil {
+		return 0, err
 	}
 	// Seed the memo to guard against cycles (none exist — every step
 	// strictly increases the action total — but a sentinel keeps a bug
-	// from recursing forever).
+	// from recursing forever), and record the key as in-flight so an
+	// interruption can evict the half-computed entry.
 	d.memo[key] = math.Inf(1)
+	d.stack = append(d.stack, key)
+	best, bestPrev, err := d.compute(vecIdx, a, t)
+	if err != nil {
+		return 0, err // key stays in-flight; evicted by interrupt
+	}
+	d.stack = d.stack[:len(d.stack)-1]
+	d.memo[key] = best
+	if !math.IsInf(best, 1) {
+		d.prev[key] = bestPrev
+	}
+	return best, nil
+}
 
+// compute evaluates the recurrence body for one state.
+func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, prevInfo, error) {
+	sp := d.sp
 	v := sp.vec(vecIdx)
 	if v[a] <= sp.initial[a] {
-		return math.Inf(1), nil // a cannot have been the last action
+		return math.Inf(1), prevInfo{}, nil // a cannot have been the last action
 	}
 	sp.metrics.StatesPopped++
 
@@ -174,94 +262,91 @@ func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) 
 			best = c
 			bestPrev = prevInfo{last: d.startLast, tail: int16(d.startTail)}
 		}
-	} else {
-		predFeasible := -1 // lazy: -1 unknown, 0 no, 1 yes
-		checkPred := func(bt migration.ActionType) bool {
-			if sp.opts.FunnelFactor > 1 {
-				// Funneling makes feasibility depend on the in-flight
-				// block, so it cannot be reused across last-types.
-				return sp.feasible(predIdx, bt)
-			}
-			if predFeasible < 0 {
-				if sp.feasible(predIdx, bt) {
-					predFeasible = 1
-				} else {
-					predFeasible = 0
-				}
-			}
-			return predFeasible == 1
+		return best, bestPrev, nil
+	}
+
+	predFeasible := -1 // lazy: -1 unknown, 0 no, 1 yes
+	checkPred := func(bt migration.ActionType) bool {
+		if sp.opts.FunnelFactor > 1 {
+			// Funneling makes feasibility depend on the in-flight
+			// block, so it cannot be reused across last-types.
+			return sp.feasible(predIdx, bt)
 		}
-		consider := func(bt migration.ActionType, pt int, step float64) error {
-			pc, err := d.f(predIdx, bt, pt)
-			if err != nil {
-				return err
+		if predFeasible < 0 {
+			if sp.feasible(predIdx, bt) {
+				predFeasible = 1
+			} else {
+				predFeasible = 0
 			}
-			if c := pc + step; c < best {
-				best = c
-				bestPrev = prevInfo{last: bt, tail: int16(pt)}
-			}
-			return nil
 		}
-		k := sp.runCap()
-		unit := sp.units[a]
-		switch {
-		case k == 0:
-			// Uncapped: same-type extension at α, type change at unit with
-			// a boundary check on the predecessor.
-			for b := 0; b < sp.nTypes; b++ {
-				bt := migration.ActionType(b)
-				if pred[b] <= sp.initial[b] {
-					continue
-				}
-				step := sp.opts.Alpha * unit
-				if bt != a {
-					if !checkPred(bt) {
-						continue
-					}
-					step = unit
-				}
-				if err := consider(bt, 0, step); err != nil {
-					return 0, err
-				}
+		return predFeasible == 1
+	}
+	consider := func(bt migration.ActionType, pt int, step float64) error {
+		pc, err := d.f(predIdx, bt, pt)
+		if err != nil {
+			return err
+		}
+		if c := pc + step; c < best {
+			best = c
+			bestPrev = prevInfo{last: bt, tail: int16(pt)}
+		}
+		return nil
+	}
+	k := sp.runCap()
+	unit := sp.units[a]
+	switch {
+	case k == 0:
+		// Uncapped: same-type extension at α, type change at unit with
+		// a boundary check on the predecessor.
+		for b := 0; b < sp.nTypes; b++ {
+			bt := migration.ActionType(b)
+			if pred[b] <= sp.initial[b] {
+				continue
 			}
-		case t > 1:
-			// Mid-run: the only predecessor is the same run, one shorter.
-			if err := consider(a, t-1, sp.opts.Alpha*unit); err != nil {
-				return 0, err
-			}
-		default: // t == 1: a fresh run started here; predecessor observed.
-			for b := 0; b < sp.nTypes; b++ {
-				bt := migration.ActionType(b)
-				if pred[b] <= sp.initial[b] {
-					continue
-				}
-				if bt == a {
-					// Same type: only a forced split (full previous chunk)
-					// may start a new run.
-					if !checkPred(bt) {
-						continue
-					}
-					if err := consider(a, k, unit); err != nil {
-						return 0, err
-					}
-					continue
-				}
+			step := sp.opts.Alpha * unit
+			if bt != a {
 				if !checkPred(bt) {
 					continue
 				}
-				for _, pt := range d.tails() {
-					if err := consider(bt, pt, unit); err != nil {
-						return 0, err
-					}
+				step = unit
+			}
+			if err := consider(bt, 0, step); err != nil {
+				return 0, prevInfo{}, err
+			}
+		}
+	case t > 1:
+		// Mid-run: the only predecessor is the same run, one shorter.
+		if err := consider(a, t-1, sp.opts.Alpha*unit); err != nil {
+			return 0, prevInfo{}, err
+		}
+	default: // t == 1: a fresh run started here; predecessor observed.
+		for b := 0; b < sp.nTypes; b++ {
+			bt := migration.ActionType(b)
+			if pred[b] <= sp.initial[b] {
+				continue
+			}
+			if bt == a {
+				// Same type: only a forced split (full previous chunk)
+				// may start a new run.
+				if !checkPred(bt) {
+					continue
+				}
+				if err := consider(a, k, unit); err != nil {
+					return 0, prevInfo{}, err
+				}
+				continue
+			}
+			if !checkPred(bt) {
+				continue
+			}
+			for _, pt := range d.tails() {
+				if err := consider(bt, pt, unit); err != nil {
+					return 0, prevInfo{}, err
 				}
 			}
 		}
 	}
-	d.memo[key] = best
-	if !math.IsInf(best, 1) {
-		d.prev[key] = bestPrev
-	}
-	return best, nil
+	return best, bestPrev, nil
 }
 
 // planErrf wraps a sentinel planning error with detail while keeping it

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -19,20 +21,28 @@ import (
 // depends on the in-flight block, not just the vector) and pointless when
 // the cache is disabled; PlanDP falls back to lazy checking in both cases.
 
+// precheckTestHook, when non-nil, runs inside every precheck worker before
+// its shard. Tests use it to inject worker panics and verify they surface
+// as errors instead of crashing the process.
+var precheckTestHook func(worker int)
+
 // precheckParallel enumerates the full product space between the initial
 // and target vectors and fills the satisfiability cache using `workers`
 // goroutines. It honors the state budget: spaces larger than maxStates are
-// left to lazy checking (the DP will then hit its own budget guard).
-func (sp *space) precheckParallel(workers int) {
+// left to lazy checking (the DP will then hit its own budget guard). A
+// cancelled context stops the workers early, leaving the remaining states
+// to lazy checking. A panic in any worker is recovered and returned as an
+// error — one poisoned goroutine must not crash the process.
+func (sp *space) precheckParallel(ctx context.Context, workers int) error {
 	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
-		return
+		return nil
 	}
 	// Enumerate the product space, bounding by the budget.
 	size := 1
 	for i := range sp.totals {
 		span := int(sp.totals[i]-sp.initial[i]) + 1
 		if size > sp.opts.maxStates()/span {
-			return // too large to precompute; fall back to lazy checks
+			return nil // too large to precompute; fall back to lazy checks
 		}
 		size *= span
 	}
@@ -40,7 +50,10 @@ func (sp *space) precheckParallel(workers int) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 2 || size < 4*workers {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	vecs := make([][]uint16, 0, size)
@@ -60,11 +73,27 @@ func (sp *space) precheckParallel(workers int) {
 	enum(0)
 
 	results := make([]int8, len(vecs))
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("core: precheck worker %d panicked: %v", w, r)
+					}
+					panicMu.Unlock()
+				}
+			}()
+			if hook := precheckTestHook; hook != nil {
+				hook(w)
+			}
 			// Each worker owns an independent checker: its own evaluator,
 			// scratch view, and (empty) cache.
 			wopts := sp.opts
@@ -74,6 +103,9 @@ func (sp *space) precheckParallel(workers int) {
 				return // leave this shard to lazy checking
 			}
 			for i := w; i < len(vecs); i += workers {
+				if i%64 == 0 && ctx.Err() != nil {
+					return // cancelled; leave the rest to lazy checking
+				}
 				if wsp.check(mustIntern(wsp, vecs[i]), NoLast, false) {
 					results[i] = feasYes
 				} else {
@@ -83,6 +115,9 @@ func (sp *space) precheckParallel(workers int) {
 		}(w)
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return panicErr
+	}
 
 	for i, vec := range vecs {
 		if results[i] == 0 {
@@ -92,6 +127,7 @@ func (sp *space) precheckParallel(workers int) {
 		sp.feas[sp.extKey(idx, NoLast)] = results[i]
 	}
 	sp.metrics.Checks += len(vecs)
+	return nil
 }
 
 func mustIntern(sp *space, vec []uint16) int32 {
@@ -103,6 +139,15 @@ func mustIntern(sp *space, vec []uint16) int32 {
 // precomputed across the given number of workers (0 picks GOMAXPROCS).
 // Results are identical to PlanDP; only wall-clock time changes.
 func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, error) {
+	return PlanDPParallelContext(context.Background(), task, opts, workers)
+}
+
+// PlanDPParallelContext is PlanDPParallel with cooperative cancellation:
+// the context stops both the precheck workers and the DP sweep, and budget
+// or cancellation interruptions of the sweep return a resumable Checkpoint
+// via *Interrupted. Worker panics during prechecking are recovered and
+// surfaced as ordinary errors.
+func PlanDPParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -111,7 +156,7 @@ func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, err
 	}
 	// newSpace + precheck happen inside a thin wrapper around PlanDP: the
 	// planner accepts a pre-warmed space via the prewarm hook.
-	return planDPWithPrewarm(task, opts, func(sp *space) {
-		sp.precheckParallel(workers)
+	return planDPWithPrewarm(ctx, task, opts, func(sp *space) error {
+		return sp.precheckParallel(ctx, workers)
 	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
@@ -51,6 +52,18 @@ type space struct {
 	deadline time.Time
 	started  time.Time
 
+	// Cooperative interruption state. ctx carries caller cancellation;
+	// budgetBase rebases the MaxStates cap when a checkpointed search is
+	// resumed with a fresh budget; pollCountdown keeps the (relatively
+	// expensive) time/context polls off the per-state hot path; stopErr
+	// latches the first interruption reason; priorElapsed accumulates
+	// planning time across resume legs.
+	ctx           context.Context
+	budgetBase    int
+	pollCountdown int
+	stopErr       error
+	priorElapsed  time.Duration
+
 	// Space/power budget precompute: per-block occupancy delta per DC.
 	occBase  map[int]int
 	occDelta []map[int]int // nil when SpaceBudget is nil
@@ -74,6 +87,11 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 		nTypes:  task.NumTypes(),
 		demands: &task.Demands,
 		started: time.Now(),
+		ctx:     context.Background(),
+		// Poll on the very first budget check so that an already-expired
+		// deadline or cancelled context trips deterministically even on
+		// tiny search spaces.
+		pollCountdown: 1,
 	}
 	if opts.Timeout > 0 {
 		sp.deadline = sp.started.Add(opts.Timeout)
@@ -249,6 +267,17 @@ func (sp *space) extKeyT(vecIdx int32, last migration.ActionType, tail int) int6
 	return sp.extKey(vecIdx, last)*int64(sp.runCap()+1) + int64(tail%(sp.runCap()+1))
 }
 
+// decodeKeyT inverts extKeyT, recovering the (vector, last, tail) triple
+// from a state key. Used to render checkpoint frontiers from DP memo keys.
+func (sp *space) decodeKeyT(key int64) (vecIdx int32, last migration.ActionType, tail int) {
+	span := int64(sp.runCap() + 1)
+	tail = int(key % span)
+	ek := key / span
+	last = migration.ActionType(ek%int64(sp.nTypes+1)) - 1
+	vecIdx = int32(ek / int64(sp.nTypes+1))
+	return vecIdx, last, tail
+}
+
 // prevInfo records a state's best predecessor for plan reconstruction.
 type prevInfo struct {
 	last migration.ActionType
@@ -366,19 +395,67 @@ func (sp *space) heuristicCapped(vecIdx int32, last migration.ActionType, tail i
 	return h
 }
 
-// overBudget reports whether the planner has exhausted its state or time
-// budget. Time is only polled every few hundred calls to keep it off the
-// hot path.
-func (sp *space) overBudget() bool {
-	if sp.metrics.StatesCreated > sp.opts.maxStates() {
-		return true
+// interrupted reports why the planner must stop — state-budget exhaustion
+// (ErrBudget), an expired time budget (ErrBudget), or caller cancellation
+// (the context's error) — or nil to continue. Time and context are polled
+// every pollInterval calls to keep them off the hot path, except for the
+// very first call, which always polls so tiny searches still honor
+// already-expired deadlines. Once tripped, the reason latches.
+func (sp *space) interrupted() error {
+	if sp.stopErr != nil {
+		return sp.stopErr
 	}
-	if !sp.deadline.IsZero() && sp.metrics.StatesCreated%256 == 0 {
-		if time.Now().After(sp.deadline) {
-			return true
-		}
+	if sp.metrics.StatesCreated-sp.budgetBase > sp.opts.maxStates() {
+		sp.stopErr = ErrBudget
+		return sp.stopErr
 	}
-	return false
+	sp.pollCountdown--
+	if sp.pollCountdown > 0 {
+		return nil
+	}
+	sp.pollCountdown = pollInterval
+	if err := sp.ctx.Err(); err != nil {
+		sp.stopErr = err
+		return sp.stopErr
+	}
+	if !sp.deadline.IsZero() && time.Now().After(sp.deadline) {
+		sp.stopErr = ErrBudget
+		return sp.stopErr
+	}
+	return nil
+}
+
+// pollInterval is how many interrupted() calls pass between time/context
+// polls.
+const pollInterval = 256
+
+// rebudget rearms an interrupted search with a fresh budget envelope for a
+// resumed leg: MaxStates counts from the current state total, the deadline
+// restarts from now, and the context is replaced. All other options keep
+// their original values — they shaped the cached search state and cannot
+// change mid-search.
+func (sp *space) rebudget(ctx context.Context, opts Options) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp.ctx = ctx
+	sp.opts.MaxStates = opts.MaxStates
+	sp.opts.Timeout = opts.Timeout
+	sp.budgetBase = sp.metrics.StatesCreated
+	sp.deadline = time.Time{}
+	if opts.Timeout > 0 {
+		sp.deadline = time.Now().Add(opts.Timeout)
+	}
+	sp.started = time.Now()
+	sp.stopErr = nil
+	sp.pollCountdown = 1
+}
+
+// pause banks the elapsed planning time when a search is interrupted, so
+// the wall-clock gap until a later Resume is not counted as planning time.
+func (sp *space) pause() {
+	sp.priorElapsed += time.Since(sp.started)
+	sp.started = time.Now()
 }
 
 // feasible checks the safety of the intermediate topology identified by the
@@ -558,9 +635,11 @@ func (sp *space) reconstruct(prev map[int64]prevInfo, vecIdx int32, last migrati
 	return rev
 }
 
-// elapsedMetrics finalizes and returns the metrics for a finished run.
+// elapsedMetrics finalizes and returns the metrics for a finished run,
+// accumulating planning time across resumed legs (the wall-clock gap
+// between interruption and resumption is not counted).
 func (sp *space) elapsedMetrics() Metrics {
 	m := sp.metrics
-	m.PlanningTime = time.Since(sp.started)
+	m.PlanningTime = sp.priorElapsed + time.Since(sp.started)
 	return m
 }

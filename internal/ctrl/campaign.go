@@ -1,0 +1,106 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"klotski/internal/migration"
+	"klotski/internal/sim"
+)
+
+// CampaignOptions parameterizes a Monte Carlo chaos campaign: the same
+// migration executed under many independently drawn fault trains.
+type CampaignOptions struct {
+	Seeds int   // number of runs (default 16)
+	Seed  int64 // base seed; run s uses absolute seed Seed+s
+
+	// Schedule parameterizes the per-run fault draw.
+	Schedule sim.ScheduleOptions
+
+	// Run is the per-run controller configuration. Plan and Journal are
+	// ignored (each run plans for its own drifted world and campaigns do
+	// not journal); Sleep defaults to a no-op so thousands of simulated
+	// retries do not wall-clock sleep.
+	Run Options
+}
+
+// CampaignReport aggregates a chaos campaign. The paper's safety claim is
+// about plans; this report is about *operations*: how often the closed
+// loop carries a migration through a hostile environment, and at what
+// cost in retries and replans.
+type CampaignReport struct {
+	Seeds     int
+	Completed int
+
+	CompletionRate float64
+	TotalRetries   int
+	TotalReplans   int
+
+	// BoundaryViolations across all runs — any nonzero value means the
+	// controller let the live network reach an unsafe boundary state.
+	BoundaryViolations int
+
+	PeakUtil  float64 // worst boundary utilization across runs
+	WorstSeed int64   // absolute seed of the worst-peak run
+
+	// FailedSeeds lists the absolute seeds of runs that did not complete
+	// (replanning infeasible, budgets exhausted), for replay.
+	FailedSeeds []int64
+}
+
+// Campaign executes the task once per seed, each run against a fresh
+// world with its own random fault train, and aggregates the outcomes. An
+// individual run failing to complete is campaign data, not an error; only
+// infrastructure failures (e.g. cancellation) abort the campaign.
+func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (*CampaignReport, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 16
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runOpts := opts.Run
+	runOpts.Plan = nil
+	runOpts.Journal = nil
+	if runOpts.Sleep == nil {
+		runOpts.Sleep = func(time.Duration) {}
+	}
+
+	rep := &CampaignReport{Seeds: opts.Seeds, WorstSeed: opts.Seed}
+	for s := 0; s < opts.Seeds; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ctrl: campaign cancelled after %d of %d runs: %w", s, opts.Seeds, err)
+		}
+		seed := opts.Seed + int64(s)
+		schedule := sim.RandomSchedule(task, seed, opts.Schedule)
+		world := sim.NewWorld(task, schedule, seed)
+		ro := runOpts
+		ro.Seed = seed
+		out, err := Run(ctx, task, world, ro)
+		if err != nil && ctx.Err() != nil {
+			return nil, err
+		}
+		rep.TotalRetries += out.Retries
+		rep.TotalReplans += out.Replans
+		rep.BoundaryViolations += out.BoundaryViolations
+		if out.Completed {
+			rep.Completed++
+		} else {
+			rep.FailedSeeds = append(rep.FailedSeeds, seed)
+		}
+		if out.PeakUtil > rep.PeakUtil {
+			rep.PeakUtil = out.PeakUtil
+			rep.WorstSeed = seed
+		}
+	}
+	rep.CompletionRate = float64(rep.Completed) / float64(rep.Seeds)
+	return rep, nil
+}
+
+// String renders a one-line campaign summary.
+func (r *CampaignReport) String() string {
+	return fmt.Sprintf("chaos campaign over %d seeds: %.0f%% completed, %d retries, %d replans, %d boundary violations, peak util %.3f (worst seed %d)",
+		r.Seeds, 100*r.CompletionRate, r.TotalRetries, r.TotalReplans,
+		r.BoundaryViolations, r.PeakUtil, r.WorstSeed)
+}

@@ -1,0 +1,271 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"klotski/internal/core"
+	"klotski/internal/migration"
+	"klotski/internal/pipeline"
+	"klotski/internal/sim"
+)
+
+// Options parameterizes a control-loop run.
+type Options struct {
+	// Config supplies the planner and planning options used for the
+	// initial plan and every replan.
+	Config pipeline.Config
+
+	// Plan, when non-nil, is the (audited) plan to execute. When nil, Run
+	// plans from the world's executed prefix first.
+	Plan *core.Plan
+
+	// MaxRetries bounds transient-failure retries per action (default 4).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 10ms); subsequent
+	// retries double it up to MaxBackoff (default 1s), with jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// MaxReplans bounds replanning across the whole run (default 8) so a
+	// hostile environment cannot trap the controller in a plan loop.
+	MaxReplans int
+
+	// Journal, when non-nil, records begin/done/replan entries; pair with
+	// OpenJournal + a fresh world to resume after a controller crash.
+	Journal *Journal
+
+	// Sleep is the backoff sleeper, injectable for tests and campaigns
+	// (default time.Sleep).
+	Sleep func(time.Duration)
+
+	// Seed drives backoff jitter.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.MaxReplans <= 0 {
+		o.MaxReplans = 8
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Outcome reports what one control-loop run did.
+type Outcome struct {
+	Completed bool
+	Executed  []int // blocks applied to the network, in order
+
+	Retries int // transient failures retried
+	Replans int // plans discarded for fresher ones
+
+	// BoundaryViolations counts run-boundary states that violated
+	// constraints on the live network — zero for a healthy run, since the
+	// controller replans before executing into a drifted environment.
+	BoundaryViolations int
+	PeakUtil           float64 // worst boundary utilization observed
+}
+
+// Run drives the migration to completion against the live world:
+//
+//	plan → execute one block → observe → (retry | replan | continue)
+//
+// Before every action it polls the world; if the environment epoch moved
+// (outage, flap, surge) the remaining plan is rebuilt from the executed
+// prefix against the world's real topology and demands. Transient action
+// failures are retried with capped exponential backoff and jitter. Every
+// action is journaled before and after execution when a Journal is set.
+func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Options) (*Outcome, error) {
+	opts = opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := &Outcome{}
+	defer func() { out.Executed = world.Executed() }()
+
+	// Crash recovery: fast-forward a fresh world through the journaled
+	// committed prefix. (If the world already progressed — same-process
+	// resume — the journal must agree with it.)
+	if opts.Journal != nil {
+		prefix := opts.Journal.CommittedPrefix()
+		have := world.Executed()
+		if len(have) > len(prefix) {
+			return out, fmt.Errorf("ctrl: world has %d executed actions but journal committed only %d", len(have), len(prefix))
+		}
+		for i, id := range have {
+			if prefix[i] != id {
+				return out, fmt.Errorf("ctrl: journal/world divergence at action %d: journal %d, world %d", i, prefix[i], id)
+			}
+		}
+		if len(prefix) > len(have) {
+			world.Preapply(prefix[len(have):])
+		}
+	}
+
+	lastEpoch := world.Poll()
+	plan := opts.Plan
+	if plan == nil {
+		var err error
+		plan, err = replanFromWorld(ctx, task, world, opts.Config)
+		if err != nil {
+			return out, fmt.Errorf("ctrl: initial planning: %w", err)
+		}
+	}
+
+	remaining := append([]int(nil), plan.Sequence...)
+	idx := 0
+	replan := func(reason string) error {
+		if out.Replans >= opts.MaxReplans {
+			return fmt.Errorf("ctrl: replan budget (%d) exhausted: %s", opts.MaxReplans, reason)
+		}
+		out.Replans++
+		if opts.Journal != nil {
+			if err := opts.Journal.Append(Entry{Seq: len(world.Executed()), Op: "replan", Detail: reason}); err != nil {
+				return err
+			}
+		}
+		p, err := replanFromWorld(ctx, task, world, opts.Config)
+		if err != nil {
+			return fmt.Errorf("ctrl: replanning (%s): %w", reason, err)
+		}
+		remaining = append(remaining[:0], p.Sequence...)
+		idx = 0
+		lastEpoch = world.Epoch()
+		return nil
+	}
+
+	for idx < len(remaining) {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("ctrl: cancelled after %d actions: %w", len(world.Executed()), err)
+		}
+		// Observe the environment before committing to the next action.
+		if epoch := world.Poll(); epoch != lastEpoch {
+			if err := replan(fmt.Sprintf("environment epoch %d → %d", lastEpoch, epoch)); err != nil {
+				return out, err
+			}
+			continue
+		}
+
+		block := remaining[idx]
+		seq := len(world.Executed())
+		if opts.Journal != nil {
+			if err := opts.Journal.Append(Entry{Seq: seq, Op: "begin", Block: block, Name: task.Blocks[block].Name}); err != nil {
+				return out, err
+			}
+		}
+		attempt := 0
+		for {
+			err := world.Apply(block)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, sim.ErrTransient) {
+				return out, fmt.Errorf("ctrl: applying block %q: %w", task.Blocks[block].Name, err)
+			}
+			if attempt >= opts.MaxRetries {
+				// Retries exhausted. One replan attempt is cheaper than
+				// abandoning a half-executed migration; if the world truly
+				// has not changed the fresh plan fails the same way and
+				// the replan budget bounds the loop.
+				if rerr := replan(fmt.Sprintf("block %d failed %d attempts: %v", block, attempt+1, err)); rerr != nil {
+					return out, fmt.Errorf("ctrl: block %q failed persistently: %w (replanning out also failed: %v)", task.Blocks[block].Name, err, rerr)
+				}
+				attempt = -1 // falls through to the outer loop via break below
+				break
+			}
+			out.Retries++
+			opts.Sleep(backoff(opts.BaseBackoff, opts.MaxBackoff, attempt, rng))
+			attempt++
+		}
+		if attempt < 0 {
+			continue // replanned out of a persistent failure
+		}
+		if opts.Journal != nil {
+			if err := opts.Journal.Append(Entry{Seq: seq, Op: "done", Block: block, Name: task.Blocks[block].Name, Attempt: attempt}); err != nil {
+				return out, err
+			}
+		}
+		idx++
+
+		// Boundary observation: the state after the last block of a run —
+		// type change ahead, or plan complete — is what the planner
+		// guaranteed safe; verify it against the live network.
+		runEnds := idx == len(remaining) || task.Blocks[remaining[idx]].Type != task.Blocks[block].Type
+		if runEnds {
+			util, ok := world.Observe(opts.Config.Options.Theta, opts.Config.Options.Split)
+			if util > out.PeakUtil {
+				out.PeakUtil = util
+			}
+			if !ok {
+				out.BoundaryViolations++
+			}
+		}
+	}
+
+	out.Completed = len(world.Executed()) == task.NumActions()
+	if !out.Completed {
+		return out, fmt.Errorf("ctrl: run ended with %d of %d actions executed", len(world.Executed()), task.NumActions())
+	}
+	return out, nil
+}
+
+// replanFromWorld rebuilds the remaining plan from the world's ground
+// truth: executed prefix, out-of-band outages, flapped circuits, and the
+// current (possibly surged) demand level.
+func replanFromWorld(ctx context.Context, task *migration.Task, world *sim.World, cfg pipeline.Config) (*core.Plan, error) {
+	executed := world.Executed()
+	downSw := world.DownSwitches()
+	downCk := world.DownCircuits()
+	switch {
+	case world.DemandsChanged() || len(downCk) > 0:
+		// General drift: rebuild the task against the observed topology
+		// and demand level.
+		planTask := task
+		if len(downSw)+len(downCk) > 0 {
+			t := task.Topo.Clone()
+			for _, s := range downSw {
+				t.SetSwitchActive(s, false)
+			}
+			for _, c := range downCk {
+				t.SetCircuitActive(c, false)
+			}
+			planTask = task.WithTopology(t)
+		}
+		ds := world.Demands()
+		return pipeline.ReplanContext(ctx, planTask, executed, &ds, cfg)
+	case len(downSw) > 0:
+		return pipeline.ReplanAfterOutageContext(ctx, task, executed, downSw, cfg)
+	default:
+		return pipeline.ReplanContext(ctx, task, executed, nil, cfg)
+	}
+}
+
+// backoff computes the capped exponential delay for a retry attempt with
+// full jitter in [d/2, d): herds of retrying controllers must not
+// synchronize against a recovering device.
+func backoff(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

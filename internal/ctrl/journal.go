@@ -1,0 +1,147 @@
+// Package ctrl closes the loop the planner opens: it executes an audited
+// migration plan against a live (simulated) network, observing the real
+// topology and demand after every action, retrying transient operation
+// failures with capped exponential backoff, and replanning the remainder
+// when the environment drifts out from under the plan — the operational
+// practices of paper §7.2 ("failures during operation duration",
+// "simultaneous operations", "unexpected traffic surge") as an executable
+// controller rather than prose.
+//
+// Every action is journaled to a crash-safe write-ahead log before and
+// after it runs, so a controller crash loses at most the in-flight action
+// — and drain/undrain operations are idempotent, so replaying that action
+// on restart is harmless.
+package ctrl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one journal record. Op "begin" is written before an action is
+// issued to the network, "done" after it is observed complete; "replan"
+// marks a replanning decision so post-mortems can see why the executed
+// order diverged from the original plan.
+type Entry struct {
+	Seq     int    `json:"seq"`               // index in the overall executed order
+	Op      string `json:"op"`                // "begin" | "done" | "replan"
+	Block   int    `json:"block"`             // block ID (begin/done)
+	Name    string `json:"name,omitempty"`    // block name, for human readers
+	Attempt int    `json:"attempt,omitempty"` // retry attempt that succeeded
+	Detail  string `json:"detail,omitempty"`  // replan reason
+}
+
+// Journal is a write-ahead log of executed actions: JSON lines, fsynced
+// per append. It tolerates a truncated final line on read — the signature
+// of a crash mid-write — by ignoring it.
+type Journal struct {
+	path    string
+	f       *os.File
+	entries []Entry
+}
+
+// NewJournal creates (or truncates) a journal at path.
+func NewJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: creating journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// OpenJournal opens an existing journal for crash recovery: prior entries
+// are replayed (a truncated tail line is dropped) and new appends go to
+// the end.
+func OpenJournal(path string) (*Journal, error) {
+	entries, err := ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: opening journal: %w", err)
+	}
+	return &Journal{path: path, f: f, entries: entries}, nil
+}
+
+// ReadJournal reads a journal file without opening it for appends. A
+// malformed or truncated final line is tolerated (crash mid-append);
+// malformed lines elsewhere are an error.
+func ReadJournal(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: reading journal: %w", err)
+	}
+	defer f.Close()
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("ctrl: corrupt journal line %d: %w", len(entries)+1, err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ctrl: reading journal: %w", err)
+	}
+	return entries, nil
+}
+
+// Append writes one entry and syncs it to stable storage before returning.
+func (j *Journal) Append(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ctrl: encoding journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("ctrl: appending journal entry: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ctrl: syncing journal: %w", err)
+	}
+	j.entries = append(j.entries, e)
+	return nil
+}
+
+// Entries returns a copy of the journal's records.
+func (j *Journal) Entries() []Entry {
+	return append([]Entry(nil), j.entries...)
+}
+
+// CommittedPrefix returns the block IDs whose execution is journaled as
+// complete ("done"), in execution order. A trailing "begin" without a
+// "done" is the in-flight action at crash time; it is NOT included — the
+// restarted controller re-issues it (idempotent).
+func (j *Journal) CommittedPrefix() []int {
+	var prefix []int
+	for _, e := range j.entries {
+		if e.Op == "done" {
+			prefix = append(prefix, e.Block)
+		}
+	}
+	return prefix
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -2,6 +2,7 @@ package npd
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,44 @@ func FuzzDecode(f *testing.F) {
 		}
 		if again.Name != doc.Name || len(again.Fabric) != len(doc.Fabric) {
 			t.Fatalf("round trip drift: %+v vs %+v", again, doc)
+		}
+	})
+}
+
+// FuzzDocumentRoundTrip is the strict version of FuzzDecode's round-trip
+// check: any document the parser accepts must survive encode → decode
+// structurally unchanged (reflect.DeepEqual over the whole Document, not
+// just spot-checked fields). Drift here means Encode silently drops or
+// rewrites something Decode accepted — the failure mode that corrupts
+// checkpoints and resumed plans.
+func FuzzDocumentRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sampleDoc().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"version":1,"name":"x"}`))
+	f.Add([]byte(`{"version":1,"name":"x","demands":[{"name":"d","src":"a","dst":"b","tbps":1.5}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","migration":{"kind":"hgrid-v1-v2","blockFactor":0.5}}`))
+	f.Add([]byte(`{"version":1,"name":"x","eb":{"count":2,"linkTbps":40},"dr":{"count":1,"linkTbps":80}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := doc.Encode(&out); err != nil {
+			t.Fatalf("decoded document failed to encode: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded document failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(doc, again) {
+			var second bytes.Buffer
+			_ = again.Encode(&second)
+			t.Fatalf("round trip drift:\nfirst:  %s\nsecond: %s", out.String(), second.String())
 		}
 	})
 }

@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,15 +40,22 @@ const (
 
 // Plan dispatches to the selected planning algorithm.
 func (p Planner) Plan(task *migration.Task, opts core.Options) (*core.Plan, error) {
+	return p.PlanContext(context.Background(), task, opts)
+}
+
+// PlanContext dispatches to the selected planning algorithm with
+// cooperative cancellation. The core planners additionally return a
+// resumable *core.Interrupted on budget exhaustion or cancellation.
+func (p Planner) PlanContext(ctx context.Context, task *migration.Task, opts core.Options) (*core.Plan, error) {
 	switch p {
 	case PlannerAStar, "":
-		return core.PlanAStar(task, opts)
+		return core.PlanAStarContext(ctx, task, opts)
 	case PlannerDP:
-		return core.PlanDP(task, opts)
+		return core.PlanDPContext(ctx, task, opts)
 	case PlannerMRC:
-		return baseline.PlanMRC(task, opts)
+		return baseline.PlanMRCContext(ctx, task, opts)
 	case PlannerJanus:
-		return baseline.PlanJanus(task, opts)
+		return baseline.PlanJanusContext(ctx, task, opts)
 	}
 	return nil, fmt.Errorf("pipeline: unknown planner %q", p)
 }
@@ -95,6 +103,12 @@ type Result struct {
 
 // Run executes the full pipeline on an NPD document with a migration part.
 func Run(doc *npd.Document, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), doc, cfg)
+}
+
+// RunContext is Run with cooperative cancellation threaded through to the
+// planner (and any forecast-driven replans).
+func RunContext(ctx context.Context, doc *npd.Document, cfg Config) (*Result, error) {
 	scenario, err := doc.Scenario()
 	if err != nil {
 		return nil, err
@@ -106,7 +120,7 @@ func Run(doc *npd.Document, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	res, err := RunTask(task, cfg)
+	res, err := RunTaskContext(ctx, task, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +130,13 @@ func Run(doc *npd.Document, cfg Config) (*Result, error) {
 
 // RunTask executes the pipeline on an already-built migration task.
 func RunTask(task *migration.Task, cfg Config) (*Result, error) {
+	return RunTaskContext(context.Background(), task, cfg)
+}
+
+// RunTaskContext is RunTask with cooperative cancellation.
+func RunTaskContext(ctx context.Context, task *migration.Task, cfg Config) (*Result, error) {
 	applyUnitCosts(task, cfg.UnitCosts)
-	plan, replans, err := planWithForecast(task, cfg)
+	plan, replans, err := planWithForecast(ctx, task, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -157,8 +176,8 @@ func applyUnitCosts(task *migration.Task, unitCosts map[string]float64) {
 // (§7.1): after each completed step demand grows by the forecast rate; the
 // first unsafe boundary triggers a re-plan of the remainder against the
 // grown demand. The loop is bounded by the number of actions.
-func planWithForecast(task *migration.Task, cfg Config) (*core.Plan, int, error) {
-	plan, err := cfg.Planner.Plan(task, cfg.Options)
+func planWithForecast(ctx context.Context, task *migration.Task, cfg Config) (*core.Plan, int, error) {
+	plan, err := cfg.Planner.PlanContext(ctx, task, cfg.Options)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -195,7 +214,7 @@ func planWithForecast(task *migration.Task, cfg Config) (*core.Plan, int, error)
 			opts.InitialLast = task.Blocks[executed[len(executed)-1]].Type
 		}
 		replans++
-		plan, err = cfg.Planner.Plan(replanTask, opts)
+		plan, err = cfg.Planner.PlanContext(ctx, replanTask, opts)
 		if err != nil {
 			return nil, replans, fmt.Errorf("pipeline: replanning under forecast after %d steps: %w",
 				len(executed), err)
@@ -286,6 +305,11 @@ func audit(task *migration.Task, plan *core.Plan, cfg Config) error {
 // IDs already operated (in order); newDemands, when non-nil, replaces the
 // task's demand set (demand shifted mid-migration, §7.1–7.2).
 func Replan(task *migration.Task, executed []int, newDemands *demand.Set, cfg Config) (*core.Plan, error) {
+	return ReplanContext(context.Background(), task, executed, newDemands, cfg)
+}
+
+// ReplanContext is Replan with cooperative cancellation.
+func ReplanContext(ctx context.Context, task *migration.Task, executed []int, newDemands *demand.Set, cfg Config) (*core.Plan, error) {
 	planTask := task
 	if newDemands != nil {
 		planTask = task.WithDemands(*newDemands)
@@ -296,31 +320,57 @@ func Replan(task *migration.Task, executed []int, newDemands *demand.Set, cfg Co
 	if len(executed) > 0 {
 		opts.InitialLast = task.Blocks[executed[len(executed)-1]].Type
 	}
-	return cfg.Planner.Plan(planTask, opts)
+	return cfg.Planner.PlanContext(ctx, planTask, opts)
 }
 
 // ReplanAfterOutage continues a partially executed migration after
 // out-of-band maintenance or failures took switches down (§7.2
 // "simultaneous operations": firmware upgrades and device rebuilds are not
-// controlled by Klotski but change the real-time topology). The down
-// switches must not themselves be operated by the migration.
+// controlled by Klotski but change the real-time topology). A down switch
+// operated by the migration is a conflict — except when its operating
+// block is a drain that has already been executed: the switch was already
+// taken out of service by the plan, so the outage changes nothing the
+// remaining steps depend on.
 func ReplanAfterOutage(task *migration.Task, executed []int, down []topo.SwitchID, cfg Config) (*core.Plan, error) {
+	return ReplanAfterOutageContext(context.Background(), task, executed, down, cfg)
+}
+
+// ReplanAfterOutageContext is ReplanAfterOutage with cooperative
+// cancellation.
+func ReplanAfterOutageContext(ctx context.Context, task *migration.Task, executed []int, down []topo.SwitchID, cfg Config) (*core.Plan, error) {
 	operated := make(map[topo.SwitchID]int)
 	for i := range task.Blocks {
 		for _, s := range task.Blocks[i].Switches {
 			operated[s] = i
 		}
 	}
+	executedSet := make(map[int]bool, len(executed))
+	for _, b := range executed {
+		executedSet[b] = true
+	}
+	drainedByPlan := make(map[topo.SwitchID]bool)
 	for _, s := range down {
-		if b, ok := operated[s]; ok {
-			return nil, fmt.Errorf("pipeline: switch %q is down but operated by block %q; resolve the conflict first",
-				task.Topo.Switch(s).Name, task.Blocks[b].Name)
+		b, ok := operated[s]
+		if !ok {
+			continue
 		}
+		if executedSet[b] && task.Types[task.Blocks[b].Type].Op == migration.Drain {
+			// The plan already drained this switch; it being physically
+			// down is harmless to the remaining steps. The executed drain
+			// keeps it inactive in every replanned state, so the base
+			// topology must keep it nominally active for task validation.
+			drainedByPlan[s] = true
+			continue
+		}
+		return nil, fmt.Errorf("pipeline: switch %q is down but operated by block %q; resolve the conflict first",
+			task.Topo.Switch(s).Name, task.Blocks[b].Name)
 	}
 	outageTopo := task.Topo.Clone()
 	for _, s := range down {
-		outageTopo.SetSwitchActive(s, false)
+		if !drainedByPlan[s] {
+			outageTopo.SetSwitchActive(s, false)
+		}
 	}
 	outageTask := task.WithTopology(outageTopo)
-	return Replan(outageTask, executed, nil, cfg)
+	return ReplanContext(ctx, outageTask, executed, nil, cfg)
 }

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/demand"
+	"klotski/internal/migration"
+	"klotski/internal/topo"
+)
+
+// outageBridgeTask builds a three-bridge microcosm for outage edge cases:
+// old bridge A (active, to be drained), new bridge B (inactive, to be
+// undrained), and spare bridge S (active, not operated by the migration).
+// ECMP splits the demand equally across up bridges, so with rate 120 and
+// caps 100 each state is safe iff at least two bridges are up.
+func outageBridgeTask(t *testing.T) (*migration.Task, topo.SwitchID, topo.SwitchID) {
+	t.Helper()
+	tp := topo.New("outage-bridges")
+	src := tp.AddSwitch(topo.Switch{Name: "src", Role: topo.RoleRSW})
+	dst := tp.AddSwitch(topo.Switch{Name: "dst", Role: topo.RoleEBB})
+	task := &migration.Task{Name: "outage-bridges", Topo: tp}
+	d := task.AddType(migration.ActionTypeInfo{Name: "drain-old", Op: migration.Drain, Role: topo.RoleFADU})
+	u := task.AddType(migration.ActionTypeInfo{Name: "undrain-new", Op: migration.Undrain, Role: topo.RoleFADU})
+
+	oldSw := tp.AddSwitch(topo.Switch{Name: "old", Role: topo.RoleFADU, Generation: 1})
+	tp.AddCircuit(src, oldSw, 100)
+	tp.AddCircuit(oldSw, dst, 100)
+	task.AddBlock(migration.Block{Name: "drain-old", Type: d, Switches: []topo.SwitchID{oldSw}})
+
+	newSw := tp.AddSwitch(topo.Switch{Name: "new", Role: topo.RoleFADU, Generation: 2})
+	tp.SetSwitchActive(newSw, false)
+	tp.AddCircuit(src, newSw, 100)
+	tp.AddCircuit(newSw, dst, 100)
+	task.AddBlock(migration.Block{Name: "undrain-new", Type: u, Switches: []topo.SwitchID{newSw}})
+
+	spare := tp.AddSwitch(topo.Switch{Name: "spare", Role: topo.RoleFADU, Generation: 1})
+	tp.AddCircuit(src, spare, 100)
+	tp.AddCircuit(spare, dst, 100)
+
+	task.Demands.Add(demand.Demand{Name: "d", Src: src, Dst: dst, Rate: 120})
+	return task, oldSw, spare
+}
+
+// TestReplanAfterOutageAllowsDrainedSwitch: a switch that the plan has
+// already drained going physically down is harmless — the remaining steps
+// never touch it and the network already routes without it — so the
+// outage replan must proceed instead of reporting a conflict.
+func TestReplanAfterOutageAllowsDrainedSwitch(t *testing.T) {
+	task, oldSw, _ := outageBridgeTask(t)
+	full, err := core.PlanAStar(task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute through the drain of oldSw.
+	drainIdx := -1
+	for i, id := range full.Sequence {
+		if task.Types[task.Blocks[id].Type].Op == migration.Drain &&
+			task.Blocks[id].Switches[0] == oldSw {
+			drainIdx = i
+			break
+		}
+	}
+	if drainIdx < 0 {
+		t.Fatal("plan never drains oldSw")
+	}
+	executed := full.Sequence[:drainIdx+1]
+	re, err := ReplanAfterOutage(task, executed, []topo.SwitchID{oldSw}, Config{})
+	if err != nil {
+		t.Fatalf("outage of an already-drained switch should replan cleanly: %v", err)
+	}
+	if len(re.Sequence)+len(executed) != task.NumActions() {
+		t.Errorf("replan incomplete: %d + %d != %d", len(re.Sequence), len(executed), task.NumActions())
+	}
+}
+
+// TestReplanAfterOutageRejectsUndrainedSwitch: the same switch down
+// *before* its drain executes is a real conflict — the planner would
+// schedule an operation against dead equipment.
+func TestReplanAfterOutageRejectsUndrainedSwitch(t *testing.T) {
+	task, oldSw, _ := outageBridgeTask(t)
+	if _, err := ReplanAfterOutage(task, nil, []topo.SwitchID{oldSw}, Config{}); err == nil {
+		t.Fatal("outage of a not-yet-drained operated switch must be rejected")
+	}
+}
+
+// TestReplanAfterOutageInfeasibleTarget: when the outage removes capacity
+// the *target* state needs, the replan must return ErrInfeasible promptly
+// rather than hanging or fabricating an unsafe plan.
+func TestReplanAfterOutageInfeasibleTarget(t *testing.T) {
+	task, _, spare := outageBridgeTask(t)
+	// With the spare down, the target state (old drained, new up) routes
+	// 120 over the single 100-cap new bridge: infeasible.
+	_, err := ReplanAfterOutage(task, nil, []topo.SwitchID{spare}, Config{})
+	if err == nil {
+		t.Fatal("want infeasibility, got a plan")
+	}
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("want errors.Is(err, core.ErrInfeasible), got %v", err)
+	}
+}
+
+// TestReplanFromFullyExecutedPrefix: replanning when every action already
+// executed must return an empty zero-cost plan, not an error or a hang.
+func TestReplanFromFullyExecutedPrefix(t *testing.T) {
+	s := buildScenario(t)
+	full, err := core.PlanAStar(s.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Replan(s.Task, full.Sequence, nil, Config{})
+	if err != nil {
+		t.Fatalf("replan from fully executed prefix: %v", err)
+	}
+	if len(re.Sequence) != 0 {
+		t.Errorf("nothing remains, but replan produced %d steps", len(re.Sequence))
+	}
+	if re.Cost != 0 {
+		t.Errorf("empty remainder should cost 0, got %v", re.Cost)
+	}
+}

@@ -38,11 +38,16 @@ func (e *Executor) Campaign(seq []int, opts Options, seeds int) (*CampaignReport
 	if opts.Granularity == GranularityRun {
 		opts.Granularity = GranularityCircuit
 	}
-	rep := &CampaignReport{
-		Seeds:   seeds,
-		PeakMin: math.Inf(1),
-	}
 	base := opts.Seed
+	// PeakMax starts below any real utilization so the first replay always
+	// claims WorstSeed: even a zero-peak campaign then reports an absolute
+	// seed (base+s), never a bare offset.
+	rep := &CampaignReport{
+		Seeds:     seeds,
+		PeakMin:   math.Inf(1),
+		PeakMax:   math.Inf(-1),
+		WorstSeed: base,
+	}
 	for s := 0; s < seeds; s++ {
 		opts.Seed = base + int64(s)
 		r, err := e.Execute(seq, opts)

@@ -1,0 +1,346 @@
+// Chaos campaigns: seeded fault schedules and a stateful World that a
+// controller drives block by block. The single InjectFailure hook of the
+// original simulator covers one switch failure per replay; production
+// migrations (paper §7.2) see *trains* of faults — out-of-band device
+// rebuilds, flapping optics, traffic surges, and transiently failing drain
+// RPCs — often several within one migration. A Schedule expresses such a
+// train; a World replays it against the live topology so the control loop
+// in internal/ctrl can observe, retry, and replan.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"klotski/internal/demand"
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// ErrTransient marks a fault that is expected to clear on retry — a drain
+// RPC timeout, a busy controller. Executors should back off and retry
+// rather than replan.
+var ErrTransient = errors.New("sim: transient failure")
+
+// FaultKind enumerates the injectable fault classes of §7.2.
+type FaultKind int
+
+const (
+	// FaultSwitchDown takes a switch out of service out-of-band (device
+	// rebuild, firmware upgrade) for the rest of the migration.
+	FaultSwitchDown FaultKind = iota
+	// FaultCircuitFlap deactivates a circuit for Steps actions, then
+	// restores it (flapping optics).
+	FaultCircuitFlap
+	// FaultSurge multiplies a random fraction of demands (unexpected
+	// traffic surge).
+	FaultSurge
+	// FaultTransient makes the next Attempts block applications fail with
+	// ErrTransient (drain RPC timeouts); the block itself is untouched.
+	FaultTransient
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSwitchDown:
+		return "switch-down"
+	case FaultCircuitFlap:
+		return "circuit-flap"
+	case FaultSurge:
+		return "surge"
+	case FaultTransient:
+		return "transient"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Step counts executed actions: the fault
+// fires once at least Step blocks have been applied.
+type Fault struct {
+	Step int
+	Kind FaultKind
+
+	Switch   topo.SwitchID // FaultSwitchDown
+	Circuit  topo.CircuitID
+	Steps    int           // FaultCircuitFlap: actions until recovery
+	Surge    *demand.Surge // FaultSurge
+	Attempts int           // FaultTransient: consecutive failures (default 1)
+}
+
+// Schedule is a fault train, ordered or not — firing order is by Step.
+type Schedule []Fault
+
+// ScheduleOptions parameterizes RandomSchedule.
+type ScheduleOptions struct {
+	Faults          int     // number of faults (default 3)
+	SurgeFraction   float64 // demands affected by a surge (default 0.05)
+	SurgeMultiplier float64 // surge rate multiplier (default 1.2)
+	MaxAttempts     int     // max transient failures per fault (default 2)
+	FlapSteps       int     // actions until a flapped circuit recovers (default 2)
+}
+
+func (o ScheduleOptions) withDefaults() ScheduleOptions {
+	if o.Faults <= 0 {
+		o.Faults = 3
+	}
+	if o.SurgeFraction <= 0 {
+		o.SurgeFraction = 0.05
+	}
+	if o.SurgeMultiplier <= 1 {
+		o.SurgeMultiplier = 1.2
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2
+	}
+	if o.FlapSteps <= 0 {
+		o.FlapSteps = 2
+	}
+	return o
+}
+
+// RandomSchedule draws a seeded fault train for the task. Switch outages
+// and circuit flaps only target equipment the migration does not itself
+// operate (an outage of operated equipment is a planning conflict, not
+// chaos — see pipeline.ReplanAfterOutage), and outages also spare demand
+// endpoints — severing a traffic source kills the workload rather than
+// stressing the migration. When no eligible equipment exists the draw
+// falls back to transients and surges.
+func RandomSchedule(task *migration.Task, seed int64, opts ScheduleOptions) Schedule {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	operatedSw := make(map[topo.SwitchID]bool)
+	operatedCk := make(map[topo.CircuitID]bool)
+	for i := range task.Blocks {
+		for _, s := range task.Blocks[i].Switches {
+			operatedSw[s] = true
+		}
+		for _, c := range task.Blocks[i].Circuits {
+			operatedCk[c] = true
+		}
+	}
+	endpoint := make(map[topo.SwitchID]bool)
+	for _, d := range task.Demands.Demands {
+		endpoint[d.Src] = true
+		endpoint[d.Dst] = true
+	}
+	var spareSw []topo.SwitchID
+	for s := 0; s < task.Topo.NumSwitches(); s++ {
+		id := topo.SwitchID(s)
+		if !operatedSw[id] && !endpoint[id] && task.Topo.SwitchActive(id) {
+			spareSw = append(spareSw, id)
+		}
+	}
+	var spareCk []topo.CircuitID
+	for c := 0; c < task.Topo.NumCircuits(); c++ {
+		id := topo.CircuitID(c)
+		if !operatedCk[id] && task.Topo.CircuitActive(id) {
+			spareCk = append(spareCk, id)
+		}
+	}
+
+	maxStep := task.NumActions()
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	var sched Schedule
+	for len(sched) < opts.Faults {
+		step := 1 + rng.Intn(maxStep)
+		switch rng.Intn(4) {
+		case 0:
+			if len(spareSw) == 0 {
+				continue
+			}
+			sched = append(sched, Fault{Step: step, Kind: FaultSwitchDown,
+				Switch: spareSw[rng.Intn(len(spareSw))]})
+		case 1:
+			if len(spareCk) == 0 {
+				continue
+			}
+			sched = append(sched, Fault{Step: step, Kind: FaultCircuitFlap,
+				Circuit: spareCk[rng.Intn(len(spareCk))],
+				Steps:   1 + rng.Intn(opts.FlapSteps)})
+		case 2:
+			sched = append(sched, Fault{Step: step, Kind: FaultSurge,
+				Surge: &demand.Surge{Fraction: opts.SurgeFraction, Multiplier: opts.SurgeMultiplier}})
+		default:
+			sched = append(sched, Fault{Step: step, Kind: FaultTransient,
+				Attempts: 1 + rng.Intn(opts.MaxAttempts)})
+		}
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].Step < sched[j].Step })
+	return sched
+}
+
+// World is the live network a controller drives: the actual topology view,
+// the actual demand level, and a fault schedule that fires as execution
+// progresses. It is the ground truth the planner's model may drift from —
+// the controller detects drift via Epoch and replans.
+//
+// World is not safe for concurrent use.
+type World struct {
+	task *migration.Task
+	eval *routing.Evaluator
+	view *topo.View
+	rng  *rand.Rand
+
+	schedule Schedule
+	fired    []bool
+
+	executed []int
+	epoch    int
+
+	downSwitches map[topo.SwitchID]bool
+	flaps        map[topo.CircuitID]int // circuit → step at which it recovers
+
+	demands        demand.Set
+	demandsChanged bool
+
+	transientLeft int
+}
+
+// NewWorld builds a world over the task's initial topology and demands.
+func NewWorld(task *migration.Task, schedule Schedule, seed int64) *World {
+	return &World{
+		task:         task,
+		eval:         routing.NewEvaluator(task.Topo),
+		view:         task.Topo.NewView(),
+		rng:          rand.New(rand.NewSource(seed)),
+		schedule:     schedule,
+		fired:        make([]bool, len(schedule)),
+		downSwitches: make(map[topo.SwitchID]bool),
+		flaps:        make(map[topo.CircuitID]int),
+		demands:      task.Demands.Clone(),
+	}
+}
+
+// Poll fires every due fault (Step ≤ executed actions) and processes flap
+// recoveries, then returns the current epoch. The epoch increments on every
+// out-of-band environment change — outage, flap, flap recovery, surge — so
+// a controller that remembers the last epoch it planned against knows
+// exactly when its plan's model went stale. Transient faults do not bump
+// the epoch: they surface as Apply errors, not model drift.
+func (w *World) Poll() int {
+	step := len(w.executed)
+	for i := range w.schedule {
+		if w.fired[i] || w.schedule[i].Step > step {
+			continue
+		}
+		w.fired[i] = true
+		w.fire(&w.schedule[i])
+	}
+	for c, at := range w.flaps {
+		if at <= step {
+			delete(w.flaps, c)
+			w.view.SetCircuitActive(c, true)
+			w.epoch++
+		}
+	}
+	return w.epoch
+}
+
+func (w *World) fire(f *Fault) {
+	switch f.Kind {
+	case FaultSwitchDown:
+		w.view.SetSwitchActive(f.Switch, false)
+		w.downSwitches[f.Switch] = true
+		w.epoch++
+	case FaultCircuitFlap:
+		w.view.SetCircuitActive(f.Circuit, false)
+		steps := f.Steps
+		if steps <= 0 {
+			steps = 1
+		}
+		w.flaps[f.Circuit] = len(w.executed) + steps
+		w.epoch++
+	case FaultSurge:
+		if f.Surge != nil {
+			w.demands = f.Surge.Apply(w.demands, w.rng)
+			w.demandsChanged = true
+			w.epoch++
+		}
+	case FaultTransient:
+		n := f.Attempts
+		if n <= 0 {
+			n = 1
+		}
+		w.transientLeft += n
+	}
+}
+
+// Epoch returns the environment-change counter without firing faults.
+func (w *World) Epoch() int { return w.epoch }
+
+// Apply executes one block against the live network. Pending transient
+// faults consume the call and return ErrTransient (wrapped); the block is
+// not applied and may be retried.
+func (w *World) Apply(blockID int) error {
+	if w.transientLeft > 0 {
+		w.transientLeft--
+		return fmt.Errorf("%w: block %q operation timed out", ErrTransient, w.task.Blocks[blockID].Name)
+	}
+	w.task.Apply(w.view, blockID)
+	w.executed = append(w.executed, blockID)
+	return nil
+}
+
+// Preapply fast-forwards the world through an already-executed prefix —
+// journal recovery after a controller crash. Blocks are applied without
+// transient faults (they were already retried in the previous life), but
+// persistent faults due along the way still fire so outages and surges are
+// reconstructed.
+func (w *World) Preapply(executed []int) {
+	for _, id := range executed {
+		w.Poll()
+		w.transientLeft = 0
+		w.task.Apply(w.view, id)
+		w.executed = append(w.executed, id)
+	}
+	w.Poll()
+	w.transientLeft = 0
+}
+
+// Executed returns a copy of the applied block sequence.
+func (w *World) Executed() []int {
+	return append([]int(nil), w.executed...)
+}
+
+// DownSwitches lists switches taken down out-of-band, ascending.
+func (w *World) DownSwitches() []topo.SwitchID {
+	out := make([]topo.SwitchID, 0, len(w.downSwitches))
+	for s := range w.downSwitches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DownCircuits lists currently flapped (inactive) circuits, ascending.
+func (w *World) DownCircuits() []topo.CircuitID {
+	out := make([]topo.CircuitID, 0, len(w.flaps))
+	for c := range w.flaps {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Demands returns a copy of the current (possibly surged) demand set.
+func (w *World) Demands() demand.Set { return w.demands.Clone() }
+
+// DemandsChanged reports whether any surge has fired.
+func (w *World) DemandsChanged() bool { return w.demandsChanged }
+
+// Observe evaluates the live network at the current demand level and
+// returns the max utilization and whether the state satisfies all
+// constraints — the controller's boundary check.
+func (w *World) Observe(theta float64, split routing.SplitMode) (float64, bool) {
+	if theta <= 0 {
+		theta = 0.75
+	}
+	res, viol := w.eval.Evaluate(w.view, &w.demands, routing.CheckOpts{Theta: theta, Split: split})
+	return res.MaxUtil, viol.OK()
+}

@@ -61,6 +61,12 @@ type Options struct {
 	InjectFailure bool
 	FailAtRun     int
 	FailSwitch    topo.SwitchID
+
+	// Faults is a chaos schedule fired by executed-action count as the
+	// replay progresses — the multi-fault generalization of InjectFailure.
+	// FaultTransient entries are ignored here: the replay has no retry
+	// loop (see internal/ctrl for the closed-loop executor that does).
+	Faults Schedule
 }
 
 // StepReport records what one run did to the network.
@@ -126,12 +132,46 @@ func (e *Executor) Execute(seq []int, opts Options) (*Report, error) {
 	report := &Report{HaltedAt: -1}
 	runs := groupRuns(task, seq)
 	stepsDone := 0
+	faultFired := make([]bool, len(opts.Faults))
+	flapRecovery := make(map[topo.CircuitID]int)
 	for ri, run := range runs {
 		if opts.InjectFailure && ri == opts.FailAtRun {
 			view.DrainSwitch(opts.FailSwitch)
 		}
 		if opts.Surge != nil && ri == opts.SurgeAtRun {
 			demands = opts.Surge.Apply(demands, rng)
+		}
+		// Chaos schedule: fire due faults and recover expired flaps at run
+		// granularity (the replay observes at run boundaries).
+		for c, at := range flapRecovery {
+			if at <= stepsDone {
+				delete(flapRecovery, c)
+				view.SetCircuitActive(c, true)
+			}
+		}
+		for fi := range opts.Faults {
+			f := &opts.Faults[fi]
+			if faultFired[fi] || f.Step > stepsDone {
+				continue
+			}
+			faultFired[fi] = true
+			switch f.Kind {
+			case FaultSwitchDown:
+				view.SetSwitchActive(f.Switch, false)
+			case FaultCircuitFlap:
+				view.SetCircuitActive(f.Circuit, false)
+				steps := f.Steps
+				if steps <= 0 {
+					steps = 1
+				}
+				flapRecovery[f.Circuit] = stepsDone + steps
+			case FaultSurge:
+				if f.Surge != nil {
+					demands = f.Surge.Apply(demands, rng)
+				}
+			case FaultTransient:
+				// No retry loop here; nothing to fail.
+			}
 		}
 		grown := opts.Forecast.At(demands, stepsDone)
 

@@ -44,10 +44,12 @@
 package klotski
 
 import (
+	"context"
 	"io"
 
 	"klotski/internal/baseline"
 	"klotski/internal/core"
+	"klotski/internal/ctrl"
 	"klotski/internal/demand"
 	"klotski/internal/gen"
 	"klotski/internal/migration"
@@ -203,6 +205,54 @@ func PlanMRC(task *Task, opts Options) (*Plan, error) { return baseline.PlanMRC(
 // returns ErrBudget; it also rejects topology-changing migrations.
 func PlanJanus(task *Task, opts Options) (*Plan, error) { return baseline.PlanJanus(task, opts) }
 
+// Anytime planning: every planner has a Context variant that honors
+// cancellation and, on budget exhaustion or cancellation, returns an
+// *Interrupted error carrying a Checkpoint to continue from.
+type (
+	// Checkpoint is the saved state of an interrupted planning run — the
+	// paper's §7.2 hard-budget regime, where a budget overrun must not
+	// throw the search away. Its Counts/Partial fields describe the best
+	// safe partial sequence explored so far.
+	Checkpoint = core.Checkpoint
+	// Interrupted is returned (as *Interrupted, matchable with errors.As)
+	// when a planner stops early; it wraps ErrBudget or the context error
+	// and carries the Checkpoint.
+	Interrupted = core.Interrupted
+)
+
+// ResumePlan continues an interrupted search under a fresh budget envelope.
+// No state is re-expanded and the eventual plan is identical to what an
+// uninterrupted run would have produced.
+func ResumePlan(ctx context.Context, cp *Checkpoint, opts Options) (*Plan, error) {
+	return core.Resume(ctx, cp, opts)
+}
+
+// PlanAStarContext is PlanAStar with cooperative cancellation.
+func PlanAStarContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
+	return core.PlanAStarContext(ctx, task, opts)
+}
+
+// PlanDPContext is PlanDP with cooperative cancellation.
+func PlanDPContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
+	return core.PlanDPContext(ctx, task, opts)
+}
+
+// PlanDPParallelContext is PlanDPParallel with cooperative cancellation.
+func PlanDPParallelContext(ctx context.Context, task *Task, opts Options, workers int) (*Plan, error) {
+	return core.PlanDPParallelContext(ctx, task, opts, workers)
+}
+
+// PlanMRCContext is PlanMRC with cooperative cancellation. The baselines
+// stop cleanly on budget exhaustion (ErrBudget) but do not checkpoint.
+func PlanMRCContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
+	return baseline.PlanMRCContext(ctx, task, opts)
+}
+
+// PlanJanusContext is PlanJanus with cooperative cancellation.
+func PlanJanusContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
+	return baseline.PlanJanusContext(ctx, task, opts)
+}
+
 // VerifyPlan independently audits a plan: canonical ordering plus safety of
 // the initial state, every run boundary, and the final state.
 func VerifyPlan(task *Task, seq []int, opts Options) error {
@@ -332,6 +382,8 @@ type (
 	NPDDocument = npd.Document
 	// PlanDocument is the serialized ordered-phases planner output.
 	PlanDocument = npd.PlanDocument
+	// PlanPhase is one ordered phase of a plan document.
+	PlanPhase = npd.Phase
 	// PipelineConfig parameterizes a pipeline run.
 	PipelineConfig = pipeline.Config
 	// PipelineResult is the output of a pipeline run.
@@ -357,9 +409,20 @@ func RunPipeline(doc *NPDDocument, cfg PipelineConfig) (*PipelineResult, error) 
 	return pipeline.Run(doc, cfg)
 }
 
+// RunPipelineContext is RunPipeline with cooperative cancellation threaded
+// through to the planner and any forecast-driven replans.
+func RunPipelineContext(ctx context.Context, doc *NPDDocument, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.RunContext(ctx, doc, cfg)
+}
+
 // RunPipelineTask executes the pipeline on an already-built task.
 func RunPipelineTask(task *Task, cfg PipelineConfig) (*PipelineResult, error) {
 	return pipeline.RunTask(task, cfg)
+}
+
+// RunPipelineTaskContext is RunPipelineTask with cooperative cancellation.
+func RunPipelineTaskContext(ctx context.Context, task *Task, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.RunTaskContext(ctx, task, cfg)
 }
 
 // ReplanMigration continues a partially executed migration, optionally with
@@ -368,10 +431,21 @@ func ReplanMigration(task *Task, executed []int, newDemands *DemandSet, cfg Pipe
 	return pipeline.Replan(task, executed, newDemands, cfg)
 }
 
+// ReplanMigrationContext is ReplanMigration with cooperative cancellation.
+func ReplanMigrationContext(ctx context.Context, task *Task, executed []int, newDemands *DemandSet, cfg PipelineConfig) (*Plan, error) {
+	return pipeline.ReplanContext(ctx, task, executed, newDemands, cfg)
+}
+
 // ReplanAfterOutage continues a partially executed migration after
 // out-of-band maintenance took switches down (§7.2).
 func ReplanAfterOutage(task *Task, executed []int, down []SwitchID, cfg PipelineConfig) (*Plan, error) {
 	return pipeline.ReplanAfterOutage(task, executed, down, cfg)
+}
+
+// ReplanAfterOutageContext is ReplanAfterOutage with cooperative
+// cancellation.
+func ReplanAfterOutageContext(ctx context.Context, task *Task, executed []int, down []SwitchID, cfg PipelineConfig) (*Plan, error) {
+	return pipeline.ReplanAfterOutageContext(ctx, task, executed, down, cfg)
 }
 
 // BuildPlanDocument converts a plan into its ordered-phases document.
@@ -410,3 +484,87 @@ const (
 
 // NewExecutor returns a plan executor for the task.
 func NewExecutor(task *Task) *SimExecutor { return sim.NewExecutor(task) }
+
+// Chaos: fault schedules and the live-network World driven by the
+// fault-tolerant control loop (§7.2's operating regime).
+type (
+	// Fault is one scheduled fault: switch outage, circuit flap, demand
+	// surge, or transient action failure.
+	Fault = sim.Fault
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = sim.FaultKind
+	// FaultSchedule is a fault train fired as execution progresses.
+	FaultSchedule = sim.Schedule
+	// FaultScheduleOptions parameterizes RandomFaultSchedule.
+	FaultScheduleOptions = sim.ScheduleOptions
+	// World is the live network a controller drives: real topology, real
+	// demand, and a fault schedule the plan's model may drift from.
+	World = sim.World
+)
+
+// Injectable fault classes.
+const (
+	FaultSwitchDown  = sim.FaultSwitchDown
+	FaultCircuitFlap = sim.FaultCircuitFlap
+	FaultSurge       = sim.FaultSurge
+	FaultTransient   = sim.FaultTransient
+)
+
+// ErrTransient marks an action failure expected to clear on retry,
+// matchable with errors.Is.
+var ErrTransient = sim.ErrTransient
+
+// RandomFaultSchedule draws a seeded fault train targeting only equipment
+// the migration does not operate and that carries no demand endpoint.
+func RandomFaultSchedule(task *Task, seed int64, opts FaultScheduleOptions) FaultSchedule {
+	return sim.RandomSchedule(task, seed, opts)
+}
+
+// NewWorld builds a live-network world over the task's initial topology
+// and demands, with the given fault schedule.
+func NewWorld(task *Task, schedule FaultSchedule, seed int64) *World {
+	return sim.NewWorld(task, schedule, seed)
+}
+
+// Fault-tolerant control loop: plan → execute → observe → replan.
+type (
+	// ControlOptions parameterizes a control-loop run (retry budget,
+	// backoff, replan budget, journal).
+	ControlOptions = ctrl.Options
+	// ControlOutcome reports what one control-loop run did.
+	ControlOutcome = ctrl.Outcome
+	// ControlJournal is the crash-safe write-ahead journal of executed
+	// actions.
+	ControlJournal = ctrl.Journal
+	// JournalEntry is one journal record (begin, done, or replan).
+	JournalEntry = ctrl.Entry
+	// ChaosCampaignOptions parameterizes a Monte Carlo chaos campaign.
+	ChaosCampaignOptions = ctrl.CampaignOptions
+	// ChaosCampaignReport aggregates a chaos campaign's outcomes.
+	ChaosCampaignReport = ctrl.CampaignReport
+)
+
+// RunControlLoop drives the migration to completion against the live
+// world, retrying transient failures with capped exponential backoff and
+// replanning whenever the environment drifts from the plan's model.
+func RunControlLoop(ctx context.Context, task *Task, world *World, opts ControlOptions) (*ControlOutcome, error) {
+	return ctrl.Run(ctx, task, world, opts)
+}
+
+// ChaosCampaign runs the control loop against many seeded random fault
+// schedules and aggregates completion rate, retries, replans, and
+// boundary-violation counts.
+func ChaosCampaign(ctx context.Context, task *Task, opts ChaosCampaignOptions) (*ChaosCampaignReport, error) {
+	return ctrl.Campaign(ctx, task, opts)
+}
+
+// NewControlJournal creates (truncating) a write-ahead journal at path.
+func NewControlJournal(path string) (*ControlJournal, error) { return ctrl.NewJournal(path) }
+
+// OpenControlJournal opens an existing journal for crash recovery: replay
+// its committed prefix, then append.
+func OpenControlJournal(path string) (*ControlJournal, error) { return ctrl.OpenJournal(path) }
+
+// ReadControlJournal reads a journal's entries, tolerating a truncated
+// final line (crash mid-append).
+func ReadControlJournal(path string) ([]JournalEntry, error) { return ctrl.ReadJournal(path) }
