@@ -243,6 +243,40 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerGuard is the regression-guard fixture consumed by
+// cmd/benchguard (see scripts/benchguard.sh): both Klotski planners on
+// suite C with a live recorder, reporting search-effort metrics alongside
+// ns/op so the guard can tell "got slower" apart from "explores more
+// states" — an algorithmic regression moves states/op, a constant-factor
+// one moves only ns/op.
+func BenchmarkPlannerGuard(b *testing.B) {
+	s := buildSuite(b, "C")
+	for _, pl := range []plannerCase{
+		{"AStar", klotski.PlanAStar, klotski.Options{}},
+		{"DP", klotski.PlanDP, klotski.Options{}},
+	} {
+		b.Run(pl.name, func(b *testing.B) {
+			reg := klotski.NewObsRegistry()
+			opts := pl.opts
+			opts.Recorder = klotski.NewObsRecorder(reg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.run(s.Task, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			snap := reg.Snapshot()
+			b.ReportMetric(float64(snap.Counters["planner.states_expanded"])/float64(b.N), "states/op")
+			hits := snap.Counters["planner.cache_hits"]
+			if total := hits + snap.Counters["planner.cache_misses"]; total > 0 {
+				b.ReportMetric(float64(hits)/float64(total), "hit-rate")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationOverlay isolates the incremental view builder: applying
 // block deltas between consecutively checked states versus rebuilding the
 // intermediate topology from scratch for every satisfiability check.

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: klotski
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPlannerGuard/AStar-8         	       3	    806467 ns/op	         0 hit-rate	        23.00 states/op	   97232 B/op	     246 allocs/op
+BenchmarkPlannerGuard/DP-8            	       3	    688796 ns/op	         0.03846 hit-rate	        25.00 states/op	   93400 B/op	     225 allocs/op
+PASS
+ok  	klotski	0.012s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %v", len(res), res)
+	}
+	astar, ok := res["PlannerGuard/AStar"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", res)
+	}
+	if astar["ns/op"] != 806467 {
+		t.Errorf("ns/op = %v", astar["ns/op"])
+	}
+	if astar["states/op"] != 23 {
+		t.Errorf("states/op = %v", astar["states/op"])
+	}
+	if res["PlannerGuard/DP"]["hit-rate"] != 0.03846 {
+		t.Errorf("hit-rate = %v", res["PlannerGuard/DP"]["hit-rate"])
+	}
+}
+
+// guard runs the CLI against the given stdin and returns exit code plus
+// combined output.
+func guard(t *testing.T, stdin string, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(strings.NewReader(stdin), &out, &errOut, args)
+	return code, out.String() + errOut.String()
+}
+
+func TestBootstrapThenPass(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+
+	code, out := guard(t, benchOutput, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("bootstrap run failed (%d): %s", code, out)
+	}
+	if !strings.Contains(out, "bootstrapping") {
+		t.Errorf("expected bootstrap notice, got: %s", out)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Identical rerun must pass.
+	code, out = guard(t, benchOutput, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("identical rerun failed (%d): %s", code, out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("identical rerun reported failures: %s", out)
+	}
+}
+
+func TestFailsOnSlowdown(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if code, out := guard(t, benchOutput, "-baseline", base); code != 0 {
+		t.Fatal(out)
+	}
+	slow := strings.Replace(benchOutput, "806467 ns/op", "2806467 ns/op", 1)
+	code, out := guard(t, slow, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("3.5x slowdown should fail, got code %d: %s", code, out)
+	}
+	if !strings.Contains(out, "FAIL PlannerGuard/AStar ns/op") {
+		t.Errorf("failure should name the regressed metric: %s", out)
+	}
+}
+
+func TestToleratesNoiseWithinLimit(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if code, out := guard(t, benchOutput, "-baseline", base); code != 0 {
+		t.Fatal(out)
+	}
+	noisy := strings.Replace(benchOutput, "806467 ns/op", "950000 ns/op", 1) // +18%
+	if code, out := guard(t, noisy, "-baseline", base); code != 0 {
+		t.Fatalf("18%% growth is within the 30%% default: %s", out)
+	}
+}
+
+func TestFailsOnMissingBenchmark(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if code, out := guard(t, benchOutput, "-baseline", base); code != 0 {
+		t.Fatal(out)
+	}
+	onlyDP := strings.Replace(benchOutput,
+		"BenchmarkPlannerGuard/AStar-8         	       3	    806467 ns/op	         0 hit-rate	        23.00 states/op	   97232 B/op	     246 allocs/op\n", "", 1)
+	code, out := guard(t, onlyDP, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("vanished benchmark should fail, got %d: %s", code, out)
+	}
+	if !strings.Contains(out, "missing from current run") {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if code, out := guard(t, benchOutput, "-baseline", base); code != 0 {
+		t.Fatal(out)
+	}
+	slow := strings.Replace(benchOutput, "806467 ns/op", "9806467 ns/op", 1)
+	if code, out := guard(t, slow, "-baseline", base, "-update"); code != 0 {
+		t.Fatalf("-update should not compare: %s", out)
+	}
+	// The slowed run is now the baseline, so it passes.
+	if code, out := guard(t, slow, "-baseline", base); code != 0 {
+		t.Fatalf("run matching updated baseline failed: %s", out)
+	}
+}
+
+func TestEmptyInputIsAnError(t *testing.T) {
+	code, out := guard(t, "PASS\nok  \tklotski\t0.1s\n", "-baseline", filepath.Join(t.TempDir(), "b.json"))
+	if code != 2 {
+		t.Fatalf("no benchmark lines should be an infrastructure error, got %d: %s", code, out)
+	}
+}

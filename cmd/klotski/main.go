@@ -6,6 +6,7 @@
 //	klotski -npd region.json [-o plan.json] [-planner astar|dp|mrc|janus]
 //	        [-theta 0.75] [-alpha 0] [-growth 0] [-maxrun 0] [-timeout 5m] [-v]
 //	        [-checkpoint ckpt.json] [-chaos 0] [-chaos-faults 3] [-chaos-seed 1]
+//	        [-stats-out stats.json] [-debug-addr localhost:6060]
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
 //
 // The NPD document must carry a migration part; see cmd/topogen for
@@ -27,6 +28,12 @@
 // executes the migration with the fault-tolerant control loop — retries,
 // backoff, and replanning — reporting completion rate and worst-case
 // boundary utilization to stderr.
+//
+// Observability: -stats-out writes a JSON snapshot of the planner's
+// instruments (states created/expanded, check-latency histogram, cache
+// hit/miss counts and ratio, span timings) when the run ends — including
+// interrupted runs. -debug-addr serves the live registry over HTTP while
+// planning: expvar under /debug/vars, profiles under /debug/pprof/.
 package main
 
 import (
@@ -36,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -77,6 +86,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chaos       = fs.Int("chaos", 0, "run the plan through this many chaos-campaign control-loop runs")
 		chaosFaults = fs.Int("chaos-faults", 3, "faults per chaos run")
 		chaosSeed   = fs.Int64("chaos-seed", 1, "base seed for the chaos campaign")
+
+		statsOut  = fs.String("stats-out", "", "write a JSON observability snapshot (counters, gauges, histograms, spans) here on exit")
+		debugAddr = fs.String("debug-addr", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +96,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *npdPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-npd is required")
+	}
+
+	// Observability: the recorder is wired into the planners only when an
+	// export is requested; otherwise Options.Recorder stays nil and the
+	// search hot path pays a single branch per event.
+	var rec *klotski.ObsRecorder
+	if *statsOut != "" || *debugAddr != "" {
+		reg := klotski.DefaultObsRegistry()
+		rec = klotski.NewObsRecorder(reg)
+		if *statsOut != "" {
+			// Deferred so interrupted runs still leave a snapshot behind.
+			defer func() {
+				if werr := writeStats(*statsOut, reg); werr != nil {
+					fmt.Fprintln(stderr, "klotski: writing stats:", werr)
+				}
+			}()
+		}
+		if *debugAddr != "" {
+			stopDebug, err := serveDebug(*debugAddr, reg, stderr)
+			if err != nil {
+				return fmt.Errorf("starting debug server: %w", err)
+			}
+			defer stopDebug()
+		}
 	}
 
 	f, err := os.Open(*npdPath)
@@ -101,6 +137,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CampaignSeeds: *simulate,
 		Options: klotski.Options{
 			Theta: *theta, Alpha: *alpha, Timeout: *timeout, MaxRunLength: *maxRun,
+			Recorder: rec,
 		},
 	}
 	if *growth > 0 {
@@ -128,9 +165,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *verbose {
-		fmt.Fprintf(stderr, "planned in %s (%d states, %d checks, %d cache hits)\n",
+		fmt.Fprintf(stderr, "planned in %s (%d states, %d checks, %d cache hits, %d misses)\n",
 			time.Since(start).Round(time.Millisecond),
-			res.Plan.Metrics.StatesCreated, res.Plan.Metrics.Checks, res.Plan.Metrics.CacheHits)
+			res.Plan.Metrics.StatesCreated, res.Plan.Metrics.Checks,
+			res.Plan.Metrics.CacheHits, res.Plan.Metrics.CacheMisses)
 		if res.Replans > 0 {
 			fmt.Fprintf(stderr, "forecast integration re-planned %d time(s)\n", res.Replans)
 		}
@@ -167,6 +205,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		out = f
 	}
 	return res.Document.Encode(out)
+}
+
+// writeStats dumps the registry's JSON snapshot to path.
+func writeStats(path string, reg *klotski.ObsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveDebug starts the expvar + pprof debug server on addr, printing the
+// resolved listen address to stderr (addr may use port 0). The returned
+// stop function closes the listener; in-flight requests are abandoned —
+// the process is exiting anyway.
+func serveDebug(addr string, reg *klotski.ObsRegistry, stderr io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	reg.PublishExpvar("klotski")
+	fmt.Fprintf(stderr, "debug server listening on http://%s (expvar at /debug/vars, pprof at /debug/pprof/)\n", ln.Addr())
+	srv := &http.Server{Handler: reg.DebugHandler()}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
 }
 
 // writeCheckpoint renders the interrupted search's best partial sequence

@@ -6,10 +6,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"klotski"
 )
 
 const testNPD = `{
@@ -165,6 +170,104 @@ func TestRunChaosCampaign(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "chaos campaign over 2 seeds") {
 		t.Errorf("missing chaos campaign report: %s", errBuf.String())
+	}
+}
+
+// TestRunStatsOut: -stats-out must leave a JSON snapshot with nonzero
+// planner effort — states expanded, check-latency buckets, and cache
+// hit/miss counts (the acceptance criteria of the observability layer).
+func TestRunStatsOut(t *testing.T) {
+	npdPath := writeNPD(t)
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	var out, errBuf bytes.Buffer
+	// The DP planner revisits boundary states across last-action types, so
+	// even this small topology exercises both cache hits and misses.
+	if err := run(context.Background(), []string{"-npd", npdPath, "-planner", "dp", "-stats-out", statsPath}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats file not written: %v", err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count   int64 `json:"count"`
+			Buckets []struct {
+				LE    float64 `json:"le"`
+				Count int64   `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+		Derived map[string]float64 `json:"derived"`
+		Spans   map[string]any     `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("stats file is not JSON: %v", err)
+	}
+	if snap.Counters["planner.states_expanded"] == 0 {
+		t.Errorf("states_expanded = 0; counters: %v", snap.Counters)
+	}
+	if snap.Counters["planner.cache_hits"] == 0 || snap.Counters["planner.cache_misses"] == 0 {
+		t.Errorf("cache counters missing: %v", snap.Counters)
+	}
+	if _, ok := snap.Derived["planner.cache_hit_rate"]; !ok {
+		t.Errorf("derived cache_hit_rate missing: %v", snap.Derived)
+	}
+	lat := snap.Histograms["planner.check_latency_seconds"]
+	if lat.Count == 0 || len(lat.Buckets) == 0 {
+		t.Errorf("check-latency histogram empty: %+v", lat)
+	}
+	if _, ok := snap.Spans["planner.dp.sweep"]; !ok {
+		t.Errorf("dp.sweep span missing: %v", snap.Spans)
+	}
+	if _, ok := snap.Spans["planner.pipeline.plan"]; !ok {
+		t.Errorf("pipeline.plan span missing: %v", snap.Spans)
+	}
+}
+
+// TestRunDebugAddr: -debug-addr announces the listen address on stderr and
+// planning completes with the server up (the server stops when run returns).
+func TestRunDebugAddr(t *testing.T) {
+	npdPath := writeNPD(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-npd", npdPath, "-debug-addr", "127.0.0.1:0"}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "debug server listening on http://127.0.0.1:") {
+		t.Errorf("debug address not announced: %s", errBuf.String())
+	}
+}
+
+// TestServeDebug probes the live debug surface directly: /debug/vars must
+// carry the published registry variable and /debug/pprof/ must serve the
+// profile index.
+func TestServeDebug(t *testing.T) {
+	reg := klotski.DefaultObsRegistry()
+	klotski.NewObsRecorder(reg).StateCreated()
+	var errBuf bytes.Buffer
+	stop, err := serveDebug("127.0.0.1:0", reg, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	m := regexp.MustCompile(`http://([^ ]+) `).FindStringSubmatch(errBuf.String())
+	if m == nil {
+		t.Fatalf("no address announced: %s", errBuf.String())
+	}
+	for path, want := range map[string]string{
+		"/debug/vars":   `"klotski"`,
+		"/debug/pprof/": "goroutine",
+		"/":             "planner.states_created",
+	} {
+		resp, err := http.Get("http://" + m[1] + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: status %d, body missing %q", path, resp.StatusCode, want)
+		}
 	}
 }
 

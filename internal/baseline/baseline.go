@@ -70,6 +70,9 @@ func PlanMRCContext(ctx context.Context, task *migration.Task, opts core.Options
 	if eval == nil {
 		eval = routing.NewEvaluator(task.Topo)
 	}
+	rec := opts.Recorder
+	span := rec.Span("mrc.plan")
+	defer span.End()
 
 	counts := make([]int, task.NumTypes())
 	if opts.InitialCounts != nil {
@@ -121,7 +124,9 @@ func PlanMRCContext(ctx context.Context, task *migration.Task, opts core.Options
 		boundaryOK := last == core.NoLast
 		if !boundaryOK {
 			metrics.Checks++
+			checkStart := time.Now()
 			boundaryOK = eval.Check(view, &task.Demands, copts).OK()
+			rec.CheckObserved(time.Since(checkStart))
 		}
 		bestResidual := math.Inf(-1)
 		bestBlock := -1
@@ -138,9 +143,12 @@ func PlanMRCContext(ctx context.Context, task *migration.Task, opts core.Options
 			// cannot use an early-exit check: every candidate costs a
 			// complete evaluation. Each evaluated candidate materializes
 			// one hypothetical state, which is what MaxStates bounds.
+			evalStart := time.Now()
 			res, viol := eval.Evaluate(view, &task.Demands, copts)
 			metrics.Checks++
 			metrics.StatesCreated++
+			rec.CheckObserved(time.Since(evalStart))
+			rec.StateCreated()
 			task.Revert(view, blockID)
 			score := res.MinResidual
 			if at == last {
@@ -175,6 +183,7 @@ func PlanMRCContext(ctx context.Context, task *migration.Task, opts core.Options
 		last = task.Blocks[bestBlock].Type
 		remaining--
 		metrics.StatesPopped++
+		rec.StateExpanded()
 	}
 	// The final state ends the last run and must itself be safe.
 	if viol := eval.Check(view, &task.Demands, copts); !viol.OK() {

@@ -10,6 +10,7 @@ import (
 
 	"klotski/internal/core"
 	"klotski/internal/migration"
+	"klotski/internal/obs"
 	"klotski/internal/routing"
 	"klotski/internal/topo"
 )
@@ -50,7 +51,7 @@ func PlanJanusContext(ctx context.Context, task *migration.Task, opts core.Optio
 		ctx = context.Background()
 	}
 	start := time.Now()
-	j := &janusRun{task: task, opts: opts, view: task.Topo.NewView(), ctx: ctx}
+	j := &janusRun{task: task, opts: opts, view: task.Topo.NewView(), ctx: ctx, rec: opts.Recorder}
 	if opts.Timeout > 0 {
 		j.deadline = start.Add(opts.Timeout)
 	}
@@ -108,6 +109,7 @@ type janusRun struct {
 	classMembers [][]int // class → member block IDs, ascending
 
 	metrics core.Metrics
+	rec     *obs.Recorder
 }
 
 // classify groups blocks into strict symmetry classes: two blocks are
@@ -235,6 +237,10 @@ func (j *janusRun) countsOfKey(key string) []byte {
 // rebuild and check.
 func (j *janusRun) feasible(counts []byte) bool {
 	j.metrics.Checks++
+	if j.rec.Enabled() {
+		checkStart := time.Now()
+		defer func() { j.rec.CheckObserved(time.Since(checkStart)) }()
+	}
 	j.view.Reset()
 	for c, n := range counts {
 		for k := 0; k < int(n); k++ {
@@ -247,6 +253,8 @@ func (j *janusRun) feasible(counts []byte) bool {
 
 func (j *janusRun) search(initial []byte, initialLast migration.ActionType, start time.Time) (*core.Plan, error) {
 	task := j.task
+	span := j.rec.Span("janus.search")
+	defer span.End()
 	if !j.feasible(initial) {
 		return nil, core.ErrInfeasible
 	}
@@ -262,6 +270,7 @@ func (j *janusRun) search(initial []byte, initialLast migration.ActionType, star
 		nodes[key] = &nodeInfo{g: g, prevKey: prevKey, prevBlock: prevBlock}
 		idx++
 		j.metrics.StatesCreated++
+		j.rec.StateCreated()
 		heap.Push(&pq, janusItem{key: key, g: g, last: last, idx: idx})
 	}
 	startKey := j.key(initial, initialLast)
@@ -296,6 +305,10 @@ func (j *janusRun) search(initial []byte, initialLast migration.ActionType, star
 		}
 		node.closed = true
 		j.metrics.StatesPopped++
+		if j.rec.Enabled() {
+			j.rec.StateExpanded()
+			j.rec.OpenList(pq.Len())
+		}
 		counts := j.countsOfKey(it.key)
 
 		done := 0

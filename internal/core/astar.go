@@ -87,6 +87,7 @@ func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g 
 	}
 	s.best[k] = g
 	sp.metrics.StatesCreated++
+	sp.rec.StateCreated()
 	s.front.observe(sp, vecIdx, last, tail)
 	heap.Push(s.pq, openItem{
 		f:        g + sp.heuristicCapped(vecIdx, last, tail),
@@ -104,6 +105,8 @@ func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g 
 func (s *astarSearch) run() (*Plan, error) {
 	sp := s.sp
 	task := sp.task
+	span := sp.rec.Span("astar.run")
+	defer span.End()
 	for s.pq.Len() > 0 {
 		if reason := sp.interrupted(); reason != nil {
 			return nil, s.interrupt(reason)
@@ -115,9 +118,14 @@ func (s *astarSearch) run() (*Plan, error) {
 		}
 		s.closed[k] = true
 		sp.metrics.StatesPopped++
+		if sp.rec.Enabled() {
+			sp.rec.StateExpanded()
+			sp.rec.OpenList(s.pq.Len())
+		}
 
 		if sp.isTarget(it.vecIdx) {
 			seq := sp.reconstruct(s.prev, it.vecIdx, it.last, int(it.tail))
+			sp.rec.PlanCompleted()
 			return &Plan{
 				Task:     task,
 				Sequence: seq,
@@ -172,6 +180,7 @@ func (s *astarSearch) run() (*Plan, error) {
 // interrupt packages the live search into a resumable checkpoint.
 func (s *astarSearch) interrupt(reason error) error {
 	sp := s.sp
+	sp.rec.PlanInterrupted()
 	sp.pause()
 	counts, partial := s.front.snapshot(sp, s.prev)
 	cp := &Checkpoint{

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"klotski/internal/migration"
+	"klotski/internal/obs"
 	"klotski/internal/routing"
 	"klotski/internal/topo"
 )
@@ -136,6 +137,12 @@ type Options struct {
 	// Evaluator optionally supplies a routing evaluator to reuse across
 	// planning runs over the same topology. When nil a fresh one is built.
 	Evaluator *routing.Evaluator
+
+	// Recorder optionally streams planner events (states, checks, cache
+	// hits/misses, check latency, spans) into an observability registry.
+	// nil — the default — is the no-op recorder: every hook degrades to a
+	// single branch, keeping the search hot path unaffected.
+	Recorder *obs.Recorder
 }
 
 // validate rejects option combinations that would silently produce
@@ -190,6 +197,7 @@ type Metrics struct {
 	StatesPopped  int           // states expanded from the queue / DP table
 	Checks        int           // satisfiability checks actually executed
 	CacheHits     int           // checks answered from the equivalent-state cache
+	CacheMisses   int           // checks that missed the cache and ran the evaluator
 	PlanningTime  time.Duration // wall clock
 }
 

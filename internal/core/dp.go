@@ -109,6 +109,8 @@ type dpRun struct {
 func (d *dpRun) sweep() (*Plan, error) {
 	sp := d.sp
 	task := sp.task
+	span := sp.rec.Span("dp.sweep")
+	defer span.End()
 	bestCost := math.Inf(1)
 	bestLast := NoLast
 	bestTail := 0
@@ -133,6 +135,7 @@ func (d *dpRun) sweep() (*Plan, error) {
 			sp.metrics.StatesPopped)
 	}
 	seq := sp.reconstruct(d.prev, d.targetIdx, bestLast, bestTail)
+	sp.rec.PlanCompleted()
 	return &Plan{
 		Task:     task,
 		Sequence: seq,
@@ -146,6 +149,7 @@ func (d *dpRun) sweep() (*Plan, error) {
 // DP table into a resumable checkpoint.
 func (d *dpRun) interrupt(reason error) error {
 	sp := d.sp
+	sp.rec.PlanInterrupted()
 	for _, k := range d.stack {
 		delete(d.memo, k)
 	}
@@ -207,6 +211,7 @@ func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) 
 		return c, nil
 	}
 	sp.metrics.StatesCreated++
+	sp.rec.StateCreated()
 	if err := sp.interrupted(); err != nil {
 		return 0, err
 	}
@@ -236,6 +241,7 @@ func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, p
 		return math.Inf(1), prevInfo{}, nil // a cannot have been the last action
 	}
 	sp.metrics.StatesPopped++
+	sp.rec.StateExpanded()
 
 	pred := append([]uint16(nil), v...)
 	pred[a]--

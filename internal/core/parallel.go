@@ -55,6 +55,8 @@ func (sp *space) precheckParallel(ctx context.Context, workers int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	span := sp.rec.Span("dp.precheck")
+	defer span.End()
 
 	vecs := make([][]uint16, 0, size)
 	cur := append([]uint16(nil), sp.initial...)
@@ -95,9 +97,13 @@ func (sp *space) precheckParallel(ctx context.Context, workers int) error {
 				hook(w)
 			}
 			// Each worker owns an independent checker: its own evaluator,
-			// scratch view, and (empty) cache.
+			// scratch view, and (empty) cache. Per-check recording is
+			// disabled in workers — the shared space bulk-accounts the
+			// checks after the join, so nothing is double-counted and the
+			// hot shard loop never touches the trace mutex.
 			wopts := sp.opts
 			wopts.Evaluator = nil
+			wopts.Recorder = nil
 			wsp, err := newSpace(sp.task, wopts)
 			if err != nil {
 				return // leave this shard to lazy checking
@@ -127,6 +133,7 @@ func (sp *space) precheckParallel(ctx context.Context, workers int) error {
 		sp.feas[sp.extKey(idx, NoLast)] = results[i]
 	}
 	sp.metrics.Checks += len(vecs)
+	sp.rec.ChecksAdded(len(vecs))
 	return nil
 }
 

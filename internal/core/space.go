@@ -9,6 +9,7 @@ import (
 
 	"klotski/internal/demand"
 	"klotski/internal/migration"
+	"klotski/internal/obs"
 	"klotski/internal/routing"
 	"klotski/internal/topo"
 )
@@ -49,6 +50,7 @@ type space struct {
 	curVec []uint16
 
 	metrics  Metrics
+	rec      *obs.Recorder // nil-safe; nil is the no-op default
 	deadline time.Time
 	started  time.Time
 
@@ -86,6 +88,7 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 		opts:    opts,
 		nTypes:  task.NumTypes(),
 		demands: &task.Demands,
+		rec:     opts.Recorder,
 		started: time.Now(),
 		ctx:     context.Background(),
 		// Poll on the very first budget check so that an already-expired
@@ -474,8 +477,11 @@ func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
 	if !sp.opts.DisableCache {
 		if f, ok := sp.feas[ck]; ok {
 			sp.metrics.CacheHits++
+			sp.rec.CacheHit()
 			return f == feasYes
 		}
+		sp.metrics.CacheMisses++
+		sp.rec.CacheMiss()
 	}
 	ok := sp.check(vecIdx, last, funneling)
 	res := feasNo
@@ -491,6 +497,11 @@ func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
 // constraints.
 func (sp *space) check(vecIdx int32, last migration.ActionType, funneling bool) bool {
 	sp.metrics.Checks++
+	var checkStart time.Time
+	if sp.rec.Enabled() {
+		checkStart = time.Now()
+		defer func() { sp.rec.CheckObserved(time.Since(checkStart)) }()
+	}
 	v := sp.vec(vecIdx)
 	sp.buildView(v)
 

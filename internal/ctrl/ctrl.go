@@ -9,6 +9,7 @@ import (
 
 	"klotski/internal/core"
 	"klotski/internal/migration"
+	"klotski/internal/obs"
 	"klotski/internal/pipeline"
 	"klotski/internal/sim"
 )
@@ -44,6 +45,21 @@ type Options struct {
 
 	// Seed drives backoff jitter.
 	Seed int64
+
+	// Recorder, when non-nil, streams control-loop events (retries,
+	// replans, boundary violations) into an observability registry. When
+	// nil, the planner recorder from Config.Options.Recorder is used, so a
+	// single recorder wired at the pipeline level covers the loop too.
+	Recorder *obs.Recorder
+}
+
+// recorder resolves the effective recorder: the loop's own, or the
+// planning options' as a fallback. Both may be nil (the no-op default).
+func (o Options) recorder() *obs.Recorder {
+	if o.Recorder != nil {
+		return o.Recorder
+	}
+	return o.Config.Options.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +111,9 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	rec := opts.recorder()
+	span := rec.Span("ctrl.run")
+	defer span.End()
 	out := &Outcome{}
 	defer func() { out.Executed = world.Executed() }()
 
@@ -134,6 +153,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 			return fmt.Errorf("ctrl: replan budget (%d) exhausted: %s", opts.MaxReplans, reason)
 		}
 		out.Replans++
+		rec.Replan()
 		if opts.Journal != nil {
 			if err := opts.Journal.Append(Entry{Seq: len(world.Executed()), Op: "replan", Detail: reason}); err != nil {
 				return err
@@ -189,6 +209,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 				break
 			}
 			out.Retries++
+			rec.Retry()
 			opts.Sleep(backoff(opts.BaseBackoff, opts.MaxBackoff, attempt, rng))
 			attempt++
 		}
@@ -213,6 +234,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 			}
 			if !ok {
 				out.BoundaryViolations++
+				rec.BoundaryViolation()
 			}
 		}
 	}

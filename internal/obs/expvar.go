@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	publishMu sync.Mutex
+	published = make(map[string]bool)
+)
+
+// PublishExpvar exposes the registry's live snapshot as the named expvar
+// variable (shown under /debug/vars). expvar panics on duplicate names, so
+// republishing the same name is a guarded no-op; the variable re-snapshots
+// the registry on every read, so one publish suffices for the process
+// lifetime.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// DebugHandler returns an HTTP mux serving the standard debug surface:
+// /debug/vars (expvar, including anything published via PublishExpvar) and
+// /debug/pprof/* (profiles, traces, symbol lookup). The root path serves a
+// plain JSON snapshot of the registry for tools that want stats without
+// the expvar envelope.
+func (r *Registry) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,199 @@
+package obs
+
+import "time"
+
+// Instrument names published by Recorder into its registry. Exported so
+// snapshot consumers (the bench guard, tests, dashboards) can reference
+// them without string drift.
+const (
+	MetricStatesCreated      = "planner.states_created"
+	MetricStatesExpanded     = "planner.states_expanded"
+	MetricChecks             = "planner.checks"
+	MetricCacheHits          = "planner.cache_hits"
+	MetricCacheMisses        = "planner.cache_misses"
+	MetricCacheHitRate       = "planner.cache_hit_rate"
+	MetricCheckLatency       = "planner.check_latency_seconds"
+	MetricOpenListSize       = "planner.open_list_size"
+	MetricPlansCompleted     = "planner.plans_completed"
+	MetricPlansInterrupted   = "planner.plans_interrupted"
+	MetricRetries            = "ctrl.retries"
+	MetricReplans            = "ctrl.replans"
+	MetricBoundaryViolations = "ctrl.boundary_violations"
+	TraceName                = "planner"
+)
+
+// Recorder is the typed hot-path façade the planners and control loop
+// call into. It pre-resolves its instruments once at construction so a
+// recorded event is a single atomic op, and every method is safe on a nil
+// receiver — a nil *Recorder is the no-op default, costing one branch.
+type Recorder struct {
+	reg   *Registry
+	trace *Trace
+
+	statesCreated    *Counter
+	statesExpanded   *Counter
+	checks           *Counter
+	cacheHits        *Counter
+	cacheMisses      *Counter
+	checkLatency     *Histogram
+	openList         *Gauge
+	plansCompleted   *Counter
+	plansInterrupted *Counter
+	retries          *Counter
+	replans          *Counter
+	boundaryViol     *Counter
+}
+
+// NewRecorder returns a recorder publishing into reg (nil selects the
+// process-wide Default registry). It also registers the derived
+// cache-hit-rate metric, hits/(hits+misses), computed at snapshot time.
+func NewRecorder(reg *Registry) *Recorder {
+	if reg == nil {
+		reg = Default()
+	}
+	r := &Recorder{
+		reg:              reg,
+		trace:            reg.Trace(TraceName, 0),
+		statesCreated:    reg.Counter(MetricStatesCreated),
+		statesExpanded:   reg.Counter(MetricStatesExpanded),
+		checks:           reg.Counter(MetricChecks),
+		cacheHits:        reg.Counter(MetricCacheHits),
+		cacheMisses:      reg.Counter(MetricCacheMisses),
+		checkLatency:     reg.Histogram(MetricCheckLatency, nil),
+		openList:         reg.Gauge(MetricOpenListSize),
+		plansCompleted:   reg.Counter(MetricPlansCompleted),
+		plansInterrupted: reg.Counter(MetricPlansInterrupted),
+		retries:          reg.Counter(MetricRetries),
+		replans:          reg.Counter(MetricReplans),
+		boundaryViol:     reg.Counter(MetricBoundaryViolations),
+	}
+	hits, misses := r.cacheHits, r.cacheMisses
+	reg.Derived(MetricCacheHitRate, func() float64 {
+		h, m := hits.Value(), misses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	return r
+}
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Registry returns the registry the recorder publishes into; nil on a nil
+// receiver.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// StateCreated counts one search state pushed.
+func (r *Recorder) StateCreated() {
+	if r == nil {
+		return
+	}
+	r.statesCreated.Inc()
+}
+
+// StateExpanded counts one search state popped/expanded.
+func (r *Recorder) StateExpanded() {
+	if r == nil {
+		return
+	}
+	r.statesExpanded.Inc()
+}
+
+// CacheHit counts one satisfiability-cache hit.
+func (r *Recorder) CacheHit() {
+	if r == nil {
+		return
+	}
+	r.cacheHits.Inc()
+}
+
+// CacheMiss counts one satisfiability-cache miss.
+func (r *Recorder) CacheMiss() {
+	if r == nil {
+		return
+	}
+	r.cacheMisses.Inc()
+}
+
+// CheckObserved counts one satisfiability check and records its latency.
+func (r *Recorder) CheckObserved(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.checks.Inc()
+	r.checkLatency.ObserveDuration(d)
+}
+
+// ChecksAdded counts n satisfiability checks without latency samples —
+// used for bulk accounting after parallel prechecks.
+func (r *Recorder) ChecksAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.checks.Add(int64(n))
+}
+
+// OpenList records the current open-list size.
+func (r *Recorder) OpenList(n int) {
+	if r == nil {
+		return
+	}
+	r.openList.Set(int64(n))
+}
+
+// PlanCompleted counts one planner run that returned a plan.
+func (r *Recorder) PlanCompleted() {
+	if r == nil {
+		return
+	}
+	r.plansCompleted.Inc()
+}
+
+// PlanInterrupted counts one planner run stopped by budget or cancellation.
+func (r *Recorder) PlanInterrupted() {
+	if r == nil {
+		return
+	}
+	r.plansInterrupted.Inc()
+}
+
+// Retry counts one control-loop action retry.
+func (r *Recorder) Retry() {
+	if r == nil {
+		return
+	}
+	r.retries.Inc()
+}
+
+// Replan counts one control-loop replan.
+func (r *Recorder) Replan() {
+	if r == nil {
+		return
+	}
+	r.replans.Inc()
+}
+
+// BoundaryViolation counts one observed constraint violation at a run
+// boundary during execution.
+func (r *Recorder) BoundaryViolation() {
+	if r == nil {
+		return
+	}
+	r.boundaryViol.Inc()
+}
+
+// Span starts a named timed region in the recorder's trace stream. On a
+// nil receiver it returns the zero Span, whose End is a no-op.
+func (r *Recorder) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.trace.StartSpan(name)
+}

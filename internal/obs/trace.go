@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring size used when Trace is created with a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// Event is one completed span in a trace stream. Hierarchy is encoded in
+// the dotted name ("pipeline.plan", "astar.run", "check.eval") rather than
+// parent pointers, keeping events flat and cheap to retain.
+type Event struct {
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// SpanStat aggregates all completed spans of one name.
+type SpanStat struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total"`
+	Max   time.Duration `json:"max"`
+}
+
+// Trace is a bounded ring buffer of completed span events plus per-name
+// aggregates that survive ring eviction. The ring answers "what just
+// happened"; the aggregates answer "where did the time go".
+type Trace struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	stats map[string]SpanStat
+}
+
+// NewTrace returns a trace stream retaining the most recent capacity
+// events (≤ 0 selects DefaultTraceCapacity).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{ring: make([]Event, capacity), stats: make(map[string]SpanStat)}
+}
+
+// Span is an in-flight timed region; End completes it. The zero Span (and
+// a span from a nil Trace) is valid and does nothing.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a timed region. Safe on a nil receiver: the returned
+// zero Span no-ops on End.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// End completes the span, recording it in the ring and aggregates, and
+// returns its duration (0 for a zero Span).
+func (s Span) End() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tr.record(Event{Name: s.name, Start: s.start, Dur: d})
+	return d
+}
+
+func (t *Trace) record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	st := t.stats[ev.Name]
+	st.Count++
+	st.Total += ev.Dur
+	if ev.Dur > st.Max {
+		st.Max = ev.Dur
+	}
+	t.stats[ev.Name] = st
+}
+
+// Events returns the retained events, oldest first. Safe on a nil
+// receiver (returns nil).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// SpanStats returns the per-name aggregates over ALL recorded spans, not
+// just those still in the ring. Safe on a nil receiver (returns nil).
+func (t *Trace) SpanStats() map[string]SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]SpanStat, len(t.stats))
+	for name, st := range t.stats {
+		out[name] = st
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"klotski/internal/npd"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current pipeline output")
+
+// Golden-file tests pin the NPD plan-document output byte-for-byte: the
+// phase list, run ordering, snapshot counts, and utilization figures are
+// the externally consumed artifact of the whole pipeline, so an
+// unintentional change to any layer underneath (generator, planner,
+// evaluator, encoder) shows up here as a diff. Regenerate deliberately
+// with: go test ./internal/pipeline/ -run Golden -update
+func goldenCases() []struct {
+	name string
+	doc  *npd.Document
+	cfg  Config
+} {
+	blockSplit := sampleDoc()
+	blockSplit.Migration.BlockFactor = 2
+	return []struct {
+		name string
+		doc  *npd.Document
+		cfg  Config
+	}{
+		{"hgrid_dp", sampleDoc(), Config{Planner: PlannerDP}},
+		{"hgrid_astar", sampleDoc(), Config{Planner: PlannerAStar}},
+		{"hgrid_dp_blockfactor2", blockSplit, Config{Planner: PlannerDP}},
+	}
+}
+
+func TestGoldenPlanDocuments(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.doc, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.Document.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create golden files)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("plan document drifted from %s:\n%s\nrun with -update if the change is intentional",
+					path, diffLines(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip decodes each golden file and re-encodes it,
+// asserting the codec itself is lossless and stable — a golden diff then
+// always means pipeline behavior changed, never serialization noise.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Skipf("%v (run with -update first)", err)
+			}
+			doc, err := npd.DecodePlan(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := doc.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), raw) {
+				t.Errorf("decode→encode not stable for %s:\n%s", path, diffLines(raw, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line-oriented diff, enough to locate a
+// golden mismatch without an external diff tool.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			fmt.Fprintf(&out, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
+		}
+	}
+	return out.String()
+}

@@ -136,12 +136,18 @@ func RunTask(task *migration.Task, cfg Config) (*Result, error) {
 // RunTaskContext is RunTask with cooperative cancellation.
 func RunTaskContext(ctx context.Context, task *migration.Task, cfg Config) (*Result, error) {
 	applyUnitCosts(task, cfg.UnitCosts)
+	rec := cfg.Options.Recorder
+	planSpan := rec.Span("pipeline.plan")
 	plan, replans, err := planWithForecast(ctx, task, cfg)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if !cfg.SkipAudit {
-		if err := audit(task, plan, cfg); err != nil {
+		auditSpan := rec.Span("pipeline.audit")
+		err := audit(task, plan, cfg)
+		auditSpan.End()
+		if err != nil {
 			return nil, fmt.Errorf("pipeline: plan failed audit: %w", err)
 		}
 	}

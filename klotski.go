@@ -54,6 +54,7 @@ import (
 	"klotski/internal/gen"
 	"klotski/internal/migration"
 	"klotski/internal/npd"
+	"klotski/internal/obs"
 	"klotski/internal/pipeline"
 	"klotski/internal/report"
 	"klotski/internal/routing"
@@ -557,6 +558,32 @@ func RunControlLoop(ctx context.Context, task *Task, world *World, opts ControlO
 func ChaosCampaign(ctx context.Context, task *Task, opts ChaosCampaignOptions) (*ChaosCampaignReport, error) {
 	return ctrl.Campaign(ctx, task, opts)
 }
+
+// Observability: typed instruments, a process-wide registry with expvar
+// and JSON-snapshot export, ring-buffered span traces, and the nil-safe
+// Recorder the planners accept via Options.Recorder.
+type (
+	// ObsRecorder is the typed hot-path recorder; a nil *ObsRecorder is
+	// the no-op default.
+	ObsRecorder = obs.Recorder
+	// ObsRegistry is a namespace of counters, gauges, histograms, derived
+	// values, and trace streams.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time JSON-marshalable registry export.
+	ObsSnapshot = obs.Snapshot
+)
+
+// NewObsRecorder returns a recorder publishing into reg (nil selects the
+// process-wide default registry). Wire it via Options.Recorder and
+// ControlOptions.Recorder.
+func NewObsRecorder(reg *ObsRegistry) *ObsRecorder { return obs.NewRecorder(reg) }
+
+// NewObsRegistry returns an empty observability registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// DefaultObsRegistry returns the process-wide registry used by the CLI's
+// -stats-out and -debug-addr exports.
+func DefaultObsRegistry() *ObsRegistry { return obs.Default() }
 
 // NewControlJournal creates (truncating) a write-ahead journal at path.
 func NewControlJournal(path string) (*ControlJournal, error) { return ctrl.NewJournal(path) }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# benchguard.sh — run the planner guard benchmark and compare against the
+# committed baseline (BENCH_planner.json at the repo root). Extra
+# arguments pass through to cmd/benchguard, e.g.:
+#
+#   scripts/benchguard.sh                  # compare (bootstraps if missing)
+#   scripts/benchguard.sh -update          # accept current performance
+#   scripts/benchguard.sh -max-slowdown 1  # loosen for a noisy machine
+#
+# BENCHTIME overrides the iteration count (default 10x: fixed iterations
+# rather than a time budget, so states/op is exactly reproducible).
+set -eu
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench 'BenchmarkPlannerGuard' -benchtime "${BENCHTIME:-10x}" . |
+	go run ./cmd/benchguard -baseline BENCH_planner.json "$@"
