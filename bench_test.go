@@ -277,6 +277,93 @@ func BenchmarkPlannerGuard(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckIncremental isolates the incremental satisfiability engine
+// at the planner level: both Klotski planners on topology E with
+// per-destination-group memoization (the default) versus the classic full
+// evaluation per cache miss. Plans are byte-identical between the modes;
+// only the per-check cost differs.
+func BenchmarkCheckIncremental(b *testing.B) {
+	s := buildSuite(b, "E")
+	for _, pl := range []plannerCase{
+		{"AStar", klotski.PlanAStar, klotski.Options{}},
+		{"DP", klotski.PlanDP, klotski.Options{}},
+	} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{
+			{"incremental", false},
+			{"full", true},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", pl.name, mode.name), func(b *testing.B) {
+				opts := pl.opts
+				opts.DisableIncrementalEval = mode.disable
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pl.run(s.Task, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvaluatorCheckDelta is the evaluator micro-benchmark: one
+// circuit flips per iteration and the state is re-verified — via CheckDelta
+// fed the tracked touched elements, versus a classic full Check. The ratio
+// is the per-check win the incremental engine delivers to every planner
+// cache miss.
+func BenchmarkEvaluatorCheckDelta(b *testing.B) {
+	s := buildSuite(b, "C")
+	tp := s.Task.Topo
+	ck := klotski.CircuitID(0)
+	b.Run("delta", func(b *testing.B) {
+		eval := klotski.NewEvaluator(tp)
+		view := tp.NewView()
+		view.Track()
+		eval.CheckDelta(view, nil, nil, &s.Task.Demands, klotski.CheckOpts{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			view.SetCircuitActive(ck, i%2 == 1)
+			tsw, tck := view.TakeTouched()
+			tsw, tck = klotski.ExpandTouched(tp, tsw, tck)
+			eval.CheckDelta(view, tsw, tck, &s.Task.Demands, klotski.CheckOpts{})
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		eval := klotski.NewEvaluator(tp)
+		view := tp.NewView()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			view.SetCircuitActive(ck, i%2 == 1)
+			eval.Check(view, &s.Task.Demands, klotski.CheckOpts{})
+		}
+	})
+}
+
+// BenchmarkAStarBatchedBoundary measures serial A* against the
+// batched-parallel boundary-check variant on topology E.
+func BenchmarkAStarBatchedBoundary(b *testing.B) {
+	s := buildSuite(b, "E")
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := klotski.PlanAStar(s.Task, klotski.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := klotski.PlanAStarParallel(s.Task, klotski.Options{}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationOverlay isolates the incremental view builder: applying
 // block deltas between consecutively checked states versus rebuilding the
 // intermediate topology from scratch for every satisfiability check.

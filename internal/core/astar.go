@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"context"
+	"runtime"
 
 	"klotski/internal/migration"
 )
@@ -26,6 +27,32 @@ func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
 // budget exhaustion the search returns an *Interrupted error carrying a
 // resumable Checkpoint instead of discarding its work.
 func PlanAStarContext(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
+	return planAStar(ctx, task, opts, 0)
+}
+
+// PlanAStarParallel runs the A* planner with batched parallel boundary
+// checks: at each node expansion, the feasibility verdicts the search will
+// need next (the node's boundary state and its successors) are resolved
+// concurrently on persistent per-worker evaluator clones and merged into
+// the shared satisfiability cache. Verdicts are deterministic, so plans and
+// costs are identical to PlanAStar's; only wall-clock time and the check
+// accounting differ. workers ≤ 0 picks GOMAXPROCS; batching silently
+// degrades to the serial lazy path when it cannot apply (single worker,
+// cache disabled, or funneling).
+func PlanAStarParallel(task *migration.Task, opts Options, workers int) (*Plan, error) {
+	return PlanAStarParallelContext(context.Background(), task, opts, workers)
+}
+
+// PlanAStarParallelContext is PlanAStarParallel with cooperative
+// cancellation, mirroring PlanAStarContext.
+func PlanAStarParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return planAStar(ctx, task, opts, workers)
+}
+
+func planAStar(ctx context.Context, task *migration.Task, opts Options, batchWorkers int) (*Plan, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,6 +85,10 @@ func PlanAStarContext(ctx context.Context, task *migration.Task, opts Options) (
 		pq:      &openHeap{secondary: !opts.DisableSecondaryPriority},
 		scratch: make([]uint16, sp.nTypes),
 	}
+	if batchWorkers > 0 {
+		s.batch = newBoundaryBatcher(sp, batchWorkers)
+		s.bscratch = make([]uint16, sp.nTypes)
+	}
 	startTail := 0
 	if opts.InitialCounts != nil {
 		startTail = opts.InitialRunLength
@@ -70,13 +101,15 @@ func PlanAStarContext(ctx context.Context, task *migration.Task, opts Options) (
 // interruptions inside a Checkpoint, so Resume continues the identical
 // search — same open list, same closed set, same satisfiability cache.
 type astarSearch struct {
-	sp      *space
-	best    map[int64]float64 // lowest g per (vec, last, tail)
-	closed  map[int64]bool    // expanded states
-	prev    map[int64]prevInfo
-	pq      *openHeap
-	scratch []uint16
-	front   frontier
+	sp       *space
+	best     map[int64]float64 // lowest g per (vec, last, tail)
+	closed   map[int64]bool    // expanded states
+	prev     map[int64]prevInfo
+	pq       *openHeap
+	scratch  []uint16
+	front    frontier
+	batch    *boundaryBatcher // nil on the serial path
+	bscratch []uint16
 }
 
 func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g float64) {
@@ -142,6 +175,9 @@ func (s *astarSearch) run() (*Plan, error) {
 		// current run needs no check; switching run types requires the
 		// state being left (the completed run's boundary) to be safe.
 		cur := sp.vec(it.vecIdx)
+		if s.batch != nil {
+			s.batch.warm(cur, it.vecIdx, s.bscratch)
+		}
 		boundaryOK := true
 		boundaryChecked := false
 		for a := 0; a < sp.nTypes; a++ {

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Batched boundary checking for A*'s lazy path.
+//
+// A* only consults the evaluator at run boundaries, one state per
+// expansion, so unlike the DP planner it cannot precheck the whole product
+// space up front. But at the moment a node is expanded, the states that
+// will need fresh feasibility verdicts soon are known: the node itself (its
+// boundary check) and its successors (their boundary checks when they are
+// popped in turn). A boundaryBatcher resolves all of those that miss the
+// shared cache in one parallel batch on persistent per-worker spaces — each
+// with its own evaluator clone whose incremental memo stays warm across
+// batches — and merges the verdicts into the shared cache. Verdicts are
+// deterministic functions of the state, so the merged cache is identical to
+// what lazy serial checking would produce (plus speculative extra entries
+// that cannot change search decisions): plans are byte-identical to
+// PlanAStar's; only Checks/CacheHits accounting differs.
+//
+// Batching requires verdicts keyed by vector alone, so it is disabled under
+// funneling (feasibility then depends on the in-flight block) and when the
+// cache is off.
+
+// boundaryBatcher holds the persistent worker state for batched checks.
+type boundaryBatcher struct {
+	sp      *space
+	workers int
+	wsp     []*space // lazily built; nil entries fall back to lazy checking
+	built   bool
+	items   []batchItem
+	results []int8
+}
+
+type batchItem struct {
+	idx int32
+}
+
+// newBoundaryBatcher returns a batcher for sp, or nil when batching cannot
+// help (too few workers, cache disabled, or funneling in effect).
+func newBoundaryBatcher(sp *space, workers int) *boundaryBatcher {
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
+		return nil
+	}
+	return &boundaryBatcher{sp: sp, workers: workers}
+}
+
+// warm resolves, in one parallel batch, the feasibility of the expanded
+// node's boundary state and of every successor vector that misses the
+// shared cache. Subsequent serial feasible() calls then hit the cache.
+// cur is the expanded node's vector and scratch a caller-owned slice of
+// the same length.
+func (bb *boundaryBatcher) warm(cur []uint16, vecIdx int32, scratch []uint16) {
+	sp := bb.sp
+	bb.items = bb.items[:0]
+	add := func(idx int32) {
+		if _, ok := sp.feas[sp.extKey(idx, NoLast)]; ok {
+			return
+		}
+		for _, it := range bb.items {
+			if it.idx == idx {
+				return
+			}
+		}
+		bb.items = append(bb.items, batchItem{idx: idx})
+	}
+	add(vecIdx)
+	for a := 0; a < sp.nTypes; a++ {
+		if cur[a] >= sp.totals[a] {
+			continue
+		}
+		copy(scratch, cur)
+		scratch[a]++
+		idx, _ := sp.intern(scratch)
+		add(idx)
+	}
+	if len(bb.items) < 2 {
+		return // a single miss is cheaper on the lazy path than a spawn
+	}
+	bb.ensureWorkers()
+
+	if cap(bb.results) < len(bb.items) {
+		bb.results = make([]int8, len(bb.items))
+	}
+	results := bb.results[:len(bb.items)]
+	for i := range results {
+		results[i] = 0
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < bb.workers; w++ {
+		wsp := bb.wsp[w]
+		if wsp == nil {
+			continue // construction failed; those items stay lazy
+		}
+		wg.Add(1)
+		go func(w int, wsp *space) {
+			defer wg.Done()
+			// A panicking check would take the serial path down too; here
+			// it just leaves the verdict unset for lazy rechecking.
+			defer func() { _ = recover() }()
+			for i := w; i < len(bb.items); i += bb.workers {
+				vec := sp.vec(bb.items[i].idx) // read-only; stable under append
+				if wsp.check(mustIntern(wsp, vec), NoLast, false) {
+					results[i] = feasYes
+				} else {
+					results[i] = feasNo
+				}
+			}
+		}(w, wsp)
+	}
+	wg.Wait()
+
+	resolved := 0
+	for i, it := range bb.items {
+		if results[i] == 0 {
+			continue
+		}
+		sp.feas[sp.extKey(it.idx, NoLast)] = results[i]
+		resolved++
+	}
+	sp.metrics.Checks += resolved
+	sp.metrics.BatchedChecks += resolved
+	sp.rec.ChecksAdded(resolved)
+	sp.rec.BatchedChecks(resolved)
+}
+
+// ensureWorkers constructs the persistent per-worker spaces on first use.
+// Each owns an independent evaluator, scratch view, and incremental memo;
+// per-check recording is disabled in workers and bulk-accounted by warm.
+func (bb *boundaryBatcher) ensureWorkers() {
+	if bb.built {
+		return
+	}
+	bb.built = true
+	bb.wsp = make([]*space, bb.workers)
+	wopts := bb.sp.opts
+	wopts.Evaluator = nil
+	wopts.Recorder = nil
+	for w := range bb.wsp {
+		if wsp, err := newSpace(bb.sp.task, wopts); err == nil {
+			bb.wsp[w] = wsp
+		}
+	}
+}

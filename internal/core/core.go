@@ -117,6 +117,19 @@ type Options struct {
 	// ablation benchmark; never faster.
 	DisableIncrementalView bool
 
+	// DisableIncrementalEval forces every cache-missing satisfiability
+	// check through the classic full evaluation (one BFS + sweep per
+	// destination) instead of the incremental engine that invalidates only
+	// the destination groups a block delta can affect. Kept for ablation
+	// and differential cross-checks; the two paths produce identical
+	// verdicts. Incremental evaluation is also bypassed automatically when
+	// FunnelFactor > 1 (funneling bounds depend on the in-flight block) or
+	// when a shared Evaluator is supplied via Options.Evaluator, and the
+	// engine disables itself mid-run when successive deltas keep
+	// invalidating (nearly) every destination group — dense homogeneous
+	// fabrics hit this structurally; Metrics.IncDisables counts it.
+	DisableIncrementalEval bool
+
 	// MaxStates caps the number of states the planner may create. 0 means
 	// the default of 4,000,000.
 	MaxStates int
@@ -199,6 +212,12 @@ type Metrics struct {
 	CacheHits     int           // checks answered from the equivalent-state cache
 	CacheMisses   int           // checks that missed the cache and ran the evaluator
 	PlanningTime  time.Duration // wall clock
+
+	// Incremental-evaluation counters (zero when the engine is disabled).
+	GroupInvalidations int // destination groups recomputed by delta checks
+	GroupsReused       int // destination groups served from the memo
+	IncDisables        int // incremental engine self-disable events (low-reuse fabric)
+	BatchedChecks      int // boundary checks resolved by parallel batches
 }
 
 // Plan is an ordered, safe, minimum-cost migration plan.

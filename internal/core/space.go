@@ -49,6 +49,17 @@ type space struct {
 	// two blocks instead of a full rebuild). nil until the first build.
 	curVec []uint16
 
+	// Incremental satisfiability state. useInc enables routing.CheckDelta:
+	// incVec is the vector the evaluator's memo was computed on (tracked
+	// separately from curVec — an occupancy rejection rebuilds the view but
+	// leaves the memo alone), and touchSw/touchCk accumulate the union of
+	// Touched sets for blocks differing between incVec and the vector being
+	// checked.
+	useInc  bool
+	incVec  []uint16
+	touchSw []topo.SwitchID
+	touchCk []topo.CircuitID
+
 	metrics  Metrics
 	rec      *obs.Recorder // nil-safe; nil is the no-op default
 	deadline time.Time
@@ -66,9 +77,19 @@ type space struct {
 	stopErr       error
 	priorElapsed  time.Duration
 
-	// Space/power budget precompute: per-block occupancy delta per DC.
-	occBase  map[int]int
-	occDelta []map[int]int // nil when SpaceBudget is nil
+	// Space/power budget precompute. Occupancy arrays are dense, indexed by
+	// DC+1 (regional switches carry DC -1); occ is the per-check scratch
+	// that replaces a per-call map allocation.
+	occBase   []int32
+	occDelta  [][]dcDelta // nil when SpaceBudget is nil
+	occBudget []int32     // 0 means unconstrained
+	occ       []int32
+}
+
+// dcDelta is one block's occupancy change in one datacenter (index DC+1).
+type dcDelta struct {
+	dc    int32
+	delta int32
 }
 
 const (
@@ -136,6 +157,19 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 	if opts.SpaceBudget != nil {
 		sp.precomputeOccupancy()
 	}
+	// Force the lazily-built shared indexes now, while construction is
+	// still single-threaded: parallel precheck workers share the task and
+	// demand set, and neither index build is goroutine-safe.
+	sp.demands.DestinationIndex()
+	task.BlocksOfType(0)
+	// Incremental satisfiability: sound only when bounds depend on the
+	// topology state alone (no funneling) and this space owns the
+	// evaluator's memo (a caller-supplied evaluator may be shared with
+	// other live spaces whose checks would desynchronize it).
+	sp.useInc = !opts.DisableIncrementalEval && opts.FunnelFactor <= 1 && opts.Evaluator == nil
+	if sp.useInc {
+		task.BuildTouched()
+	}
 	return sp, nil
 }
 
@@ -144,6 +178,7 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 type keyer struct {
 	fits64 bool
 	shifts []uint
+	buf    []byte // scratch for lookup-only string keys
 }
 
 func newKeyer(totals []uint16) keyer {
@@ -172,12 +207,22 @@ func (k *keyer) key64(vec []uint16) uint64 {
 	return out
 }
 
-func (k *keyer) keyStr(vec []uint16) string {
-	buf := make([]byte, 2*len(vec))
+// keyBytes encodes vec into the keyer's scratch buffer. The result is
+// invalidated by the next keyBytes call; map probes via string(keyBytes(v))
+// compile to an allocation-free lookup, so only inserts pay for a string.
+func (k *keyer) keyBytes(vec []uint16) []byte {
+	if cap(k.buf) < 2*len(vec) {
+		k.buf = make([]byte, 2*len(vec))
+	}
+	buf := k.buf[:2*len(vec)]
 	for i, v := range vec {
 		binary.BigEndian.PutUint16(buf[2*i:], v)
 	}
-	return string(buf)
+	return buf
+}
+
+func (k *keyer) keyStr(vec []uint16) string {
+	return string(k.keyBytes(vec))
 }
 
 // intern returns the dense index for vec, creating it if new. The returned
@@ -192,12 +237,12 @@ func (sp *space) intern(vec []uint16) (int32, bool) {
 		sp.index64[k] = idx
 		return idx, false
 	}
-	k := sp.key.keyStr(vec)
-	if idx, ok := sp.indexS[k]; ok {
+	buf := sp.key.keyBytes(vec)
+	if idx, ok := sp.indexS[string(buf)]; ok {
 		return idx, true
 	}
 	idx := sp.addVec(vec)
-	sp.indexS[k] = idx
+	sp.indexS[string(buf)] = idx
 	return idx, false
 }
 
@@ -207,7 +252,7 @@ func (sp *space) lookup(vec []uint16) (int32, bool) {
 		idx, ok := sp.index64[sp.key.key64(vec)]
 		return idx, ok
 	}
-	idx, ok := sp.indexS[sp.key.keyStr(vec)]
+	idx, ok := sp.indexS[string(sp.key.keyBytes(vec))]
 	return idx, ok
 }
 
@@ -506,6 +551,8 @@ func (sp *space) check(vecIdx int32, last migration.ActionType, funneling bool) 
 	sp.buildView(v)
 
 	if sp.occDelta != nil && !sp.occupancyOK(v) {
+		// The evaluator never saw this view; incVec intentionally stays at
+		// the memoized state so the next delta is computed from it.
 		return false
 	}
 
@@ -516,8 +563,62 @@ func (sp *space) check(vecIdx int32, last migration.ActionType, funneling bool) 
 		copts.FunnelFactor = sp.opts.FunnelFactor
 		copts.FunnelCircuits = funnelCircuits(sp.task, blockID)
 	}
+	if sp.useInc {
+		if sp.eval.IncrementalOff() {
+			// The engine disabled itself (this fabric invalidates wholesale,
+			// so memoization cannot pay); skip the touched-set bookkeeping
+			// too. A nil incVec forces a full rebuild should the engine ever
+			// be re-armed.
+			sp.incVec = nil
+			viol := sp.eval.Check(sp.view, sp.demands, copts)
+			return viol.OK()
+		}
+		sp.collectTouched(v)
+		inv0, reu0 := sp.eval.GroupInvalidations, sp.eval.GroupsReused
+		viol := sp.eval.CheckDelta(sp.view, sp.touchSw, sp.touchCk, sp.demands, copts)
+		inv, reu := sp.eval.GroupInvalidations-inv0, sp.eval.GroupsReused-reu0
+		sp.metrics.GroupInvalidations += inv
+		sp.metrics.GroupsReused += reu
+		sp.rec.GroupInvalidations(inv)
+		sp.rec.GroupsReused(reu)
+		if sp.eval.IncrementalOff() {
+			sp.metrics.IncDisables++
+			sp.rec.IncDisable()
+		}
+		sp.incVec = append(sp.incVec[:0], v...)
+		return viol.OK()
+	}
 	viol := sp.eval.Check(sp.view, sp.demands, copts)
 	return viol.OK()
+}
+
+// collectTouched gathers into touchSw/touchCk the union of the precomputed
+// Touched sets of every block differing between incVec (the vector the
+// evaluator's memo reflects) and v. On the first check incVec is nil and
+// the sets stay empty: the evaluator has no memo yet and does a full
+// rebuild regardless.
+func (sp *space) collectTouched(v []uint16) {
+	sp.touchSw = sp.touchSw[:0]
+	sp.touchCk = sp.touchCk[:0]
+	if sp.incVec == nil {
+		return
+	}
+	for ty := 0; ty < sp.nTypes; ty++ {
+		cur, want := int(sp.incVec[ty]), int(v[ty])
+		if cur == want {
+			continue
+		}
+		lo, hi := cur, want
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := lo; j < hi; j++ {
+			bt := sp.task.Touched(blocks[j])
+			sp.touchSw = append(sp.touchSw, bt.Switches...)
+			sp.touchCk = append(sp.touchCk, bt.Circuits...)
+		}
+	}
 }
 
 // buildView materializes the state for vector v in the scratch view.
@@ -565,44 +666,66 @@ func (sp *space) buildView(v []uint16) {
 // undraining a switch requires its slot from that step on.
 func (sp *space) precomputeOccupancy() {
 	t := sp.task
-	sp.occBase = make(map[int]int)
+	maxDC := -1
+	for i := 0; i < t.Topo.NumSwitches(); i++ {
+		if dc := t.Topo.Switch(topo.SwitchID(i)).DC; dc > maxDC {
+			maxDC = dc
+		}
+	}
+	nDC := maxDC + 2 // slot 0 holds the regional pseudo-DC (-1)
+	sp.occBase = make([]int32, nDC)
 	for i := 0; i < t.Topo.NumSwitches(); i++ {
 		s := t.Topo.Switch(topo.SwitchID(i))
 		if t.Topo.SwitchActive(s.ID) {
-			sp.occBase[s.DC]++
+			sp.occBase[s.DC+1]++
 		}
 	}
-	sp.occDelta = make([]map[int]int, len(t.Blocks))
+	sp.occBudget = make([]int32, nDC)
+	for dc, b := range sp.opts.SpaceBudget {
+		if dc+1 >= 0 && dc+1 < nDC && b > 0 {
+			sp.occBudget[dc+1] = int32(b)
+		}
+	}
+	sp.occ = make([]int32, nDC)
+	sp.occDelta = make([][]dcDelta, len(t.Blocks))
 	for i := range t.Blocks {
 		b := &t.Blocks[i]
-		d := make(map[int]int)
-		sign := 1
+		var d []dcDelta
+		sign := int32(1)
 		if t.Types[b.Type].Op == migration.Drain {
 			sign = -1
 		}
+	blockSwitches:
 		for _, sw := range b.Switches {
-			d[t.Topo.Switch(sw).DC] += sign
+			dc := int32(t.Topo.Switch(sw).DC + 1)
+			for k := range d {
+				if d[k].dc == dc {
+					d[k].delta += sign
+					continue blockSwitches
+				}
+			}
+			d = append(d, dcDelta{dc: dc, delta: sign})
 		}
 		sp.occDelta[i] = d
 	}
 }
 
-// occupancyOK verifies the transient space/power budget for the state.
+// occupancyOK verifies the transient space/power budget for the state. The
+// dense scratch slice is reset by copy from the base occupancy, avoiding
+// the per-check map allocation this function used to pay.
 func (sp *space) occupancyOK(v []uint16) bool {
-	occ := make(map[int]int, len(sp.occBase))
-	for dc, n := range sp.occBase {
-		occ[dc] = n
-	}
+	occ := sp.occ
+	copy(occ, sp.occBase)
 	for ty := 0; ty < sp.nTypes; ty++ {
 		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
 		for j := 0; j < int(v[ty]); j++ {
-			for dc, d := range sp.occDelta[blocks[j]] {
-				occ[dc] += d
+			for _, d := range sp.occDelta[blocks[j]] {
+				occ[d.dc] += d.delta
 			}
 		}
 	}
-	for dc, n := range occ {
-		if budget, ok := sp.opts.SpaceBudget[dc]; ok && budget > 0 && n > budget {
+	for i, n := range occ {
+		if b := sp.occBudget[i]; b > 0 && n > b {
 			return false
 		}
 	}

@@ -33,10 +33,29 @@ type Demand struct {
 // Set is a collection of demands. The zero value is an empty, usable set.
 type Set struct {
 	Demands []Demand
+
+	// idx caches the destination index (dst → demand indices). It is built
+	// once by DestinationIndex and invalidated by Add; callers that append
+	// to Demands directly must not hold a stale index (rebuilds trigger off
+	// the length check). Mutating a demand's Rate in place is fine; mutating
+	// Src/Dst in place is not.
+	idx *dstIndex
+}
+
+// dstIndex is the cached per-destination demand grouping. The satisfiability
+// checker processes demands one destination group at a time; this index
+// replaces the O(|demands| × |destinations|) rescan with a prebuilt lookup.
+type dstIndex struct {
+	n     int // len(Demands) when built, for staleness detection
+	dsts  []topo.SwitchID
+	byDst [][]int32 // aligned with dsts: indices into Demands
 }
 
 // Add appends a demand to the set.
-func (s *Set) Add(d Demand) { s.Demands = append(s.Demands, d) }
+func (s *Set) Add(d Demand) {
+	s.Demands = append(s.Demands, d)
+	s.idx = nil
+}
 
 // Len returns the number of demands.
 func (s *Set) Len() int { return len(s.Demands) }
@@ -69,16 +88,42 @@ func (s *Set) Clone() Set {
 // The satisfiability checker batches routing work per destination, so the
 // size of this slice — not the number of demands — dominates check cost.
 func (s *Set) Destinations() []topo.SwitchID {
-	seen := make(map[topo.SwitchID]bool, 8)
-	var out []topo.SwitchID
-	for _, d := range s.Demands {
-		if !seen[d.Dst] {
-			seen[d.Dst] = true
-			out = append(out, d.Dst)
+	dsts, _ := s.DestinationIndex()
+	return append([]topo.SwitchID(nil), dsts...)
+}
+
+// DestinationIndex returns the distinct destinations, sorted by ID, and —
+// aligned with them — the indices of each destination's demands, in Demands
+// order. The index is built once and cached; it is not safe to build from
+// multiple goroutines concurrently, so concurrent users (e.g. parallel
+// precheck workers) must force the build single-threaded first. The
+// returned slices are shared — callers must not modify them.
+func (s *Set) DestinationIndex() ([]topo.SwitchID, [][]int32) {
+	if s.idx == nil || s.idx.n != len(s.Demands) {
+		s.idx = buildDstIndex(s.Demands)
+	}
+	return s.idx.dsts, s.idx.byDst
+}
+
+func buildDstIndex(demands []Demand) *dstIndex {
+	pos := make(map[topo.SwitchID]int, 8)
+	idx := &dstIndex{n: len(demands)}
+	for _, d := range demands {
+		if _, ok := pos[d.Dst]; !ok {
+			pos[d.Dst] = len(idx.dsts)
+			idx.dsts = append(idx.dsts, d.Dst)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(idx.dsts, func(i, j int) bool { return idx.dsts[i] < idx.dsts[j] })
+	for i, dst := range idx.dsts {
+		pos[dst] = i
+	}
+	idx.byDst = make([][]int32, len(idx.dsts))
+	for i, d := range demands {
+		g := pos[d.Dst]
+		idx.byDst[g] = append(idx.byDst[g], int32(i))
+	}
+	return idx
 }
 
 // Validate checks that all endpoints are in range for the topology, all

@@ -97,7 +97,20 @@ type Task struct {
 	// Janus baselines cannot plan such migrations (paper §6.3).
 	TopologyChanging bool
 
-	blocksByType [][]int // lazily built: block indices per type, canonical order
+	blocksByType [][]int      // lazily built: block indices per type, canonical order
+	touched      []BlockTouch // lazily built: per-block touched-element sets
+}
+
+// BlockTouch is the precomputed impact set of one operation block: every
+// element whose activity — or whose incident circuits' up-state — can change
+// when the block is applied or reverted. Switches contains the operated
+// switches plus the endpoints of every touched circuit; Circuits contains
+// the operated circuits plus every circuit incident to an operated switch.
+// Incremental satisfiability checking invalidates exactly the per-destination
+// routing state whose reachable set intersects Switches.
+type BlockTouch struct {
+	Switches []topo.SwitchID
+	Circuits []topo.CircuitID
 }
 
 // AddType interns a new action type and returns its handle.
@@ -107,6 +120,7 @@ func (t *Task) AddType(info ActionTypeInfo) ActionType {
 	}
 	t.Types = append(t.Types, info)
 	t.blocksByType = nil
+	t.touched = nil
 	return ActionType(len(t.Types) - 1)
 }
 
@@ -118,6 +132,7 @@ func (t *Task) AddBlock(b Block) int {
 	}
 	t.Blocks = append(t.Blocks, b)
 	t.blocksByType = nil
+	t.touched = nil
 	return b.ID
 }
 
@@ -149,6 +164,63 @@ func (t *Task) BlocksOfType(a ActionType) []int {
 		}
 	}
 	return t.blocksByType[a]
+}
+
+// Touched returns the precomputed touched-element set of the block. The
+// full table is built lazily on first call and cached; like BlocksOfType it
+// is not safe to build from multiple goroutines, so concurrent users must
+// force the build single-threaded first (e.g. via BuildTouched). The
+// returned sets are shared — callers must not modify them.
+func (t *Task) Touched(blockID int) *BlockTouch {
+	t.BuildTouched()
+	return &t.touched[blockID]
+}
+
+// BuildTouched forces construction of the per-block touched-element table.
+func (t *Task) BuildTouched() {
+	if t.touched != nil {
+		return
+	}
+	touched := make([]BlockTouch, len(t.Blocks))
+	seenSw := make(map[topo.SwitchID]bool)
+	seenCk := make(map[topo.CircuitID]bool)
+	for i := range t.Blocks {
+		b := &t.Blocks[i]
+		for k := range seenSw {
+			delete(seenSw, k)
+		}
+		for k := range seenCk {
+			delete(seenCk, k)
+		}
+		bt := &touched[i]
+		addCk := func(c topo.CircuitID) {
+			if !seenCk[c] {
+				seenCk[c] = true
+				bt.Circuits = append(bt.Circuits, c)
+			}
+		}
+		addSw := func(s topo.SwitchID) {
+			if !seenSw[s] {
+				seenSw[s] = true
+				bt.Switches = append(bt.Switches, s)
+			}
+		}
+		for _, s := range b.Switches {
+			addSw(s)
+			for _, c := range t.Topo.Switch(s).Circuits() {
+				addCk(c)
+			}
+		}
+		for _, c := range b.Circuits {
+			addCk(c)
+		}
+		for _, c := range bt.Circuits {
+			ck := t.Topo.Circuit(c)
+			addSw(ck.A)
+			addSw(ck.B)
+		}
+	}
+	t.touched = touched
 }
 
 // Counts returns the number of blocks per action type — the target vector

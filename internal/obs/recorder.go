@@ -19,6 +19,10 @@ const (
 	MetricRetries            = "ctrl.retries"
 	MetricReplans            = "ctrl.replans"
 	MetricBoundaryViolations = "ctrl.boundary_violations"
+	MetricGroupInvalidations = "routing.group_invalidations"
+	MetricGroupsReused       = "routing.groups_reused"
+	MetricIncDisables        = "routing.incremental_disables"
+	MetricBatchedChecks      = "planner.batched_boundary_checks"
 	TraceName                = "planner"
 )
 
@@ -42,6 +46,10 @@ type Recorder struct {
 	retries          *Counter
 	replans          *Counter
 	boundaryViol     *Counter
+	groupInval       *Counter
+	groupsReused     *Counter
+	incDisables      *Counter
+	batchedChecks    *Counter
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -66,6 +74,10 @@ func NewRecorder(reg *Registry) *Recorder {
 		retries:          reg.Counter(MetricRetries),
 		replans:          reg.Counter(MetricReplans),
 		boundaryViol:     reg.Counter(MetricBoundaryViolations),
+		groupInval:       reg.Counter(MetricGroupInvalidations),
+		groupsReused:     reg.Counter(MetricGroupsReused),
+		incDisables:      reg.Counter(MetricIncDisables),
+		batchedChecks:    reg.Counter(MetricBatchedChecks),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -187,6 +199,43 @@ func (r *Recorder) BoundaryViolation() {
 		return
 	}
 	r.boundaryViol.Inc()
+}
+
+// GroupInvalidations counts n destination groups recomputed by incremental
+// satisfiability checks.
+func (r *Recorder) GroupInvalidations(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.groupInval.Add(int64(n))
+}
+
+// GroupsReused counts n destination groups answered from the incremental
+// memo without recomputation.
+func (r *Recorder) GroupsReused(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.groupsReused.Add(int64(n))
+}
+
+// IncDisable counts one incremental-engine self-disable event: successive
+// deltas kept invalidating (nearly) every destination group, so the
+// evaluator fell back to classic full checks for the rest of the run.
+func (r *Recorder) IncDisable() {
+	if r == nil {
+		return
+	}
+	r.incDisables.Inc()
+}
+
+// BatchedChecks counts n boundary checks resolved by a parallel batch
+// instead of the lazy serial path.
+func (r *Recorder) BatchedChecks(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.batchedChecks.Add(int64(n))
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

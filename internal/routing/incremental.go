@@ -1,0 +1,710 @@
+package routing
+
+import (
+	"klotski/internal/demand"
+	"klotski/internal/topo"
+)
+
+// This file implements the incremental satisfiability engine. A planner
+// probing the state space mutates only one block between consecutive
+// checks, yet the classic Check pays one BFS plus one flow sweep per
+// distinct destination over the whole fabric every time. CheckDelta instead
+// memoizes, per destination group, the group's settled distance field and
+// its sparse per-circuit load contribution; per-circuit total load is the
+// sum of group contributions. A delta check invalidates only the groups
+// whose placement the touched elements can actually affect, re-runs those
+// groups' BFS + sweep, and re-verifies bounds on the affected circuits.
+//
+// Invalidation rule. A group's placement is fully determined by its
+// shortest-distance field dist (unreachable = ∞): the flow DAG is the set
+// of tight circuits (|dist[x] − dist[y]| equal to the metric), and ECMP/
+// WCMP splits depend only on that DAG. For a circuit c = (x, y) whose
+// up-state transitions:
+//
+//   - went down: invalidate iff c was tight. Removing a non-tight circuit
+//     removes no shortest-path support (every finite distance stays
+//     supported by its remaining tight circuits) and no DAG edge, so the
+//     placement is unchanged.
+//   - came up: invalidate iff c could change a distance or join the DAG —
+//     exactly one endpoint unreachable, or both reachable with
+//     |dist[x] − dist[y]| ≥ metric. A circuit between two unreachable
+//     switches, or with |dist[x] − dist[y]| < metric, neither improves any
+//     distance nor becomes tight.
+//
+// These per-transition tests compose: if no transition in a delta triggers,
+// the old distance field remains a valid shortest-path assignment of the
+// new graph with an identical tight-circuit DAG, so the group's placement
+// — and its unreachable count — are unchanged. Groups whose destination is
+// inactive carry no distance field; they are invalidated only by an
+// operation on the destination switch itself (the only way they can change,
+// since CircuitUp requires both endpoints active).
+//
+// Callers must pass touched sets closed under ExpandTouched, so every
+// circuit whose up-state may have flipped — including via an endpoint
+// switch drain — is listed, and every operated switch is visible for the
+// inactive-destination probe.
+//
+// Exactness: group contributions are independent — splitting at a switch
+// depends only on the group's own distance field, never on other groups'
+// flow — so per-circuit totals decompose exactly into per-group terms. To
+// keep verdicts bitwise-identical with the classic path despite float
+// non-associativity, affected totals are recomputed from zero by folding
+// group contributions in ascending group order, the same order the classic
+// path uses.
+//
+// Funneling (FunnelFactor > 1) tightens bounds per in-flight block, not per
+// topology state, so funneled checks bypass memoization entirely.
+
+// Self-disable policy: fabrics exist (dense ECMP meshes) where nearly every
+// circuit is tight for nearly every destination, so a block delta dirties
+// most groups and the memo pays pure overhead on top of an (early-exiting)
+// classic check. CheckDelta tracks the cumulative dirty fraction across
+// delta passes; once it proves too high, the engine shuts itself off for
+// the run and answers every subsequent check classically. ResetIncremental
+// re-arms it.
+const (
+	// incPolicyFastPasses triggers the fast tier: wholesale invalidation
+	// (every group dirty) for this many consecutive passes from the anchor
+	// proves the fabric hopeless immediately.
+	incPolicyFastPasses = 2
+	// incPolicyMinPasses is how many delta passes the slow tier observes
+	// before it may disable the engine on a partial dirty fraction.
+	incPolicyMinPasses = 4
+	// The slow tier disables the engine when more than ⅔ of group
+	// placements were dirty across the observed passes.
+	incPolicyDirtyNum = 3
+	incPolicyDirtyDen = 2
+)
+
+// incGroup is the memoized routing state of one destination group.
+type incGroup struct {
+	dst       topo.SwitchID
+	dstActive bool    // destination was active at last (re)compute
+	demands   []int32 // indices into ds.Demands, shared with the dst index
+
+	// dist is the group's memoized shortest-distance field, biased by +1 so
+	// that 0 marks unreachable — recompute then clears it with a memclr
+	// instead of a -1 fill. Distance comparisons are unaffected by the bias
+	// (it cancels in differences). Meaningful only while dstActive.
+	dist []int32
+	// hasFlow marks switches that carried any of this group's flow in the
+	// memoized placement (positive inflow after the sweep). A DAG edge
+	// appearing or disappearing at a flow-less switch cannot move load.
+	hasFlow []bool
+
+	// Sparse contribution: directional load indices and values, aligned.
+	lis  []int32
+	vals []float64
+
+	unreach int32 // demands of this group without a path
+}
+
+func (g *incGroup) settled(s topo.SwitchID) bool { return g.dist[s] > 0 }
+
+// incMemo holds the evaluator's incremental state across CheckDelta calls.
+type incMemo struct {
+	valid bool
+
+	// Identity of the memoized check configuration; any mismatch forces a
+	// full rebuild.
+	ds    *demand.Set
+	dsLen int
+	theta float64
+	split SplitMode
+
+	groups []incGroup
+	// dirty marks groups whose memoized placement is stale relative to the
+	// anchor view: invalidated this delta, or left unrecomputed by an
+	// earlier delta that returned at the first violation.
+	dirty []bool
+	// staleLis lists directional load indices whose total is stale after an
+	// early-exit delta; the next completed pass re-sums them.
+	staleLis []int32
+
+	total  []float64 // per directional index: sum of group contributions
+	upMemo []bool    // per circuit: up-state in the memoized view
+	degree []int32   // per switch: up-circuit count in the memoized view
+
+	portOver []bool // per switch: over its port budget
+	nPort    int
+	over     []bool // per circuit: over the utilization bound
+	nOver    int
+	unreach  int // total unreachable demands across groups
+
+	// Epoch-stamped scratch marks (one epoch per delta) and reusable lists.
+	epoch   uint32
+	liMark  []uint32
+	swMark  []uint32
+	ckMark  []uint32
+	tsw     []topo.SwitchID
+	transCk []topo.CircuitID
+	degCh   []topo.SwitchID
+	marked  []int32
+
+	// Self-disable policy accumulators: delta passes observed, groups
+	// dirty at the start of each pass, and groups total per pass. off
+	// latches once the dirty fraction proves the memo unprofitable.
+	passes    int
+	sumDirty  int
+	sumGroups int
+	off       bool
+}
+
+// ensureInc allocates the incremental memo on first use.
+func (e *Evaluator) ensureInc() *incMemo {
+	if e.inc == nil {
+		n, m := e.t.NumSwitches(), e.t.NumCircuits()
+		e.inc = &incMemo{
+			total:    make([]float64, 2*m),
+			upMemo:   make([]bool, m),
+			degree:   make([]int32, n),
+			portOver: make([]bool, n),
+			over:     make([]bool, m),
+			liMark:   make([]uint32, 2*m),
+			swMark:   make([]uint32, n),
+			ckMark:   make([]uint32, m),
+		}
+	}
+	return e.inc
+}
+
+// ResetIncremental drops the incremental memo; the next CheckDelta rebuilds
+// from scratch. Call when the view may have changed without corresponding
+// touched sets (e.g. when an evaluator is handed to a new planning run).
+func (e *Evaluator) ResetIncremental() {
+	if e.inc != nil {
+		e.inc.valid = false
+		e.inc.off = false
+		e.inc.passes, e.inc.sumDirty, e.inc.sumGroups = 0, 0, 0
+	}
+}
+
+// IncrementalOff reports whether the incremental engine has disabled itself
+// for this run (memo reuse proved too low on this fabric). Callers may use
+// it to skip touched-set bookkeeping; CheckDelta already answers classically
+// on its own.
+func (e *Evaluator) IncrementalOff() bool {
+	return e.inc != nil && e.inc.off
+}
+
+// ExpandTouched closes a raw touched-element set over the incidence
+// relations CheckDelta's invalidation rule relies on: endpoints of every
+// touched circuit are added to the switch set, and circuits incident to
+// every touched switch are added to the circuit set. Inputs may contain
+// duplicates; outputs may too. migration.Task.BuildTouched performs the
+// same closure per block, so planner callers get it for free.
+func ExpandTouched(t *topo.Topology, sw []topo.SwitchID, ck []topo.CircuitID) ([]topo.SwitchID, []topo.CircuitID) {
+	outSw := append([]topo.SwitchID(nil), sw...)
+	outCk := append([]topo.CircuitID(nil), ck...)
+	for _, s := range sw {
+		outCk = append(outCk, t.Switch(s).Circuits()...)
+	}
+	for _, c := range outCk {
+		cc := t.Circuit(c)
+		outSw = append(outSw, cc.A, cc.B)
+	}
+	return outSw, outCk
+}
+
+// CheckDelta verifies the demand and port constraints on the view, reusing
+// memoized per-group state from the previous CheckDelta on this evaluator.
+// touchedSw/touchedCk must cover every element whose activity may differ
+// from the view the memo was computed on, closed per ExpandTouched;
+// duplicates are fine. The returned Violation's OK() is identical to what
+// Check would return on the same view; when the state is unsafe the
+// reported violation detail (kind, element) may differ from Check's, since
+// violations are synthesized from the memo rather than found in sweep
+// order.
+//
+// Funneled options (FunnelFactor > 1 with circuits listed) cannot be
+// answered from per-group memos; such calls fall back to a classic full
+// Check and drop the memo. Once the self-disable policy latches (see
+// IncrementalOff) every call answers via the classic check until
+// ResetIncremental re-arms the engine.
+func (e *Evaluator) CheckDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk []topo.CircuitID, ds *demand.Set, opts CheckOpts) Violation {
+	if opts.FunnelFactor > 1 && len(opts.FunnelCircuits) > 0 {
+		e.ResetIncremental()
+		return e.Check(v, ds, opts)
+	}
+	m := e.ensureInc()
+	if m.off {
+		return e.Check(v, ds, opts)
+	}
+	e.Checks++
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+	if !m.valid || m.ds != ds || m.dsLen != len(ds.Demands) || m.theta != theta || m.split != opts.Split {
+		e.IncRebuilds++
+		e.incRebuild(v, ds, theta, opts.Split)
+	} else if viol, aborted := e.incDelta(v, touchedSw, touchedCk, ds, theta, opts.Split); aborted {
+		return viol
+	}
+	return e.incVerdict(v, ds)
+}
+
+// incRebuild recomputes the whole memo from the view.
+func (e *Evaluator) incRebuild(v *topo.View, ds *demand.Set, theta float64, split SplitMode) {
+	m := e.inc
+	t := e.t
+	n, nc := t.NumSwitches(), t.NumCircuits()
+
+	// Port state: degrees and per-switch over-budget flags. e.up mirrors the
+	// memo anchor from here on; the BFS/sweep inner loops read it.
+	for i := range m.degree {
+		m.degree[i] = 0
+	}
+	for c := 0; c < nc; c++ {
+		cid := topo.CircuitID(c)
+		up := v.CircuitUp(cid)
+		m.upMemo[c] = up
+		e.up[c] = up
+		if up {
+			ck := t.Circuit(cid)
+			m.degree[ck.A]++
+			m.degree[ck.B]++
+		}
+	}
+	e.upForMemo = true
+	m.nPort = 0
+	for i := 0; i < n; i++ {
+		s := t.Switch(topo.SwitchID(i))
+		over := s.Ports > 0 && int(m.degree[i]) > s.Ports
+		m.portOver[i] = over
+		if over {
+			m.nPort++
+		}
+	}
+
+	// Group placements and totals, folded in ascending group order.
+	dsts, byDst := ds.DestinationIndex()
+	if cap(m.groups) < len(dsts) {
+		m.groups = make([]incGroup, len(dsts))
+		m.dirty = make([]bool, len(dsts))
+	}
+	m.groups = m.groups[:len(dsts)]
+	m.dirty = m.dirty[:len(dsts)]
+	for i := range m.dirty {
+		m.dirty[i] = false
+	}
+	m.staleLis = m.staleLis[:0]
+	for i := range m.total {
+		m.total[i] = 0
+	}
+	m.unreach = 0
+	for gi, dst := range dsts {
+		g := &m.groups[gi]
+		g.dst = dst
+		g.demands = byDst[gi]
+		e.incComputeGroup(v, g, ds, split)
+		m.unreach += int(g.unreach)
+		for j, li := range g.lis {
+			m.total[li] += g.vals[j]
+		}
+	}
+
+	// Utilization flags.
+	m.nOver = 0
+	for c := 0; c < nc; c++ {
+		cid := topo.CircuitID(c)
+		over := (m.total[2*c]+m.total[2*c+1])/t.Circuit(cid).Capacity > theta
+		m.over[c] = over
+		if over {
+			m.nOver++
+		}
+	}
+
+	m.ds, m.dsLen, m.theta, m.split = ds, len(ds.Demands), theta, split
+	m.passes, m.sumDirty, m.sumGroups = 0, 0, 0 // fresh anchor, fresh policy window
+	m.valid = true
+}
+
+// incComputeGroup (re)computes one group's distance field, unreachable
+// count, and sparse load contribution from the view.
+func (e *Evaluator) incComputeGroup(v *topo.View, g *incGroup, ds *demand.Set, split SplitMode) {
+	g.lis = g.lis[:0]
+	g.vals = g.vals[:0]
+	g.unreach = 0
+	g.dstActive = v.SwitchActive(g.dst)
+	if !g.dstActive {
+		// No distances: the group can only become routable again through
+		// an operation on the destination switch itself.
+		g.unreach = int32(len(g.demands))
+		return
+	}
+	if g.dist == nil {
+		g.dist = make([]int32, e.t.NumSwitches())
+		g.hasFlow = make([]bool, e.t.NumSwitches())
+	}
+	for i := range g.dist { // memclr: 0 = unreachable under the +1 bias
+		g.dist[i] = 0
+	}
+	for i := range g.hasFlow {
+		g.hasFlow[i] = false
+	}
+
+	e.bfs(v, g.dst)
+	for _, u := range e.queue {
+		g.dist[u] = e.distOf(u) + 1
+	}
+	for _, di := range g.demands {
+		d := ds.Demands[di]
+		if !v.SwitchActive(d.Src) || e.distOf(d.Src) < 0 {
+			g.unreach++
+			continue
+		}
+		e.addInflow(d.Src, d.Rate)
+	}
+	e.sweepGroup(v, g.dst, split)
+	for _, li := range e.gtouched {
+		g.lis = append(g.lis, li)
+		g.vals = append(g.vals, e.gload[li])
+		e.gload[li] = 0
+	}
+	e.gtouched = e.gtouched[:0]
+	for _, u := range e.queue {
+		g.hasFlow[u] = e.inflowOf(u) > 0
+	}
+}
+
+// incDelta applies a touched-element delta to the memo: update port state
+// on circuits whose up-state flipped, mark groups whose placement a flipped
+// circuit can affect as dirty, recompute them, and re-verify bounds on the
+// circuits whose totals changed.
+//
+// Like the classic path, the recompute pass exits at the first violation it
+// proves (aborted=true with the violation): remaining dirty groups stay
+// dirty and the affected totals are queued on staleLis for the next
+// completed pass. The bound check mid-pass uses a running partial total
+// over the groups recomputed so far — contributions are non-negative, so a
+// partial total over the bound proves the final total is too.
+func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk []topo.CircuitID, ds *demand.Set, theta float64, split SplitMode) (Violation, bool) {
+	m := e.inc
+	t := e.t
+	m.epoch++
+	if m.epoch == 0 { // wrapped; reset all marks
+		for i := range m.liMark {
+			m.liMark[i] = 0
+		}
+		for i := range m.swMark {
+			m.swMark[i] = 0
+		}
+		for i := range m.ckMark {
+			m.ckMark[i] = 0
+		}
+		m.epoch = 1
+	}
+	ep := m.epoch
+	if !e.upForMemo { // a classic run overwrote e.up; restore the anchor
+		copy(e.up, m.upMemo)
+		e.upForMemo = true
+	}
+
+	// 1. Diff circuit up-states, collecting actual transitions; maintain
+	// degrees, port flags, and the e.up snapshot. Note upMemo holds the OLD
+	// state until a circuit's entry is overwritten here, so the analysis
+	// below reads the transition direction from the updated value.
+	trans := m.transCk[:0]
+	degCh := m.degCh[:0]
+	for _, c := range touchedCk {
+		if m.ckMark[c] == ep {
+			continue
+		}
+		m.ckMark[c] = ep
+		up := v.CircuitUp(c)
+		if up == m.upMemo[c] {
+			continue
+		}
+		m.upMemo[c] = up
+		e.up[c] = up
+		trans = append(trans, c)
+		ck := t.Circuit(c)
+		d := int32(1)
+		if !up {
+			d = -1
+		}
+		m.degree[ck.A] += d
+		m.degree[ck.B] += d
+		degCh = append(degCh, ck.A, ck.B)
+	}
+	for _, s := range degCh { // duplicates harmless: flag update is idempotent
+		sw := t.Switch(s)
+		over := sw.Ports > 0 && int(m.degree[s]) > sw.Ports
+		if over != m.portOver[s] {
+			m.portOver[s] = over
+			if over {
+				m.nPort++
+			} else {
+				m.nPort--
+			}
+		}
+	}
+	m.degCh = degCh[:0]
+
+	// 2. Deduplicate the touched switches (the inactive-destination probe
+	// needs them; planners pass per-block unions with repeats).
+	tsw := m.tsw[:0]
+	for _, s := range touchedSw {
+		if m.swMark[s] == ep {
+			continue
+		}
+		m.swMark[s] = ep
+		tsw = append(tsw, s)
+	}
+
+	// 3. Invalidation analysis on clean groups. Dirty groups carry stale
+	// distance fields, so they skip the tests and stay dirty. Distances use
+	// the +1 bias: 0 = unreachable; the bias cancels in differences.
+	dirtyCount := 0
+	for gi := range m.groups {
+		if m.dirty[gi] {
+			dirtyCount++
+			continue
+		}
+		g := &m.groups[gi]
+		hit := false
+		if !g.dstActive {
+			for _, s := range tsw {
+				if s == g.dst {
+					hit = true
+					break
+				}
+			}
+		} else {
+			for _, c := range trans {
+				ck := t.Circuit(c)
+				dx, dy := g.dist[ck.A], g.dist[ck.B]
+				// Orient toward the destination: far is the endpoint the
+				// circuit serves as a next hop for (the larger distance).
+				far, diff := ck.A, dx-dy
+				if diff < 0 {
+					far, diff = ck.B, -diff
+				}
+				if m.upMemo[c] {
+					// Came up. A circuit between two unreachable switches
+					// changes nothing; one connecting the unreachable side
+					// or improving a distance changes the distance field.
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if dx == 0 || dy == 0 || diff > ck.Metric {
+						hit = true
+						break
+					}
+					// Exact tie: distances hold, but the DAG gains an edge
+					// at far — which only moves load if far carries flow.
+					if diff == ck.Metric && g.hasFlow[far] {
+						hit = true
+						break
+					}
+				} else {
+					// Went down: only tight (DAG) circuits matter, and a
+					// tight circuit whose far endpoint carries no flow is
+					// harmless as long as far keeps another shortest-path
+					// support (so the whole distance field stands).
+					if dx == 0 || dy == 0 || diff != ck.Metric {
+						continue
+					}
+					if g.hasFlow[far] || !e.supported(g, far) {
+						hit = true
+						break
+					}
+				}
+			}
+		}
+		if hit {
+			m.dirty[gi] = true
+			dirtyCount++
+		}
+	}
+	m.tsw = tsw[:0]
+	m.transCk = trans[:0]
+
+	// Feed the self-disable policy: a persistently high dirty fraction
+	// means this fabric invalidates wholesale and the memo cannot pay.
+	m.passes++
+	m.sumDirty += dirtyCount
+	m.sumGroups += len(m.groups)
+	if (m.passes >= incPolicyFastPasses && m.sumDirty == m.sumGroups) ||
+		(m.passes >= incPolicyMinPasses && incPolicyDirtyNum*m.sumDirty > incPolicyDirtyDen*m.sumGroups) {
+		m.off = true
+		e.IncDisables++
+	}
+
+	// Port violations outrank routing ones in the classic check order, so
+	// answer them before paying for any group recompute; dirty groups wait.
+	if m.nPort > 0 {
+		for i, over := range m.portOver {
+			if over {
+				return Violation{Kind: ViolationPorts, Switch: topo.SwitchID(i)}, true
+			}
+		}
+	}
+
+	// 4. Recompute dirty groups in ascending order, folding each new
+	// contribution into a running partial total (e.load as scratch) and
+	// exiting at the first proven violation.
+	marked := m.marked[:0]
+	markLi := func(li int32) {
+		if m.liMark[li] != ep {
+			m.liMark[li] = ep
+			e.load[li] = 0
+			marked = append(marked, li)
+		}
+	}
+	for _, li := range m.staleLis {
+		markLi(li)
+	}
+	recomputed := 0
+	for gi := range m.groups {
+		if !m.dirty[gi] {
+			continue
+		}
+		g := &m.groups[gi]
+		for _, li := range g.lis {
+			markLi(li)
+		}
+		m.unreach -= int(g.unreach)
+		e.incComputeGroup(v, g, ds, split)
+		m.unreach += int(g.unreach)
+		m.dirty[gi] = false
+		recomputed++
+		var viol Violation
+		if g.unreach > 0 {
+			for _, di := range g.demands {
+				d := ds.Demands[di]
+				if !g.dstActive || !v.SwitchActive(d.Src) || !g.settled(d.Src) {
+					viol = Violation{Kind: ViolationUnreachable, Demand: d}
+					break
+				}
+			}
+		}
+		for j, li := range g.lis {
+			markLi(li)
+			e.load[li] += g.vals[j]
+			if viol.Kind != ViolationNone {
+				continue // keep folding so the memo state stays coherent
+			}
+			c := li >> 1
+			var tot float64
+			if m.liMark[2*c] == ep {
+				tot = e.load[2*c]
+			}
+			if m.liMark[2*c+1] == ep {
+				tot += e.load[2*c+1]
+			}
+			if tot/e.caps[c] > theta {
+				viol = Violation{Kind: ViolationUtilization, Circuit: topo.CircuitID(c), Util: tot / e.caps[c]}
+			}
+		}
+		if viol.Kind != ViolationNone {
+			// Abort: later dirty groups stay dirty; queue every marked
+			// index for re-summation on the next completed pass.
+			e.GroupInvalidations += recomputed
+			e.GroupsReused += len(m.groups) - recomputed
+			m.staleLis = append(m.staleLis[:0], marked...)
+			m.marked = marked[:0]
+			return viol, true
+		}
+	}
+	e.GroupInvalidations += recomputed
+	e.GroupsReused += len(m.groups) - recomputed
+	m.staleLis = m.staleLis[:0]
+
+	// 5. Re-sum affected totals from zero in ascending group order — the
+	// exact fold order of the classic path, so unchanged-state checks stay
+	// bitwise-identical across delta, rebuild, and classic evaluation.
+	// (Groups with a zero term for a marked index simply skip it, which
+	// cannot perturb the sum.)
+	for _, li := range marked {
+		m.total[li] = 0
+	}
+	if len(marked) > 0 {
+		for gi := range m.groups {
+			g := &m.groups[gi]
+			for j, li := range g.lis {
+				if m.liMark[li] == ep {
+					m.total[li] += g.vals[j]
+				}
+			}
+		}
+	}
+
+	// 6. Refresh utilization flags on affected circuits. A circuit that
+	// went down was tight in every group that loaded it, so those groups
+	// were invalidated and its total is now zero.
+	for _, li := range marked {
+		c := li >> 1
+		over := (m.total[2*c]+m.total[2*c+1])/e.caps[c] > theta
+		if over != m.over[c] {
+			m.over[c] = over
+			if over {
+				m.nOver++
+			} else {
+				m.nOver--
+			}
+		}
+	}
+	m.marked = marked[:0]
+	return Violation{}, false
+}
+
+// supported reports whether switch s still has at least one shortest-path
+// next hop in the post-delta view (e.up), judged against the group's
+// memoized distance field. Used when a tight circuit at a flow-less switch
+// goes down: if another support remains, every memoized distance is still
+// achieved and the whole placement stands.
+func (e *Evaluator) supported(g *incGroup, s topo.SwitchID) bool {
+	dsf := g.dist[s]
+	arcs := e.arcs(s)
+	for i := range arcs {
+		a := &arcs[i]
+		// Under the +1 bias an unsettled neighbor has dist 0, so the
+		// candidate support distance must itself be positive to count.
+		if e.up[a.ck] && dsf > a.metric && g.dist[a.other] == dsf-a.metric {
+			return true
+		}
+	}
+	return false
+}
+
+// incVerdict synthesizes a Violation from the memo's counters, scanning for
+// a concrete offending element only when a counter is non-zero.
+func (e *Evaluator) incVerdict(v *topo.View, ds *demand.Set) Violation {
+	m := e.inc
+	if m.nPort > 0 {
+		for i, over := range m.portOver {
+			if over {
+				return Violation{Kind: ViolationPorts, Switch: topo.SwitchID(i)}
+			}
+		}
+	}
+	if m.unreach > 0 {
+		for gi := range m.groups {
+			g := &m.groups[gi]
+			if g.unreach == 0 {
+				continue
+			}
+			if !v.SwitchActive(g.dst) || !g.dstActive {
+				return Violation{Kind: ViolationUnreachable, Demand: ds.Demands[g.demands[0]]}
+			}
+			for _, di := range g.demands {
+				d := ds.Demands[di]
+				if !v.SwitchActive(d.Src) || !g.settled(d.Src) {
+					return Violation{Kind: ViolationUnreachable, Demand: d}
+				}
+			}
+		}
+	}
+	if m.nOver > 0 {
+		for c, over := range m.over {
+			if over {
+				cid := topo.CircuitID(c)
+				util := (m.total[2*c] + m.total[2*c+1]) / e.t.Circuit(cid).Capacity
+				return Violation{Kind: ViolationUtilization, Circuit: cid, Util: util}
+			}
+		}
+	}
+	return Violation{}
+}

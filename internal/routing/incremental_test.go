@@ -1,0 +1,346 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"klotski/internal/demand"
+	"klotski/internal/topo"
+)
+
+// randomFabric builds a random multi-layer fabric with rng: three tiers of
+// switches wired tier-to-tier with random capacities and metrics, plus a
+// few random port budgets.
+func randomFabric(rng *rand.Rand) (*topo.Topology, []topo.SwitchID) {
+	t := topo.New("rand")
+	tiers := [][]topo.SwitchID{}
+	roles := []topo.Role{topo.RoleRSW, topo.RoleFSW, topo.RoleSSW}
+	for ti, role := range roles {
+		n := 2 + rng.Intn(4)
+		var tier []topo.SwitchID
+		for i := 0; i < n; i++ {
+			ports := 0
+			if rng.Intn(4) == 0 {
+				ports = 2 + rng.Intn(6)
+			}
+			tier = append(tier, t.AddSwitch(topo.Switch{
+				Name:  fmt.Sprintf("t%d-%d", ti, i),
+				Role:  role,
+				Ports: ports,
+			}))
+		}
+		tiers = append(tiers, tier)
+	}
+	var all []topo.SwitchID
+	for _, tier := range tiers {
+		all = append(all, tier...)
+	}
+	for ti := 0; ti+1 < len(tiers); ti++ {
+		for _, a := range tiers[ti] {
+			for _, b := range tiers[ti+1] {
+				if rng.Float64() < 0.8 {
+					c := t.AddCircuit(a, b, 5+rng.Float64()*20)
+					if rng.Intn(3) == 0 {
+						t.SetMetric(c, int32(1+rng.Intn(3)))
+					}
+				}
+			}
+		}
+	}
+	// A few same-tier cross links for path diversity.
+	for _, tier := range tiers {
+		for i := 0; i+1 < len(tier); i++ {
+			if rng.Float64() < 0.3 {
+				t.AddCircuit(tier[i], tier[i+1], 5+rng.Float64()*10)
+			}
+		}
+	}
+	return t, all
+}
+
+func randomDemands(rng *rand.Rand, sw []topo.SwitchID) demand.Set {
+	var ds demand.Set
+	n := 3 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		src := sw[rng.Intn(len(sw))]
+		dst := sw[rng.Intn(len(sw))]
+		if src == dst {
+			continue
+		}
+		ds.Add(demand.Demand{
+			Name: fmt.Sprintf("d%d", i),
+			Src:  src,
+			Dst:  dst,
+			Rate: 0.5 + rng.Float64()*4,
+		})
+	}
+	if ds.Len() == 0 {
+		ds.Add(demand.Demand{Name: "d0", Src: sw[0], Dst: sw[len(sw)-1], Rate: 1})
+	}
+	return ds
+}
+
+// TestCheckDeltaMatchesCheckRandomWalk is the evaluator-level equivalence
+// property: after every step of a random walk over view mutations,
+// CheckDelta (fed the tracked touched elements, closed via ExpandTouched)
+// must agree with a from-scratch Check on the verdict, and the memoized
+// per-circuit totals must be bitwise identical to a full Evaluate's loads.
+func TestCheckDeltaMatchesCheckRandomWalk(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tp, sw := randomFabric(rng)
+			ds := randomDemands(rng, sw)
+			split := SplitEqual
+			if seed%3 == 0 {
+				split = SplitCapacityWeighted
+			}
+			opts := CheckOpts{Theta: 0.5 + rng.Float64()*0.4, Split: split}
+
+			inc := NewEvaluator(tp)
+			full := NewEvaluator(tp)
+			view := tp.NewView()
+			view.Track()
+
+			for step := 0; step < 60; step++ {
+				// Mutate a random small batch of elements.
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					if rng.Intn(2) == 0 && tp.NumSwitches() > 0 {
+						id := topo.SwitchID(rng.Intn(tp.NumSwitches()))
+						view.SetSwitchActive(id, !view.SwitchActive(id))
+					} else {
+						id := topo.CircuitID(rng.Intn(tp.NumCircuits()))
+						view.SetCircuitActive(id, !view.CircuitActive(id))
+					}
+				}
+				tsw, tck := view.TakeTouched()
+				tsw, tck = ExpandTouched(tp, tsw, tck)
+
+				got := inc.CheckDelta(view, tsw, tck, &ds, opts)
+				_, want := full.Evaluate(view, &ds, opts)
+				if got.OK() != want.OK() {
+					t.Fatalf("step %d: CheckDelta=%v, full Check=%v", step, got, want)
+				}
+				// The memoized totals are exact — bitwise — whenever the
+				// state is safe and the engine is live: a violating delta
+				// pass may exit at the first proven violation with later
+				// groups pending, and after a self-disable the memo is
+				// frozen at its last anchor view.
+				if got.OK() && !inc.IncrementalOff() {
+					for c := 0; c < tp.NumCircuits(); c++ {
+						fa, fb := full.CircuitLoad(topo.CircuitID(c))
+						ia := inc.inc.total[2*c]
+						ib := inc.inc.total[2*c+1]
+						if ia != fa || ib != fb {
+							t.Fatalf("step %d: circuit %d memo load (%v,%v) != full (%v,%v)",
+								step, c, ia, ib, fa, fb)
+						}
+					}
+				}
+			}
+			if inc.GroupsReused == 0 && !inc.IncrementalOff() {
+				t.Errorf("incremental path never reused a group over the walk")
+			}
+		})
+	}
+}
+
+// TestCheckDeltaRebuildTriggers verifies the memo is rebuilt, not reused,
+// when the check configuration changes under it.
+func TestCheckDeltaRebuildTriggers(t *testing.T) {
+	tp, sw, _ := diamondForInc()
+	ds := oneDemand(sw[0], sw[3], 8)
+	e := NewEvaluator(tp)
+	v := tp.NewView()
+
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.9}); !viol.OK() {
+		t.Fatalf("initial delta check: %v", viol)
+	}
+	if e.IncRebuilds != 1 {
+		t.Fatalf("IncRebuilds = %d, want 1", e.IncRebuilds)
+	}
+	// Tighter theta must invalidate the memoized verdict inputs.
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.3}); viol.Kind != ViolationUtilization {
+		t.Fatalf("tight-theta delta check = %v, want utilization violation", viol)
+	}
+	if e.IncRebuilds != 2 {
+		t.Fatalf("IncRebuilds = %d, want 2 after theta change", e.IncRebuilds)
+	}
+	// Growing the demand set must trigger a rebuild too.
+	ds.Add(demand.Demand{Name: "d2", Src: sw[1], Dst: sw[3], Rate: 1})
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.9}); !viol.OK() {
+		t.Fatalf("after demand add: %v", viol)
+	}
+	if e.IncRebuilds != 3 {
+		t.Fatalf("IncRebuilds = %d, want 3 after demand add", e.IncRebuilds)
+	}
+	// ResetIncremental forces the next delta call to rebuild.
+	e.ResetIncremental()
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.9}); !viol.OK() {
+		t.Fatalf("after reset: %v", viol)
+	}
+	if e.IncRebuilds != 4 {
+		t.Fatalf("IncRebuilds = %d, want 4 after reset", e.IncRebuilds)
+	}
+}
+
+// diamondForInc mirrors the diamond helper; duplicated name-free so this
+// file stays independent of test ordering.
+func diamondForInc() (*topo.Topology, []topo.SwitchID, []topo.CircuitID) {
+	return diamond()
+}
+
+// TestCheckDeltaFunnelingBypasses verifies funneled options fall back to a
+// classic full check and drop the memo.
+func TestCheckDeltaFunnelingBypasses(t *testing.T) {
+	tp, sw, ck := diamond()
+	ds := oneDemand(sw[0], sw[3], 8)
+	e := NewEvaluator(tp)
+	v := tp.NewView()
+
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.9}); !viol.OK() {
+		t.Fatalf("plain delta check: %v", viol)
+	}
+	// 8 Tbps splits 4/4, so each circuit runs at util 0.4; the funneled
+	// bound 0.9/3 = 0.3 must trip it, which requires the classic path
+	// (memoized bounds know nothing of the funnel set).
+	viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{
+		Theta: 0.9, FunnelFactor: 3, FunnelCircuits: []topo.CircuitID{ck[0]},
+	})
+	if viol.Kind != ViolationUtilization {
+		t.Fatalf("funneled delta check = %v, want utilization violation", viol)
+	}
+	if e.inc.valid {
+		t.Fatalf("memo still valid after funneled bypass")
+	}
+}
+
+// TestCheckDeltaDstDrainUndrain exercises the inactive-destination settled
+// set {dst}: draining and undraining the destination must flip the verdict
+// both ways through the delta path.
+func TestCheckDeltaDstDrainUndrain(t *testing.T) {
+	tp, sw, _ := diamond()
+	ds := oneDemand(sw[0], sw[3], 8)
+	e := NewEvaluator(tp)
+	v := tp.NewView()
+	v.Track()
+	opts := CheckOpts{Theta: 0.9}
+
+	if viol := e.CheckDelta(v, nil, nil, &ds, opts); !viol.OK() {
+		t.Fatalf("initial: %v", viol)
+	}
+	v.DrainSwitch(sw[3])
+	tsw, tck := v.TakeTouched()
+	tsw, tck = ExpandTouched(tp, tsw, tck)
+	if viol := e.CheckDelta(v, tsw, tck, &ds, opts); viol.Kind != ViolationUnreachable {
+		t.Fatalf("dst drained: %v, want unreachable", viol)
+	}
+	v.UndrainSwitch(sw[3])
+	tsw, tck = v.TakeTouched()
+	tsw, tck = ExpandTouched(tp, tsw, tck)
+	if viol := e.CheckDelta(v, tsw, tck, &ds, opts); !viol.OK() {
+		t.Fatalf("dst undrained: %v", viol)
+	}
+}
+
+// TestCheckDeltaPortFlip exercises the incremental port accounting.
+func TestCheckDeltaPortFlip(t *testing.T) {
+	tp := topo.New("ports")
+	a := tp.AddSwitch(topo.Switch{Name: "a", Role: topo.RoleRSW})
+	b := tp.AddSwitch(topo.Switch{Name: "b", Role: topo.RoleFSW, Ports: 1})
+	c := tp.AddSwitch(topo.Switch{Name: "c", Role: topo.RoleSSW})
+	c0 := tp.AddCircuit(a, b, 10)
+	tp.AddCircuit(b, c, 10)
+	c2 := tp.AddCircuit(a, c, 10)
+	ds := oneDemand(a, c, 1)
+	e := NewEvaluator(tp)
+	v := tp.NewView()
+	v.Track()
+	// b has two up circuits against a budget of one.
+	v.DrainCircuit(c0)
+	v.TakeTouched() // starting state for the memo; no deltas yet
+	opts := CheckOpts{Theta: 0.9}
+	if viol := e.CheckDelta(v, nil, nil, &ds, opts); !viol.OK() {
+		t.Fatalf("initial: %v", viol)
+	}
+	v.UndrainCircuit(c0)
+	tsw, tck := v.TakeTouched()
+	tsw, tck = ExpandTouched(tp, tsw, tck)
+	if viol := e.CheckDelta(v, tsw, tck, &ds, opts); viol.Kind != ViolationPorts {
+		t.Fatalf("port overload: %v, want ports violation", viol)
+	}
+	v.DrainCircuit(c2)
+	v.DrainCircuit(c0)
+	tsw, tck = v.TakeTouched()
+	tsw, tck = ExpandTouched(tp, tsw, tck)
+	if viol := e.CheckDelta(v, tsw, tck, &ds, opts); viol.Kind != ViolationUnreachable {
+		t.Fatalf("a cut off: %v, want unreachable", viol)
+	}
+}
+
+// TestExpandTouchedCloses spot-checks the closure: a circuit brings its
+// endpoints; a switch brings its incident circuits (and their endpoints).
+func TestExpandTouchedCloses(t *testing.T) {
+	tp, sw, ck := diamond()
+	gotSw, gotCk := ExpandTouched(tp, nil, []topo.CircuitID{ck[0]})
+	if !containsSw(gotSw, sw[0]) || !containsSw(gotSw, sw[1]) {
+		t.Fatalf("circuit expansion missing endpoints: %v", gotSw)
+	}
+	if len(gotCk) != 1 {
+		t.Fatalf("circuit-only expansion grew circuits: %v", gotCk)
+	}
+	gotSw, gotCk = ExpandTouched(tp, []topo.SwitchID{sw[1]}, nil)
+	if !containsCk(gotCk, ck[0]) || !containsCk(gotCk, ck[2]) {
+		t.Fatalf("switch expansion missing incident circuits: %v", gotCk)
+	}
+	if !containsSw(gotSw, sw[0]) || !containsSw(gotSw, sw[3]) {
+		t.Fatalf("switch expansion missing circuit endpoints: %v", gotSw)
+	}
+}
+
+func containsSw(s []topo.SwitchID, want topo.SwitchID) bool {
+	for _, x := range s {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsCk(s []topo.CircuitID, want topo.CircuitID) bool {
+	for _, x := range s {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGroupFoldMatchesReference guards the restructured classic path: the
+// group-fold evaluation must still agree with the naive reference
+// implementation on random fabrics.
+func TestGroupFoldMatchesReference(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tp, sw := randomFabric(rng)
+		ds := randomDemands(rng, sw)
+		e := NewEvaluator(tp)
+		v := tp.NewView()
+		for _, split := range []SplitMode{SplitEqual, SplitCapacityWeighted} {
+			_, viol := e.Evaluate(v, &ds, CheckOpts{Theta: 100, Split: split})
+			want, routed := ReferenceLoads(tp, v, &ds, split)
+			if routed != (viol.Kind != ViolationUnreachable) {
+				t.Fatalf("seed %d split %v: routed=%v but viol=%v", seed, split, routed, viol)
+			}
+			for c, w := range want {
+				ab, ba := e.CircuitLoad(c)
+				if got := ab + ba; math.Abs(got-w) > 1e-6 {
+					t.Fatalf("seed %d split %v circuit %d: load %v, want %v", seed, split, c, got, w)
+				}
+			}
+		}
+	}
+}

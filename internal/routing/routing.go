@@ -125,6 +125,18 @@ type Result struct {
 	TotalLoad      float64        // sum of per-circuit loads (Tbps·hops)
 }
 
+// adjEntry is one directed arc of the evaluator's flattened adjacency: the
+// circuit as seen from one endpoint, with the hot per-edge fields (peer,
+// metric, directional load index, capacity) pulled into a single cache line
+// so the BFS and sweep inner loops never chase Switch/Circuit pointers.
+type adjEntry struct {
+	other  topo.SwitchID  // peer endpoint
+	ck     topo.CircuitID // circuit identity
+	metric int32
+	li     int32 // load index for flow from this endpoint toward other
+	cap    float64
+}
+
 // Evaluator computes ECMP traffic placement over views of one topology.
 // It reuses internal buffers across calls and is therefore not safe for
 // concurrent use; create one evaluator per goroutine with Clone or
@@ -132,17 +144,39 @@ type Result struct {
 type Evaluator struct {
 	t *topo.Topology
 
-	// Per-switch scratch, versioned to avoid O(|S|) clears per destination.
+	// Flattened CSR adjacency: arcs of switch s are adj[adjOff[s]:adjOff[s+1]].
+	adj    []adjEntry
+	adjOff []int32
+
+	// Per-circuit up-state for the current check, filled once per call
+	// (classic path) or maintained against the memo anchor (delta path).
+	// Replaces per-edge View.CircuitUp lookups in the inner loops.
+	up []bool
+	// caps caches per-circuit capacity for the bound checks.
+	caps []float64
+	// upForMemo records whether e.up currently mirrors the incremental
+	// memo's anchor view; a classic run overwrites e.up and clears it.
+	upForMemo bool
+
+	// Per-switch scratch. dist is -1 and inflow 0 everywhere except the
+	// current queue (the last BFS's settled set); each bfs call starts by
+	// resetting the previous queue's entries, so no O(|S|) clear and no
+	// per-read version check is ever needed.
 	dist    []int32
 	inflow  []float64
-	version []uint32
-	epoch   uint32
 	queue   []topo.SwitchID
 	buckets [][]topo.SwitchID // Dial's algorithm distance buckets
+	tight   []int32           // sweep scratch: indices of tight arcs at one switch
 
 	// Per-circuit directional load, cleared per call.
 	// load[2c] is flow A→B on circuit c; load[2c+1] is flow B→A.
 	load []float64
+
+	// Group-local sweep scratch: one destination group's directional loads
+	// and the list of indices it touched, folded into load (or snapshotted
+	// into the incremental memo) after each sweep and re-zeroed.
+	gload    []float64
+	gtouched []int32
 
 	// Per-circuit funneling flag for the current call.
 	funnel    []bool
@@ -151,23 +185,75 @@ type Evaluator struct {
 	// Per-switch up-circuit count, for port checks.
 	degree []int32
 
+	// Incremental memo for CheckDelta; nil until first use.
+	inc *incMemo
+
 	// Stats counters for the lifetime of the evaluator.
-	Checks int // number of Check/Evaluate calls
-	BFSes  int // number of per-destination BFS sweeps
+	Checks             int // number of Check/Evaluate/CheckDelta calls
+	BFSes              int // number of per-destination BFS sweeps
+	GroupInvalidations int // destination groups recomputed by CheckDelta
+	GroupsReused       int // destination groups served from the memo
+	IncRebuilds        int // CheckDelta calls that fell back to a full rebuild
+	IncDisables        int // times the engine disabled itself (memo reuse too low)
 }
 
 // NewEvaluator returns an evaluator for views over t.
 func NewEvaluator(t *topo.Topology) *Evaluator {
 	n, m := t.NumSwitches(), t.NumCircuits()
-	return &Evaluator{
-		t:       t,
-		dist:    make([]int32, n),
-		inflow:  make([]float64, n),
-		version: make([]uint32, n),
-		queue:   make([]topo.SwitchID, 0, n),
-		load:    make([]float64, 2*m),
-		funnel:  make([]bool, m),
-		degree:  make([]int32, n),
+	e := &Evaluator{
+		t:      t,
+		dist:   make([]int32, n),
+		inflow: make([]float64, n),
+		queue:  make([]topo.SwitchID, 0, n),
+		load:   make([]float64, 2*m),
+		gload:  make([]float64, 2*m),
+		funnel: make([]bool, m),
+		degree: make([]int32, n),
+		up:     make([]bool, m),
+		caps:   make([]float64, m),
+		adjOff: make([]int32, n+1),
+	}
+	for c := 0; c < m; c++ {
+		e.caps[c] = t.Circuit(topo.CircuitID(c)).Capacity
+	}
+	for i := range e.dist {
+		e.dist[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		e.adjOff[i+1] = e.adjOff[i] + int32(len(t.Switch(topo.SwitchID(i)).Circuits()))
+	}
+	// Arcs are laid out in each switch's Circuits() order, so the sweep's
+	// share-accumulation order — and therefore every float sum — is
+	// identical to iterating the switch's circuit list directly.
+	e.adj = make([]adjEntry, 0, e.adjOff[n])
+	for i := 0; i < n; i++ {
+		u := topo.SwitchID(i)
+		for _, cid := range t.Switch(u).Circuits() {
+			ck := t.Circuit(cid)
+			dir := int32(0)
+			if ck.B == u { // flow from u travels B→A
+				dir = 1
+			}
+			e.adj = append(e.adj, adjEntry{
+				other: ck.Other(u), ck: cid, metric: ck.Metric,
+				li: 2*int32(cid) + dir, cap: ck.Capacity,
+			})
+		}
+	}
+	return e
+}
+
+// arcs returns the flattened adjacency of switch s.
+func (e *Evaluator) arcs(s topo.SwitchID) []adjEntry {
+	return e.adj[e.adjOff[s]:e.adjOff[s+1]]
+}
+
+// fillUp snapshots the view's per-circuit up-state into e.up for the
+// BFS/sweep inner loops.
+func (e *Evaluator) fillUp(v *topo.View) {
+	e.upForMemo = false
+	for c := range e.up {
+		e.up[c] = v.CircuitUp(topo.CircuitID(c))
 	}
 }
 
@@ -207,13 +293,18 @@ func (e *Evaluator) run(v *topo.View, ds *demand.Set, opts CheckOpts, earlyExit 
 		theta = 0.75
 	}
 
+	// Snapshot the per-circuit up-state once; the BFS and sweep inner loops
+	// read e.up instead of recomputing CircuitUp per edge visit.
+	e.upForMemo = false
 	// Port constraints (Eq. 6): the number of up circuits on a switch must
 	// not exceed its physical port budget.
 	for i := range e.degree {
 		e.degree[i] = 0
 	}
 	for c := 0; c < t.NumCircuits(); c++ {
-		if v.CircuitUp(topo.CircuitID(c)) {
+		up := v.CircuitUp(topo.CircuitID(c))
+		e.up[c] = up
+		if up {
 			ck := t.Circuit(topo.CircuitID(c))
 			e.degree[ck.A]++
 			e.degree[ck.B]++
@@ -235,7 +326,6 @@ func (e *Evaluator) run(v *topo.View, ds *demand.Set, opts CheckOpts, earlyExit 
 }
 
 func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, theta float64, earlyExit bool, res *Result, pending Violation) Violation {
-	t := e.t
 	for i := range e.load {
 		e.load[i] = 0
 	}
@@ -251,20 +341,20 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 		return earlyExit
 	}
 
-	// Iteration is per distinct destination; demands are scanned once per
-	// destination group. Demand sets here are small (hundreds), so the
-	// rescan is cheaper than building an index.
-	dsts := ds.Destinations()
-	for _, dst := range dsts {
+	// Iteration is per distinct destination group, via the prebuilt
+	// destination index. Each group is swept into the group-local scratch
+	// (e.gload/e.gtouched) and then folded into the totals in ascending
+	// group order — the same summation order the incremental path uses, so
+	// both produce bitwise-identical loads and verdicts.
+	dsts, byDst := ds.DestinationIndex()
+	for gi, dst := range dsts {
+		group := byDst[gi]
 		if !v.SwitchActive(dst) {
-			for _, d := range ds.Demands {
-				if d.Dst != dst {
-					continue
-				}
+			for _, di := range group {
 				if res != nil {
 					res.Unreachable++
 				}
-				if record(Violation{Kind: ViolationUnreachable, Demand: d}) {
+				if record(Violation{Kind: ViolationUnreachable, Demand: ds.Demands[di]}) {
 					return firstViol
 				}
 			}
@@ -273,10 +363,8 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 		e.bfs(v, dst)
 
 		// Seed inflow at each source of this destination group.
-		for _, d := range ds.Demands {
-			if d.Dst != dst {
-				continue
-			}
+		for _, di := range group {
+			d := ds.Demands[di]
 			if !v.SwitchActive(d.Src) || e.distOf(d.Src) < 0 {
 				if res != nil {
 					res.Unreachable++
@@ -289,72 +377,28 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 			e.addInflow(d.Src, d.Rate)
 		}
 
-		// Propagate flow from farthest switches toward the destination.
-		// e.queue holds the BFS visitation order (distance-ascending), so a
-		// reverse scan processes each switch after all flow into it has
-		// accumulated.
-		for qi := len(e.queue) - 1; qi >= 0; qi-- {
-			u := e.queue[qi]
-			f := e.inflowOf(u)
-			if f == 0 || u == dst {
-				continue
-			}
-			du := e.distOf(u)
-			// Total next-hop weight: the count of shortest-path circuits
-			// for plain ECMP, or their capacity sum for WCMP.
-			weight := 0.0
-			sw := t.Switch(u)
-			for _, cid := range sw.Circuits() {
-				if !v.CircuitUp(cid) {
-					continue
-				}
-				ck := t.Circuit(cid)
-				if e.distOf(ck.Other(u)) == du-ck.Metric {
-					if opts.Split == SplitCapacityWeighted {
-						weight += ck.Capacity
-					} else {
-						weight++
-					}
-				}
-			}
-			if weight == 0 {
-				// Unreachable flow should have been caught at the source;
-				// this can only happen on a disconnected shortest-path DAG,
-				// which BFS construction precludes.
-				panic("routing: internal error: flow stranded at switch with no next hop")
-			}
-			for _, cid := range sw.Circuits() {
-				if !v.CircuitUp(cid) {
-					continue
-				}
-				ck := t.Circuit(cid)
-				w := ck.Other(u)
-				if e.distOf(w) != du-ck.Metric {
-					continue
-				}
-				share := f / weight
-				if opts.Split == SplitCapacityWeighted {
-					share = f * ck.Capacity / weight
-				}
-				dir := 0
-				if ck.B == u { // flow travels B→A
-					dir = 1
-				}
-				li := 2*int(cid) + dir
-				e.load[li] += share
-				e.addInflow(w, share)
+		e.sweepGroup(v, dst, opts.Split)
 
-				util := (e.load[2*cid] + e.load[2*cid+1]) / ck.Capacity
-				bound := theta
-				if e.funnelSet && e.funnel[cid] {
-					bound = theta / opts.FunnelFactor
-				}
-				if util > bound {
-					if record(Violation{Kind: ViolationUtilization, Circuit: cid, Util: util}) {
-						return firstViol
-					}
-				}
+		// Fold the group's contribution into the totals and check the
+		// utilization bound on every circuit it loaded. Loads only grow, so
+		// checking after the group's full sweep yields the same verdict as
+		// checking after every share addition.
+		for _, li := range e.gtouched {
+			e.load[li] += e.gload[li]
+			e.gload[li] = 0
+			cid := topo.CircuitID(li >> 1)
+			util := (e.load[2*cid] + e.load[2*cid+1]) / e.caps[cid]
+			bound := theta
+			if e.funnelSet && e.funnel[cid] {
+				bound = theta / opts.FunnelFactor
 			}
+			if util > bound {
+				record(Violation{Kind: ViolationUtilization, Circuit: cid, Util: util})
+			}
+		}
+		e.gtouched = e.gtouched[:0]
+		if earlyExit && firstViol.Kind != ViolationNone {
+			return firstViol
 		}
 	}
 
@@ -362,6 +406,63 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 		e.fillResult(v, theta, res)
 	}
 	return firstViol
+}
+
+// sweepGroup propagates the seeded inflow of one destination group from the
+// farthest switches toward dst, accumulating directional circuit loads into
+// e.gload and recording each loaded index (first touch) in e.gtouched. On
+// entry e.queue must hold the group's BFS visitation order (ascending
+// distance) and e.gload must be all-zero; the caller drains e.gtouched and
+// re-zeroes e.gload when folding the contribution out.
+func (e *Evaluator) sweepGroup(v *topo.View, dst topo.SwitchID, split SplitMode) {
+	for qi := len(e.queue) - 1; qi >= 0; qi-- {
+		u := e.queue[qi]
+		f := e.inflowOf(u)
+		if f == 0 || u == dst {
+			continue
+		}
+		du := e.distOf(u)
+		// First pass: collect the tight (shortest-path DAG) arcs and their
+		// total next-hop weight — the count of shortest-path circuits for
+		// plain ECMP, or their capacity sum for WCMP. The distribution pass
+		// then touches only the tight arcs.
+		tight := e.tight[:0]
+		weight := 0.0
+		arcs := e.arcs(u)
+		for i := range arcs {
+			a := &arcs[i]
+			if !e.up[a.ck] {
+				continue
+			}
+			if e.distOf(a.other) == du-a.metric {
+				tight = append(tight, int32(i))
+				if split == SplitCapacityWeighted {
+					weight += a.cap
+				} else {
+					weight++
+				}
+			}
+		}
+		e.tight = tight[:0]
+		if weight == 0 {
+			// Unreachable flow should have been caught at the source;
+			// this can only happen on a disconnected shortest-path DAG,
+			// which BFS construction precludes.
+			panic("routing: internal error: flow stranded at switch with no next hop")
+		}
+		for _, ti := range tight {
+			a := &arcs[ti]
+			share := f / weight
+			if split == SplitCapacityWeighted {
+				share = f * a.cap / weight
+			}
+			if e.gload[a.li] == 0 {
+				e.gtouched = append(e.gtouched, a.li)
+			}
+			e.gload[a.li] += share
+			e.addInflow(a.other, share)
+		}
+	}
 }
 
 // setFunnel populates the per-circuit funneling flags for this call.
@@ -381,24 +482,22 @@ func (e *Evaluator) setFunnel(opts CheckOpts) {
 }
 
 // bfs computes metric-shortest distances from dst over the active graph of
-// v, filling e.dist/e.version/e.queue. Distances are valid for switches
-// whose version matches the current epoch; distOf returns -1 otherwise.
-// After the call e.queue holds the settled switches in ascending-distance
-// order, which the load sweep consumes in reverse.
+// v, filling e.dist/e.queue. Distances are valid (unsettled = -1) from the
+// call until the next bfs, which starts by resetting the previous settled
+// set's dist/inflow entries — cheaper than an O(|S|) clear and free of
+// per-read version checks in the inner loops. After the call e.queue holds
+// the settled switches in ascending-distance order, which the load sweep
+// consumes in reverse.
 //
 // The implementation is Dial's bucket-queue variant of Dijkstra: routing
 // metrics are small positive integers (IGP-style), so distances are
 // bounded by diameter × max-metric and a bucket array beats a heap.
 func (e *Evaluator) bfs(v *topo.View, dst topo.SwitchID) {
 	e.BFSes++
-	e.epoch++
-	if e.epoch == 0 { // wrapped; reset versions
-		for i := range e.version {
-			e.version[i] = 0
-		}
-		e.epoch = 1
+	for _, u := range e.queue {
+		e.dist[u] = -1
+		e.inflow[u] = 0
 	}
-	t := e.t
 	e.queue = e.queue[:0]
 	for i := range e.buckets {
 		e.buckets[i] = e.buckets[i][:0]
@@ -412,16 +511,16 @@ func (e *Evaluator) bfs(v *topo.View, dst topo.SwitchID) {
 				continue // stale entry: settled earlier at a shorter distance
 			}
 			e.queue = append(e.queue, u)
-			for _, cid := range t.Switch(u).Circuits() {
-				if !v.CircuitUp(cid) {
+			arcs := e.arcs(u)
+			for i := range arcs {
+				a := &arcs[i]
+				if !e.up[a.ck] {
 					continue
 				}
-				ck := t.Circuit(cid)
-				w := ck.Other(u)
-				nd := int32(d) + ck.Metric
-				if cur := e.distOf(w); cur < 0 || nd < cur {
-					e.setDist(w, nd)
-					e.pushBucket(int(nd), w)
+				nd := int32(d) + a.metric
+				if cur := e.distOf(a.other); cur < 0 || nd < cur {
+					e.setDist(a.other, nd)
+					e.pushBucket(int(nd), a.other)
 				}
 			}
 		}
@@ -437,25 +536,11 @@ func (e *Evaluator) pushBucket(d int, s topo.SwitchID) {
 	e.buckets[d] = append(e.buckets[d], s)
 }
 
-func (e *Evaluator) distOf(s topo.SwitchID) int32 {
-	if e.version[s] != e.epoch {
-		return -1
-	}
-	return e.dist[s]
-}
+func (e *Evaluator) distOf(s topo.SwitchID) int32 { return e.dist[s] }
 
-func (e *Evaluator) setDist(s topo.SwitchID, d int32) {
-	e.version[s] = e.epoch
-	e.dist[s] = d
-	e.inflow[s] = 0
-}
+func (e *Evaluator) setDist(s topo.SwitchID, d int32) { e.dist[s] = d }
 
-func (e *Evaluator) inflowOf(s topo.SwitchID) float64 {
-	if e.version[s] != e.epoch {
-		return 0
-	}
-	return e.inflow[s]
-}
+func (e *Evaluator) inflowOf(s topo.SwitchID) float64 { return e.inflow[s] }
 
 func (e *Evaluator) addInflow(s topo.SwitchID, f float64) {
 	e.inflow[s] += f

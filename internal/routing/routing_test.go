@@ -344,22 +344,46 @@ func BenchmarkCheckDiamond(b *testing.B) {
 	}
 }
 
-// TestEpochWrap forces the evaluator's versioned-distance epoch counter
-// through its uint32 wraparound and verifies results stay correct — a
-// long-lived evaluator in a planning service crosses this boundary.
+// TestEpochWrap forces the incremental memo's mark epoch through its uint32
+// wraparound and verifies delta checks stay correct — a long-lived
+// evaluator in a planning service crosses this boundary. It also exercises
+// the evaluator's queue-cleanup invariant (dist/inflow reset between
+// evaluations) on a long-lived evaluator.
 func TestEpochWrap(t *testing.T) {
 	tp, sw, _ := diamond()
 	e := NewEvaluator(tp)
-	e.epoch = ^uint32(0) - 2
 	ds := oneDemand(sw[0], sw[3], 8)
+	v := tp.NewView()
+	if viol := e.CheckDelta(v, nil, nil, &ds, CheckOpts{Theta: 0.9}); !viol.OK() {
+		t.Fatalf("seeding delta check: %v", viol)
+	}
+	e.inc.epoch = ^uint32(0) - 2
+	v.Track()
 	for i := 0; i < 6; i++ {
-		res, viol := e.Evaluate(tp.NewView(), &ds, CheckOpts{Theta: 0.9})
+		// The single-group diamond invalidates wholesale on every flip, so
+		// the self-disable policy would shut the engine off before the
+		// epoch wraps; re-arm it each iteration to keep exercising the
+		// mark arrays across the wrap.
+		e.inc.off, e.inc.passes, e.inc.sumDirty, e.inc.sumGroups = false, 0, 0, 0
+		id := topo.CircuitID(i % tp.NumCircuits())
+		v.SetCircuitActive(id, false)
+		tsw, tck := v.TakeTouched()
+		tsw, tck = ExpandTouched(tp, tsw, tck)
+		e.CheckDelta(v, tsw, tck, &ds, CheckOpts{Theta: 0.9})
+
+		v.SetCircuitActive(id, true)
+		tsw, tck = v.TakeTouched()
+		tsw, tck = ExpandTouched(tp, tsw, tck)
+		viol := e.CheckDelta(v, tsw, tck, &ds, CheckOpts{Theta: 0.9})
+		if !viol.OK() {
+			t.Fatalf("iteration %d across epoch wrap: viol=%v (epoch now %d)", i, viol, e.inc.epoch)
+		}
+		res, viol := NewEvaluator(tp).Evaluate(v, &ds, CheckOpts{Theta: 0.9})
 		if !viol.OK() || math.Abs(res.MaxUtil-0.4) > 1e-9 {
-			t.Fatalf("iteration %d across epoch wrap: res=%+v viol=%v (epoch now %d)",
-				i, res, viol, e.epoch)
+			t.Fatalf("iteration %d reference evaluation: res=%+v viol=%v", i, res, viol)
 		}
 	}
-	if e.epoch >= ^uint32(0)-2 {
-		t.Fatalf("epoch did not wrap: %d", e.epoch)
+	if e.inc.epoch >= ^uint32(0)-2 {
+		t.Fatalf("memo epoch did not wrap: %d", e.inc.epoch)
 	}
 }

@@ -45,6 +45,7 @@ func (e *Evaluator) Trace(v *topo.View, src, dst topo.SwitchID) (*PathDAG, error
 		return nil, fmt.Errorf("routing: trace %s -> %s: endpoint inactive",
 			t.Switch(src).Name, t.Switch(dst).Name)
 	}
+	e.fillUp(v)
 	e.bfs(v, dst)
 	if e.distOf(src) < 0 {
 		return nil, fmt.Errorf("routing: trace %s -> %s: no path",

@@ -184,6 +184,15 @@ const NoLast = core.NoLast
 // planner (paper §4.4) — the production configuration.
 func PlanAStar(task *Task, opts Options) (*Plan, error) { return core.PlanAStar(task, opts) }
 
+// PlanAStarParallel is PlanAStar with batched parallel boundary checks: at
+// each expansion the feasibility verdicts the search needs next are
+// resolved concurrently on per-worker evaluator clones and merged into the
+// shared satisfiability cache (0 workers picks GOMAXPROCS). Plans and costs
+// are identical to PlanAStar.
+func PlanAStarParallel(task *Task, opts Options, workers int) (*Plan, error) {
+	return core.PlanAStarParallel(task, opts, workers)
+}
+
 // PlanDP finds a minimum-cost safe plan with the DP-based planner (§4.3).
 func PlanDP(task *Task, opts Options) (*Plan, error) { return core.PlanDP(task, opts) }
 
@@ -231,6 +240,12 @@ func ResumePlan(ctx context.Context, cp *Checkpoint, opts Options) (*Plan, error
 // PlanAStarContext is PlanAStar with cooperative cancellation.
 func PlanAStarContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
 	return core.PlanAStarContext(ctx, task, opts)
+}
+
+// PlanAStarParallelContext is PlanAStarParallel with cooperative
+// cancellation.
+func PlanAStarParallelContext(ctx context.Context, task *Task, opts Options, workers int) (*Plan, error) {
+	return core.PlanAStarParallelContext(ctx, task, opts, workers)
 }
 
 // PlanDPContext is PlanDP with cooperative cancellation.
@@ -315,6 +330,14 @@ const (
 
 // NewEvaluator returns a routing evaluator for views over t.
 func NewEvaluator(t *Topology) *Evaluator { return routing.NewEvaluator(t) }
+
+// ExpandTouched closes a touched-element set over the incidence relations
+// Evaluator.CheckDelta's invalidation rule relies on: endpoints of touched
+// circuits join the switch set, circuits incident to touched switches join
+// the circuit set.
+func ExpandTouched(t *Topology, sw []SwitchID, ck []CircuitID) ([]SwitchID, []CircuitID) {
+	return routing.ExpandTouched(t, sw, ck)
+}
 
 // Generators and the Table-3 suite.
 type (
