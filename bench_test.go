@@ -248,12 +248,17 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 // suite C with a live recorder, reporting search-effort metrics alongside
 // ns/op so the guard can tell "got slower" apart from "explores more
 // states" — an algorithmic regression moves states/op, a constant-factor
-// one moves only ns/op.
+// one moves only ns/op. The parallel variants pin a fixed worker count so
+// states/op stays machine-independent: A* commits the identical serial
+// frontier (same states/op), while the DP wavefront deterministically
+// enumerates the full layer lattice (a larger, but fixed, count).
 func BenchmarkPlannerGuard(b *testing.B) {
 	s := buildSuite(b, "C")
 	for _, pl := range []plannerCase{
 		{"AStar", klotski.PlanAStar, klotski.Options{}},
 		{"DP", klotski.PlanDP, klotski.Options{}},
+		{"AStarParallel", klotski.PlanAStar, klotski.Options{Workers: 4}},
+		{"DPParallel", klotski.PlanDP, klotski.Options{Workers: 4}},
 	} {
 		b.Run(pl.name, func(b *testing.B) {
 			reg := klotski.NewObsRegistry()
@@ -345,7 +350,9 @@ func BenchmarkEvaluatorCheckDelta(b *testing.B) {
 }
 
 // BenchmarkAStarBatchedBoundary measures serial A* against the
-// batched-parallel boundary-check variant on topology E.
+// frontier-warming parallel variant on topology E: worker lanes resolve
+// the top of the open list's satisfiability verdicts ahead of the serial
+// search loop, which then commits expansions in the identical order.
 func BenchmarkAStarBatchedBoundary(b *testing.B) {
 	s := buildSuite(b, "E")
 	b.Run("serial", func(b *testing.B) {
@@ -386,10 +393,10 @@ func BenchmarkAblationOverlay(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelPrecheck measures the DP planner with and without
-// parallel satisfiability prechecking on topology E. The speedup tracks
-// core count (on a single-CPU machine the two are identical — the precheck
-// disables itself below two usable workers).
+// BenchmarkParallelPrecheck measures the DP planner with and without the
+// wavefront-parallel sweep on topology E. The speedup tracks core count
+// (on a single-CPU machine the two are identical — the wavefront disables
+// itself below two usable workers).
 func BenchmarkParallelPrecheck(b *testing.B) {
 	s := buildSuite(b, "E")
 	b.Run("serial", func(b *testing.B) {

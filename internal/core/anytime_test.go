@@ -161,21 +161,21 @@ func TestAnytimeContextCancelled(t *testing.T) {
 	}
 }
 
-// TestPrecheckWorkerPanicRecovered asserts a panicking precheck worker
+// TestPrecheckWorkerPanicRecovered asserts a panicking wavefront worker
 // surfaces as an error from PlanDPParallel instead of crashing the
 // process.
 func TestPrecheckWorkerPanicRecovered(t *testing.T) {
 	task := bridgeTask(t, 4, 4, 100, 100, 150, 0)
-	// The precheck only shards on multi-core; pin GOMAXPROCS up so the
-	// workers actually launch on single-core CI runners.
+	// Keep GOMAXPROCS pinned up so goroutines genuinely interleave even on
+	// single-core CI runners.
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
-	precheckTestHook = func(worker int) {
+	parallelTestHook = func(worker int) {
 		if worker == 1 {
 			panic("injected test panic")
 		}
 	}
-	defer func() { precheckTestHook = nil }()
+	defer func() { parallelTestHook = nil }()
 
 	_, err := PlanDPParallel(task, Options{Alpha: 0.2}, 2)
 	if err == nil {

@@ -27,18 +27,21 @@ func PlanAStar(task *migration.Task, opts Options) (*Plan, error) {
 // budget exhaustion the search returns an *Interrupted error carrying a
 // resumable Checkpoint instead of discarding its work.
 func PlanAStarContext(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
-	return planAStar(ctx, task, opts, 0)
+	return planAStar(ctx, task, opts)
 }
 
-// PlanAStarParallel runs the A* planner with batched parallel boundary
-// checks: at each node expansion, the feasibility verdicts the search will
-// need next (the node's boundary state and its successors) are resolved
-// concurrently on persistent per-worker evaluator clones and merged into
-// the shared satisfiability cache. Verdicts are deterministic, so plans and
-// costs are identical to PlanAStar's; only wall-clock time and the check
-// accounting differ. workers ≤ 0 picks GOMAXPROCS; batching silently
-// degrades to the serial lazy path when it cannot apply (single worker,
-// cache disabled, or funneling).
+// PlanAStarParallel runs the A* planner with batch-expansion frontier
+// warming: at each node expansion, the feasibility verdicts the search will
+// need next (the node's boundary state, its successors, and the top of the
+// open heap) are resolved concurrently on persistent worker lanes and
+// committed into the shared satisfiability cache. Verdicts are
+// deterministic, so plans and costs are byte-identical to PlanAStar's; only
+// wall-clock time and the check accounting differ. workers ≤ 0 picks
+// GOMAXPROCS; warming silently degrades to the serial lazy path when it
+// cannot apply (single worker, cache disabled, or funneling).
+//
+// Equivalent to setting Options.Workers and calling PlanAStar — kept as a
+// convenience entry point.
 func PlanAStarParallel(task *migration.Task, opts Options, workers int) (*Plan, error) {
 	return PlanAStarParallelContext(context.Background(), task, opts, workers)
 }
@@ -49,10 +52,11 @@ func PlanAStarParallelContext(ctx context.Context, task *migration.Task, opts Op
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return planAStar(ctx, task, opts, workers)
+	opts.Workers = workers
+	return planAStar(ctx, task, opts)
 }
 
-func planAStar(ctx context.Context, task *migration.Task, opts Options, batchWorkers int) (*Plan, error) {
+func planAStar(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,10 +89,7 @@ func planAStar(ctx context.Context, task *migration.Task, opts Options, batchWor
 		pq:      &openHeap{secondary: !opts.DisableSecondaryPriority},
 		scratch: make([]uint16, sp.nTypes),
 	}
-	if batchWorkers > 0 {
-		s.batch = newBoundaryBatcher(sp, batchWorkers)
-		s.bscratch = make([]uint16, sp.nTypes)
-	}
+	s.configureWarmer()
 	startTail := 0
 	if opts.InitialCounts != nil {
 		startTail = opts.InitialRunLength
@@ -101,15 +102,21 @@ func planAStar(ctx context.Context, task *migration.Task, opts Options, batchWor
 // interruptions inside a Checkpoint, so Resume continues the identical
 // search — same open list, same closed set, same satisfiability cache.
 type astarSearch struct {
-	sp       *space
-	best     map[int64]float64 // lowest g per (vec, last, tail)
-	closed   map[int64]bool    // expanded states
-	prev     map[int64]prevInfo
-	pq       *openHeap
-	scratch  []uint16
-	front    frontier
-	batch    *boundaryBatcher // nil on the serial path
-	bscratch []uint16
+	sp      *space
+	best    map[int64]float64 // lowest g per (vec, last, tail)
+	closed  map[int64]bool    // expanded states
+	prev    map[int64]prevInfo
+	pq      *openHeap
+	scratch []uint16
+	front   frontier
+	warm    *frontierWarmer // nil on the serial path
+}
+
+// configureWarmer (re)arms the parallel frontier warmer from the current
+// Options.Workers. Called at search start and after every rebudget, so a
+// serial checkpoint resumed with workers picks up warming (and vice versa).
+func (s *astarSearch) configureWarmer() {
+	s.warm = s.sp.newFrontierWarmer(s.sp.opts.Workers)
 }
 
 func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g float64) {
@@ -175,8 +182,8 @@ func (s *astarSearch) run() (*Plan, error) {
 		// current run needs no check; switching run types requires the
 		// state being left (the completed run's boundary) to be safe.
 		cur := sp.vec(it.vecIdx)
-		if s.batch != nil {
-			s.batch.warm(cur, it.vecIdx, s.bscratch)
+		if s.warm != nil {
+			s.warm.run(cur, it.vecIdx, s.pq)
 		}
 		boundaryOK := true
 		boundaryChecked := false
@@ -228,6 +235,7 @@ func (s *astarSearch) interrupt(reason error) error {
 	}
 	cp.resume = func(ctx context.Context, opts Options) (*Plan, error) {
 		sp.rebudget(ctx, opts)
+		s.configureWarmer()
 		return s.run()
 	}
 	return interruptErrf(reason, cp,

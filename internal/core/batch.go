@@ -1,150 +1,154 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
-// Batched boundary checking for A*'s lazy path.
+// Batched frontier warming for A*'s lazy path.
 //
 // A* only consults the evaluator at run boundaries, one state per
-// expansion, so unlike the DP planner it cannot precheck the whole product
+// expansion, so unlike the DP planner it cannot sweep the whole product
 // space up front. But at the moment a node is expanded, the states that
-// will need fresh feasibility verdicts soon are known: the node itself (its
-// boundary check) and its successors (their boundary checks when they are
-// popped in turn). A boundaryBatcher resolves all of those that miss the
-// shared cache in one parallel batch on persistent per-worker spaces — each
-// with its own evaluator clone whose incremental memo stays warm across
-// batches — and merges the verdicts into the shared cache. Verdicts are
-// deterministic functions of the state, so the merged cache is identical to
+// will need fresh feasibility verdicts soon are known with high
+// probability: the node itself (its boundary check), its successors (their
+// boundary checks when they are popped in turn), and — speculatively — the
+// top of the open heap, whose entries are the next expansion candidates. A
+// frontierWarmer resolves all of those that miss the shared satisfiability
+// cache in one parallel batch on persistent worker lanes (each owning a
+// forked evaluator whose incremental memo stays warm across batches),
+// committing verdicts through the cache's claim protocol. Verdicts are
+// deterministic functions of the state, so the warmed cache is identical to
 // what lazy serial checking would produce (plus speculative extra entries
-// that cannot change search decisions): plans are byte-identical to
-// PlanAStar's; only Checks/CacheHits accounting differs.
+// that cannot change search decisions): plans are byte-identical to the
+// serial planner's; only wall-clock time and the check accounting differ.
+// Speculative entries the search never consults are tallied in
+// Metrics.SpeculativeWaste.
 //
-// Batching requires verdicts keyed by vector alone, so it is disabled under
+// Warming requires verdicts keyed by vector alone, so it is disabled under
 // funneling (feasibility then depends on the in-flight block) and when the
 // cache is off.
 
-// boundaryBatcher holds the persistent worker state for batched checks.
-type boundaryBatcher struct {
+// frontierWarmer holds the persistent worker state for batched frontier
+// checks.
+type frontierWarmer struct {
 	sp      *space
 	workers int
-	wsp     []*space // lazily built; nil entries fall back to lazy checking
-	built   bool
-	items   []batchItem
-	results []int8
+	topK    int // open-heap prefix length warmed speculatively
+	lanes   []*lane
+	items   []int32
+	scratch []uint16
 }
 
-type batchItem struct {
-	idx int32
-}
-
-// newBoundaryBatcher returns a batcher for sp, or nil when batching cannot
-// help (too few workers, cache disabled, or funneling in effect).
-func newBoundaryBatcher(sp *space, workers int) *boundaryBatcher {
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// newFrontierWarmer returns a warmer for sp, or nil when warming cannot
+// help (fewer than two workers, cache disabled, or funneling in effect).
+func (sp *space) newFrontierWarmer(workers int) *frontierWarmer {
 	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
 		return nil
 	}
-	return &boundaryBatcher{sp: sp, workers: workers}
+	if sp.specPending == nil {
+		sp.specPending = make(map[int32]struct{}, 64)
+	}
+	return &frontierWarmer{
+		sp:      sp,
+		workers: workers,
+		topK:    4 * workers,
+		scratch: make([]uint16, sp.nTypes),
+	}
 }
 
-// warm resolves, in one parallel batch, the feasibility of the expanded
-// node's boundary state and of every successor vector that misses the
-// shared cache. Subsequent serial feasible() calls then hit the cache.
-// cur is the expanded node's vector and scratch a caller-owned slice of
-// the same length.
-func (bb *boundaryBatcher) warm(cur []uint16, vecIdx int32, scratch []uint16) {
-	sp := bb.sp
-	bb.items = bb.items[:0]
-	add := func(idx int32) {
-		if _, ok := sp.feas[sp.extKey(idx, NoLast)]; ok {
-			return
-		}
-		for _, it := range bb.items {
-			if it.idx == idx {
-				return
-			}
-		}
-		bb.items = append(bb.items, batchItem{idx: idx})
+// run resolves, in one parallel batch, the feasibility of the expanded
+// node's boundary state, its successors, and the boundary states and
+// successors of the open heap's top-K entries, for every vector that
+// misses the shared cache. Subsequent serial feasible() calls then hit the
+// cache. Called from the planner goroutine between pop and expansion; the
+// batch joins before it returns, so the serial search never observes a
+// claim in flight. cur is the expanded node's vector.
+func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
+	sp := fw.sp
+	fw.items = fw.items[:0]
+	fw.add(vecIdx)
+	fw.addSuccessors(cur)
+	// The heap prefix is deterministic: it is a pure function of the push
+	// and pop sequence, which parallelism does not alter. Entries may be
+	// stale duplicates; warming them is harmless (worst case it is counted
+	// as speculative waste).
+	for i := 0; i < fw.topK && i < len(pq.items); i++ {
+		it := pq.items[i]
+		fw.add(it.vecIdx)
+		fw.addSuccessors(sp.vec(it.vecIdx))
 	}
-	add(vecIdx)
-	for a := 0; a < sp.nTypes; a++ {
-		if cur[a] >= sp.totals[a] {
-			continue
-		}
-		copy(scratch, cur)
-		scratch[a]++
-		idx, _ := sp.intern(scratch)
-		add(idx)
-	}
-	if len(bb.items) < 2 {
+	if len(fw.items) < 2 {
 		return // a single miss is cheaper on the lazy path than a spawn
 	}
-	bb.ensureWorkers()
+	fw.ensureLanes()
 
-	if cap(bb.results) < len(bb.items) {
-		bb.results = make([]int8, len(bb.items))
-	}
-	results := bb.results[:len(bb.items)]
-	for i := range results {
-		results[i] = 0
-	}
 	var wg sync.WaitGroup
-	for w := 0; w < bb.workers; w++ {
-		wsp := bb.wsp[w]
-		if wsp == nil {
-			continue // construction failed; those items stay lazy
-		}
+	for w := 0; w < fw.workers; w++ {
 		wg.Add(1)
-		go func(w int, wsp *space) {
+		go func(w int, ln *lane) {
 			defer wg.Done()
-			// A panicking check would take the serial path down too; here
-			// it just leaves the verdict unset for lazy rechecking.
+			// A panicking check would take the serial path down too when the
+			// verdict is actually needed; here the claim is released and the
+			// remaining items stay unknown for lazy rechecking.
 			defer func() { _ = recover() }()
-			for i := w; i < len(bb.items); i += bb.workers {
-				vec := sp.vec(bb.items[i].idx) // read-only; stable under append
-				if wsp.check(mustIntern(wsp, vec), NoLast, false) {
-					results[i] = feasYes
-				} else {
-					results[i] = feasNo
-				}
+			for i := w; i < len(fw.items); i += fw.workers {
+				sp.feasibleOn(ln, fw.items[i])
 			}
-		}(w, wsp)
+		}(w, fw.lanes[w])
 	}
 	wg.Wait()
 
 	resolved := 0
-	for i, it := range bb.items {
-		if results[i] == 0 {
-			continue
+	for _, idx := range fw.items {
+		if v := sp.feasT.get(idx); v == feasYes || v == feasNo {
+			sp.specPending[idx] = struct{}{}
+			resolved++
 		}
-		sp.feas[sp.extKey(it.idx, NoLast)] = results[i]
-		resolved++
 	}
-	sp.metrics.Checks += resolved
+	for _, ln := range fw.lanes {
+		ln.fold()
+	}
 	sp.metrics.BatchedChecks += resolved
-	sp.rec.ChecksAdded(resolved)
 	sp.rec.BatchedChecks(resolved)
 }
 
-// ensureWorkers constructs the persistent per-worker spaces on first use.
-// Each owns an independent evaluator, scratch view, and incremental memo;
-// per-check recording is disabled in workers and bulk-accounted by warm.
-func (bb *boundaryBatcher) ensureWorkers() {
-	if bb.built {
+// add queues idx for the batch unless its verdict is already known or it
+// is already queued.
+func (fw *frontierWarmer) add(idx int32) {
+	if fw.sp.feasT.get(idx) != 0 {
 		return
 	}
-	bb.built = true
-	bb.wsp = make([]*space, bb.workers)
-	wopts := bb.sp.opts
-	wopts.Evaluator = nil
-	wopts.Recorder = nil
-	for w := range bb.wsp {
-		if wsp, err := newSpace(bb.sp.task, wopts); err == nil {
-			bb.wsp[w] = wsp
+	for _, it := range fw.items {
+		if it == idx {
+			return
 		}
+	}
+	fw.items = append(fw.items, idx)
+}
+
+// addSuccessors queues the cache-missing successor vectors of cur,
+// interning them on the coordinator (interning stays serial in A*, keeping
+// dense-index assignment deterministic).
+func (fw *frontierWarmer) addSuccessors(cur []uint16) {
+	sp := fw.sp
+	for a := 0; a < sp.nTypes; a++ {
+		if cur[a] >= sp.totals[a] {
+			continue
+		}
+		copy(fw.scratch, cur)
+		fw.scratch[a]++
+		idx, _ := sp.intern(fw.scratch)
+		fw.add(idx)
+	}
+}
+
+// ensureLanes builds the persistent worker lanes on first use. Each owns a
+// forked evaluator, scratch view, and incremental memo; per-check recording
+// is disabled in workers and folded in bulk after each batch.
+func (fw *frontierWarmer) ensureLanes() {
+	if fw.lanes != nil {
+		return
+	}
+	fw.lanes = make([]*lane, fw.workers)
+	for w := range fw.lanes {
+		fw.lanes[w] = fw.sp.workerLane()
 	}
 }

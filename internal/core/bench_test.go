@@ -64,7 +64,7 @@ func BenchmarkFeasibleUncached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sp.metrics.Checks = 0
-		delete(sp.feas, sp.extKey(idx, NoLast))
+		sp.feasT.set(idx, 0) // forget the verdict
 		sp.feasible(idx, NoLast)
 	}
 }

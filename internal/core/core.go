@@ -130,6 +130,15 @@ type Options struct {
 	// fabrics hit this structurally; Metrics.IncDisables counts it.
 	DisableIncrementalEval bool
 
+	// Workers sets the parallelism of the search: 0 or 1 runs fully serial;
+	// n > 1 lets the planners resolve satisfiability checks on n concurrent
+	// worker lanes (A* warms the frontier speculatively, DP sweeps the
+	// lattice in wavefront layers). The emitted plan is byte-identical at
+	// every worker count — parallelism only changes where verdicts are
+	// computed, never which states the search commits. Values above
+	// GOMAXPROCS are honored as given; negative values are rejected.
+	Workers int
+
 	// MaxStates caps the number of states the planner may create. 0 means
 	// the default of 4,000,000.
 	MaxStates int
@@ -180,6 +189,9 @@ func (o *Options) validate() error {
 	if o.InitialRunLength < 0 {
 		return fmt.Errorf("core: negative InitialRunLength %d", o.InitialRunLength)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d (0 selects serial)", o.Workers)
+	}
 	return nil
 }
 
@@ -217,7 +229,12 @@ type Metrics struct {
 	GroupInvalidations int // destination groups recomputed by delta checks
 	GroupsReused       int // destination groups served from the memo
 	IncDisables        int // incremental engine self-disable events (low-reuse fabric)
-	BatchedChecks      int // boundary checks resolved by parallel batches
+	BatchedChecks      int // frontier checks resolved by parallel batches
+
+	// Parallel-search counters (zero on serial runs).
+	WorkerChecks     int // satisfiability checks executed on worker lanes
+	ShardContention  int // intern-shard and verdict-claim collisions between workers
+	SpeculativeWaste int // speculatively batched verdicts the search never consumed
 }
 
 // Plan is an ordered, safe, minimum-cost migration plan.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,30 +26,24 @@ func PlanDP(task *migration.Task, opts Options) (*Plan, error) {
 // polled alongside the MaxStates/Timeout budget, and on cancellation or
 // budget exhaustion the sweep returns an *Interrupted error carrying a
 // resumable Checkpoint (the warmed memo table and satisfiability cache)
-// instead of discarding its work.
+// instead of discarding its work. With Options.Workers > 1 the memo table
+// is filled bottom-up in parallel wavefront layers before the serial
+// sweep; see dpRun.wavefront.
 func PlanDPContext(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	return planDPWithPrewarm(ctx, task, opts, nil)
+	return planDP(ctx, task, opts)
 }
 
-// planDPWithPrewarm is the DP planner body; prewarm, when non-nil, runs
-// after the search space is constructed and before the sweep (used by
-// PlanDPParallel to precompute the satisfiability cache concurrently). A
-// prewarm error — e.g. a recovered worker panic — aborts planning.
-func planDPWithPrewarm(ctx context.Context, task *migration.Task, opts Options, prewarm func(*space) error) (*Plan, error) {
+// planDP is the DP planner body.
+func planDP(ctx context.Context, task *migration.Task, opts Options) (*Plan, error) {
 	sp, err := newSpace(task, opts)
 	if err != nil {
 		return nil, err
 	}
 	if ctx != nil {
 		sp.ctx = ctx
-	}
-	if prewarm != nil {
-		if err := prewarm(sp); err != nil {
-			return nil, err
-		}
 	}
 
 	startLast := opts.InitialLast
@@ -84,6 +79,24 @@ func planDPWithPrewarm(ctx context.Context, task *migration.Task, opts Options, 
 		return &Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()}, nil
 	}
 	d.targetIdx = targetIdx
+	return d.plan()
+}
+
+// plan runs the optional parallel wavefront precompute, then the serial
+// sweep. It is also the resume entry point, so a serial checkpoint resumed
+// with Options.Workers > 1 gets a wavefront over the states its memo does
+// not yet hold (and a parallel checkpoint resumes serially under
+// Workers ≤ 1), with all previously warmed caches honored.
+func (d *dpRun) plan() (*Plan, error) {
+	sp := d.sp
+	if sp.opts.Workers > 1 {
+		if err := d.wavefront(); err != nil {
+			if errors.Is(err, sp.stopErr) {
+				return nil, d.interrupt(err) // budget/cancel: checkpoint
+			}
+			return nil, err // worker panic: hard error
+		}
+	}
 	return d.sweep()
 }
 
@@ -165,7 +178,7 @@ func (d *dpRun) interrupt(reason error) error {
 	}
 	cp.resume = func(ctx context.Context, opts Options) (*Plan, error) {
 		sp.rebudget(ctx, opts)
-		return d.sweep()
+		return d.plan()
 	}
 	return interruptErrf(reason, cp, "DP stopped after %d states, %d checks",
 		sp.metrics.StatesCreated, sp.metrics.Checks)
@@ -233,7 +246,8 @@ func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) 
 	return best, nil
 }
 
-// compute evaluates the recurrence body for one state.
+// compute evaluates the recurrence body for one state on the serial
+// (top-down, memoized) path.
 func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, prevInfo, error) {
 	sp := d.sp
 	v := sp.vec(vecIdx)
@@ -242,10 +256,42 @@ func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, p
 	}
 	sp.metrics.StatesPopped++
 	sp.rec.StateExpanded()
+	return d.computeWith(v, a, t, d.f,
+		func(predIdx int32, bt migration.ActionType) bool {
+			return sp.feasible(predIdx, bt)
+		},
+		func(vec []uint16) int32 {
+			idx, _ := sp.intern(vec)
+			return idx
+		})
+}
+
+// computeWith evaluates the recurrence body for one state (vector v, last
+// action a, tail t), with the three state-space accesses abstracted so the
+// serial recursion and the parallel wavefront share one implementation:
+// fval values a predecessor state (the serial path recurses via d.f; the
+// wavefront reads the memo, treating a miss as +Inf — misses there are
+// exactly the states the serial recursion would value +Inf), feas resolves
+// a predecessor's satisfiability (lane 0's cached check, or a worker lane's
+// claim-protocol check), and intern maps the predecessor vector to its
+// dense index using a caller-owned keyer scratch.
+//
+// The per-predecessor consideration order (b ascending, tails ascending,
+// strict <) is the plan tie-breaker and must stay identical across both
+// paths — that is the determinism argument for byte-identical plans.
+func (d *dpRun) computeWith(v []uint16, a migration.ActionType, t int,
+	fval func(predIdx int32, bt migration.ActionType, pt int) (float64, error),
+	feas func(predIdx int32, bt migration.ActionType) bool,
+	intern func(vec []uint16) int32,
+) (float64, prevInfo, error) {
+	sp := d.sp
+	if v[a] <= sp.initial[a] {
+		return math.Inf(1), prevInfo{}, nil // a cannot have been the last action
+	}
 
 	pred := append([]uint16(nil), v...)
 	pred[a]--
-	predIdx, _ := sp.intern(pred)
+	predIdx := intern(pred)
 
 	atInitial := true
 	for i := range pred {
@@ -276,10 +322,10 @@ func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, p
 		if sp.opts.FunnelFactor > 1 {
 			// Funneling makes feasibility depend on the in-flight
 			// block, so it cannot be reused across last-types.
-			return sp.feasible(predIdx, bt)
+			return feas(predIdx, bt)
 		}
 		if predFeasible < 0 {
-			if sp.feasible(predIdx, bt) {
+			if feas(predIdx, bt) {
 				predFeasible = 1
 			} else {
 				predFeasible = 0
@@ -288,7 +334,7 @@ func (d *dpRun) compute(vecIdx int32, a migration.ActionType, t int) (float64, p
 		return predFeasible == 1
 	}
 	consider := func(bt migration.ActionType, pt int, step float64) error {
-		pc, err := d.f(predIdx, bt, pt)
+		pc, err := fval(predIdx, bt, pt)
 		if err != nil {
 			return err
 		}

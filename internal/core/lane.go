@@ -1,0 +1,248 @@
+package core
+
+import (
+	"time"
+
+	"klotski/internal/migration"
+	"klotski/internal/obs"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// lane is one worker's complete mutable check state. The space itself
+// holds only immutable task precompute and the shared concurrent tables;
+// everything a satisfiability check mutates — the scratch topology view,
+// the routing evaluator with its incremental memo, the occupancy scratch,
+// the keyer's encode buffer, and the check accounting — lives in a lane,
+// so any number of lanes can check vectors concurrently against one space.
+//
+// Lane 0 (space.ln) belongs to the planner goroutine and feeds the shared
+// Metrics directly; worker lanes accumulate into a private Metrics that
+// the batch coordinator folds in after the join.
+type lane struct {
+	sp   *space
+	eval *routing.Evaluator
+	view *topo.View
+	rec  *obs.Recorder // nil on worker lanes; checks are bulk-accounted
+	key  keyer         // shared packing layout, private scratch buffer
+
+	// curVec tracks the vector currently materialized in view, enabling
+	// incremental delta application between consecutive checks (planners
+	// mostly check near-neighbor states, so the delta is usually one or
+	// two blocks instead of a full rebuild). nil until the first build.
+	curVec []uint16
+
+	// Incremental satisfiability state. useInc enables routing.CheckDelta:
+	// incVec is the vector the evaluator's memo was computed on (tracked
+	// separately from curVec — an occupancy rejection rebuilds the view but
+	// leaves the memo alone), and touchSw/touchCk accumulate the union of
+	// Touched sets for blocks differing between incVec and the vector being
+	// checked.
+	useInc  bool
+	incVec  []uint16
+	touchSw []topo.SwitchID
+	touchCk []topo.CircuitID
+
+	// occ is the per-check occupancy scratch (dense, indexed by DC+1).
+	occ []int32
+
+	// m receives the lane's check accounting: &space.metrics for lane 0,
+	// a lane-private struct for workers.
+	m *Metrics
+}
+
+// newLane builds a check lane over sp. eval supplies the routing evaluator
+// (lane 0 may receive a caller-provided one; workers fork lane 0's). rec
+// is the per-check recorder, nil for worker lanes. useInc selects the
+// incremental-evaluation policy for this lane.
+func (sp *space) newLane(eval *routing.Evaluator, rec *obs.Recorder, useInc bool, m *Metrics) *lane {
+	ln := &lane{
+		sp:     sp,
+		eval:   eval,
+		view:   sp.task.Topo.NewView(),
+		rec:    rec,
+		key:    keyer{fits64: sp.key.fits64, shifts: sp.key.shifts},
+		useInc: useInc,
+		m:      m,
+	}
+	if sp.occDelta != nil {
+		ln.occ = make([]int32, len(sp.occBase))
+	}
+	return ln
+}
+
+// workerLane forks a fresh lane for a parallel check worker: its own
+// evaluator fork (shared immutable adjacency, private scratch and memo),
+// view, and accounting.
+func (sp *space) workerLane() *lane {
+	return sp.newLane(sp.ln.eval.Fork(), nil, sp.laneInc, &Metrics{})
+}
+
+// fold merges a worker lane's accumulated accounting into the shared
+// metrics and resets it. Called by the batch coordinator after a join —
+// never concurrently with the lane running.
+func (ln *lane) fold() {
+	sp := ln.sp
+	sp.metrics.Checks += ln.m.Checks
+	sp.metrics.WorkerChecks += ln.m.Checks
+	sp.metrics.GroupInvalidations += ln.m.GroupInvalidations
+	sp.metrics.GroupsReused += ln.m.GroupsReused
+	sp.metrics.IncDisables += ln.m.IncDisables
+	sp.rec.ChecksAdded(ln.m.Checks)
+	sp.rec.WorkerChecks(ln.m.Checks)
+	sp.rec.GroupInvalidations(ln.m.GroupInvalidations)
+	sp.rec.GroupsReused(ln.m.GroupsReused)
+	*ln.m = Metrics{}
+}
+
+// check performs the actual satisfiability check: rebuild the lane's view
+// for the vector's canonical prefix of blocks, then verify space, port,
+// and demand constraints. v aliases interned storage and is read-only.
+func (ln *lane) check(v []uint16, last migration.ActionType, funneling bool) bool {
+	sp := ln.sp
+	ln.m.Checks++
+	var checkStart time.Time
+	if ln.rec.Enabled() {
+		checkStart = time.Now()
+		defer func() { ln.rec.CheckObserved(time.Since(checkStart)) }()
+	}
+	ln.buildView(v)
+
+	if sp.occDelta != nil && !ln.occupancyOK(v) {
+		// The evaluator never saw this view; incVec intentionally stays at
+		// the memoized state so the next delta is computed from it.
+		return false
+	}
+
+	copts := routing.CheckOpts{Theta: sp.opts.theta(), Split: sp.opts.Split}
+	if funneling {
+		blocks := sp.task.BlocksOfType(last)
+		blockID := blocks[int(v[last])-1]
+		copts.FunnelFactor = sp.opts.FunnelFactor
+		copts.FunnelCircuits = funnelCircuits(sp.task, blockID)
+	}
+	if ln.useInc {
+		if ln.eval.IncrementalOff() {
+			// The engine disabled itself (this fabric invalidates wholesale,
+			// so memoization cannot pay); skip the touched-set bookkeeping
+			// too. A nil incVec forces a full rebuild should the engine ever
+			// be re-armed.
+			ln.incVec = nil
+			viol := ln.eval.Check(ln.view, sp.demands, copts)
+			return viol.OK()
+		}
+		ln.collectTouched(v)
+		inv0, reu0 := ln.eval.GroupInvalidations, ln.eval.GroupsReused
+		viol := ln.eval.CheckDelta(ln.view, ln.touchSw, ln.touchCk, sp.demands, copts)
+		inv, reu := ln.eval.GroupInvalidations-inv0, ln.eval.GroupsReused-reu0
+		ln.m.GroupInvalidations += inv
+		ln.m.GroupsReused += reu
+		if ln.rec.Enabled() {
+			ln.rec.GroupInvalidations(inv)
+			ln.rec.GroupsReused(reu)
+		}
+		if ln.eval.IncrementalOff() {
+			ln.m.IncDisables++
+			ln.rec.IncDisable()
+		}
+		ln.incVec = append(ln.incVec[:0], v...)
+		return viol.OK()
+	}
+	viol := ln.eval.Check(ln.view, sp.demands, copts)
+	return viol.OK()
+}
+
+// collectTouched gathers into touchSw/touchCk the union of the precomputed
+// Touched sets of every block differing between incVec (the vector the
+// evaluator's memo reflects) and v. On the first check incVec is nil and
+// the sets stay empty: the evaluator has no memo yet and does a full
+// rebuild regardless.
+func (ln *lane) collectTouched(v []uint16) {
+	sp := ln.sp
+	ln.touchSw = ln.touchSw[:0]
+	ln.touchCk = ln.touchCk[:0]
+	if ln.incVec == nil {
+		return
+	}
+	for ty := 0; ty < sp.nTypes; ty++ {
+		cur, want := int(ln.incVec[ty]), int(v[ty])
+		if cur == want {
+			continue
+		}
+		lo, hi := cur, want
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := lo; j < hi; j++ {
+			bt := sp.task.Touched(blocks[j])
+			ln.touchSw = append(ln.touchSw, bt.Switches...)
+			ln.touchCk = append(ln.touchCk, bt.Circuits...)
+		}
+	}
+}
+
+// buildView materializes the state for vector v in the lane's scratch
+// view.
+//
+// Because every switch and circuit is operated by at most one block
+// (Task.Validate enforces this) and Apply/Revert set activity flags
+// absolutely, the view for v can be reached from the view for any other
+// vector by applying or reverting exactly the differing blocks. Planners
+// check near-neighbor states most of the time, so the delta is typically a
+// single block instead of an O(|S|+|C|) rebuild. Options.DisableIncrementalView
+// forces the full rebuild (kept for the ablation benchmark and as a
+// correctness cross-check in tests).
+func (ln *lane) buildView(v []uint16) {
+	sp := ln.sp
+	if sp.opts.DisableIncrementalView || ln.curVec == nil {
+		ln.view.Reset()
+		for ty := 0; ty < sp.nTypes; ty++ {
+			blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+			for j := 0; j < int(v[ty]); j++ {
+				sp.task.Apply(ln.view, blocks[j])
+			}
+		}
+		if !sp.opts.DisableIncrementalView {
+			ln.curVec = append(ln.curVec[:0], v...)
+		}
+		return
+	}
+	for ty := 0; ty < sp.nTypes; ty++ {
+		cur, want := int(ln.curVec[ty]), int(v[ty])
+		if cur == want {
+			continue
+		}
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := cur; j < want; j++ {
+			sp.task.Apply(ln.view, blocks[j])
+		}
+		for j := cur; j > want; j-- {
+			sp.task.Revert(ln.view, blocks[j-1])
+		}
+		ln.curVec[ty] = uint16(want)
+	}
+}
+
+// occupancyOK verifies the transient space/power budget for the state. The
+// dense scratch slice is reset by copy from the base occupancy, avoiding
+// a per-check map allocation.
+func (ln *lane) occupancyOK(v []uint16) bool {
+	sp := ln.sp
+	occ := ln.occ
+	copy(occ, sp.occBase)
+	for ty := 0; ty < sp.nTypes; ty++ {
+		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
+		for j := 0; j < int(v[ty]); j++ {
+			for _, d := range sp.occDelta[blocks[j]] {
+				occ[d.dc] += d.delta
+			}
+		}
+	}
+	for i, n := range occ {
+		if b := sp.occBudget[i]; b > 0 && n > b {
+			return false
+		}
+	}
+	return true
+}

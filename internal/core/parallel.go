@@ -3,78 +3,195 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
 	"klotski/internal/migration"
 )
 
-// Parallel satisfiability prechecking.
+// Wavefront-parallel DP.
 //
-// The DP planner must evaluate every vector of the compact product space
-// (§4.3), and satisfiability checks dominate its runtime. The checks are
-// independent per state, so they shard perfectly across workers — each
-// with its own routing evaluator and scratch view — after which the DP
-// sweep itself runs entirely against the warmed cache.
+// The DP planner must evaluate every state of the compact product space
+// (§4.3), and satisfiability checks dominate its runtime. The recurrence
+// for a state only reads states with one fewer finished action, so the
+// lattice decomposes into ascending total-actions layers whose states are
+// mutually independent: each layer is computed by a worker pool against
+// the read-only memo of the previous layers, then merged serially in
+// deterministic order. Per-state work — the satisfiability checks and the
+// recurrence arithmetic — runs on worker lanes (forked evaluators, shared
+// claim-protocol satisfiability cache); the memo, prev table, and
+// accounting are only ever written by the coordinator.
 //
-// Prechecking is incompatible with funneling headroom (feasibility then
+// Determinism: every state is valued by the same recurrence over the same
+// predecessor verdicts in the same consideration order as the serial
+// planner (dpRun.computeWith is shared), so memo values and best
+// predecessors agree exactly for every state both planners visit. The
+// wavefront additionally values states the serial top-down recursion
+// prunes (ones reachable only through infeasible boundaries); those extra
+// entries are never read by the sweep or reconstruction, so plans are
+// byte-identical. StatesCreated/StatesPopped count the wavefront's larger
+// (but still deterministic) state set.
+//
+// The wavefront is incompatible with funneling headroom (feasibility then
 // depends on the in-flight block, not just the vector) and pointless when
-// the cache is disabled; PlanDP falls back to lazy checking in both cases.
+// the cache is disabled; PlanDP falls back to the serial recursion in both
+// cases, as well as when the lattice exceeds the state budget or is too
+// small to amortize worker spawns.
 
-// precheckTestHook, when non-nil, runs inside every precheck worker before
+// parallelTestHook, when non-nil, runs inside every wavefront worker before
 // its shard. Tests use it to inject worker panics and verify they surface
 // as errors instead of crashing the process.
-var precheckTestHook func(worker int)
+var parallelTestHook func(worker int)
 
-// precheckParallel enumerates the full product space between the initial
-// and target vectors and fills the satisfiability cache using `workers`
-// goroutines. It honors the state budget: spaces larger than maxStates are
-// left to lazy checking (the DP will then hit its own budget guard). A
-// cancelled context stops the workers early, leaving the remaining states
-// to lazy checking. A panic in any worker is recovered and returned as an
-// error — one poisoned goroutine must not crash the process.
-func (sp *space) precheckParallel(ctx context.Context, workers int) error {
+// wfState identifies one DP state of the current layer.
+type wfState struct {
+	vecIdx int32
+	a      migration.ActionType
+	t      int
+	key    int64
+}
+
+// wfResult is a worker's valuation of the state at the same index; valid
+// is false when the worker bailed (cancellation) before computing it.
+type wfResult struct {
+	cost  float64
+	prev  prevInfo
+	valid bool
+}
+
+// wavefront fills the DP memo bottom-up in parallel layers. It returns nil
+// when it completes or does not apply (the serial sweep then finishes the
+// job), a latched interruption reason (budget/cancel) for plan() to
+// checkpoint, or a hard error for a recovered worker panic. States already
+// memoized — a resumed checkpoint — are skipped, so only the remaining work
+// is parallelized.
+func (d *dpRun) wavefront() error {
+	sp := d.sp
+	workers := sp.opts.Workers
 	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
 		return nil
 	}
-	// Enumerate the product space, bounding by the budget.
 	size := 1
 	for i := range sp.totals {
 		span := int(sp.totals[i]-sp.initial[i]) + 1
 		if size > sp.opts.maxStates()/span {
-			return nil // too large to precompute; fall back to lazy checks
+			return nil // lattice exceeds the budget; leave it to the serial guard
 		}
 		size *= span
 	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
+	if size < 2*workers {
+		return nil // too small to amortize worker spawns
 	}
-	if workers < 2 || size < 4*workers {
-		return nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	span := sp.rec.Span("dp.precheck")
+	span := sp.rec.Span("dp.wavefront")
 	defer span.End()
 
-	vecs := make([][]uint16, 0, size)
+	// Enumerate the lattice in lexicographic order on the coordinator —
+	// interning stays serial, keeping dense-index assignment deterministic —
+	// bucketing vector indices by layer (total actions above the initial
+	// vector).
+	maxLayer := 0
+	for i := range sp.totals {
+		maxLayer += int(sp.totals[i] - sp.initial[i])
+	}
+	layers := make([][]int32, maxLayer+1)
 	cur := append([]uint16(nil), sp.initial...)
-	var enum func(i int)
-	enum = func(i int) {
+	var enum func(i, depth int)
+	enum = func(i, depth int) {
 		if i == len(cur) {
-			vecs = append(vecs, append([]uint16(nil), cur...))
+			idx, _ := sp.intern(cur)
+			layers[depth] = append(layers[depth], idx)
 			return
 		}
 		for v := sp.initial[i]; v <= sp.totals[i]; v++ {
 			cur[i] = v
-			enum(i + 1)
+			enum(i+1, depth+int(v-sp.initial[i]))
 		}
 		cur[i] = sp.initial[i]
 	}
-	enum(0)
+	enum(0, 0)
 
-	results := make([]int8, len(vecs))
+	lanes := make([]*lane, workers)
+	for w := range lanes {
+		lanes[w] = sp.workerLane()
+	}
+	tails := d.tails()
+	var states []wfState
+	var results []wfResult
+	for l := 1; l <= maxLayer; l++ {
+		states = states[:0]
+		for _, vecIdx := range layers[l] {
+			v := sp.vec(vecIdx)
+			for a := 0; a < sp.nTypes; a++ {
+				if v[a] <= sp.initial[a] {
+					continue // a cannot have been the last action
+				}
+				for _, t := range tails {
+					key := sp.extKeyT(vecIdx, migration.ActionType(a), t)
+					if _, ok := d.memo[key]; ok {
+						continue // already finalized by a previous leg
+					}
+					states = append(states, wfState{vecIdx, migration.ActionType(a), t, key})
+				}
+			}
+		}
+		if len(states) == 0 {
+			continue
+		}
+		// Guard the budget before committing to the layer, so an oversized
+		// layer interrupts cleanly at a layer boundary (all merged memo
+		// entries final) instead of mid-merge.
+		if sp.metrics.StatesCreated-sp.budgetBase+len(states) > sp.opts.maxStates() {
+			sp.stopErr = ErrBudget
+			return sp.stopErr
+		}
+		if cap(results) < len(states) {
+			results = make([]wfResult, len(states))
+		}
+		res := results[:len(states)]
+		for i := range res {
+			res[i] = wfResult{}
+		}
+		if err := d.computeLayer(states, res, lanes); err != nil {
+			return err
+		}
+		// Merge in ascending state order. Values are final regardless of
+		// merge order (states of one layer are independent); the order only
+		// keeps the accounting deterministic.
+		merged := 0
+		for i := range res {
+			if !res[i].valid {
+				continue // worker bailed on cancellation; recomputed later
+			}
+			d.memo[states[i].key] = res[i].cost
+			if !math.IsInf(res[i].cost, 1) {
+				d.prev[states[i].key] = res[i].prev
+			}
+			merged++
+		}
+		sp.metrics.StatesCreated += merged
+		sp.metrics.StatesPopped += merged
+		sp.rec.StatesCreatedAdded(merged)
+		sp.rec.StatesExpandedAdded(merged)
+		for _, ln := range lanes {
+			ln.fold()
+		}
+		sp.pollCountdown = 1 // force a real time/context poll per layer
+		if err := sp.interrupted(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeLayer values one layer's states on the worker pool. Workers read
+// the memo (frozen during the layer) and the shared satisfiability cache;
+// they write only their strided slots of res. A panic in any worker is
+// recovered and returned as an error — one poisoned goroutine must not
+// crash the process.
+func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) error {
+	sp := d.sp
+	workers := len(lanes)
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
@@ -82,88 +199,73 @@ func (sp *space) precheckParallel(ctx context.Context, workers int) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, ln *lane) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
 					if panicErr == nil {
-						panicErr = fmt.Errorf("core: precheck worker %d panicked: %v", w, r)
+						panicErr = fmt.Errorf("core: parallel planner worker %d panicked: %v", w, r)
 					}
 					panicMu.Unlock()
 				}
 			}()
-			if hook := precheckTestHook; hook != nil {
+			if hook := parallelTestHook; hook != nil {
 				hook(w)
 			}
-			// Each worker owns an independent checker: its own evaluator,
-			// scratch view, and (empty) cache. Per-check recording is
-			// disabled in workers — the shared space bulk-accounts the
-			// checks after the join, so nothing is double-counted and the
-			// hot shard loop never touches the trace mutex.
-			wopts := sp.opts
-			wopts.Evaluator = nil
-			wopts.Recorder = nil
-			wsp, err := newSpace(sp.task, wopts)
-			if err != nil {
-				return // leave this shard to lazy checking
-			}
-			for i := w; i < len(vecs); i += workers {
-				if i%64 == 0 && ctx.Err() != nil {
-					return // cancelled; leave the rest to lazy checking
+			fval := func(predIdx int32, bt migration.ActionType, pt int) (float64, error) {
+				if c, ok := d.memo[sp.extKeyT(predIdx, bt, pt)]; ok {
+					return c, nil
 				}
-				if wsp.check(mustIntern(wsp, vecs[i]), NoLast, false) {
-					results[i] = feasYes
-				} else {
-					results[i] = feasNo
-				}
+				// A miss is a state the enumeration never emits (its last
+				// action count is at the initial vector) — exactly the
+				// states the serial recursion values +Inf.
+				return math.Inf(1), nil
 			}
-		}(w)
+			feas := func(predIdx int32, bt migration.ActionType) bool {
+				return sp.feasibleOn(ln, predIdx) == feasYes
+			}
+			intern := func(vec []uint16) int32 {
+				idx, _ := sp.vt.intern(&ln.key, vec)
+				return idx
+			}
+			for i := w; i < len(states); i += workers {
+				if i%64 == 0 && sp.ctx.Err() != nil {
+					return // cancelled; the between-layer poll interrupts
+				}
+				st := states[i]
+				cost, prev, err := d.computeWith(sp.vec(st.vecIdx), st.a, st.t, fval, feas, intern)
+				if err != nil {
+					return // unreachable: the wavefront fval never errors
+				}
+				res[i] = wfResult{cost: cost, prev: prev, valid: true}
+			}
+		}(w, lanes[w])
 	}
 	wg.Wait()
-	if panicErr != nil {
-		return panicErr
-	}
-
-	for i, vec := range vecs {
-		if results[i] == 0 {
-			continue
-		}
-		idx, _ := sp.intern(vec)
-		sp.feas[sp.extKey(idx, NoLast)] = results[i]
-	}
-	sp.metrics.Checks += len(vecs)
-	sp.rec.ChecksAdded(len(vecs))
-	return nil
+	return panicErr
 }
 
-func mustIntern(sp *space, vec []uint16) int32 {
-	idx, _ := sp.intern(vec)
-	return idx
-}
-
-// PlanDPParallel runs the DP planner with satisfiability checks
-// precomputed across the given number of workers (0 picks GOMAXPROCS).
-// Results are identical to PlanDP; only wall-clock time changes.
+// PlanDPParallel runs the DP planner with the memo table computed across
+// the given number of workers (0 picks GOMAXPROCS). Plans and costs are
+// byte-identical to PlanDP's; only wall-clock time and the effort
+// accounting change.
+//
+// Equivalent to setting Options.Workers and calling PlanDP — kept as a
+// convenience entry point.
 func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, error) {
 	return PlanDPParallelContext(context.Background(), task, opts, workers)
 }
 
 // PlanDPParallelContext is PlanDPParallel with cooperative cancellation:
-// the context stops both the precheck workers and the DP sweep, and budget
-// or cancellation interruptions of the sweep return a resumable Checkpoint
-// via *Interrupted. Worker panics during prechecking are recovered and
+// the context stops both the wavefront workers and the serial sweep, and
+// budget or cancellation interruptions return a resumable Checkpoint via
+// *Interrupted. Worker panics during the wavefront are recovered and
 // surfaced as ordinary errors.
 func PlanDPParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if err := task.Validate(); err != nil {
-		return nil, err
-	}
-	// newSpace + precheck happen inside a thin wrapper around PlanDP: the
-	// planner accepts a pre-warmed space via the prewarm hook.
-	return planDPWithPrewarm(ctx, task, opts, func(sp *space) error {
-		return sp.precheckParallel(ctx, workers)
-	})
+	opts.Workers = workers
+	return PlanDPContext(ctx, task, opts)
 }

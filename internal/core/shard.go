@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrent backbone of the search space.
+//
+// The parallel planners shard satisfiability work across worker lanes that
+// all read and write the same two structures: the vector intern table
+// (vector → dense index) and the satisfiability cache (dense index →
+// verdict). Both are built for mostly-uncontended concurrent access:
+//
+//   - vecTable stripes its index maps over mutex-guarded shards, so
+//     concurrent interns of different vectors rarely serialize, and stores
+//     vector payloads in fixed-position chunks published with atomic
+//     pointers, so readers never observe a reallocation;
+//   - feasTable keeps one int32 verdict slot per interned vector in the
+//     same chunked layout, accessed purely with atomics — a cache probe is
+//     one load, and workers claim unknown entries with a CAS so each
+//     vector is checked exactly once no matter how many workers want it.
+//
+// Dense indices are allocated by a global atomic counter, which keeps the
+// two tables aligned: feasTable slot i is the verdict for vecTable vector
+// i. On the planners' serial paths the same structures are used from one
+// goroutine and cost a few uncontended atomic ops per probe — cheaper than
+// the map lookups they replaced.
+
+const (
+	// internShards stripes the intern index. 16 shards keep the collision
+	// probability of a handful of workers negligible.
+	internShards = 16
+
+	// chunkBits sizes the payload chunks of both tables: 4096 entries per
+	// chunk, spineSize chunks max. The product bounds the number of
+	// interned vectors at 16.7M — beyond any practical MaxStates budget
+	// (the default is 4M) — and keeps each spine a fixed, never-reallocated
+	// array so readers are lock-free.
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+	spineSize = 1 << 12
+)
+
+// internShard is one stripe of the vector index: a mutex plus the
+// key → dense-index map for vectors hashing to this stripe.
+type internShard struct {
+	mu  sync.RWMutex
+	m64 map[uint64]int32 // when the packed key fits 64 bits
+	mS  map[string]int32 // fallback for wide vectors
+}
+
+// vecTable is the striped concurrent intern table: every distinct vector
+// gets a dense index, and the flattened vector payload is readable
+// lock-free by any goroutine holding a published index.
+type vecTable struct {
+	nTypes int
+	fits64 bool
+	n      atomic.Int64 // number of interned vectors
+	shards [internShards]internShard
+	spine  [spineSize]atomic.Pointer[[]uint16]
+
+	// contention counts intern races: a shard write lock acquired only to
+	// find another worker published the same vector first.
+	contention atomic.Int64
+}
+
+func newVecTable(nTypes int, fits64 bool) *vecTable {
+	vt := &vecTable{nTypes: nTypes, fits64: fits64}
+	for i := range vt.shards {
+		if fits64 {
+			vt.shards[i].m64 = make(map[uint64]int32, 64)
+		} else {
+			vt.shards[i].mS = make(map[string]int32, 64)
+		}
+	}
+	return vt
+}
+
+// shardOf folds a packed key onto a stripe. The multiplicative hash
+// decorrelates the low bits that adjacent vectors share.
+func shardOf(h uint64) int {
+	return int((h*0x9e3779b97f4a7c15)>>60) & (internShards - 1)
+}
+
+func (vt *vecTable) shard64(key uint64) *internShard {
+	return &vt.shards[shardOf(key)]
+}
+
+func (vt *vecTable) shardS(key []byte) *internShard {
+	h := uint64(1469598103934665603) // FNV-1a
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return &vt.shards[shardOf(h)]
+}
+
+// len returns the number of interned vectors.
+func (vt *vecTable) len() int { return int(vt.n.Load()) }
+
+// chunk returns the payload chunk for index c, allocating and publishing
+// it on first use. Losing the publication CAS just discards the local
+// allocation; the published chunk is never replaced, so concurrent readers
+// are safe.
+func (vt *vecTable) chunk(c int) []uint16 {
+	if c >= spineSize {
+		panic("core: intern table overflow (16M vectors); raise chunkBits/spineSize")
+	}
+	if p := vt.spine[c].Load(); p != nil {
+		return *p
+	}
+	fresh := make([]uint16, chunkSize*vt.nTypes)
+	if vt.spine[c].CompareAndSwap(nil, &fresh) {
+		return fresh
+	}
+	return *vt.spine[c].Load()
+}
+
+// vec returns the interned vector at idx. The returned slice aliases
+// chunk storage; do not modify. Safe for concurrent readers holding an
+// index published to them (via the shard map or a coordinator handoff).
+func (vt *vecTable) vec(idx int32) []uint16 {
+	ch := vt.chunk(int(idx) >> chunkBits)
+	off := (int(idx) & chunkMask) * vt.nTypes
+	return ch[off : off+vt.nTypes]
+}
+
+// intern returns the dense index for vec, creating it if new. The keyer
+// supplies the packing layout plus caller-private scratch, so concurrent
+// interns from different lanes never share a buffer. The returned bool is
+// true when the vector was already known.
+func (vt *vecTable) intern(k *keyer, vec []uint16) (int32, bool) {
+	if vt.fits64 {
+		key := k.key64(vec)
+		sh := vt.shard64(key)
+		sh.mu.RLock()
+		idx, ok := sh.m64[key]
+		sh.mu.RUnlock()
+		if ok {
+			return idx, true
+		}
+		sh.mu.Lock()
+		if idx, ok := sh.m64[key]; ok {
+			sh.mu.Unlock()
+			vt.contention.Add(1)
+			return idx, true
+		}
+		idx = vt.place(vec)
+		sh.m64[key] = idx
+		sh.mu.Unlock()
+		return idx, false
+	}
+	buf := k.keyBytes(vec)
+	sh := vt.shardS(buf)
+	sh.mu.RLock()
+	idx, ok := sh.mS[string(buf)]
+	sh.mu.RUnlock()
+	if ok {
+		return idx, true
+	}
+	sh.mu.Lock()
+	if idx, ok := sh.mS[string(buf)]; ok {
+		sh.mu.Unlock()
+		vt.contention.Add(1)
+		return idx, true
+	}
+	idx = vt.place(vec)
+	sh.mS[string(buf)] = idx
+	sh.mu.Unlock()
+	return idx, false
+}
+
+// place allocates the next dense index and writes the payload. Called with
+// the owning shard's write lock held; the lock's release publishes the
+// payload to map readers, and coordinator handoffs publish it to workers.
+func (vt *vecTable) place(vec []uint16) int32 {
+	idx := int32(vt.n.Add(1) - 1)
+	ch := vt.chunk(int(idx) >> chunkBits)
+	copy(ch[(int(idx)&chunkMask)*vt.nTypes:], vec)
+	return idx
+}
+
+// lookup returns the dense index for vec without creating it.
+func (vt *vecTable) lookup(k *keyer, vec []uint16) (int32, bool) {
+	if vt.fits64 {
+		key := k.key64(vec)
+		sh := vt.shard64(key)
+		sh.mu.RLock()
+		idx, ok := sh.m64[key]
+		sh.mu.RUnlock()
+		return idx, ok
+	}
+	buf := k.keyBytes(vec)
+	sh := vt.shardS(buf)
+	sh.mu.RLock()
+	idx, ok := sh.mS[string(buf)]
+	sh.mu.RUnlock()
+	return idx, ok
+}
+
+// feasTable is the equivalent-state satisfiability cache (§4.2) for the
+// non-funneling regime, where a verdict depends on the vector alone: one
+// atomic int32 verdict slot per interned vector, in the same chunked
+// layout as vecTable. Verdicts are feasYes/feasNo; 0 is unknown and
+// feasClaimed marks a check in flight on some worker lane.
+type feasTable struct {
+	spine [spineSize]atomic.Pointer[feasChunk]
+}
+
+type feasChunk [chunkSize]int32
+
+const feasClaimed int8 = 3
+
+func (ft *feasTable) chunk(c int, alloc bool) *feasChunk {
+	if c >= spineSize {
+		panic("core: satisfiability cache overflow (16M vectors)")
+	}
+	p := ft.spine[c].Load()
+	if p == nil && alloc {
+		fresh := new(feasChunk)
+		if !ft.spine[c].CompareAndSwap(nil, fresh) {
+			return ft.spine[c].Load()
+		}
+		return fresh
+	}
+	return p
+}
+
+// get returns the verdict for idx: feasYes, feasNo, feasClaimed, or 0 for
+// unknown.
+func (ft *feasTable) get(idx int32) int8 {
+	ch := ft.chunk(int(idx)>>chunkBits, false)
+	if ch == nil {
+		return 0
+	}
+	return int8(atomic.LoadInt32(&ch[int(idx)&chunkMask]))
+}
+
+// set stores a verdict (or 0 to forget one).
+func (ft *feasTable) set(idx int32, v int8) {
+	ch := ft.chunk(int(idx)>>chunkBits, true)
+	atomic.StoreInt32(&ch[int(idx)&chunkMask], int32(v))
+}
+
+// claim attempts to take ownership of an unknown entry, transitioning
+// 0 → feasClaimed. Exactly one claimant wins; the winner must finalize the
+// entry with set (and reset it to 0 if its check unwinds).
+func (ft *feasTable) claim(idx int32) bool {
+	ch := ft.chunk(int(idx)>>chunkBits, true)
+	return atomic.CompareAndSwapInt32(&ch[int(idx)&chunkMask], 0, int32(feasClaimed))
+}

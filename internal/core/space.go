@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"klotski/internal/demand"
@@ -16,8 +18,16 @@ import (
 
 // space is the shared search-state machinery used by both planners: vector
 // interning for the compact topology representation, the satisfiability
-// cache (efficient satisfiability checking, §4.2), the incremental view
-// builder, and the heuristic.
+// cache (efficient satisfiability checking, §4.2), and the heuristic.
+//
+// The space itself holds only immutable task precompute (totals, unit
+// costs, occupancy deltas, the key packing layout) and the two concurrent
+// tables every lane shares — the striped intern table and the per-vector
+// satisfiability cache. All per-check mutable state (scratch view,
+// evaluator, incremental memo, occupancy scratch) lives in lanes: the
+// planner goroutine owns lane 0 (sp.ln), and parallel batches fork
+// additional worker lanes that check vectors concurrently against the
+// shared tables.
 type space struct {
 	task *migration.Task
 	opts Options
@@ -27,38 +37,30 @@ type space struct {
 	initial []uint16 // already-executed blocks per type (replanning)
 	units   []float64
 
-	// Vector interning. Every distinct V gets a dense index; the
-	// satisfiability cache is a slice aligned with those indices.
-	key     keyer
-	index64 map[uint64]int32
-	indexS  map[string]int32
-	vecs    []uint16 // flattened: vector i occupies [i*nTypes, (i+1)*nTypes)
+	// Vector interning and the satisfiability cache. Every distinct V gets
+	// a dense index from the striped intern table; feasT holds one atomic
+	// verdict per index. key carries the immutable packing layout; lanes
+	// copy it with private scratch.
+	key   keyer
+	vt    *vecTable
+	feasT *feasTable
 
-	// feas is the equivalent-state satisfiability cache: one entry per
-	// interned vector (per (V, last) when funneling makes feasibility
-	// depend on the in-flight block).
-	feas map[int64]int8 // 1 feasible, 2 infeasible
+	// feasF is the funneling-regime cache, keyed by (vector, last): with
+	// FunnelFactor > 1 a verdict depends on the in-flight block, not the
+	// vector alone. Parallel batching is disabled under funneling, so this
+	// map is only ever touched by the planner goroutine.
+	feasF map[int64]int8
 
-	eval    *routing.Evaluator
-	view    *topo.View
 	demands *demand.Set
 
-	// curVec tracks the vector currently materialized in view, enabling
-	// incremental delta application between consecutive checks (planners
-	// mostly check near-neighbor states, so the delta is usually one or
-	// two blocks instead of a full rebuild). nil until the first build.
-	curVec []uint16
+	// ln is lane 0: the planner goroutine's own check lane.
+	ln *lane
 
-	// Incremental satisfiability state. useInc enables routing.CheckDelta:
-	// incVec is the vector the evaluator's memo was computed on (tracked
-	// separately from curVec — an occupancy rejection rebuilds the view but
-	// leaves the memo alone), and touchSw/touchCk accumulate the union of
-	// Touched sets for blocks differing between incVec and the vector being
-	// checked.
+	// useInc is lane 0's incremental-evaluation policy; laneInc is the
+	// worker lanes' (workers always own their forked memo, so a shared
+	// caller-supplied evaluator does not disqualify them).
 	useInc  bool
-	incVec  []uint16
-	touchSw []topo.SwitchID
-	touchCk []topo.CircuitID
+	laneInc bool
 
 	metrics  Metrics
 	rec      *obs.Recorder // nil-safe; nil is the no-op default
@@ -78,12 +80,21 @@ type space struct {
 	priorElapsed  time.Duration
 
 	// Space/power budget precompute. Occupancy arrays are dense, indexed by
-	// DC+1 (regional switches carry DC -1); occ is the per-check scratch
-	// that replaces a per-call map allocation.
+	// DC+1 (regional switches carry DC -1); per-check scratch is per-lane.
 	occBase   []int32
 	occDelta  [][]dcDelta // nil when SpaceBudget is nil
 	occBudget []int32     // 0 means unconstrained
-	occ       []int32
+
+	// contention counts cross-worker collisions on satisfiability-cache
+	// claims; folded together with the intern table's count into
+	// Metrics.ShardContention.
+	contention atomic.Int64
+	contFolded int
+
+	// specPending tracks batched verdicts not yet consumed by the serial
+	// search — the speculative-waste ledger. nil unless an A* frontier
+	// warmer is active, so serial runs pay nothing.
+	specPending map[int32]struct{}
 }
 
 // dcDelta is one block's occupancy change in one datacenter (index DC+1).
@@ -143,33 +154,33 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 		}
 	}
 	sp.key = newKeyer(sp.totals)
-	if sp.key.fits64 {
-		sp.index64 = make(map[uint64]int32, 1024)
-	} else {
-		sp.indexS = make(map[string]int32, 1024)
+	sp.vt = newVecTable(sp.nTypes, sp.key.fits64)
+	sp.feasT = &feasTable{}
+	if opts.FunnelFactor > 1 {
+		sp.feasF = make(map[int64]int8, 1024)
 	}
-	sp.feas = make(map[int64]int8, 1024)
-	sp.eval = opts.Evaluator
-	if sp.eval == nil {
-		sp.eval = routing.NewEvaluator(task.Topo)
+	eval := opts.Evaluator
+	if eval == nil {
+		eval = routing.NewEvaluator(task.Topo)
 	}
-	sp.view = task.Topo.NewView()
 	if opts.SpaceBudget != nil {
 		sp.precomputeOccupancy()
 	}
-	// Force the lazily-built shared indexes now, while construction is
-	// still single-threaded: parallel precheck workers share the task and
-	// demand set, and neither index build is goroutine-safe.
-	sp.demands.DestinationIndex()
-	task.BlocksOfType(0)
-	// Incremental satisfiability: sound only when bounds depend on the
-	// topology state alone (no funneling) and this space owns the
+	// Incremental satisfiability: for lane 0, sound only when bounds depend
+	// on the topology state alone (no funneling) and this space owns the
 	// evaluator's memo (a caller-supplied evaluator may be shared with
-	// other live spaces whose checks would desynchronize it).
+	// other live spaces whose checks would desynchronize it). Worker lanes
+	// always fork a private evaluator, so only the funneling condition
+	// applies to them.
 	sp.useInc = !opts.DisableIncrementalEval && opts.FunnelFactor <= 1 && opts.Evaluator == nil
-	if sp.useInc {
+	sp.laneInc = !opts.DisableIncrementalEval && opts.FunnelFactor <= 1
+	if sp.useInc || (sp.laneInc && opts.Workers > 1) {
+		// Eagerly precompute touched sets while construction is
+		// single-threaded. Worker lanes spun up later (e.g. a resume leg
+		// raising Workers) fall back on the goroutine-safe lazy build.
 		task.BuildTouched()
 	}
+	sp.ln = sp.newLane(eval, sp.rec, sp.useInc, &sp.metrics)
 	return sp, nil
 }
 
@@ -226,46 +237,21 @@ func (k *keyer) keyStr(vec []uint16) string {
 }
 
 // intern returns the dense index for vec, creating it if new. The returned
-// bool is true when the vector was already known.
+// bool is true when the vector was already known. Called from the planner
+// goroutine; it uses lane 0's keyer scratch.
 func (sp *space) intern(vec []uint16) (int32, bool) {
-	if sp.key.fits64 {
-		k := sp.key.key64(vec)
-		if idx, ok := sp.index64[k]; ok {
-			return idx, true
-		}
-		idx := sp.addVec(vec)
-		sp.index64[k] = idx
-		return idx, false
-	}
-	buf := sp.key.keyBytes(vec)
-	if idx, ok := sp.indexS[string(buf)]; ok {
-		return idx, true
-	}
-	idx := sp.addVec(vec)
-	sp.indexS[string(buf)] = idx
-	return idx, false
+	return sp.vt.intern(&sp.ln.key, vec)
 }
 
 // lookup returns the dense index for vec without creating it.
 func (sp *space) lookup(vec []uint16) (int32, bool) {
-	if sp.key.fits64 {
-		idx, ok := sp.index64[sp.key.key64(vec)]
-		return idx, ok
-	}
-	idx, ok := sp.indexS[string(sp.key.keyBytes(vec))]
-	return idx, ok
-}
-
-func (sp *space) addVec(vec []uint16) int32 {
-	idx := int32(len(sp.vecs) / sp.nTypes)
-	sp.vecs = append(sp.vecs, vec...)
-	return idx
+	return sp.vt.lookup(&sp.ln.key, vec)
 }
 
 // vec returns the interned vector at idx. The returned slice aliases
-// space-owned storage; do not modify.
+// table-owned storage; do not modify.
 func (sp *space) vec(idx int32) []uint16 {
-	return sp.vecs[int(idx)*sp.nTypes : (int(idx)+1)*sp.nTypes]
+	return sp.vt.vec(idx)
 }
 
 // isTarget reports whether idx is the fully-migrated vector.
@@ -489,6 +475,10 @@ func (sp *space) rebudget(ctx context.Context, opts Options) {
 	sp.ctx = ctx
 	sp.opts.MaxStates = opts.MaxStates
 	sp.opts.Timeout = opts.Timeout
+	// Workers is verdict-neutral (plans are identical at any worker count),
+	// so a resume leg may change it freely — a serial checkpoint can resume
+	// under a parallel planner and vice versa.
+	sp.opts.Workers = opts.Workers
 	sp.budgetBase = sp.metrics.StatesCreated
 	sp.deadline = time.Time{}
 	if opts.Timeout > 0 {
@@ -510,155 +500,106 @@ func (sp *space) pause() {
 // interned vector, consulting the equivalent-state cache first. last is the
 // action type that produced this state; it matters only when funneling
 // headroom is enabled (the in-flight block determines which circuits need
-// headroom), in which case the cache key includes it.
+// headroom), in which case the verdict lives in the (vector, last)-keyed
+// funneling cache instead of the per-vector table.
+//
+// Called only from the planner goroutine (lane 0). Parallel batches join
+// before control returns to the search loop, so a feasClaimed entry is
+// never observed here.
 func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
-	funneling := sp.opts.FunnelFactor > 1 && last >= 0
-	var ck int64
-	if funneling {
-		ck = sp.extKey(vecIdx, last)
-	} else {
-		ck = sp.extKey(vecIdx, NoLast)
+	if sp.opts.FunnelFactor > 1 && last >= 0 {
+		ck := sp.extKey(vecIdx, last)
+		if !sp.opts.DisableCache {
+			if f, ok := sp.feasF[ck]; ok {
+				sp.metrics.CacheHits++
+				sp.rec.CacheHit()
+				return f == feasYes
+			}
+			sp.metrics.CacheMisses++
+			sp.rec.CacheMiss()
+		}
+		ok := sp.ln.check(sp.vec(vecIdx), last, true)
+		res := feasNo
+		if ok {
+			res = feasYes
+		}
+		sp.feasF[ck] = res
+		return ok
 	}
 	if !sp.opts.DisableCache {
-		if f, ok := sp.feas[ck]; ok {
+		switch sp.feasT.get(vecIdx) {
+		case feasYes:
 			sp.metrics.CacheHits++
 			sp.rec.CacheHit()
-			return f == feasYes
+			sp.consumeSpec(vecIdx)
+			return true
+		case feasNo:
+			sp.metrics.CacheHits++
+			sp.rec.CacheHit()
+			sp.consumeSpec(vecIdx)
+			return false
 		}
 		sp.metrics.CacheMisses++
 		sp.rec.CacheMiss()
 	}
-	ok := sp.check(vecIdx, last, funneling)
+	ok := sp.ln.check(sp.vec(vecIdx), last, false)
 	res := feasNo
 	if ok {
 		res = feasYes
 	}
-	sp.feas[ck] = res
+	sp.feasT.set(vecIdx, res)
 	return ok
 }
 
-// check performs the actual satisfiability check: rebuild the view for the
-// vector's canonical prefix of blocks, then verify space, port, and demand
-// constraints.
-func (sp *space) check(vecIdx int32, last migration.ActionType, funneling bool) bool {
-	sp.metrics.Checks++
-	var checkStart time.Time
-	if sp.rec.Enabled() {
-		checkStart = time.Now()
-		defer func() { sp.rec.CheckObserved(time.Since(checkStart)) }()
-	}
-	v := sp.vec(vecIdx)
-	sp.buildView(v)
-
-	if sp.occDelta != nil && !sp.occupancyOK(v) {
-		// The evaluator never saw this view; incVec intentionally stays at
-		// the memoized state so the next delta is computed from it.
-		return false
-	}
-
-	copts := routing.CheckOpts{Theta: sp.opts.theta(), Split: sp.opts.Split}
-	if funneling {
-		blocks := sp.task.BlocksOfType(last)
-		blockID := blocks[int(v[last])-1]
-		copts.FunnelFactor = sp.opts.FunnelFactor
-		copts.FunnelCircuits = funnelCircuits(sp.task, blockID)
-	}
-	if sp.useInc {
-		if sp.eval.IncrementalOff() {
-			// The engine disabled itself (this fabric invalidates wholesale,
-			// so memoization cannot pay); skip the touched-set bookkeeping
-			// too. A nil incVec forces a full rebuild should the engine ever
-			// be re-armed.
-			sp.incVec = nil
-			viol := sp.eval.Check(sp.view, sp.demands, copts)
-			return viol.OK()
-		}
-		sp.collectTouched(v)
-		inv0, reu0 := sp.eval.GroupInvalidations, sp.eval.GroupsReused
-		viol := sp.eval.CheckDelta(sp.view, sp.touchSw, sp.touchCk, sp.demands, copts)
-		inv, reu := sp.eval.GroupInvalidations-inv0, sp.eval.GroupsReused-reu0
-		sp.metrics.GroupInvalidations += inv
-		sp.metrics.GroupsReused += reu
-		sp.rec.GroupInvalidations(inv)
-		sp.rec.GroupsReused(reu)
-		if sp.eval.IncrementalOff() {
-			sp.metrics.IncDisables++
-			sp.rec.IncDisable()
-		}
-		sp.incVec = append(sp.incVec[:0], v...)
-		return viol.OK()
-	}
-	viol := sp.eval.Check(sp.view, sp.demands, copts)
-	return viol.OK()
-}
-
-// collectTouched gathers into touchSw/touchCk the union of the precomputed
-// Touched sets of every block differing between incVec (the vector the
-// evaluator's memo reflects) and v. On the first check incVec is nil and
-// the sets stay empty: the evaluator has no memo yet and does a full
-// rebuild regardless.
-func (sp *space) collectTouched(v []uint16) {
-	sp.touchSw = sp.touchSw[:0]
-	sp.touchCk = sp.touchCk[:0]
-	if sp.incVec == nil {
-		return
-	}
-	for ty := 0; ty < sp.nTypes; ty++ {
-		cur, want := int(sp.incVec[ty]), int(v[ty])
-		if cur == want {
-			continue
-		}
-		lo, hi := cur, want
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
-		for j := lo; j < hi; j++ {
-			bt := sp.task.Touched(blocks[j])
-			sp.touchSw = append(sp.touchSw, bt.Switches...)
-			sp.touchCk = append(sp.touchCk, bt.Circuits...)
-		}
+// consumeSpec marks a speculatively-batched verdict as used by the serial
+// search; whatever remains in the ledger at finalization was wasted work.
+func (sp *space) consumeSpec(vecIdx int32) {
+	if sp.specPending != nil {
+		delete(sp.specPending, vecIdx)
 	}
 }
 
-// buildView materializes the state for vector v in the scratch view.
-//
-// Because every switch and circuit is operated by at most one block
-// (Task.Validate enforces this) and Apply/Revert set activity flags
-// absolutely, the view for v can be reached from the view for any other
-// vector by applying or reverting exactly the differing blocks. Planners
-// check near-neighbor states most of the time, so the delta is typically a
-// single block instead of an O(|S|+|C|) rebuild. Options.DisableIncrementalView
-// forces the full rebuild (kept for the ablation benchmark and as a
-// correctness cross-check in tests).
-func (sp *space) buildView(v []uint16) {
-	if sp.opts.DisableIncrementalView || sp.curVec == nil {
-		sp.view.Reset()
-		for ty := 0; ty < sp.nTypes; ty++ {
-			blocks := sp.task.BlocksOfType(migration.ActionType(ty))
-			for j := 0; j < int(v[ty]); j++ {
-				sp.task.Apply(sp.view, blocks[j])
+// feasibleOn resolves the non-funneling verdict for vecIdx on a worker
+// lane, cooperating with other workers through the satisfiability table's
+// claim protocol so every vector is checked exactly once. Returns feasYes
+// or feasNo.
+func (sp *space) feasibleOn(ln *lane, vecIdx int32) int8 {
+	for {
+		switch v := sp.feasT.get(vecIdx); v {
+		case feasYes, feasNo:
+			return v
+		case feasClaimed:
+			// Another worker is mid-check on this vector; yield and re-poll.
+			runtime.Gosched()
+		default:
+			if !sp.feasT.claim(vecIdx) {
+				// Lost the claim race to another worker.
+				sp.contention.Add(1)
+				continue
 			}
+			return sp.checkClaimed(ln, vecIdx)
 		}
-		if !sp.opts.DisableIncrementalView {
-			sp.curVec = append(sp.curVec[:0], v...)
-		}
-		return
 	}
-	for ty := 0; ty < sp.nTypes; ty++ {
-		cur, want := int(sp.curVec[ty]), int(v[ty])
-		if cur == want {
-			continue
+}
+
+// checkClaimed runs the check for a freshly-claimed cache entry and commits
+// the verdict. If the check unwinds (a worker panic is rethrown by the
+// batch coordinator) the claim is released back to unknown so no other
+// worker wedges spinning on feasClaimed.
+func (sp *space) checkClaimed(ln *lane, vecIdx int32) (res int8) {
+	committed := false
+	defer func() {
+		if !committed {
+			sp.feasT.set(vecIdx, 0)
 		}
-		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
-		for j := cur; j < want; j++ {
-			sp.task.Apply(sp.view, blocks[j])
-		}
-		for j := cur; j > want; j-- {
-			sp.task.Revert(sp.view, blocks[j-1])
-		}
-		sp.curVec[ty] = uint16(want)
+	}()
+	res = feasNo
+	if ln.check(sp.vt.vec(vecIdx), NoLast, false) {
+		res = feasYes
 	}
+	sp.feasT.set(vecIdx, res)
+	committed = true
+	return res
 }
 
 // precomputeOccupancy derives per-block space-occupancy deltas: draining a
@@ -686,7 +627,6 @@ func (sp *space) precomputeOccupancy() {
 			sp.occBudget[dc+1] = int32(b)
 		}
 	}
-	sp.occ = make([]int32, nDC)
 	sp.occDelta = make([][]dcDelta, len(t.Blocks))
 	for i := range t.Blocks {
 		b := &t.Blocks[i]
@@ -708,28 +648,6 @@ func (sp *space) precomputeOccupancy() {
 		}
 		sp.occDelta[i] = d
 	}
-}
-
-// occupancyOK verifies the transient space/power budget for the state. The
-// dense scratch slice is reset by copy from the base occupancy, avoiding
-// the per-check map allocation this function used to pay.
-func (sp *space) occupancyOK(v []uint16) bool {
-	occ := sp.occ
-	copy(occ, sp.occBase)
-	for ty := 0; ty < sp.nTypes; ty++ {
-		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
-		for j := 0; j < int(v[ty]); j++ {
-			for _, d := range sp.occDelta[blocks[j]] {
-				occ[d.dc] += d.delta
-			}
-		}
-	}
-	for i, n := range occ {
-		if b := sp.occBudget[i]; b > 0 && n > b {
-			return false
-		}
-	}
-	return true
 }
 
 // reconstruct walks the best-cost predecessor table back from the target
@@ -771,8 +689,19 @@ func (sp *space) reconstruct(prev map[int64]prevInfo, vecIdx int32, last migrati
 
 // elapsedMetrics finalizes and returns the metrics for a finished run,
 // accumulating planning time across resumed legs (the wall-clock gap
-// between interruption and resumption is not counted).
+// between interruption and resumption is not counted). Shard contention is
+// folded as a delta so that an interrupted run's checkpoint metrics and the
+// final metrics never double-count; speculative waste is a point-in-time
+// gauge of batched-but-unconsumed verdicts.
 func (sp *space) elapsedMetrics() Metrics {
+	cont := int(sp.contention.Load() + sp.vt.contention.Load())
+	if d := cont - sp.contFolded; d > 0 {
+		sp.metrics.ShardContention += d
+		sp.rec.ShardContention(d)
+		sp.contFolded = cont
+	}
+	sp.metrics.SpeculativeWaste = len(sp.specPending)
+	sp.rec.SpeculativeWaste(len(sp.specPending))
 	m := sp.metrics
 	m.PlanningTime = sp.priorElapsed + time.Since(sp.started)
 	return m

@@ -64,9 +64,9 @@ func TestIncrementalViewExactState(t *testing.T) {
 		} else if vec[ty] > 0 {
 			vec[ty]--
 		}
-		sp.buildView(vec)
-		ref.buildView(vec)
-		if !sp.view.Equal(ref.view) {
+		sp.ln.buildView(vec)
+		ref.ln.buildView(vec)
+		if !sp.ln.view.Equal(ref.ln.view) {
 			t.Fatalf("step %d: incremental view diverged at vector %v", step, vec)
 		}
 	}

@@ -18,6 +18,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"klotski/internal/topo"
 )
@@ -34,12 +36,17 @@ type Demand struct {
 type Set struct {
 	Demands []Demand
 
-	// idx caches the destination index (dst → demand indices). It is built
-	// once by DestinationIndex and invalidated by Add; callers that append
-	// to Demands directly must not hold a stale index (rebuilds trigger off
-	// the length check). Mutating a demand's Rate in place is fine; mutating
-	// Src/Dst in place is not.
-	idx *dstIndex
+	// idx caches the destination index (dst → demand indices) as an
+	// atomically published *dstIndex. It is built on first DestinationIndex
+	// call — concurrently if need be: racing builders produce identical
+	// indexes and the last atomic store wins — and invalidated by Add;
+	// callers that append to Demands directly must not hold a stale index
+	// (rebuilds trigger off the length check). Mutating a demand's Rate in
+	// place is fine; mutating Src/Dst in place is not. The field is an
+	// unsafe.Pointer rather than an atomic.Pointer so Set values stay
+	// copyable (Scaled, Forecast.At, and Task embedding all pass Sets by
+	// value); the published payload is immutable, so copies share it safely.
+	idx unsafe.Pointer // *dstIndex
 }
 
 // dstIndex is the cached per-destination demand grouping. The satisfiability
@@ -54,7 +61,7 @@ type dstIndex struct {
 // Add appends a demand to the set.
 func (s *Set) Add(d Demand) {
 	s.Demands = append(s.Demands, d)
-	s.idx = nil
+	atomic.StorePointer(&s.idx, nil)
 }
 
 // Len returns the number of demands.
@@ -94,15 +101,19 @@ func (s *Set) Destinations() []topo.SwitchID {
 
 // DestinationIndex returns the distinct destinations, sorted by ID, and —
 // aligned with them — the indices of each destination's demands, in Demands
-// order. The index is built once and cached; it is not safe to build from
-// multiple goroutines concurrently, so concurrent users (e.g. parallel
-// precheck workers) must force the build single-threaded first. The
-// returned slices are shared — callers must not modify them.
+// order. The index is built once and cached. The build is goroutine-safe:
+// concurrent first callers may each build the (deterministic, identical)
+// index, with one winning the atomic publication — so parallel check
+// workers can share a Set without any pre-touch protocol. Concurrent reads
+// racing an Add remain the caller's responsibility, as for any slice
+// append. The returned slices are shared — callers must not modify them.
 func (s *Set) DestinationIndex() ([]topo.SwitchID, [][]int32) {
-	if s.idx == nil || s.idx.n != len(s.Demands) {
-		s.idx = buildDstIndex(s.Demands)
+	idx := (*dstIndex)(atomic.LoadPointer(&s.idx))
+	if idx == nil || idx.n != len(s.Demands) {
+		idx = buildDstIndex(s.Demands)
+		atomic.StorePointer(&s.idx, unsafe.Pointer(idx))
 	}
-	return s.idx.dsts, s.idx.byDst
+	return idx.dsts, idx.byDst
 }
 
 func buildDstIndex(demands []Demand) *dstIndex {

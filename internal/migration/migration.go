@@ -13,6 +13,8 @@ package migration
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"klotski/internal/demand"
 	"klotski/internal/topo"
@@ -97,8 +99,14 @@ type Task struct {
 	// Janus baselines cannot plan such migrations (paper §6.3).
 	TopologyChanging bool
 
-	blocksByType [][]int      // lazily built: block indices per type, canonical order
-	touched      []BlockTouch // lazily built: per-block touched-element sets
+	// Lazily built derived tables, atomically published so concurrent
+	// readers (parallel check workers share one Task) can trigger or race
+	// the build safely: racing builders produce identical tables and the
+	// last store wins. Both are unsafe.Pointer rather than atomic.Pointer
+	// so Task values stay copyable (WithDemands/WithTopology copy the
+	// struct); the published payloads are immutable, so copies share them.
+	blocksByType unsafe.Pointer // *[][]int: block indices per type, canonical order
+	touched      unsafe.Pointer // *[]BlockTouch: per-block touched-element sets
 }
 
 // BlockTouch is the precomputed impact set of one operation block: every
@@ -119,8 +127,8 @@ func (t *Task) AddType(info ActionTypeInfo) ActionType {
 		info.UnitCost = 1
 	}
 	t.Types = append(t.Types, info)
-	t.blocksByType = nil
-	t.touched = nil
+	atomic.StorePointer(&t.blocksByType, nil)
+	atomic.StorePointer(&t.touched, nil)
 	return ActionType(len(t.Types) - 1)
 }
 
@@ -131,8 +139,8 @@ func (t *Task) AddBlock(b Block) int {
 		b.Name = fmt.Sprintf("block-%d", b.ID)
 	}
 	t.Blocks = append(t.Blocks, b)
-	t.blocksByType = nil
-	t.touched = nil
+	atomic.StorePointer(&t.blocksByType, nil)
+	atomic.StorePointer(&t.touched, nil)
 	return b.ID
 }
 
@@ -154,31 +162,38 @@ func (t *Task) NumSwitchOps() int {
 // BlocksOfType returns the IDs of blocks with the given type, in canonical
 // (insertion) order. Planners operate blocks of a type strictly in this
 // order, which is what makes the compact per-type-count representation of
-// paper §4.2 well defined.
+// paper §4.2 well defined. The lazy build is goroutine-safe: concurrent
+// first callers may each build the (identical) table, one winning the
+// atomic publication.
 func (t *Task) BlocksOfType(a ActionType) []int {
-	if t.blocksByType == nil {
-		t.blocksByType = make([][]int, len(t.Types))
-		for i := range t.Blocks {
-			ty := t.Blocks[i].Type
-			t.blocksByType[ty] = append(t.blocksByType[ty], i)
-		}
+	if byType := (*[][]int)(atomic.LoadPointer(&t.blocksByType)); byType != nil {
+		return (*byType)[a]
 	}
-	return t.blocksByType[a]
+	byType := make([][]int, len(t.Types))
+	for i := range t.Blocks {
+		ty := t.Blocks[i].Type
+		byType[ty] = append(byType[ty], i)
+	}
+	atomic.StorePointer(&t.blocksByType, unsafe.Pointer(&byType))
+	return byType[a]
 }
 
 // Touched returns the precomputed touched-element set of the block. The
-// full table is built lazily on first call and cached; like BlocksOfType it
-// is not safe to build from multiple goroutines, so concurrent users must
-// force the build single-threaded first (e.g. via BuildTouched). The
-// returned sets are shared — callers must not modify them.
+// full table is built lazily on first call and cached; like BlocksOfType
+// the build is goroutine-safe via atomic publication, so concurrent check
+// workers need no pre-touch protocol. The returned sets are shared —
+// callers must not modify them.
 func (t *Task) Touched(blockID int) *BlockTouch {
+	if touched := (*[]BlockTouch)(atomic.LoadPointer(&t.touched)); touched != nil {
+		return &(*touched)[blockID]
+	}
 	t.BuildTouched()
-	return &t.touched[blockID]
+	return &(*(*[]BlockTouch)(atomic.LoadPointer(&t.touched)))[blockID]
 }
 
 // BuildTouched forces construction of the per-block touched-element table.
 func (t *Task) BuildTouched() {
-	if t.touched != nil {
+	if atomic.LoadPointer(&t.touched) != nil {
 		return
 	}
 	touched := make([]BlockTouch, len(t.Blocks))
@@ -220,7 +235,7 @@ func (t *Task) BuildTouched() {
 			addSw(ck.B)
 		}
 	}
-	t.touched = touched
+	atomic.StorePointer(&t.touched, unsafe.Pointer(&touched))
 }
 
 // Counts returns the number of blocks per action type — the target vector

@@ -23,6 +23,9 @@ const (
 	MetricGroupsReused       = "routing.groups_reused"
 	MetricIncDisables        = "routing.incremental_disables"
 	MetricBatchedChecks      = "planner.batched_boundary_checks"
+	MetricWorkerChecks       = "planner.worker_checks"
+	MetricShardContention    = "planner.shard_contention"
+	MetricSpeculativeWaste   = "planner.speculative_waste"
 	TraceName                = "planner"
 )
 
@@ -50,6 +53,9 @@ type Recorder struct {
 	groupsReused     *Counter
 	incDisables      *Counter
 	batchedChecks    *Counter
+	workerChecks     *Counter
+	shardContention  *Counter
+	specWaste        *Gauge
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -78,6 +84,9 @@ func NewRecorder(reg *Registry) *Recorder {
 		groupsReused:     reg.Counter(MetricGroupsReused),
 		incDisables:      reg.Counter(MetricIncDisables),
 		batchedChecks:    reg.Counter(MetricBatchedChecks),
+		workerChecks:     reg.Counter(MetricWorkerChecks),
+		shardContention:  reg.Counter(MetricShardContention),
+		specWaste:        reg.Gauge(MetricSpeculativeWaste),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -116,6 +125,24 @@ func (r *Recorder) StateExpanded() {
 		return
 	}
 	r.statesExpanded.Inc()
+}
+
+// StatesCreatedAdded counts n search states at once — used for bulk
+// accounting after a parallel wavefront layer merges.
+func (r *Recorder) StatesCreatedAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.statesCreated.Add(int64(n))
+}
+
+// StatesExpandedAdded counts n expanded states at once — the bulk
+// counterpart of StateExpanded.
+func (r *Recorder) StatesExpandedAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.statesExpanded.Add(int64(n))
 }
 
 // CacheHit counts one satisfiability-cache hit.
@@ -236,6 +263,35 @@ func (r *Recorder) BatchedChecks(n int) {
 		return
 	}
 	r.batchedChecks.Add(int64(n))
+}
+
+// WorkerChecks counts n satisfiability checks executed on parallel worker
+// lanes (a subset of planner.checks).
+func (r *Recorder) WorkerChecks(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.workerChecks.Add(int64(n))
+}
+
+// ShardContention counts n cross-worker collisions on the striped intern
+// table and verdict-claim CAS.
+func (r *Recorder) ShardContention(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.shardContention.Add(int64(n))
+}
+
+// SpeculativeWaste records the current number of speculatively batched
+// verdicts the serial search never consumed. A gauge, not a counter: it is
+// set at checkpoint and finalization time and later consumption can shrink
+// it.
+func (r *Recorder) SpeculativeWaste(n int) {
+	if r == nil || n < 0 {
+		return
+	}
+	r.specWaste.Set(int64(n))
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

@@ -259,7 +259,35 @@ func (e *Evaluator) fillUp(v *topo.View) {
 
 // Clone returns an independent evaluator over the same topology, for use
 // from another goroutine.
-func (e *Evaluator) Clone() *Evaluator { return NewEvaluator(e.t) }
+func (e *Evaluator) Clone() *Evaluator { return e.Fork() }
+
+// Fork returns an independent evaluator over the same topology that shares
+// e's immutable precompute — the flattened CSR adjacency, its offsets, and
+// the per-circuit capacities — while owning fresh mutable scratch and an
+// empty incremental memo. A fork is safe to use concurrently with e and
+// with other forks; it is the cheap way to stamp out per-worker evaluators,
+// costing a handful of scratch allocations instead of an adjacency rebuild.
+func (e *Evaluator) Fork() *Evaluator {
+	n, m := e.t.NumSwitches(), e.t.NumCircuits()
+	f := &Evaluator{
+		t:      e.t,
+		adj:    e.adj,
+		adjOff: e.adjOff,
+		caps:   e.caps,
+		dist:   make([]int32, n),
+		inflow: make([]float64, n),
+		queue:  make([]topo.SwitchID, 0, n),
+		load:   make([]float64, 2*m),
+		gload:  make([]float64, 2*m),
+		funnel: make([]bool, m),
+		degree: make([]int32, n),
+		up:     make([]bool, m),
+	}
+	for i := range f.dist {
+		f.dist[i] = -1
+	}
+	return f
+}
 
 // Check verifies the demand and port constraints on the view and returns
 // the first violation found, exiting as early as possible. A zero Violation

@@ -181,25 +181,30 @@ var (
 const NoLast = core.NoLast
 
 // PlanAStar finds a minimum-cost safe migration plan with the A* search
-// planner (paper §4.4) — the production configuration.
+// planner (paper §4.4) — the production configuration. Set Options.Workers
+// > 1 to resolve satisfiability checks on concurrent worker lanes; the
+// emitted plan is byte-identical at every worker count.
 func PlanAStar(task *Task, opts Options) (*Plan, error) { return core.PlanAStar(task, opts) }
 
-// PlanAStarParallel is PlanAStar with batched parallel boundary checks: at
-// each expansion the feasibility verdicts the search needs next are
-// resolved concurrently on per-worker evaluator clones and merged into the
-// shared satisfiability cache (0 workers picks GOMAXPROCS). Plans and costs
-// are identical to PlanAStar.
+// PlanAStarParallel is PlanAStar with batch-expansion frontier warming: at
+// each expansion the feasibility verdicts the search needs next (the
+// expanded node, its successors, and the top of the open heap) are resolved
+// concurrently on per-worker evaluator forks and committed into the shared
+// satisfiability cache (0 workers picks GOMAXPROCS). Plans and costs are
+// byte-identical to PlanAStar. Equivalent to setting Options.Workers.
 func PlanAStarParallel(task *Task, opts Options, workers int) (*Plan, error) {
 	return core.PlanAStarParallel(task, opts, workers)
 }
 
 // PlanDP finds a minimum-cost safe plan with the DP-based planner (§4.3).
+// Set Options.Workers > 1 to compute the DP table in parallel wavefront
+// layers; the emitted plan is byte-identical at every worker count.
 func PlanDP(task *Task, opts Options) (*Plan, error) { return core.PlanDP(task, opts) }
 
-// PlanDPParallel is PlanDP with satisfiability checks precomputed across
-// the given number of workers (0 picks GOMAXPROCS). The DP planner must
-// check every state of the compact product space, and those checks shard
-// perfectly; results are identical to PlanDP.
+// PlanDPParallel is PlanDP with the memo table computed bottom-up in
+// parallel wavefront layers across the given number of workers (0 picks
+// GOMAXPROCS). Plans and costs are byte-identical to PlanDP. Equivalent to
+// setting Options.Workers.
 func PlanDPParallel(task *Task, opts Options, workers int) (*Plan, error) {
 	return core.PlanDPParallel(task, opts, workers)
 }

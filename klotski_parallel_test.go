@@ -1,0 +1,234 @@
+package klotski_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"klotski"
+)
+
+// Parallel-planner differential testing: Options.Workers must change
+// wall-clock behavior only. The frontier-warming A* and the wavefront DP
+// commit exactly the states the serial searches commit, in the same order,
+// against the same deterministic satisfiability verdicts — so plans must be
+// byte-identical and costs exactly equal (not approximately: the same
+// floating-point operations in the same order) at every worker count.
+
+func parallelWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// assertParallelMatchesSerial plans the task serially and at each worker
+// count with both planners, requiring byte-identical sequences and exactly
+// equal costs.
+func assertParallelMatchesSerial(t *testing.T, task *klotski.Task, opts klotski.Options) {
+	t.Helper()
+	planners := []struct {
+		name string
+		plan func(o klotski.Options) (*klotski.Plan, error)
+	}{
+		{"astar", func(o klotski.Options) (*klotski.Plan, error) { return klotski.PlanAStar(task, o) }},
+		{"dp", func(o klotski.Options) (*klotski.Plan, error) { return klotski.PlanDP(task, o) }},
+	}
+	for _, p := range planners {
+		serial, errS := p.plan(opts)
+		for _, w := range parallelWorkerCounts() {
+			po := opts
+			po.Workers = w
+			par, errP := p.plan(po)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("%s workers=%d: feasibility disagreement: serial=%v parallel=%v",
+					p.name, w, errS, errP)
+			}
+			if errS != nil {
+				if !errors.Is(errP, klotski.ErrInfeasible) {
+					t.Fatalf("%s workers=%d: unexpected parallel error: %v", p.name, w, errP)
+				}
+				continue
+			}
+			if par.Cost != serial.Cost {
+				t.Fatalf("%s workers=%d: cost differs: serial=%v parallel=%v",
+					p.name, w, serial.Cost, par.Cost)
+			}
+			if len(par.Sequence) != len(serial.Sequence) {
+				t.Fatalf("%s workers=%d: sequence length differs: serial=%d parallel=%d",
+					p.name, w, len(serial.Sequence), len(par.Sequence))
+			}
+			for i := range par.Sequence {
+				if par.Sequence[i] != serial.Sequence[i] {
+					t.Fatalf("%s workers=%d: sequences diverge at step %d: serial=%v parallel=%v",
+						p.name, w, i, serial.Sequence, par.Sequence)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialTiny(t *testing.T) {
+	assertParallelMatchesSerial(t, buildTinyTask(t), klotski.Options{})
+}
+
+func TestParallelMatchesSerialSuites(t *testing.T) {
+	for _, name := range []string{"A", "B", "C"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := klotski.Suite(name, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertParallelMatchesSerial(t, s.Task, klotski.Options{})
+		})
+	}
+}
+
+// TestParallelPathsEngage pins that the parallel machinery actually runs on
+// a production-shaped fabric (rather than silently gating itself off):
+// the DP wavefront must execute its checks on worker lanes, and the A*
+// frontier warmer must resolve batched verdicts.
+func TestParallelPathsEngage(t *testing.T) {
+	s, err := klotski.Suite("C", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := klotski.Options{Workers: 4}
+	dp, err := klotski.PlanDP(s.Task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Metrics.WorkerChecks == 0 {
+		t.Error("parallel DP executed no checks on worker lanes; wavefront did not engage")
+	}
+	astar, err := klotski.PlanAStar(s.Task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if astar.Metrics.BatchedChecks == 0 {
+		t.Error("parallel A* resolved no batched verdicts; frontier warmer did not engage")
+	}
+}
+
+// TestParallelMatchesSerialRandomFabrics is the seeded property test: draw
+// random HGRID V1→V2 fabrics and require byte-identical plans between the
+// serial and parallel planners at every worker count. The seed is fixed,
+// so a failure reproduces.
+func TestParallelMatchesSerialRandomFabrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test over generated fabrics")
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	const cases = 20
+	for i := 0; i < cases; i++ {
+		p := klotski.HGRIDScenarioParams{
+			Region: klotski.RegionParams{
+				Name: fmt.Sprintf("parprop-%d", i),
+				DCs: []klotski.FabricParams{{
+					Pods:        1 + rng.Intn(2),
+					RSWPerPod:   2,
+					Planes:      4,
+					SSWPerPlane: 1 + rng.Intn(2),
+					FSWUplinks:  1,
+				}},
+				HGRID: klotski.HGRIDParams{
+					Grids:        2 + rng.Intn(3),
+					FADUPerGrid:  1 + rng.Intn(2),
+					FAUUPerGrid:  1,
+					SSWDownlinks: 1,
+				},
+				EBs: 2, DRs: 1, EBBs: 1,
+			},
+			Demand:            klotski.DemandSpec{BaseUtil: 0.30 + 0.15*rng.Float64()},
+			V2GridFactor:      1 + rng.Intn(2),
+			V2CapFactor:       0.5 + 0.5*rng.Float64(),
+			PortHeadroomGrids: 1,
+		}
+		theta := 0.65 + 0.2*rng.Float64()
+		maxRun := rng.Intn(3) // exercise the tail dimension in a third of cases
+		t.Run(fmt.Sprintf("case=%d", i), func(t *testing.T) {
+			s, err := klotski.HGRIDScenario(p.Region.Name, p)
+			if err != nil {
+				t.Fatalf("generating fabric: %v", err)
+			}
+			assertParallelMatchesSerial(t, s.Task,
+				klotski.Options{Theta: theta, MaxRunLength: maxRun, MaxStates: 500_000})
+		})
+	}
+}
+
+// TestCheckpointCrossWorkerResume asserts checkpoint compatibility across
+// worker counts: a search interrupted under a serial planner resumes under
+// a parallel one and vice versa, producing the exact plan an uninterrupted
+// serial run produces. For the DP direction it also pins that the resumed
+// leg honors the warmed satisfiability cache — the combined run checks no
+// vector a fresh parallel run would not have checked.
+func TestCheckpointCrossWorkerResume(t *testing.T) {
+	s, err := klotski.Suite("C", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := s.Task
+	plan := func(name string, o klotski.Options) (*klotski.Plan, error) {
+		if name == "astar" {
+			return klotski.PlanAStarContext(context.Background(), task, o)
+		}
+		return klotski.PlanDPContext(context.Background(), task, o)
+	}
+	for _, name := range []string{"astar", "dp"} {
+		ref, err := plan(name, klotski.Options{})
+		if err != nil {
+			t.Fatalf("%s reference plan: %v", name, err)
+		}
+		freshPar, err := plan(name, klotski.Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel reference plan: %v", name, err)
+		}
+		for _, dir := range []struct {
+			label         string
+			first, second int
+		}{
+			{"serial-to-parallel", 0, 4},
+			{"parallel-to-serial", 4, 0},
+		} {
+			t.Run(name+"/"+dir.label, func(t *testing.T) {
+				_, err := plan(name, klotski.Options{Workers: dir.first, MaxStates: 6})
+				var intr *klotski.Interrupted
+				if !errors.As(err, &intr) {
+					t.Fatalf("want *Interrupted under MaxStates=6, got %v", err)
+				}
+				got, err := klotski.ResumePlan(context.Background(), intr.Checkpoint,
+					klotski.Options{Workers: dir.second})
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if got.Cost != ref.Cost {
+					t.Fatalf("resumed cost %v != serial cost %v", got.Cost, ref.Cost)
+				}
+				if len(got.Sequence) != len(ref.Sequence) {
+					t.Fatalf("resumed sequence length %d != %d", len(got.Sequence), len(ref.Sequence))
+				}
+				for i := range got.Sequence {
+					if got.Sequence[i] != ref.Sequence[i] {
+						t.Fatalf("resumed plan diverges at step %d: %v vs %v",
+							i, got.Sequence, ref.Sequence)
+					}
+				}
+				if name == "dp" && dir.second == 4 {
+					// Warmed-cache property: verdicts survive the checkpoint,
+					// and the claim protocol checks each vector at most once,
+					// so the combined legs cannot out-check a fresh parallel
+					// run (which checks the wavefront's full needed set).
+					if got.Metrics.Checks > freshPar.Metrics.Checks {
+						t.Errorf("resumed run re-checked cached vectors: %d checks > fresh parallel %d",
+							got.Metrics.Checks, freshPar.Metrics.Checks)
+					}
+				}
+			})
+		}
+	}
+}
