@@ -252,6 +252,14 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 // states/op stays machine-independent: A* commits the identical serial
 // frontier (same states/op), while the DP wavefront deterministically
 // enumerates the full layer lattice (a larger, but fixed, count).
+// The audited cases run the default path — plan plus the independent
+// post-planning audit — and the NoAudit twins isolate the planner, so the
+// committed baseline pins both the search and the audit replay's
+// overhead. The audit replays the plan on a pristine evaluator (one full
+// evaluation per run boundary), so its cost is linear in plan length and
+// independent of search effort; on this deliberately tiny fixture (a
+// ~23-state search) it is a large fraction of ns/op, while at the
+// experiment scales (0.25–1.0) the search dominates.
 func BenchmarkPlannerGuard(b *testing.B) {
 	s := buildSuite(b, "C")
 	for _, pl := range []plannerCase{
@@ -259,6 +267,8 @@ func BenchmarkPlannerGuard(b *testing.B) {
 		{"DP", klotski.PlanDP, klotski.Options{}},
 		{"AStarParallel", klotski.PlanAStar, klotski.Options{Workers: 4}},
 		{"DPParallel", klotski.PlanDP, klotski.Options{Workers: 4}},
+		{"AStarNoAudit", klotski.PlanAStar, klotski.Options{SkipAudit: true}},
+		{"DPNoAudit", klotski.PlanDP, klotski.Options{SkipAudit: true}},
 	} {
 		b.Run(pl.name, func(b *testing.B) {
 			reg := klotski.NewObsRegistry()

@@ -8,6 +8,7 @@
 //	        [-checkpoint ckpt.json] [-chaos 0] [-chaos-faults 3] [-chaos-seed 1]
 //	        [-stats-out stats.json] [-debug-addr localhost:6060]
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
+//	klotski -npd region.json -audit plan.json                 # verify offline
 //
 // The NPD document must carry a migration part; see cmd/topogen for
 // generating example documents. With -v the plan's runs and per-phase
@@ -20,7 +21,14 @@
 // stops at a checkpoint instead of discarding its work. With -checkpoint
 // the best safe partial sequence explored so far is written as a plan
 // document that the -resume/-executed flow accepts once those actions have
-// been executed.
+// been executed. Checkpoints are written atomically (temp file + fsync +
+// rename) inside a versioned, checksummed envelope, so a crash mid-write
+// never leaves a file that silently resumes from garbage.
+//
+// With -audit the named plan or checkpoint document is independently
+// verified against the NPD scenario — every boundary state replayed on a
+// pristine serial evaluator — and the process exits non-zero if any state
+// violates the constraints or the sequence was tampered with.
 //
 // With -chaos N the planned migration is additionally driven through N
 // Monte Carlo chaos runs: each run draws a random fault train (switch
@@ -37,8 +45,8 @@
 package main
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"klotski"
@@ -82,6 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		resume   = fs.String("resume", "", "earlier plan document to resume from")
 		executed = fs.Int("executed", 0, "number of actions of the -resume plan already executed")
 		simulate = fs.Int("simulate", 0, "replay the plan this many times with randomized asynchrony and report transient exposure")
+		auditDoc = fs.String("audit", "", "independently verify this plan or checkpoint document against the NPD scenario and exit")
 
 		ckptPath    = fs.String("checkpoint", "", "on interrupted planning (SIGINT, -timeout), write the best safe partial sequence here")
 		chaos       = fs.Int("chaos", 0, "run the plan through this many chaos-campaign control-loop runs")
@@ -143,6 +153,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *growth > 0 {
 		cfg.Forecast = demand.Forecast{GrowthPerStep: *growth}
+	}
+
+	if *auditDoc != "" {
+		return auditDocument(doc, cfg, *auditDoc, stderr)
 	}
 
 	start := time.Now()
@@ -293,29 +307,140 @@ func writeCheckpoint(path string, interrupted *klotski.Interrupted, opts klotski
 	doc.Checkpoint.Counts = cp.Counts
 	doc.Checkpoint.Metrics = cp.Metrics
 
-	f, err := os.Create(path)
+	data, err := npd.SealValue(planFormat, &doc)
 	if err != nil {
 		return 0, err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&doc); err != nil {
-		f.Close()
+	if err := writeFileAtomic(path, data); err != nil {
 		return 0, err
 	}
-	return len(partial), f.Close()
+	return len(partial), nil
+}
+
+// planFormat tags sealed plan/checkpoint envelopes so a sealed file of
+// some other kind is rejected by name instead of misparsed.
+const planFormat = "klotski/plan"
+
+// writeFileAtomic writes data to path via temp file + fsync + rename, so
+// a crash mid-write leaves either the old file or the new one — never a
+// torn hybrid at the final path.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readPlanDocument reads a plan document from path, accepting both the
+// sealed envelope (checkpoints) and bare plan JSON, verifying version and
+// checksum when sealed.
+func readPlanDocument(path string) (*npd.PlanDocument, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if npd.IsSealed(data) {
+		payload, err := npd.OpenSealed(planFormat, data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		data = payload
+	}
+	return npd.DecodePlan(bytes.NewReader(data))
+}
+
+// documentSequence maps a plan document's phase block names back onto the
+// scenario task's block IDs, in plan order.
+func documentSequence(task *klotski.Task, docName string, prev *npd.PlanDocument) ([]int, error) {
+	byName := make(map[string]int, len(task.Blocks))
+	for i := range task.Blocks {
+		byName[task.Blocks[i].Name] = i
+	}
+	var seq []int
+	for _, ph := range prev.Phases {
+		for _, name := range ph.Blocks {
+			id, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("plan block %q not found in scenario %q — was the NPD document edited?", name, docName)
+			}
+			seq = append(seq, id)
+		}
+	}
+	return seq, nil
+}
+
+// auditDocument independently verifies a plan or checkpoint document
+// against the NPD scenario: the full sequence is replayed on a pristine
+// serial evaluator and every observable boundary state is checked. A
+// checkpoint's partial sequence is audited with its endpoint as the final
+// observable state.
+func auditDocument(doc *klotski.NPDDocument, cfg klotski.PipelineConfig, planPath string, stderr io.Writer) error {
+	prev, err := readPlanDocument(planPath)
+	if err != nil {
+		return err
+	}
+	scenario, err := doc.Scenario()
+	if err != nil {
+		return err
+	}
+	task := scenario.Task
+	seq, err := documentSequence(task, doc.Name, prev)
+	if err != nil {
+		return err
+	}
+	opts := cfg.Options
+	if opts.Theta <= 0 {
+		opts.Theta = prev.Theta
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = prev.Alpha
+	}
+	freeOrder := cfg.Planner == klotski.PlannerMRC || cfg.Planner == klotski.PlannerJanus
+	var rep *klotski.AuditReport
+	if len(seq) < task.NumActions() {
+		rep, err = klotski.AuditPartialPlan(task, seq, opts, freeOrder)
+	} else {
+		rep, err = klotski.AuditPlan(task, seq, opts, freeOrder)
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.Passed {
+		fmt.Fprintf(stderr, "audit FAILED: %s\n", rep)
+		return fmt.Errorf("audit of %s failed at step %d: %s", planPath, rep.FailStep, rep.Reason)
+	}
+	fmt.Fprintf(stderr, "audit passed: %s: %d actions, %d states checked, worst utilization %.4f\n",
+		planPath, len(seq), rep.StatesChecked, rep.WorstUtil)
+	return nil
 }
 
 // replanFromDocument rebuilds the scenario from the NPD document, replays
 // the first n actions of the earlier plan document, and re-plans the
 // remainder.
 func replanFromDocument(ctx context.Context, doc *klotski.NPDDocument, cfg klotski.PipelineConfig, planPath string, n int) (*klotski.PipelineResult, error) {
-	f, err := os.Open(planPath)
-	if err != nil {
-		return nil, err
-	}
-	prev, err := npd.DecodePlan(f)
-	f.Close()
+	prev, err := readPlanDocument(planPath)
 	if err != nil {
 		return nil, err
 	}
@@ -324,26 +449,14 @@ func replanFromDocument(ctx context.Context, doc *klotski.NPDDocument, cfg klots
 		return nil, err
 	}
 	task := scenario.Task
-	byName := make(map[string]int, len(task.Blocks))
-	for i := range task.Blocks {
-		byName[task.Blocks[i].Name] = i
-	}
-	var executed []int
-	for _, ph := range prev.Phases {
-		for _, name := range ph.Blocks {
-			if len(executed) == n {
-				break
-			}
-			id, ok := byName[name]
-			if !ok {
-				return nil, fmt.Errorf("plan block %q not found in scenario %q — was the NPD document edited?", name, doc.Name)
-			}
-			executed = append(executed, id)
-		}
+	executed, err := documentSequence(task, doc.Name, prev)
+	if err != nil {
+		return nil, err
 	}
 	if len(executed) < n {
 		return nil, fmt.Errorf("-executed %d exceeds the %d actions in %s", n, len(executed), planPath)
 	}
+	executed = executed[:n]
 	plan, err := klotski.ReplanMigrationContext(ctx, task, executed, nil, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,406 @@
+// Package audit is the independent plan verifier of the defense-in-depth
+// layer (paper §7.2, "extra audits and safety checks"): every plan the
+// planners emit is replayed step-by-step against a pristine, serial,
+// non-incremental evaluator — a fresh topo.View and a fresh
+// routing.Evaluator, with none of the planner's satisfiability caches,
+// incremental memos, or parallel lanes in the loop — and every boundary
+// state is re-checked for reachability, capacity, and occupancy.
+//
+// The package deliberately does NOT import internal/core: it re-derives
+// the boundary semantics (canonical ordering, run splits, funneling
+// circuits, space occupancy) from the task definition alone, so a bug in
+// the planner's fast paths cannot hide in a shared helper. core depends on
+// audit, never the reverse.
+package audit
+
+import (
+	"errors"
+	"fmt"
+
+	"klotski/internal/migration"
+	"klotski/internal/obs"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// NoLast marks "no action executed yet" in Config.InitialLast. It mirrors
+// core.NoLast without importing core.
+const NoLast migration.ActionType = -1
+
+// Config parameterizes a verification run. The zero value audits a
+// complete, canonical-order plan under the paper defaults (θ = 0.75, ECMP,
+// no funneling, no run cap, no space budget).
+type Config struct {
+	// Theta is the maximum circuit utilization bound (Eq. 5). 0 means the
+	// paper default of 0.75.
+	Theta float64
+
+	// Split selects the traffic-splitting policy (ECMP default, WCMP).
+	Split routing.SplitMode
+
+	// FunnelFactor, when > 1, re-applies the transient funneling headroom
+	// (§7.2) at run boundaries: circuits parallel to the block just
+	// operated are held to Theta/FunnelFactor. Ignored in FreeOrder mode,
+	// where "the block just operated" is not defined canonically.
+	FunnelFactor float64
+
+	// MaxRunLength caps same-type runs; a forced split is a boundary the
+	// network observes and is therefore checked. 0 means unlimited.
+	MaxRunLength int
+
+	// SpaceBudget caps physically present switches per datacenter. The
+	// auditor counts active switches in the replayed view directly —
+	// independently of the planner's precomputed occupancy deltas.
+	SpaceBudget map[int]int
+
+	// InitialCounts resumes the audit from a partially executed canonical
+	// migration: InitialCounts[i] blocks of type i are already done.
+	// InitialLast is the type of the last executed action (NoLast if
+	// none); InitialRunLength the length of the in-progress run, relevant
+	// only under MaxRunLength. Ignored in FreeOrder mode.
+	InitialCounts    []int
+	InitialLast      migration.ActionType
+	InitialRunLength int
+
+	// FreeOrder audits plans not bound to canonical within-type order
+	// (the MRC and Janus baselines). Executed lists the exact block IDs
+	// already executed, in order, so the replay starts from the true
+	// partial state. Funneling headroom and MaxRunLength splits, which are
+	// defined on the canonical representation, are not applied.
+	FreeOrder bool
+	Executed  []int
+
+	// AllowPartial accepts a sequence that does not finish the migration
+	// (an interrupted plan prefix, e.g. from a checkpoint). The state
+	// after the last step is still checked as a run boundary.
+	AllowPartial bool
+
+	// Recorder optionally streams audit counters (states checked,
+	// failures) into an observability registry; nil is a no-op.
+	Recorder *obs.Recorder
+}
+
+// Step records one audited boundary state of the replay.
+type Step struct {
+	// Index is the sequence position the state precedes: 0 is the initial
+	// state, len(seq) the final state.
+	Index int
+
+	// Block is the block executed next from this state, -1 for the final
+	// state.
+	Block int
+
+	OK bool
+
+	// MaxUtil is the highest circuit utilization observed in this state.
+	MaxUtil float64
+
+	// Violation is the routing violation when !OK (zero for occupancy
+	// failures, which are described by Detail).
+	Violation routing.Violation
+
+	// Detail describes non-routing failures (space budget).
+	Detail string
+}
+
+// Report is the structured result of an audit.
+type Report struct {
+	// Passed is true iff the sequence is well formed and every audited
+	// state satisfies all constraints.
+	Passed bool
+
+	// FailStep is the sequence index at which the audit failed: the index
+	// of the offending action for sequence-validation failures, the index
+	// of the action entered from an unsafe state for boundary failures,
+	// len(seq) for final-state or completeness failures. -1 when Passed.
+	FailStep int
+
+	// Reason describes the failure in operator terms; empty when Passed.
+	Reason string
+
+	// StatesChecked counts the boundary states replayed and verified.
+	StatesChecked int
+
+	// WorstUtil is the highest circuit utilization over all checked
+	// states — the transient headroom the plan actually consumes.
+	WorstUtil float64
+
+	// Steps holds one record per audited boundary state, in replay order.
+	// Sequence-validation failures abort before the replay, leaving it
+	// empty.
+	Steps []Step
+}
+
+// String renders the report verdict as one line.
+func (r *Report) String() string {
+	if r.Passed {
+		return fmt.Sprintf("audit passed: %d states checked, worst utilization %.3f",
+			r.StatesChecked, r.WorstUtil)
+	}
+	return fmt.Sprintf("audit FAILED at step %d: %s (%d states checked)",
+		r.FailStep, r.Reason, r.StatesChecked)
+}
+
+// Verify replays seq against a pristine serial evaluator and audits every
+// boundary state. It returns an error only for malformed inputs (nil or
+// invalid task, bad config); a plan that fails its audit yields a Report
+// with Passed == false, not an error.
+func Verify(task *migration.Task, seq []int, cfg Config) (*Report, error) {
+	if task == nil {
+		return nil, errors.New("audit: nil task")
+	}
+	if err := task.Validate(); err != nil {
+		return nil, fmt.Errorf("audit: invalid task: %w", err)
+	}
+	if cfg.Theta < 0 || cfg.Theta > 1 {
+		return nil, fmt.Errorf("audit: Theta %v outside (0, 1]", cfg.Theta)
+	}
+	if !cfg.FreeOrder && cfg.InitialCounts != nil && len(cfg.InitialCounts) != task.NumTypes() {
+		return nil, fmt.Errorf("audit: InitialCounts has %d types, task has %d",
+			len(cfg.InitialCounts), task.NumTypes())
+	}
+
+	rep := &Report{FailStep: -1}
+	defer func() {
+		cfg.Recorder.AuditSteps(rep.StatesChecked)
+		if !rep.Passed {
+			cfg.Recorder.AuditFailure()
+		}
+	}()
+
+	if !validateSequence(task, seq, &cfg, rep) {
+		return rep, nil
+	}
+	replay(task, seq, &cfg, rep)
+	return rep, nil
+}
+
+// fail records the first audit failure and reports false.
+func (r *Report) fail(step int, format string, args ...any) bool {
+	r.Passed = false
+	r.FailStep = step
+	r.Reason = fmt.Sprintf(format, args...)
+	return false
+}
+
+// validateSequence performs the structural audit: every referenced block
+// must exist, appear at most once (and not among the already-executed
+// prefix), respect canonical within-type order unless FreeOrder, and —
+// unless AllowPartial — the sequence must finish the migration. This is
+// what catches maliciously or accidentally reordered, injected, or dropped
+// actions before any network state is evaluated.
+func validateSequence(task *migration.Task, seq []int, cfg *Config, rep *Report) bool {
+	counts := make([]int, task.NumTypes())
+	seen := make(map[int]bool, len(seq)+len(cfg.Executed))
+	if cfg.FreeOrder {
+		for _, id := range cfg.Executed {
+			if id < 0 || id >= len(task.Blocks) {
+				rep.fail(0, "executed prefix references invalid block %d", id)
+				return false
+			}
+			if seen[id] {
+				rep.fail(0, "executed prefix lists block %q twice", task.Blocks[id].Name)
+				return false
+			}
+			seen[id] = true
+			counts[task.Blocks[id].Type]++
+		}
+	} else if cfg.InitialCounts != nil {
+		copy(counts, cfg.InitialCounts)
+	}
+	for i, id := range seq {
+		if id < 0 || id >= len(task.Blocks) {
+			return rep.fail(i, "step %d references invalid block %d", i, id)
+		}
+		if seen[id] {
+			return rep.fail(i, "step %d repeats block %q (duplicate or injected action)",
+				i, task.Blocks[id].Name)
+		}
+		seen[id] = true
+		ty := task.Blocks[id].Type
+		ofType := task.BlocksOfType(ty)
+		if counts[ty] >= len(ofType) {
+			return rep.fail(i, "step %d exceeds the %d blocks of type %s (injected action)",
+				i, len(ofType), task.Types[ty].Name)
+		}
+		if !cfg.FreeOrder {
+			if want := ofType[counts[ty]]; want != id {
+				return rep.fail(i, "step %d operates block %q out of canonical order (want %q) — reordered action",
+					i, task.Blocks[id].Name, task.Blocks[want].Name)
+			}
+		}
+		counts[ty]++
+	}
+	if !cfg.AllowPartial {
+		for ty, c := range counts {
+			if total := len(task.BlocksOfType(migration.ActionType(ty))); c != total {
+				return rep.fail(len(seq), "sequence incomplete for type %s (%d of %d) — dropped action",
+					task.Types[ty].Name, c, total)
+			}
+		}
+	}
+	return true
+}
+
+// replay executes the sequence on a fresh view with a fresh serial
+// evaluator, checking the initial state, every run boundary, and the final
+// state.
+func replay(task *migration.Task, seq []int, cfg *Config, rep *Report) {
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+	view := task.Topo.NewView()
+	eval := routing.NewEvaluator(task.Topo)
+
+	// Establish the already-executed starting state and run context.
+	last := NoLast
+	tail := 0
+	lastBlock := -1 // most recently executed block, for funneling headroom
+	if cfg.FreeOrder {
+		for _, id := range cfg.Executed {
+			task.Apply(view, id)
+		}
+		if n := len(cfg.Executed); n > 0 {
+			lastBlock = cfg.Executed[n-1]
+			last = task.Blocks[lastBlock].Type
+		}
+	} else if cfg.InitialCounts != nil {
+		for ty, c := range cfg.InitialCounts {
+			for _, id := range task.BlocksOfType(migration.ActionType(ty))[:c] {
+				task.Apply(view, id)
+			}
+		}
+		last = cfg.InitialLast
+		tail = cfg.InitialRunLength
+		if last != NoLast && cfg.InitialCounts[last] > 0 {
+			lastBlock = task.BlocksOfType(last)[cfg.InitialCounts[last]-1]
+		}
+	}
+
+	// check audits the current view as the state preceding sequence index
+	// idx (block = the next block, -1 at the end). withFunnel applies the
+	// funneling headroom of the block just operated; the initial state is
+	// checked without it, matching the planner's (V, NoLast) semantics.
+	check := func(idx, block int, withFunnel bool) bool {
+		rep.StatesChecked++
+		copts := routing.CheckOpts{Theta: theta, Split: cfg.Split}
+		if withFunnel && !cfg.FreeOrder && cfg.FunnelFactor > 1 && lastBlock >= 0 {
+			copts.FunnelFactor = cfg.FunnelFactor
+			copts.FunnelCircuits = funnelCircuits(task, lastBlock)
+		}
+		res, viol := eval.Evaluate(view, &task.Demands, copts)
+		if res.MaxUtil > rep.WorstUtil {
+			rep.WorstUtil = res.MaxUtil
+		}
+		step := Step{Index: idx, Block: block, OK: true, MaxUtil: res.MaxUtil}
+		if !viol.OK() {
+			step.OK = false
+			step.Violation = viol
+			rep.Steps = append(rep.Steps, step)
+			return rep.fail(idx, "unsafe state before step %d: %s", idx, viol)
+		}
+		if dc, n, budget, ok := occupancyOK(task, view, cfg.SpaceBudget); !ok {
+			step.OK = false
+			step.Detail = fmt.Sprintf("space budget exceeded in DC %d: %d switches present, budget %d", dc, n, budget)
+			rep.Steps = append(rep.Steps, step)
+			return rep.fail(idx, "unsafe state before step %d: %s", idx, step.Detail)
+		}
+		rep.Steps = append(rep.Steps, step)
+		return true
+	}
+
+	nextBlock := func(i int) int {
+		if i < len(seq) {
+			return seq[i]
+		}
+		return -1
+	}
+
+	if !check(0, nextBlock(0), false) {
+		return
+	}
+	for i, id := range seq {
+		ty := task.Blocks[id].Type
+		boundary := ty != last ||
+			(!cfg.FreeOrder && cfg.MaxRunLength > 0 && tail >= cfg.MaxRunLength)
+		if boundary && last != NoLast {
+			// Run boundary (type change, or a forced split under
+			// MaxRunLength): the state being left was observed by the
+			// network and must have been safe.
+			if !check(i, id, true) {
+				return
+			}
+		}
+		task.Apply(view, id)
+		if ty != last || boundary {
+			tail = 1
+		} else {
+			tail++
+		}
+		last = ty
+		lastBlock = id
+	}
+	if !check(len(seq), -1, true) {
+		return
+	}
+	rep.Passed = true
+}
+
+// occupancyOK counts the switches physically present per datacenter
+// directly from the replayed view — old switches occupy their slot until
+// drained, new switches from the moment they are undrained — and compares
+// against the budget. It reports the first offending DC, or ok == true.
+func occupancyOK(task *migration.Task, view *topo.View, budget map[int]int) (dc, n, limit int, ok bool) {
+	if len(budget) == 0 {
+		return 0, 0, 0, true
+	}
+	present := make(map[int]int)
+	for i := 0; i < task.Topo.NumSwitches(); i++ {
+		if view.SwitchActive(topo.SwitchID(i)) {
+			present[task.Topo.Switch(topo.SwitchID(i)).DC]++
+		}
+	}
+	for i := 0; i < task.Topo.NumSwitches(); i++ {
+		d := task.Topo.Switch(topo.SwitchID(i)).DC
+		if b, capped := budget[d]; capped && b > 0 && present[d] > b {
+			return d, present[d], b, false
+		}
+	}
+	return 0, 0, 0, true
+}
+
+// funnelCircuits re-derives — independently of the planner — the up
+// circuits that survive next to the circuits a drain block takes down: the
+// circuits onto which traffic funnels while the block's elements drain
+// asynchronously (§2.2). Empty for undrain blocks: adding capacity does
+// not funnel traffic.
+func funnelCircuits(task *migration.Task, blockID int) []topo.CircuitID {
+	b := &task.Blocks[blockID]
+	if task.Types[b.Type].Op != migration.Drain {
+		return nil
+	}
+	affected := make(map[topo.SwitchID]bool)
+	operated := make(map[topo.CircuitID]bool)
+	for _, s := range b.Switches {
+		for _, c := range task.Topo.Switch(s).Circuits() {
+			operated[c] = true
+			affected[task.Topo.Circuit(c).Other(s)] = true
+		}
+	}
+	for _, c := range b.Circuits {
+		operated[c] = true
+		ck := task.Topo.Circuit(c)
+		affected[ck.A] = true
+		affected[ck.B] = true
+	}
+	var out []topo.CircuitID
+	for s := range affected {
+		for _, c := range task.Topo.Switch(s).Circuits() {
+			if !operated[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

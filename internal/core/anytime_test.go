@@ -6,7 +6,6 @@ import (
 	"math"
 	"reflect"
 	"runtime"
-	"strings"
 	"testing"
 	"time"
 )
@@ -162,8 +161,9 @@ func TestAnytimeContextCancelled(t *testing.T) {
 }
 
 // TestPrecheckWorkerPanicRecovered asserts a panicking wavefront worker
-// surfaces as an error from PlanDPParallel instead of crashing the
-// process.
+// degrades the planner to serial instead of crashing or failing: the run
+// completes, the plan is byte-identical to the serial planner's, and the
+// degradation is visible in Metrics.LanePanics.
 func TestPrecheckWorkerPanicRecovered(t *testing.T) {
 	task := bridgeTask(t, 4, 4, 100, 100, 150, 0)
 	// Keep GOMAXPROCS pinned up so goroutines genuinely interleave even on
@@ -177,13 +177,57 @@ func TestPrecheckWorkerPanicRecovered(t *testing.T) {
 	}
 	defer func() { parallelTestHook = nil }()
 
-	_, err := PlanDPParallel(task, Options{Alpha: 0.2}, 2)
-	if err == nil {
-		t.Fatal("want error from panicking worker, got nil")
+	p, err := PlanDPParallel(task, Options{Alpha: 0.2}, 2)
+	if err != nil {
+		t.Fatalf("a lane panic must degrade the run to serial, not fail it: %v", err)
 	}
-	if got := err.Error(); !strings.Contains(got, "panicked") || !strings.Contains(got, "injected test panic") {
-		t.Fatalf("error should describe the recovered panic, got %q", got)
+	if p.Metrics.LanePanics == 0 {
+		t.Fatal("Metrics.LanePanics = 0; the degradation must be accounted")
 	}
+	parallelTestHook = nil
+	serial, err := PlanDP(task, Options{Alpha: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Sequence, serial.Sequence) || p.Cost != serial.Cost {
+		t.Fatalf("degraded plan differs from serial:\n%v (cost %.3f)\n%v (cost %.3f)",
+			p.Sequence, p.Cost, serial.Sequence, serial.Cost)
+	}
+	checkPlan(t, task, p, Options{Alpha: 0.2})
+}
+
+// TestFrontierWarmerPanicDegradesToSerial asserts a panicking A* batch
+// worker retires the frontier warmer instead of killing the search: the
+// run completes on the serial lazy path, the plan is byte-identical to the
+// serial planner's, and Metrics.LanePanics records the degradation.
+func TestFrontierWarmerPanicDegradesToSerial(t *testing.T) {
+	task := bridgeTask(t, 4, 4, 100, 100, 150, 0)
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	batchTestHook = func(worker int) {
+		if worker == 1 {
+			panic("injected test panic")
+		}
+	}
+	defer func() { batchTestHook = nil }()
+
+	p, err := PlanAStarParallel(task, Options{Alpha: 0.2}, 4)
+	if err != nil {
+		t.Fatalf("a warmer panic must degrade the search to serial, not fail it: %v", err)
+	}
+	if p.Metrics.LanePanics == 0 {
+		t.Fatal("Metrics.LanePanics = 0; the degradation must be accounted")
+	}
+	batchTestHook = nil
+	serial, err := PlanAStar(task, Options{Alpha: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Sequence, serial.Sequence) || p.Cost != serial.Cost {
+		t.Fatalf("degraded plan differs from serial:\n%v (cost %.3f)\n%v (cost %.3f)",
+			p.Sequence, p.Cost, serial.Sequence, serial.Cost)
+	}
+	checkPlan(t, task, p, Options{Alpha: 0.2})
 }
 
 // TestCheckpointPartialIsExecutable asserts the advisory Partial prefix in

@@ -166,13 +166,13 @@ func (s *astarSearch) run() (*Plan, error) {
 		if sp.isTarget(it.vecIdx) {
 			seq := sp.reconstruct(s.prev, it.vecIdx, it.last, int(it.tail))
 			sp.rec.PlanCompleted()
-			return &Plan{
+			return sp.finishPlan(&Plan{
 				Task:     task,
 				Sequence: seq,
 				Runs:     RunsOf(task, seq, sp.opts.MaxRunLength),
 				Cost:     it.g,
 				Metrics:  sp.elapsedMetrics(),
-			}, nil
+			})
 		}
 
 		// Constraint semantics (paper Eq. 4–6 "s.t." clause): consecutive
@@ -184,6 +184,12 @@ func (s *astarSearch) run() (*Plan, error) {
 		cur := sp.vec(it.vecIdx)
 		if s.warm != nil {
 			s.warm.run(cur, it.vecIdx, s.pq)
+			if s.warm.retired {
+				// A worker lane panicked inside the warmer: the warmer is
+				// permanently retired and the search continues on the
+				// serial lazy path, which produces the identical plan.
+				s.warm = nil
+			}
 		}
 		boundaryOK := true
 		boundaryChecked := false

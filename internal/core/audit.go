@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+
+	"klotski/internal/audit"
+	"klotski/internal/migration"
+)
+
+// ErrAudit means the planner produced a sequence that the independent
+// post-planning audit rejected — a planner bug (most likely in a fast
+// path: the satisfiability cache, the incremental evaluator, or a parallel
+// lane), caught before the plan could reach an operator.
+var ErrAudit = errors.New("core: plan failed independent audit")
+
+// auditConfig maps planner options onto the independent auditor's
+// configuration. Fast-path knobs (caches, incremental evaluation, workers,
+// the shared Evaluator) deliberately do not cross this boundary: the audit
+// is always pristine and serial.
+func auditConfig(opts *Options) audit.Config {
+	cfg := audit.Config{
+		Theta:        opts.Theta,
+		Split:        opts.Split,
+		FunnelFactor: opts.FunnelFactor,
+		MaxRunLength: opts.MaxRunLength,
+		SpaceBudget:  opts.SpaceBudget,
+		Recorder:     opts.Recorder,
+		InitialLast:  audit.NoLast,
+	}
+	if opts.InitialCounts != nil {
+		cfg.InitialCounts = opts.InitialCounts
+		cfg.InitialLast = opts.InitialLast
+		cfg.InitialRunLength = opts.InitialRunLength
+	}
+	return cfg
+}
+
+// AuditSequence replays seq against the pristine serial verifier of
+// internal/audit, honoring the planning options' constraint set (θ, split
+// mode, funneling, run cap, space budget) and canonical resume state. It
+// returns the structured report; an error only signals malformed inputs,
+// not a failed audit.
+func AuditSequence(task *migration.Task, seq []int, opts Options, freeOrder bool) (*audit.Report, error) {
+	cfg := auditConfig(&opts)
+	cfg.FreeOrder = freeOrder
+	return audit.Verify(task, seq, cfg)
+}
+
+// AuditPartial audits a safe partial sequence — a checkpoint's prefix —
+// where stopping short of the full migration is expected: the partial's
+// endpoint is checked as a final observable state, but the missing
+// remainder is not an error.
+func AuditPartial(task *migration.Task, seq []int, opts Options, freeOrder bool) (*audit.Report, error) {
+	cfg := auditConfig(&opts)
+	cfg.FreeOrder = freeOrder
+	cfg.AllowPartial = true
+	return audit.Verify(task, seq, cfg)
+}
+
+// AuditResumed audits a plan that continues an already-executed prefix of
+// blocks (the control loop's mid-migration state). For canonical plans the
+// prefix collapses to per-type counts; free-order plans (baselines) carry
+// the exact executed sequence into the replay.
+func AuditResumed(task *migration.Task, seq, executed []int, opts Options, freeOrder bool) (*audit.Report, error) {
+	cfg := auditConfig(&opts)
+	cfg.FreeOrder = freeOrder
+	if freeOrder {
+		cfg.InitialCounts = nil
+		cfg.Executed = executed
+		return audit.Verify(task, seq, cfg)
+	}
+	if len(executed) > 0 {
+		counts := make([]int, task.NumTypes())
+		for _, id := range executed {
+			if id < 0 || id >= len(task.Blocks) {
+				return nil, errors.New("core: executed prefix references invalid block")
+			}
+			counts[task.Blocks[id].Type]++
+		}
+		cfg.InitialCounts = counts
+		cfg.InitialLast = task.Blocks[executed[len(executed)-1]].Type
+		cfg.InitialRunLength = 0
+	}
+	return audit.Verify(task, seq, cfg)
+}
+
+// finishPlan runs the opt-out post-planning audit on a freshly
+// reconstructed plan. Every planner success path funnels through here, so
+// resumed runs (ResumePlan re-enters the same paths) are covered too. The
+// audit replays the sequence on a fresh view with a fresh serial
+// evaluator; a failure turns the "success" into ErrAudit — a wrong plan
+// must never look like a right one.
+func (sp *space) finishPlan(p *Plan) (*Plan, error) {
+	if sp.opts.SkipAudit {
+		return p, nil
+	}
+	span := sp.rec.Span("audit.verify")
+	rep, err := AuditSequence(sp.task, p.Sequence, sp.opts, false)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	p.Audit = rep
+	if !rep.Passed {
+		return nil, planErrf(ErrAudit, "%s", rep.Reason)
+	}
+	return p, nil
+}

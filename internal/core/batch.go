@@ -2,6 +2,11 @@ package core
 
 import "sync"
 
+// batchTestHook, when non-nil, runs inside every frontier-warmer worker
+// before its shard. Tests use it to inject worker panics and verify the
+// planner retires the warmer and finishes serially with an identical plan.
+var batchTestHook func(worker int)
+
 // Batched frontier warming for A*'s lazy path.
 //
 // A* only consults the evaluator at run boundaries, one state per
@@ -35,12 +40,17 @@ type frontierWarmer struct {
 	lanes   []*lane
 	items   []int32
 	scratch []uint16
+
+	// retired latches after a worker panic: the warmer is dead for the
+	// rest of the run and the search falls back to the serial lazy path.
+	retired bool
 }
 
 // newFrontierWarmer returns a warmer for sp, or nil when warming cannot
-// help (fewer than two workers, cache disabled, or funneling in effect).
+// help (fewer than two workers, cache disabled, funneling in effect, or a
+// prior worker panic degraded the run to serial).
 func (sp *space) newFrontierWarmer(workers int) *frontierWarmer {
-	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
+	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 || sp.degraded {
 		return nil
 	}
 	if sp.specPending == nil {
@@ -80,15 +90,29 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 	}
 	fw.ensureLanes()
 
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked bool
+	)
 	for w := 0; w < fw.workers; w++ {
 		wg.Add(1)
 		go func(w int, ln *lane) {
 			defer wg.Done()
-			// A panicking check would take the serial path down too when the
-			// verdict is actually needed; here the claim is released and the
-			// remaining items stay unknown for lazy rechecking.
-			defer func() { _ = recover() }()
+			// Panic containment: the claim protocol releases the in-flight
+			// claim on unwind, the remaining items stay unknown for lazy
+			// serial rechecking, and the warmer retires itself below — one
+			// poisoned lane must not take the search down.
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					panicked = true
+					panicMu.Unlock()
+				}
+			}()
+			if hook := batchTestHook; hook != nil {
+				hook(w)
+			}
 			for i := w; i < len(fw.items); i += fw.workers {
 				sp.feasibleOn(ln, fw.items[i])
 			}
@@ -108,6 +132,12 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 	}
 	sp.metrics.BatchedChecks += resolved
 	sp.rec.BatchedChecks(resolved)
+	if panicked {
+		// Verdicts committed before the panic are final and correct; only
+		// the lanes are suspect. Retire the warmer and degrade the run.
+		fw.retired = true
+		sp.degradeToSerial()
+	}
 }
 
 // add queues idx for the batch unless its verdict is already known or it

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"klotski/internal/audit"
 	"klotski/internal/migration"
 	"klotski/internal/obs"
 	"klotski/internal/routing"
@@ -156,8 +157,18 @@ type Options struct {
 	InitialLast      migration.ActionType
 	InitialRunLength int
 
+	// SkipAudit disables the independent post-planning audit: by default
+	// every emitted plan is replayed step-by-step against a pristine,
+	// serial, non-incremental evaluator (internal/audit) before it is
+	// returned, and planning fails with ErrAudit if any boundary state
+	// violates a constraint. Benchmarks isolating raw search time opt
+	// out; production callers should not.
+	SkipAudit bool
+
 	// Evaluator optionally supplies a routing evaluator to reuse across
 	// planning runs over the same topology. When nil a fresh one is built.
+	// The post-planning audit never uses it: audits run on a fresh
+	// evaluator by construction.
 	Evaluator *routing.Evaluator
 
 	// Recorder optionally streams planner events (states, checks, cache
@@ -235,6 +246,7 @@ type Metrics struct {
 	WorkerChecks     int // satisfiability checks executed on worker lanes
 	ShardContention  int // intern-shard and verdict-claim collisions between workers
 	SpeculativeWaste int // speculatively batched verdicts the search never consumed
+	LanePanics       int // worker-lane panics contained by degrading to serial execution
 }
 
 // Plan is an ordered, safe, minimum-cost migration plan.
@@ -244,6 +256,11 @@ type Plan struct {
 	Runs     []Run
 	Cost     float64
 	Metrics  Metrics
+
+	// Audit is the report of the independent post-planning audit (nil when
+	// Options.SkipAudit was set). A plan only reaches the caller with
+	// Audit.Passed == true; the control loop refuses plans without it.
+	Audit *audit.Report
 }
 
 // String renders the plan as one line per run.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
@@ -76,7 +75,7 @@ func planDP(ctx context.Context, task *migration.Task, opts Options) (*Plan, err
 		panic("core: target vector construction error")
 	}
 	if targetIdx == startIdx {
-		return &Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()}, nil
+		return sp.finishPlan(&Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()})
 	}
 	d.targetIdx = targetIdx
 	return d.plan()
@@ -89,12 +88,9 @@ func planDP(ctx context.Context, task *migration.Task, opts Options) (*Plan, err
 // Workers ≤ 1), with all previously warmed caches honored.
 func (d *dpRun) plan() (*Plan, error) {
 	sp := d.sp
-	if sp.opts.Workers > 1 {
+	if sp.opts.Workers > 1 && !sp.degraded {
 		if err := d.wavefront(); err != nil {
-			if errors.Is(err, sp.stopErr) {
-				return nil, d.interrupt(err) // budget/cancel: checkpoint
-			}
-			return nil, err // worker panic: hard error
+			return nil, d.interrupt(err) // budget/cancel: checkpoint
 		}
 	}
 	return d.sweep()
@@ -149,13 +145,13 @@ func (d *dpRun) sweep() (*Plan, error) {
 	}
 	seq := sp.reconstruct(d.prev, d.targetIdx, bestLast, bestTail)
 	sp.rec.PlanCompleted()
-	return &Plan{
+	return sp.finishPlan(&Plan{
 		Task:     task,
 		Sequence: seq,
 		Runs:     RunsOf(task, seq, sp.opts.MaxRunLength),
 		Cost:     bestCost,
 		Metrics:  sp.elapsedMetrics(),
-	}, nil
+	})
 }
 
 // interrupt evicts half-computed memo entries and packages the finalized

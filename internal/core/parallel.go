@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -40,8 +39,9 @@ import (
 // small to amortize worker spawns.
 
 // parallelTestHook, when non-nil, runs inside every wavefront worker before
-// its shard. Tests use it to inject worker panics and verify they surface
-// as errors instead of crashing the process.
+// its shard. Tests use it to inject worker panics and verify the planner
+// contains them — degrading to serial execution with an identical plan —
+// instead of crashing the process.
 var parallelTestHook func(worker int)
 
 // wfState identifies one DP state of the current layer.
@@ -62,8 +62,12 @@ type wfResult struct {
 
 // wavefront fills the DP memo bottom-up in parallel layers. It returns nil
 // when it completes or does not apply (the serial sweep then finishes the
-// job), a latched interruption reason (budget/cancel) for plan() to
-// checkpoint, or a hard error for a recovered worker panic. States already
+// job), or a latched interruption reason (budget/cancel) for plan() to
+// checkpoint. A recovered worker panic is not an error: the valid results
+// of the poisoned layer are merged (each is final — layers are
+// independent), the space degrades to serial execution for the remainder
+// of the run, and the serial sweep lazily values whatever the wavefront
+// did not finish — producing the byte-identical plan. States already
 // memoized — a resumed checkpoint — are skipped, so only the remaining work
 // is parallelized.
 func (d *dpRun) wavefront() error {
@@ -152,16 +156,16 @@ func (d *dpRun) wavefront() error {
 		for i := range res {
 			res[i] = wfResult{}
 		}
-		if err := d.computeLayer(states, res, lanes); err != nil {
-			return err
-		}
+		panicked := d.computeLayer(states, res, lanes)
 		// Merge in ascending state order. Values are final regardless of
 		// merge order (states of one layer are independent); the order only
-		// keeps the accounting deterministic.
+		// keeps the accounting deterministic. Results of a poisoned layer
+		// are merged too: each valid slot was fully computed before the
+		// panic and the sweep revalues the rest lazily.
 		merged := 0
 		for i := range res {
 			if !res[i].valid {
-				continue // worker bailed on cancellation; recomputed later
+				continue // worker bailed on cancellation or panic; recomputed later
 			}
 			d.memo[states[i].key] = res[i].cost
 			if !math.IsInf(res[i].cost, 1) {
@@ -176,6 +180,12 @@ func (d *dpRun) wavefront() error {
 		for _, ln := range lanes {
 			ln.fold()
 		}
+		if panicked {
+			// Contain the panic: retire every parallel path for the rest of
+			// the run and let the serial sweep finish the plan.
+			sp.degradeToSerial()
+			return nil
+		}
 		sp.pollCountdown = 1 // force a real time/context poll per layer
 		if err := sp.interrupted(); err != nil {
 			return err
@@ -187,15 +197,16 @@ func (d *dpRun) wavefront() error {
 // computeLayer values one layer's states on the worker pool. Workers read
 // the memo (frozen during the layer) and the shared satisfiability cache;
 // they write only their strided slots of res. A panic in any worker is
-// recovered and returned as an error — one poisoned goroutine must not
-// crash the process.
-func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) error {
+// recovered and reported to the caller — one poisoned goroutine must not
+// crash the process, and in-flight satisfiability-cache claims are
+// released by the claim protocol's own unwind guard, so the surviving
+// serial path never deadlocks on a dead worker's claim.
+func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) (panicked bool) {
 	sp := d.sp
 	workers := len(lanes)
 	var (
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicErr error
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -204,9 +215,7 @@ func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) er
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
-					if panicErr == nil {
-						panicErr = fmt.Errorf("core: parallel planner worker %d panicked: %v", w, r)
-					}
+					panicked = true
 					panicMu.Unlock()
 				}
 			}()
@@ -243,7 +252,7 @@ func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) er
 		}(w, lanes[w])
 	}
 	wg.Wait()
-	return panicErr
+	return panicked
 }
 
 // PlanDPParallel runs the DP planner with the memo table computed across
@@ -261,7 +270,9 @@ func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, err
 // the context stops both the wavefront workers and the serial sweep, and
 // budget or cancellation interruptions return a resumable Checkpoint via
 // *Interrupted. Worker panics during the wavefront are recovered and
-// surfaced as ordinary errors.
+// contained: the planner degrades to serial execution for the remainder
+// of the run and still emits the byte-identical plan
+// (Metrics.LanePanics counts the event).
 func PlanDPParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

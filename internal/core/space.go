@@ -95,6 +95,13 @@ type space struct {
 	// search — the speculative-waste ledger. nil unless an A* frontier
 	// warmer is active, so serial runs pay nothing.
 	specPending map[int32]struct{}
+
+	// degraded latches after a worker-lane panic: every parallel path (DP
+	// wavefront, A* frontier warmer) is retired for the remainder of the
+	// run — including resume legs — and the planners finish serially,
+	// which produces byte-identical plans. Only the planner goroutine
+	// writes it, between parallel phases.
+	degraded bool
 }
 
 // dcDelta is one block's occupancy change in one datacenter (index DC+1).
@@ -600,6 +607,16 @@ func (sp *space) checkClaimed(ln *lane, vecIdx int32) (res int8) {
 	sp.feasT.set(vecIdx, res)
 	committed = true
 	return res
+}
+
+// degradeToSerial contains a worker-lane panic: the event is counted, the
+// degradation is recorded, and the degraded latch permanently retires the
+// parallel paths for this run. The serial planners produce byte-identical
+// plans, so correctness is unaffected — only wall-clock time.
+func (sp *space) degradeToSerial() {
+	sp.degraded = true
+	sp.metrics.LanePanics++
+	sp.rec.LanePanicDegraded()
 }
 
 // precomputeOccupancy derives per-block space-occupancy deltas: draining a

@@ -145,6 +145,11 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 			return out, fmt.Errorf("ctrl: initial planning: %w", err)
 		}
 	}
+	// Defense in depth: the control loop never executes a plan that has
+	// not passed the independent audit, whoever produced it.
+	if err := ensureAudited(plan, world.Executed(), opts.Config); err != nil {
+		return out, err
+	}
 
 	remaining := append([]int(nil), plan.Sequence...)
 	idx := 0
@@ -162,6 +167,9 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 		p, err := replanFromWorld(ctx, task, world, opts.Config)
 		if err != nil {
 			return fmt.Errorf("ctrl: replanning (%s): %w", reason, err)
+		}
+		if err := ensureAudited(p, world.Executed(), opts.Config); err != nil {
+			return err
 		}
 		remaining = append(remaining[:0], p.Sequence...)
 		idx = 0
@@ -244,6 +252,32 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 		return out, fmt.Errorf("ctrl: run ended with %d of %d actions executed", len(world.Executed()), task.NumActions())
 	}
 	return out, nil
+}
+
+// ensureAudited refuses to hand a plan to the executor unless it carries a
+// passing independent-audit report. Plans from the core planners arrive
+// pre-audited (their post-pass sets Plan.Audit); plans built elsewhere —
+// baselines, hand-constructed Options.Plan — are audited here against the
+// task the plan was computed for, continuing the executed prefix. When
+// Config.SkipAudit is set (tests only), the audit still runs here: the
+// executor's gate is the last line of defense and has no opt-out.
+func ensureAudited(p *core.Plan, executed []int, cfg pipeline.Config) error {
+	if p.Audit == nil {
+		freeOrder := cfg.Planner == pipeline.PlannerMRC || cfg.Planner == pipeline.PlannerJanus
+		opts := cfg.Options
+		opts.InitialCounts = nil
+		opts.InitialLast = core.NoLast
+		rep, err := core.AuditResumed(p.Task, p.Sequence, executed, opts, freeOrder)
+		if err != nil {
+			return fmt.Errorf("ctrl: auditing plan: %w", err)
+		}
+		p.Audit = rep
+	}
+	if !p.Audit.Passed {
+		return fmt.Errorf("ctrl: refusing to execute plan: audit failed at step %d: %s",
+			p.Audit.FailStep, p.Audit.Reason)
+	}
+	return nil
 }
 
 // replanFromWorld rebuilds the remaining plan from the world's ground

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -282,6 +283,43 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	}
 	if _, err := ReadJournal(path); err == nil {
 		t.Fatal("mid-file corruption should be an error")
+	}
+}
+
+// TestRunRefusesTamperedPlan: the control loop's audit gate is the last
+// line of defense — a plan whose sequence was altered after planning (and
+// whose audit report was stripped) must be refused before any action is
+// issued to the network.
+func TestRunRefusesTamperedPlan(t *testing.T) {
+	task, _ := loopTask(t)
+	res, err := pipeline.RunTask(task, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *res.Plan
+	tampered.Audit = nil
+	tampered.Sequence = append([]int(nil), res.Plan.Sequence...)
+	swapped := false
+	for i := 0; i+1 < len(tampered.Sequence) && !swapped; i++ {
+		a, b := tampered.Sequence[i], tampered.Sequence[i+1]
+		if task.Blocks[a].Type == task.Blocks[b].Type {
+			tampered.Sequence[i], tampered.Sequence[i+1] = b, a
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatal("no same-type pair to tamper with")
+	}
+	world := sim.NewWorld(task, nil, 1)
+	_, err = Run(context.Background(), task, world, Options{Plan: &tampered, Sleep: noSleep})
+	if err == nil {
+		t.Fatal("controller executed a tampered plan")
+	}
+	if len(world.Executed()) != 0 {
+		t.Fatalf("controller applied %d actions of a tampered plan", len(world.Executed()))
+	}
+	if !strings.Contains(err.Error(), "audit failed") {
+		t.Fatalf("refusal should cite the audit: %v", err)
 	}
 }
 

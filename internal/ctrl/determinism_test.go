@@ -28,7 +28,9 @@ func runJournaled(t *testing.T, dir, name string, seed int64) (*Outcome, error, 
 	schedule := sim.RandomSchedule(task, seed, sim.ScheduleOptions{Faults: 4})
 	world := sim.NewWorld(task, schedule, seed)
 	path := filepath.Join(dir, name)
-	j, err := NewJournal(path)
+	// Determinism runs re-execute into the same path on purpose; the
+	// explicit overwrite bypasses NewJournal's clobber refusal.
+	j, err := NewJournalOverwrite(path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,10 +14,40 @@
 package ctrl
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
 	"os"
+)
+
+// journalMagic is the record-envelope format tag. Every journal line is
+//
+//	KJ1 <crc32c-hex8> <entry-json>\n
+//
+// where the CRC32C (Castagnoli) covers the entry JSON bytes exactly as
+// written. The version is part of the magic: a future format bump renames
+// it to KJ2 and old readers fail loudly instead of misparsing.
+const journalMagic = "KJ1"
+
+// castagnoli is the CRC32C table shared by all journal encode/decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal corruption sentinels, matchable via errors.Is.
+var (
+	// ErrJournalExists means NewJournal found a journal already at the
+	// path. Overwriting a prior campaign's log silently destroys the only
+	// record of what was executed; callers must opt in explicitly via
+	// NewJournalOverwrite (or resume with OpenJournal).
+	ErrJournalExists = errors.New("ctrl: journal already exists")
+
+	// ErrCorrupt means a journal holds a record that is malformed or fails
+	// its checksum somewhere other than the final line — mid-file damage
+	// that truncation during a crash cannot produce, so the log cannot be
+	// trusted for recovery.
+	ErrCorrupt = errors.New("ctrl: journal corrupt")
 )
 
 // Entry is one journal record. Op "begin" is written before an action is
@@ -33,17 +63,36 @@ type Entry struct {
 	Detail  string `json:"detail,omitempty"`  // replan reason
 }
 
-// Journal is a write-ahead log of executed actions: JSON lines, fsynced
-// per append. It tolerates a truncated final line on read — the signature
-// of a crash mid-write — by ignoring it.
+// Journal is a write-ahead log of executed actions: one versioned,
+// CRC32C-checksummed record per line, fsynced per append. On read it
+// distinguishes the two failure modes durable logs actually have: a
+// damaged final record is the signature of a crash mid-append (torn tail)
+// and is dropped, recovering the clean prefix; a damaged record anywhere
+// else is real corruption and fails with ErrCorrupt.
 type Journal struct {
 	path    string
 	f       *os.File
 	entries []Entry
 }
 
-// NewJournal creates (or truncates) a journal at path.
+// NewJournal creates a journal at path, refusing with ErrJournalExists if
+// one (or any file) is already there — a prior campaign's log is evidence
+// and must not be clobbered silently. Use NewJournalOverwrite to replace
+// it deliberately, or OpenJournal to resume it.
 func NewJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("%w at %s: pass an explicit overwrite (NewJournalOverwrite) to replace it, or OpenJournal to resume it", ErrJournalExists, path)
+		}
+		return nil, fmt.Errorf("ctrl: creating journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// NewJournalOverwrite creates a journal at path, truncating any existing
+// file — the explicit opt-in NewJournal refuses to perform silently.
+func NewJournalOverwrite(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ctrl: creating journal: %w", err)
@@ -52,61 +101,144 @@ func NewJournal(path string) (*Journal, error) {
 }
 
 // OpenJournal opens an existing journal for crash recovery: prior entries
-// are replayed (a truncated tail line is dropped) and new appends go to
-// the end.
+// are replayed (a torn final line is dropped) and new appends go to the
+// end. The file is truncated to the clean prefix first, so a recovered
+// torn tail is not concatenated with the next append into one giant
+// corrupt line. A missing file is created empty.
 func OpenJournal(path string) (*Journal, error) {
-	entries, err := ReadJournal(path)
+	entries, cleanLen, err := readJournal(path)
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		entries, cleanLen = nil, 0
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ctrl: opening journal: %w", err)
+	}
+	if err := f.Truncate(cleanLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ctrl: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(cleanLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ctrl: seeking journal: %w", err)
 	}
 	return &Journal{path: path, f: f, entries: entries}, nil
 }
 
 // ReadJournal reads a journal file without opening it for appends. A
-// malformed or truncated final line is tolerated (crash mid-append);
-// malformed lines elsewhere are an error.
+// malformed or checksum-failing final line is tolerated (crash
+// mid-append); damage anywhere else fails with an error wrapping
+// ErrCorrupt.
 func ReadJournal(path string) ([]Entry, error) {
-	f, err := os.Open(path)
+	entries, _, err := readJournal(path)
+	return entries, err
+}
+
+func readJournal(path string) ([]Entry, int64, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("ctrl: reading journal: %w", err)
+		return nil, 0, fmt.Errorf("ctrl: reading journal: %w", err)
 	}
-	defer f.Close()
-	var entries []Entry
-	sc := bufio.NewScanner(f)
-	var pendingErr error
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	return parseJournal(data)
+}
+
+// parseJournal decodes journal bytes, returning the recovered entries and
+// the byte length of the clean (undamaged) prefix.
+func parseJournal(data []byte) (entries []Entry, cleanLen int64, err error) {
+	var (
+		pendingErr error
+		offset     int
+		line       int
+	)
+	for offset < len(data) {
+		line++
+		raw := data[offset:]
+		next := len(data)
+		complete := false
+		if nl := bytes.IndexByte(raw, '\n'); nl >= 0 {
+			raw = raw[:nl]
+			next = offset + nl + 1
+			complete = true
 		}
 		if pendingErr != nil {
-			// The malformed line was not the last one: real corruption.
-			return nil, pendingErr
+			// The damaged record was not the last one: real corruption.
+			return nil, 0, pendingErr
 		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			pendingErr = fmt.Errorf("ctrl: corrupt journal line %d: %w", len(entries)+1, err)
-			continue
+		switch e, derr := decodeJournalLine(raw); {
+		case len(raw) == 0:
+			// Append emits exactly one non-empty line per record, so a
+			// blank line is damage: tolerated at the tail, fatal mid-file.
+			pendingErr = fmt.Errorf("%w: blank record at line %d", ErrCorrupt, line)
+		case derr != nil:
+			pendingErr = fmt.Errorf("%w: line %d: %v", ErrCorrupt, line, derr)
+		case !complete:
+			// The payload decodes but its trailing newline never hit disk:
+			// the append's fsync cannot have completed, so the record was
+			// never durable. Treat it as the torn tail it is.
+			pendingErr = fmt.Errorf("%w: line %d: record missing trailing newline", ErrCorrupt, line)
+		default:
+			entries = append(entries, e)
+			cleanLen = int64(next)
 		}
-		entries = append(entries, e)
+		offset = next
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ctrl: reading journal: %w", err)
+	// A single damaged final record is the torn tail of a crash
+	// mid-append: recover the clean prefix silently.
+	return entries, cleanLen, nil
+}
+
+// encodeJournalLine renders one record in the versioned envelope. The
+// output is a deterministic function of the entry, preserving the
+// byte-identical-journal determinism contract.
+func encodeJournalLine(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: encoding journal entry: %w", err)
 	}
-	return entries, nil
+	line := make([]byte, 0, len(journalMagic)+1+8+1+len(payload)+1)
+	line = append(line, journalMagic...)
+	line = append(line, ' ')
+	line = fmt.Appendf(line, "%08x", crc32.Checksum(payload, castagnoli))
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeJournalLine parses and verifies one envelope line (without its
+// trailing newline).
+func decodeJournalLine(raw []byte) (Entry, error) {
+	var e Entry
+	rest, ok := bytes.CutPrefix(raw, []byte(journalMagic+" "))
+	if !ok {
+		return e, fmt.Errorf("record does not start with %q (unversioned or torn record)", journalMagic)
+	}
+	if len(rest) < 9 || rest[8] != ' ' {
+		return e, errors.New("record missing checksum field")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(rest[:8]), "%08x", &want); err != nil {
+		return e, fmt.Errorf("unparsable checksum %q", rest[:8])
+	}
+	payload := rest[9:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return e, fmt.Errorf("checksum mismatch: record says %08x, payload hashes to %08x", want, got)
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, fmt.Errorf("unmarshaling record: %w", err)
+	}
+	return e, nil
 }
 
 // Append writes one entry and syncs it to stable storage before returning.
 func (j *Journal) Append(e Entry) error {
-	b, err := json.Marshal(e)
+	b, err := encodeJournalLine(e)
 	if err != nil {
-		return fmt.Errorf("ctrl: encoding journal entry: %w", err)
+		return err
 	}
-	b = append(b, '\n')
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("ctrl: appending journal entry: %w", err)
 	}

@@ -1,0 +1,219 @@
+package ctrl
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// journalBytes writes n begin/done entry pairs through the real Append
+// path and returns the raw file contents plus the entries written.
+func journalBytes(t *testing.T, n int) ([]byte, []Entry) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Entry
+	for i := 0; i < n; i++ {
+		for _, op := range []string{"begin", "done"} {
+			e := Entry{Seq: i, Op: op, Block: i, Name: "blk"}
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, e)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, want
+}
+
+// TestNewJournalRefusesClobber is the regression test for the silent
+// O_TRUNC clobber: creating a journal where one exists must fail with
+// ErrJournalExists, and only the explicit overwrite constructor replaces
+// it.
+func TestNewJournalRefusesClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Seq: 0, Op: "done", Block: 7}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	if _, err := NewJournal(path); !errors.Is(err, ErrJournalExists) {
+		t.Fatalf("NewJournal over existing file: err = %v, want ErrJournalExists", err)
+	}
+	// The refused create must not have damaged the original.
+	entries, err := ReadJournal(path)
+	if err != nil || len(entries) != 1 || entries[0].Block != 7 {
+		t.Fatalf("journal damaged by refused create: %v, %v", entries, err)
+	}
+
+	j2, err := NewJournalOverwrite(path)
+	if err != nil {
+		t.Fatalf("explicit overwrite refused: %v", err)
+	}
+	j2.Close()
+	if entries, err := ReadJournal(path); err != nil || len(entries) != 0 {
+		t.Fatalf("overwrite did not truncate: %v, %v", entries, err)
+	}
+}
+
+// TestJournalTruncationAtEveryOffset truncates a valid journal at every
+// byte offset and requires each prefix to either recover cleanly (the
+// entries whose records are fully durable, in order) or — never — yield
+// extra or corrupted entries. Truncation is tail damage by construction,
+// so no offset may surface ErrCorrupt.
+func TestJournalTruncationAtEveryOffset(t *testing.T) {
+	data, want := journalBytes(t, 3)
+	dir := t.TempDir()
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "trunc.wal")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A record is durable only when its trailing newline is on disk.
+		durable := bytes.Count(data[:cut], []byte{'\n'})
+
+		entries, err := ReadJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: truncation misread as corruption: %v", cut, err)
+		}
+		if len(entries) != durable {
+			t.Fatalf("cut=%d: recovered %d entries, want %d", cut, len(entries), durable)
+		}
+		if durable > 0 && !reflect.DeepEqual(entries, want[:durable]) {
+			t.Fatalf("cut=%d: recovered entries diverge: %v", cut, entries)
+		}
+
+		// Recovery must also be appendable: the torn tail is dropped from
+		// the file so the next record does not merge with it.
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: OpenJournal: %v", cut, err)
+		}
+		next := Entry{Seq: 99, Op: "done", Block: 99}
+		if err := j.Append(next); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		j.Close()
+		entries, err = ReadJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: reread after append: %v", cut, err)
+		}
+		if len(entries) != durable+1 || entries[durable] != next {
+			t.Fatalf("cut=%d: append after recovery lost data: %v", cut, entries)
+		}
+	}
+}
+
+// TestJournalFlippedByteMidFile flips every byte that belongs to a record
+// other than the last two lines (where damage is indistinguishable from a
+// torn tail) and requires an explicit ErrCorrupt — mid-file damage must
+// never be silently accepted.
+func TestJournalFlippedByteMidFile(t *testing.T) {
+	data, _ := journalBytes(t, 3) // 6 lines
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) < 4 {
+		t.Fatalf("fixture too small: %d lines", len(lines))
+	}
+	// Damage strictly before the penultimate line is always mid-file: even
+	// a flipped newline merges two records that are followed by more.
+	safeEnd := len(data) - len(lines[len(lines)-1]) - len(lines[len(lines)-2])
+
+	dir := t.TempDir()
+	for pos := 0; pos < safeEnd; pos++ {
+		mutated := append([]byte(nil), data...)
+		mutated[pos] ^= 0x01
+		path := filepath.Join(dir, "flip.wal")
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadJournal(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+		if _, err := OpenJournal(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: OpenJournal accepted a corrupt journal: %v", pos, err)
+		}
+	}
+}
+
+// TestJournalFlippedByteInTail: damage confined to the final record is the
+// torn-tail signature and recovers the clean prefix.
+func TestJournalFlippedByteInTail(t *testing.T) {
+	data, want := journalBytes(t, 3)
+	last := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	mutated := append([]byte(nil), data...)
+	mutated[last+10] ^= 0x01 // inside the final record's body
+	path := filepath.Join(t.TempDir(), "tail.wal")
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("tail damage misread as corruption: %v", err)
+	}
+	if !reflect.DeepEqual(entries, want[:len(want)-1]) {
+		t.Fatalf("recovered %d entries, want %d", len(entries), len(want)-1)
+	}
+}
+
+// TestJournalEmptyAndMissing: an empty journal is a valid empty log; a
+// missing one is created by OpenJournal and errors from ReadJournal.
+func TestJournalEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.wal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(empty)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("empty journal: %v, %v", entries, err)
+	}
+
+	missing := filepath.Join(dir, "missing.wal")
+	if _, err := ReadJournal(missing); err == nil {
+		t.Fatal("ReadJournal on a missing file should error")
+	}
+	j, err := OpenJournal(missing)
+	if err != nil {
+		t.Fatalf("OpenJournal should create a missing journal: %v", err)
+	}
+	if err := j.Append(Entry{Seq: 0, Op: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if entries, err := ReadJournal(missing); err != nil || len(entries) != 1 {
+		t.Fatalf("created journal: %v, %v", entries, err)
+	}
+}
+
+// TestJournalRejectsUnversionedRecords: a journal written by a format this
+// binary does not implement (no KJ1 envelope) must not be silently
+// reinterpreted.
+func TestJournalRejectsUnversionedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.wal")
+	content := `{"seq":0,"op":"done","block":1}` + "\n" + `{"seq":1,"op":"done","block":2}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unversioned journal: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,134 @@
+package npd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Sealed envelope for durable planner state (checkpoints, plan documents).
+//
+// A checkpoint is the only thing standing between a crashed multi-hour
+// planning run and starting over, so the bytes on disk must be able to
+// prove they are intact and from a format this binary understands. Seal
+// wraps a payload document in a versioned envelope carrying a CRC32C of
+// the payload; OpenSealed verifies both before handing the payload back,
+// turning silent bit rot or a torn write into an explicit, actionable
+// error instead of a planner resumed from garbage.
+
+// SealVersion is the current envelope format version. Readers reject any
+// other version loudly rather than guessing at field semantics.
+const SealVersion = 1
+
+// Seal corruption sentinels, matchable via errors.Is.
+var (
+	// ErrSealVersion means the envelope's sealVersion is not one this
+	// binary implements.
+	ErrSealVersion = errors.New("npd: unsupported seal version")
+
+	// ErrSealChecksum means the payload bytes do not hash to the recorded
+	// CRC32C — the file was truncated, bit-rotted, or hand-edited.
+	ErrSealChecksum = errors.New("npd: sealed payload checksum mismatch")
+
+	// ErrSealFormat means the envelope's format tag does not match what
+	// the caller expected (e.g. a plan document offered where a checkpoint
+	// was required).
+	ErrSealFormat = errors.New("npd: sealed payload format mismatch")
+)
+
+// sealTable is the CRC32C (Castagnoli) table used for payload checksums.
+var sealTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sealed is the on-disk envelope: a version, a format tag naming what the
+// payload is, a CRC32C over the compacted payload bytes, and the payload
+// itself embedded as raw JSON.
+type Sealed struct {
+	SealVersion int             `json:"sealVersion"`
+	Format      string          `json:"format"`
+	CRC32C      string          `json:"crc32c"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// sealChecksum hashes the payload in compacted form so the checksum is
+// invariant under re-indentation in either direction: a pretty-printed
+// envelope verifies against a payload that was sealed compact, and vice
+// versa.
+func sealChecksum(payload []byte) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return "", fmt.Errorf("npd: compacting sealed payload: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(buf.Bytes(), sealTable)), nil
+}
+
+// Seal wraps payload (which must be valid JSON) in a versioned,
+// checksummed envelope tagged with format, returning the envelope bytes
+// ready to write to disk.
+func Seal(format string, payload []byte) ([]byte, error) {
+	sum, err := sealChecksum(payload)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(Sealed{
+		SealVersion: SealVersion,
+		Format:      format,
+		CRC32C:      sum,
+		Payload:     json.RawMessage(payload),
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("npd: encoding sealed envelope: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// SealValue marshals v to JSON and seals it under format.
+func SealValue(format string, v any) ([]byte, error) {
+	payload, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("npd: encoding sealed payload: %w", err)
+	}
+	return Seal(format, payload)
+}
+
+// IsSealed reports whether data looks like a sealed envelope (as opposed
+// to a bare payload document), without verifying it. Readers use this to
+// accept both sealed and legacy plain files.
+func IsSealed(data []byte) bool {
+	var probe struct {
+		SealVersion *int `json:"sealVersion"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.SealVersion != nil
+}
+
+// OpenSealed verifies a sealed envelope — version, format tag, checksum —
+// and returns the payload bytes. Each failure mode carries an actionable
+// error: version mismatches say what was found and what this binary
+// supports, checksum mismatches say both sums, format mismatches name
+// both tags.
+func OpenSealed(format string, data []byte) ([]byte, error) {
+	var s Sealed
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("npd: decoding sealed envelope: %w", err)
+	}
+	if s.SealVersion != SealVersion {
+		return nil, fmt.Errorf("%w: file says version %d, this binary supports version %d — re-generate the file or use a matching build",
+			ErrSealVersion, s.SealVersion, SealVersion)
+	}
+	if s.Format != format {
+		return nil, fmt.Errorf("%w: file is %q, expected %q", ErrSealFormat, s.Format, format)
+	}
+	sum, err := sealChecksum(s.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("npd: hashing sealed payload: %w", err)
+	}
+	if sum != s.CRC32C {
+		return nil, fmt.Errorf("%w: envelope records %s, payload hashes to %s — the file was truncated or corrupted and must not be trusted",
+			ErrSealChecksum, s.CRC32C, sum)
+	}
+	return s.Payload, nil
+}

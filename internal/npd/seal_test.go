@@ -1,0 +1,125 @@
+package npd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+type sealFixture struct {
+	Name    string `json:"name"`
+	Actions int    `json:"actions"`
+}
+
+func TestSealRoundTrip(t *testing.T) {
+	in := sealFixture{Name: "ckpt", Actions: 12}
+	data, err := SealValue("klotski/plan", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSealed(data) {
+		t.Fatal("sealed envelope not recognized")
+	}
+	if IsSealed([]byte(`{"version":1,"actions":3}`)) {
+		t.Fatal("bare payload misrecognized as sealed")
+	}
+	payload, err := OpenSealed("klotski/plan", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sealFixture
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestSealRejectsVersionAndFormatMismatch(t *testing.T) {
+	data, err := SealValue("klotski/plan", sealFixture{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSealed("klotski/other", data); !errors.Is(err, ErrSealFormat) {
+		t.Fatalf("format mismatch: err = %v, want ErrSealFormat", err)
+	}
+
+	var s Sealed
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	s.SealVersion = SealVersion + 1
+	bumped, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSealed("klotski/plan", bumped); !errors.Is(err, ErrSealVersion) {
+		t.Fatalf("version mismatch: err = %v, want ErrSealVersion", err)
+	}
+}
+
+func TestSealRejectsTamperedPayload(t *testing.T) {
+	data, err := SealValue("klotski/plan", sealFixture{Name: "ckpt", Actions: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"actions": 12`), []byte(`"actions": 13`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in envelope")
+	}
+	if _, err := OpenSealed("klotski/plan", tampered); !errors.Is(err, ErrSealChecksum) {
+		t.Fatalf("tampered payload: err = %v, want ErrSealChecksum", err)
+	}
+}
+
+// TestSealTruncationAtEveryOffset: a sealed file cut at any byte offset is
+// either rejected explicitly or — when only trailing whitespace was lost —
+// recovers the exact original payload. A torn write must never be
+// silently accepted as different content.
+func TestSealTruncationAtEveryOffset(t *testing.T) {
+	data, err := SealValue("klotski/plan", sealFixture{Name: "ckpt", Actions: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := OpenSealed("klotski/plan", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		payload, err := OpenSealed("klotski/plan", data[:cut])
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(payload, full) {
+			t.Fatalf("cut=%d: truncated envelope accepted with altered payload", cut)
+		}
+	}
+}
+
+// TestSealChecksumIndentationInvariant: the checksum covers the compacted
+// payload, so re-indenting a sealed file in either direction does not
+// break verification.
+func TestSealChecksumIndentationInvariant(t *testing.T) {
+	data, err := SealValue("klotski/plan", sealFixture{Name: "ckpt", Actions: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, data); err != nil {
+		t.Fatal(err)
+	}
+	var indented bytes.Buffer
+	if err := json.Indent(&indented, data, "", "\t"); err != nil {
+		t.Fatal(err)
+	}
+	for name, variant := range map[string][]byte{
+		"compacted": compacted.Bytes(),
+		"indented":  indented.Bytes(),
+	} {
+		if _, err := OpenSealed("klotski/plan", variant); err != nil {
+			t.Errorf("%s envelope fails verification: %v", name, err)
+		}
+	}
+}

@@ -26,6 +26,9 @@ const (
 	MetricWorkerChecks       = "planner.worker_checks"
 	MetricShardContention    = "planner.shard_contention"
 	MetricSpeculativeWaste   = "planner.speculative_waste"
+	MetricAuditSteps         = "audit.steps_checked"
+	MetricAuditFailures      = "audit.failures"
+	MetricLanePanics         = "planner.lane_panics_degraded"
 	TraceName                = "planner"
 )
 
@@ -56,6 +59,9 @@ type Recorder struct {
 	workerChecks     *Counter
 	shardContention  *Counter
 	specWaste        *Gauge
+	auditSteps       *Counter
+	auditFailures    *Counter
+	lanePanics       *Counter
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -87,6 +93,9 @@ func NewRecorder(reg *Registry) *Recorder {
 		workerChecks:     reg.Counter(MetricWorkerChecks),
 		shardContention:  reg.Counter(MetricShardContention),
 		specWaste:        reg.Gauge(MetricSpeculativeWaste),
+		auditSteps:       reg.Counter(MetricAuditSteps),
+		auditFailures:    reg.Counter(MetricAuditFailures),
+		lanePanics:       reg.Counter(MetricLanePanics),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -292,6 +301,32 @@ func (r *Recorder) SpeculativeWaste(n int) {
 		return
 	}
 	r.specWaste.Set(int64(n))
+}
+
+// AuditSteps counts n boundary states checked by the independent plan
+// auditor.
+func (r *Recorder) AuditSteps(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.auditSteps.Add(int64(n))
+}
+
+// AuditFailure counts one plan rejected by the independent auditor.
+func (r *Recorder) AuditFailure() {
+	if r == nil {
+		return
+	}
+	r.auditFailures.Inc()
+}
+
+// LanePanicDegraded counts one worker-lane panic that the planner contained
+// by retiring its parallel paths and finishing the run serially.
+func (r *Recorder) LanePanicDegraded() {
+	if r == nil {
+		return
+	}
+	r.lanePanics.Inc()
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

@@ -136,6 +136,11 @@ func RunTask(task *migration.Task, cfg Config) (*Result, error) {
 // RunTaskContext is RunTask with cooperative cancellation.
 func RunTaskContext(ctx context.Context, task *migration.Task, cfg Config) (*Result, error) {
 	applyUnitCosts(task, cfg.UnitCosts)
+	if cfg.SkipAudit {
+		// Propagate the opt-out to the planners' own post-pass so a skip
+		// actually skips (benchmarks isolating search time rely on it).
+		cfg.Options.SkipAudit = true
+	}
 	rec := cfg.Options.Recorder
 	planSpan := rec.Span("pipeline.plan")
 	plan, replans, err := planWithForecast(ctx, task, cfg)
@@ -295,16 +300,27 @@ func runsOf(task *migration.Task, seq []int) []core.Run {
 }
 
 // audit independently re-verifies the plan (§7.2 "we add extra audits and
-// safety checks to Klotski's plans during operation"). Baseline planners
-// are not bound to canonical within-type order, so they verify free-order.
+// safety checks to Klotski's plans during operation") with the pristine
+// serial replay engine of internal/audit, attaching the structured report.
+// Core planners arrive pre-audited (their own post-pass sets Plan.Audit);
+// baseline planners are not bound to canonical within-type order, so they
+// verify free-order here.
 func audit(task *migration.Task, plan *core.Plan, cfg Config) error {
-	opts := cfg.Options
-	opts.InitialCounts = nil
-	opts.InitialLast = core.NoLast
-	if cfg.Planner == PlannerMRC || cfg.Planner == PlannerJanus {
-		return core.VerifyPlanFreeOrder(task, plan.Sequence, opts)
+	if plan.Audit == nil {
+		opts := cfg.Options
+		opts.InitialCounts = nil
+		opts.InitialLast = core.NoLast
+		freeOrder := cfg.Planner == PlannerMRC || cfg.Planner == PlannerJanus
+		rep, err := core.AuditSequence(task, plan.Sequence, opts, freeOrder)
+		if err != nil {
+			return err
+		}
+		plan.Audit = rep
 	}
-	return core.VerifyPlan(task, plan.Sequence, opts)
+	if !plan.Audit.Passed {
+		return fmt.Errorf("%w: step %d: %s", core.ErrAudit, plan.Audit.FailStep, plan.Audit.Reason)
+	}
+	return nil
 }
 
 // Replan continues a partially executed migration: executed lists the block

@@ -47,6 +47,7 @@ import (
 	"context"
 	"io"
 
+	"klotski/internal/audit"
 	"klotski/internal/baseline"
 	"klotski/internal/core"
 	"klotski/internal/ctrl"
@@ -175,6 +176,10 @@ var (
 	ErrInfeasible  = core.ErrInfeasible
 	ErrBudget      = core.ErrBudget
 	ErrUnsupported = core.ErrUnsupported
+	// ErrAudit means the planner's output failed the independent
+	// post-planning audit — a planner bug caught before the plan could
+	// reach an operator.
+	ErrAudit = core.ErrAudit
 )
 
 // NoLast marks "no action executed yet" in replanning options.
@@ -272,6 +277,40 @@ func PlanMRCContext(ctx context.Context, task *Task, opts Options) (*Plan, error
 // PlanJanusContext is PlanJanus with cooperative cancellation.
 func PlanJanusContext(ctx context.Context, task *Task, opts Options) (*Plan, error) {
 	return baseline.PlanJanusContext(ctx, task, opts)
+}
+
+// Independent plan auditing: a defense-in-depth verifier that replays a
+// sequence step by step against a pristine serial evaluator, sharing none
+// of the planners' fast paths (caches, incremental evaluation, worker
+// lanes). Every planner runs it automatically as a post-pass unless
+// Options.SkipAudit is set; Plan.Audit carries the report.
+type (
+	// AuditReport is the structured result of an independent plan audit.
+	AuditReport = audit.Report
+	// AuditStep records one boundary-state check of an audit replay.
+	AuditStep = audit.Step
+)
+
+// AuditPlan independently audits a complete plan sequence from the
+// migration's initial state. freeOrder permits same-type blocks out of
+// canonical order (the baseline planners' output). The report's Passed
+// field carries the verdict; the returned error only signals malformed
+// inputs.
+func AuditPlan(task *Task, seq []int, opts Options, freeOrder bool) (*AuditReport, error) {
+	return core.AuditSequence(task, seq, opts, freeOrder)
+}
+
+// AuditResumedPlan audits a plan that continues an already-executed
+// prefix of blocks (the control loop's mid-migration state).
+func AuditResumedPlan(task *Task, seq, executed []int, opts Options, freeOrder bool) (*AuditReport, error) {
+	return core.AuditResumed(task, seq, executed, opts, freeOrder)
+}
+
+// AuditPartialPlan audits a safe partial sequence — a checkpoint's prefix
+// — whose endpoint is checked as a final observable state without
+// requiring the migration to be complete.
+func AuditPartialPlan(task *Task, seq []int, opts Options, freeOrder bool) (*AuditReport, error) {
+	return core.AuditPartial(task, seq, opts, freeOrder)
 }
 
 // VerifyPlan independently audits a plan: canonical ordering plus safety of
@@ -613,13 +652,35 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 // -stats-out and -debug-addr exports.
 func DefaultObsRegistry() *ObsRegistry { return obs.Default() }
 
-// NewControlJournal creates (truncating) a write-ahead journal at path.
+// Durable-state errors, matchable with errors.Is.
+var (
+	// ErrJournalExists means NewControlJournal found a journal already at
+	// the path; use OverwriteControlJournal or OpenControlJournal.
+	ErrJournalExists = ctrl.ErrJournalExists
+	// ErrJournalCorrupt means a journal holds damage somewhere other than
+	// its final record — not the torn tail of a crash, so the log cannot
+	// be trusted for recovery.
+	ErrJournalCorrupt = ctrl.ErrCorrupt
+)
+
+// NewControlJournal creates a write-ahead journal at path, refusing with
+// ErrJournalExists if a file is already there — a prior run's journal is
+// the only record of what was executed and must not be clobbered
+// silently.
 func NewControlJournal(path string) (*ControlJournal, error) { return ctrl.NewJournal(path) }
+
+// OverwriteControlJournal creates a journal at path, replacing any
+// existing file — the explicit opt-in NewControlJournal refuses to
+// perform silently.
+func OverwriteControlJournal(path string) (*ControlJournal, error) {
+	return ctrl.NewJournalOverwrite(path)
+}
 
 // OpenControlJournal opens an existing journal for crash recovery: replay
 // its committed prefix, then append.
 func OpenControlJournal(path string) (*ControlJournal, error) { return ctrl.OpenJournal(path) }
 
-// ReadControlJournal reads a journal's entries, tolerating a truncated
-// final line (crash mid-append).
+// ReadControlJournal reads a journal's entries, tolerating a damaged
+// final record (crash mid-append) but failing with ErrJournalCorrupt on
+// damage anywhere else.
 func ReadControlJournal(path string) ([]JournalEntry, error) { return ctrl.ReadJournal(path) }
