@@ -359,6 +359,44 @@ func BenchmarkEvaluatorCheckDelta(b *testing.B) {
 	})
 }
 
+// BenchmarkCheckDemandDelta is the demand-side evaluator micro-benchmark:
+// one demand rate drifts per iteration and the state is re-verified — via
+// CheckDemandDelta fed the changed index (invalidating only the dirty
+// destination groups), versus a classic full Check. The ratio is the
+// per-observation win drift-aware replanning gets from the incremental
+// engine.
+func BenchmarkCheckDemandDelta(b *testing.B) {
+	s := buildSuite(b, "C")
+	tp := s.Task.Topo
+	b.Run("delta", func(b *testing.B) {
+		ds := s.Task.Demands.Clone()
+		eval := klotski.NewEvaluator(tp)
+		view := tp.NewView()
+		changed := []int32{0}
+		eval.CheckDemandDelta(view, nil, &ds, klotski.CheckOpts{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			di := i % len(ds.Demands)
+			ds.Demands[di].Rate *= 1.0001
+			changed[0] = int32(di)
+			eval.CheckDemandDelta(view, changed, &ds, klotski.CheckOpts{})
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		ds := s.Task.Demands.Clone()
+		eval := klotski.NewEvaluator(tp)
+		view := tp.NewView()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			di := i % len(ds.Demands)
+			ds.Demands[di].Rate *= 1.0001
+			eval.Check(view, &ds, klotski.CheckOpts{})
+		}
+	})
+}
+
 // BenchmarkAStarBatchedBoundary measures serial A* against the
 // frontier-warming parallel variant on topology E: worker lanes resolve
 // the top of the open list's satisfiability verdicts ahead of the serial

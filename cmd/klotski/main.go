@@ -6,6 +6,7 @@
 //	klotski -npd region.json [-o plan.json] [-planner astar|dp|mrc|janus]
 //	        [-theta 0.75] [-alpha 0] [-growth 0] [-maxrun 0] [-timeout 5m] [-v]
 //	        [-checkpoint ckpt.json] [-chaos 0] [-chaos-faults 3] [-chaos-seed 1]
+//	        [-drift-threshold 0] [-demand-margin 1.25]
 //	        [-stats-out stats.json] [-debug-addr localhost:6060]
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
 //	klotski -npd region.json -audit plan.json                 # verify offline
@@ -36,6 +37,14 @@
 // executes the migration with the fault-tolerant control loop — retries,
 // backoff, and replanning — reporting completion rate and worst-case
 // boundary utilization to stderr.
+//
+// With -drift-threshold > 0 the chaos controller additionally observes
+// demand telemetry before each run, replans when observed drift exceeds
+// the threshold, and — when telemetry is dropped or corrupted (the fault
+// train then includes telemetry faults) — degrades to planning against the
+// last good demand inflated by -demand-margin. The resulting
+// ctrl.drift_replans, ctrl.telemetry_faults, and ctrl.degraded_runs
+// counters land in the -stats-out snapshot.
 //
 // Observability: -stats-out writes a JSON snapshot of the planner's
 // instruments (states created/expanded, check-latency histogram, cache
@@ -97,6 +106,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chaos       = fs.Int("chaos", 0, "run the plan through this many chaos-campaign control-loop runs")
 		chaosFaults = fs.Int("chaos-faults", 3, "faults per chaos run")
 		chaosSeed   = fs.Int64("chaos-seed", 1, "base seed for the chaos campaign")
+
+		driftThreshold = fs.Float64("drift-threshold", 0, "chaos-campaign demand-drift replan threshold (relative L1 deviation; 0 = drift loop off)")
+		demandMargin   = fs.Float64("demand-margin", 1.25, "degraded-mode demand envelope multiplier when telemetry is unusable")
 
 		statsOut  = fs.String("stats-out", "", "write a JSON observability snapshot (counters, gauges, histograms, spans) here on exit")
 		debugAddr = fs.String("debug-addr", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
@@ -199,10 +211,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *chaos > 0 {
 		rep, err := klotski.ChaosCampaign(ctx, res.Task, klotski.ChaosCampaignOptions{
-			Seeds:    *chaos,
-			Seed:     *chaosSeed,
-			Schedule: klotski.FaultScheduleOptions{Faults: *chaosFaults},
-			Run:      klotski.ControlOptions{Config: cfg},
+			Seeds: *chaos,
+			Seed:  *chaosSeed,
+			// Telemetry faults are only drawn when the drift loop consuming
+			// them is on, keeping pre-drift seeds byte-identical.
+			Schedule: klotski.FaultScheduleOptions{Faults: *chaosFaults, Telemetry: *driftThreshold > 0},
+			Run: klotski.ControlOptions{
+				Config:         cfg,
+				DriftThreshold: *driftThreshold,
+				DemandMargin:   *demandMargin,
+			},
 		})
 		if err != nil {
 			return fmt.Errorf("chaos campaign: %w", err)

@@ -254,13 +254,18 @@ func replay(task *migration.Task, seq []int, cfg *Config, rep *Report) {
 	eval := routing.NewEvaluator(task.Topo)
 
 	// Establish the already-executed starting state and run context.
+	// applied counts all executed actions including the initial prefix: it
+	// is the state's demand-forecast horizon, matching the planners'
+	// absolute count vectors.
 	last := NoLast
 	tail := 0
+	applied := 0
 	lastBlock := -1 // most recently executed block, for funneling headroom
 	if cfg.FreeOrder {
 		for _, id := range cfg.Executed {
 			task.Apply(view, id)
 		}
+		applied = len(cfg.Executed)
 		if n := len(cfg.Executed); n > 0 {
 			lastBlock = cfg.Executed[n-1]
 			last = task.Blocks[lastBlock].Type
@@ -270,6 +275,7 @@ func replay(task *migration.Task, seq []int, cfg *Config, rep *Report) {
 			for _, id := range task.BlocksOfType(migration.ActionType(ty))[:c] {
 				task.Apply(view, id)
 			}
+			applied += c
 		}
 		last = cfg.InitialLast
 		tail = cfg.InitialRunLength
@@ -284,7 +290,11 @@ func replay(task *migration.Task, seq []int, cfg *Config, rep *Report) {
 	// checked without it, matching the planner's (V, NoLast) semantics.
 	check := func(idx, block int, withFunnel bool) bool {
 		rep.StatesChecked++
-		copts := routing.CheckOpts{Theta: theta, Split: cfg.Split}
+		// The state is checked against the demand the network will carry
+		// when it is reached: the task's forecast sampled at the state's
+		// horizon (total applied actions), not the t=0 demand.
+		copts := routing.CheckOpts{Theta: theta, Split: cfg.Split,
+			DemandScale: task.Forecast.ScaleAt(applied)}
 		if withFunnel && !cfg.FreeOrder && cfg.FunnelFactor > 1 && lastBlock >= 0 {
 			copts.FunnelFactor = cfg.FunnelFactor
 			copts.FunnelCircuits = funnelCircuits(task, lastBlock)
@@ -333,6 +343,7 @@ func replay(task *migration.Task, seq []int, cfg *Config, rep *Report) {
 			}
 		}
 		task.Apply(view, id)
+		applied++
 		if ty != last || boundary {
 			tail = 1
 		} else {

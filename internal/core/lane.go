@@ -115,6 +115,13 @@ func (ln *lane) check(v []uint16, last migration.ActionType, funneling bool) boo
 	}
 
 	copts := routing.CheckOpts{Theta: sp.opts.theta(), Split: sp.opts.Split}
+	if sp.scales != nil {
+		finished := 0
+		for _, c := range v {
+			finished += int(c)
+		}
+		copts.DemandScale = sp.demandScaleAt(finished)
+	}
 	if funneling {
 		blocks := sp.task.BlocksOfType(last)
 		blockID := blocks[int(v[last])-1]

@@ -53,6 +53,15 @@ type space struct {
 
 	demands *demand.Set
 
+	// scales is the per-horizon demand multiplier table: scales[k] is the
+	// forecasted demand scale after k finished actions (task.Forecast).
+	// nil when the task carries no growth model — every check runs at
+	// scale 1. A vector's horizon is the sum of its entries (absolute
+	// finished counts, including any initial executed prefix), so the
+	// per-vector feasibility caches remain sound: the scale is a pure
+	// function of the vector.
+	scales []float64
+
 	// ln is lane 0: the planner goroutine's own check lane.
 	ln *lane
 
@@ -187,8 +196,33 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 		// raising Workers) fall back on the goroutine-safe lazy build.
 		task.BuildTouched()
 	}
+	if task.Forecast.GrowthPerStep != 0 {
+		total := 0
+		for _, t := range sp.totals {
+			total += int(t)
+		}
+		sp.scales = make([]float64, total+1)
+		for k := range sp.scales {
+			sp.scales[k] = task.Forecast.ScaleAt(k)
+		}
+	}
 	sp.ln = sp.newLane(eval, sp.rec, sp.useInc, &sp.metrics)
 	return sp, nil
+}
+
+// demandScaleAt returns the forecasted demand multiplier for a state with
+// the given number of finished actions; 0 means "unscaled" downstream.
+func (sp *space) demandScaleAt(finished int) float64 {
+	if sp.scales == nil {
+		return 0
+	}
+	if finished >= len(sp.scales) {
+		finished = len(sp.scales) - 1
+	}
+	if finished < 0 {
+		finished = 0
+	}
+	return sp.scales[finished]
 }
 
 // keyer packs a count vector into a uint64 when the per-type totals fit,

@@ -34,6 +34,9 @@ func VerifyPlanFreeOrder(task *migration.Task, seq []int, opts Options) error {
 	eval := routing.NewEvaluator(task.Topo)
 	view := task.Topo.NewView()
 	copts := routing.CheckOpts{Theta: opts.theta(), Split: opts.Split}
+	// Boundary checks sample the task's demand forecast at each state's
+	// horizon (finished-action count), matching the canonical-order
+	// planners and the audit replay.
 	if viol := eval.Check(view, &task.Demands, copts); !viol.OK() {
 		return planErrf(ErrInfeasible, "initial state unsafe: %s", viol)
 	}
@@ -41,6 +44,7 @@ func VerifyPlanFreeOrder(task *migration.Task, seq []int, opts Options) error {
 	for i, id := range seq {
 		ty := task.Blocks[id].Type
 		if last != NoLast && ty != last {
+			copts.DemandScale = task.Forecast.ScaleAt(i)
 			if viol := eval.Check(view, &task.Demands, copts); !viol.OK() {
 				return planErrf(ErrInfeasible, "unsafe run boundary before step %d (%s): %s",
 					i, task.Blocks[id].Name, viol)
@@ -49,6 +53,7 @@ func VerifyPlanFreeOrder(task *migration.Task, seq []int, opts Options) error {
 		task.Apply(view, id)
 		last = ty
 	}
+	copts.DemandScale = task.Forecast.ScaleAt(len(seq))
 	if viol := eval.Check(view, &task.Demands, copts); !viol.OK() {
 		return planErrf(ErrInfeasible, "final state unsafe: %s", viol)
 	}

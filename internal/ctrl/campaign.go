@@ -37,6 +37,11 @@ type CampaignReport struct {
 	TotalRetries   int
 	TotalReplans   int
 
+	// Drift-loop aggregates (all zero unless Run.DriftThreshold is set).
+	DriftReplans    int // replans triggered by observed demand drift
+	TelemetryFaults int // demand observations dropped or failing sanity checks
+	DegradedRuns    int // runs executed against the inflated-demand envelope
+
 	// BoundaryViolations across all runs — any nonzero value means the
 	// controller let the live network reach an unsafe boundary state.
 	BoundaryViolations int
@@ -83,6 +88,9 @@ func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (
 		}
 		rep.TotalRetries += out.Retries
 		rep.TotalReplans += out.Replans
+		rep.DriftReplans += out.DriftReplans
+		rep.TelemetryFaults += out.TelemetryFaults
+		rep.DegradedRuns += out.DegradedRuns
 		rep.BoundaryViolations += out.BoundaryViolations
 		if out.Completed {
 			rep.Completed++
@@ -100,7 +108,12 @@ func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (
 
 // String renders a one-line campaign summary.
 func (r *CampaignReport) String() string {
-	return fmt.Sprintf("chaos campaign over %d seeds: %.0f%% completed, %d retries, %d replans, %d boundary violations, peak util %.3f (worst seed %d)",
+	s := fmt.Sprintf("chaos campaign over %d seeds: %.0f%% completed, %d retries, %d replans, %d boundary violations, peak util %.3f (worst seed %d)",
 		r.Seeds, 100*r.CompletionRate, r.TotalRetries, r.TotalReplans,
 		r.BoundaryViolations, r.PeakUtil, r.WorstSeed)
+	if r.DriftReplans+r.TelemetryFaults+r.DegradedRuns > 0 {
+		s += fmt.Sprintf("; drift: %d drift replans, %d telemetry faults, %d degraded runs",
+			r.DriftReplans, r.TelemetryFaults, r.DegradedRuns)
+	}
+	return s
 }

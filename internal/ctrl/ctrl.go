@@ -4,14 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"klotski/internal/core"
+	"klotski/internal/demand"
 	"klotski/internal/migration"
 	"klotski/internal/obs"
 	"klotski/internal/pipeline"
 	"klotski/internal/sim"
+	"klotski/internal/topo"
 )
 
 // Options parameterizes a control-loop run.
@@ -34,6 +37,28 @@ type Options struct {
 	// MaxReplans bounds replanning across the whole run (default 8) so a
 	// hostile environment cannot trap the controller in a plan loop.
 	MaxReplans int
+
+	// DriftThreshold enables drift-aware replanning: before each run the
+	// controller observes demand telemetry (sim.World.ObserveDemands),
+	// refits the forecast, and replans from the current boundary when the
+	// relative L1 deviation between observed and planned-for demand
+	// exceeds this threshold (e.g. 0.1 = 10% aggregate drift). Drift
+	// replans share the MaxReplans budget and are always re-audited.
+	// 0 disables the observation loop entirely.
+	DriftThreshold float64
+
+	// DemandMargin is the degraded-mode safety envelope: when telemetry is
+	// unavailable or fails sanity checks even after the watchdog's
+	// retries, the controller replans against the last good demand set
+	// inflated by this factor instead of stalling or trusting garbage
+	// (default 1.25).
+	DemandMargin float64
+
+	// ObserveRetries bounds the telemetry watchdog: how many times a
+	// failed or insane observation is retried (with the same seeded
+	// backoff as action retries) before the controller degrades
+	// (default 2).
+	ObserveRetries int
 
 	// Journal, when non-nil, records begin/done/replan entries; pair with
 	// OpenJournal + a fresh world to resume after a controller crash.
@@ -75,6 +100,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxReplans <= 0 {
 		o.MaxReplans = 8
 	}
+	if o.DemandMargin <= 1 {
+		o.DemandMargin = 1.25
+	}
+	if o.ObserveRetries <= 0 {
+		o.ObserveRetries = 2
+	}
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
@@ -88,6 +119,16 @@ type Outcome struct {
 
 	Retries int // transient failures retried
 	Replans int // plans discarded for fresher ones
+
+	// DriftReplans counts replans (included in Replans) triggered by
+	// observed demand drift exceeding Options.DriftThreshold.
+	DriftReplans int
+	// TelemetryFaults counts demand observations that failed or were
+	// rejected by sanity checks (including watchdog retries).
+	TelemetryFaults int
+	// DegradedRuns counts runs executed in degraded mode — planning
+	// against the inflated-demand envelope because telemetry was unusable.
+	DegradedRuns int
 
 	// BoundaryViolations counts run-boundary states that violated
 	// constraints on the live network — zero for a healthy run, since the
@@ -140,7 +181,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 	plan := opts.Plan
 	if plan == nil {
 		var err error
-		plan, err = replanFromWorld(ctx, task, world, opts.Config)
+		plan, err = replanFromWorld(ctx, task, world, opts.Config, nil)
 		if err != nil {
 			return out, fmt.Errorf("ctrl: initial planning: %w", err)
 		}
@@ -153,7 +194,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 
 	remaining := append([]int(nil), plan.Sequence...)
 	idx := 0
-	replan := func(reason string) error {
+	replan := func(reason string, ov *demandOverride) error {
 		if out.Replans >= opts.MaxReplans {
 			return fmt.Errorf("ctrl: replan budget (%d) exhausted: %s", opts.MaxReplans, reason)
 		}
@@ -164,7 +205,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 				return err
 			}
 		}
-		p, err := replanFromWorld(ctx, task, world, opts.Config)
+		p, err := replanFromWorld(ctx, task, world, opts.Config, ov)
 		if err != nil {
 			return fmt.Errorf("ctrl: replanning (%s): %w", reason, err)
 		}
@@ -177,13 +218,117 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 		return nil
 	}
 
+	// Drift state machine (NORMAL ⇄ DEGRADED), active when DriftThreshold
+	// is set. "assumed" is the demand set the current plan was built
+	// against, captured at horizon assumedAt, so the drift score compares
+	// a fresh observation against what the plan expects *now*, not at t=0.
+	driftOn := opts.DriftThreshold > 0
+	degraded := false
+	var lastGood, assumed demand.Set
+	assumedAt := 0
+	assumedF := opts.Config.Forecast
+	var histories [][]float64
+	var refit demand.Forecast
+	haveRefit := false
+	if driftOn {
+		if assumedF.GrowthPerStep == 0 {
+			assumedF = task.Forecast
+		}
+		lastGood = task.Demands.Clone()
+		assumed = task.Demands.Clone()
+		assumedAt = len(world.Executed())
+		histories = make([][]float64, len(task.Demands.Demands))
+		for i, d := range task.Demands.Demands {
+			histories[i] = append(histories[i], d.Rate)
+		}
+	}
+	observeDrift := func() error {
+		// Telemetry watchdog: bounded retries sharing the seeded backoff
+		// jitter stream, so campaign retry timing stays reproducible.
+		var obsSet demand.Set
+		good := false
+		for attempt := 0; ; attempt++ {
+			s, err := world.ObserveDemands()
+			if err == nil && saneDemands(s, lastGood) {
+				obsSet, good = s, true
+				break
+			}
+			out.TelemetryFaults++
+			rec.TelemetryFault()
+			if attempt >= opts.ObserveRetries {
+				break
+			}
+			opts.Sleep(backoff(opts.BaseBackoff, opts.MaxBackoff, attempt, rng))
+		}
+		if !good {
+			if degraded {
+				return nil // already planning against the envelope
+			}
+			// Degrade: plan the remainder against the last good demand
+			// inflated by the safety margin — conservative progress beats
+			// stalling or trusting garbage.
+			degraded = true
+			env := lastGood.Scaled(opts.DemandMargin)
+			ov := &demandOverride{demands: &env}
+			if haveRefit {
+				ov.forecast = &refit
+			}
+			if err := replan("telemetry unusable; degrading to demand envelope", ov); err != nil {
+				// Budget exhausted or envelope infeasible: the audited
+				// current plan is the safest known course — keep executing
+				// it (still counted as degraded) rather than aborting the
+				// migration because the observation channel died.
+				return nil
+			}
+			assumed = env.Clone()
+			assumedAt = len(world.Executed())
+			return nil
+		}
+		degraded = false
+		lastGood = obsSet.Clone()
+		for i := range histories {
+			if i < len(obsSet.Demands) {
+				histories[i] = append(histories[i], obsSet.Demands[i].Rate)
+			}
+		}
+		if fitted, f, err := demand.FitSetForecast(obsSet, histories); err == nil {
+			obsSet = fitted
+			refit = f
+			haveRefit = true
+		}
+		score := driftScore(obsSet, assumed, assumedF.ScaleAt(len(world.Executed())-assumedAt))
+		if score <= opts.DriftThreshold {
+			return nil
+		}
+		ov := &demandOverride{demands: &obsSet}
+		if haveRefit {
+			ov.forecast = &refit
+		}
+		if err := replan(fmt.Sprintf("demand drift %.3f exceeds threshold %.3f", score, opts.DriftThreshold), ov); err != nil {
+			return err
+		}
+		out.DriftReplans++
+		rec.DriftReplan()
+		if haveRefit {
+			assumedF = refit
+		}
+		assumed = obsSet.Clone()
+		assumedAt = len(world.Executed())
+		return nil
+	}
+	if driftOn {
+		if err := observeDrift(); err != nil {
+			return out, err
+		}
+	}
+
 	for idx < len(remaining) {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("ctrl: cancelled after %d actions: %w", len(world.Executed()), err)
 		}
 		// Observe the environment before committing to the next action.
 		if epoch := world.Poll(); epoch != lastEpoch {
-			if err := replan(fmt.Sprintf("environment epoch %d → %d", lastEpoch, epoch)); err != nil {
+			if err := replan(fmt.Sprintf("environment epoch %d → %d", lastEpoch, epoch), nil); err != nil {
 				return out, err
 			}
 			continue
@@ -210,7 +355,7 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 				// abandoning a half-executed migration; if the world truly
 				// has not changed the fresh plan fails the same way and
 				// the replan budget bounds the loop.
-				if rerr := replan(fmt.Sprintf("block %d failed %d attempts: %v", block, attempt+1, err)); rerr != nil {
+				if rerr := replan(fmt.Sprintf("block %d failed %d attempts: %v", block, attempt+1, err), nil); rerr != nil {
 					return out, fmt.Errorf("ctrl: block %q failed persistently: %w (replanning out also failed: %v)", task.Blocks[block].Name, err, rerr)
 				}
 				attempt = -1 // falls through to the outer loop via break below
@@ -243,6 +388,17 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 			if !ok {
 				out.BoundaryViolations++
 				rec.BoundaryViolation()
+			}
+			if degraded {
+				out.DegradedRuns++
+				rec.DegradedRun()
+			}
+			// Drift check before committing to the next run; the final
+			// boundary has no next run to replan for.
+			if driftOn && idx < len(remaining) {
+				if err := observeDrift(); err != nil {
+					return out, err
+				}
 			}
 		}
 	}
@@ -280,28 +436,42 @@ func ensureAudited(p *core.Plan, executed []int, cfg pipeline.Config) error {
 	return nil
 }
 
+// demandOverride redirects a replan away from the world's ground-truth
+// demand channel: drift replans plan on the (sanity-checked) telemetry
+// sample with the refit forecast, and degraded-mode replans plan on the
+// inflated envelope — never reading world.Demands() while telemetry is
+// suspect.
+type demandOverride struct {
+	demands  *demand.Set
+	forecast *demand.Forecast
+}
+
 // replanFromWorld rebuilds the remaining plan from the world's ground
 // truth: executed prefix, out-of-band outages, flapped circuits, and the
-// current (possibly surged) demand level.
-func replanFromWorld(ctx context.Context, task *migration.Task, world *sim.World, cfg pipeline.Config) (*core.Plan, error) {
+// current (possibly surged) demand level — unless ov supplies the demand
+// view to plan against.
+func replanFromWorld(ctx context.Context, task *migration.Task, world *sim.World, cfg pipeline.Config, ov *demandOverride) (*core.Plan, error) {
 	executed := world.Executed()
 	downSw := world.DownSwitches()
 	downCk := world.DownCircuits()
+	if ov != nil {
+		if ov.forecast != nil {
+			cfg.Forecast = *ov.forecast
+		}
+		if ov.demands != nil {
+			planTask := withOutages(task, downSw, downCk)
+			if ov.forecast != nil {
+				planTask = planTask.WithForecast(*ov.forecast)
+			}
+			ds := ov.demands.Clone()
+			return pipeline.ReplanContext(ctx, planTask, executed, &ds, cfg)
+		}
+	}
 	switch {
 	case world.DemandsChanged() || len(downCk) > 0:
 		// General drift: rebuild the task against the observed topology
 		// and demand level.
-		planTask := task
-		if len(downSw)+len(downCk) > 0 {
-			t := task.Topo.Clone()
-			for _, s := range downSw {
-				t.SetSwitchActive(s, false)
-			}
-			for _, c := range downCk {
-				t.SetCircuitActive(c, false)
-			}
-			planTask = task.WithTopology(t)
-		}
+		planTask := withOutages(task, downSw, downCk)
 		ds := world.Demands()
 		return pipeline.ReplanContext(ctx, planTask, executed, &ds, cfg)
 	case len(downSw) > 0:
@@ -309,6 +479,62 @@ func replanFromWorld(ctx context.Context, task *migration.Task, world *sim.World
 	default:
 		return pipeline.ReplanContext(ctx, task, executed, nil, cfg)
 	}
+}
+
+// withOutages clones the task against a topology with the given switches
+// and circuits administratively down; a no-op when both lists are empty.
+func withOutages(task *migration.Task, downSw []topo.SwitchID, downCk []topo.CircuitID) *migration.Task {
+	if len(downSw)+len(downCk) == 0 {
+		return task
+	}
+	t := task.Topo.Clone()
+	for _, s := range downSw {
+		t.SetSwitchActive(s, false)
+	}
+	for _, c := range downCk {
+		t.SetCircuitActive(c, false)
+	}
+	return task.WithTopology(t)
+}
+
+// saneDemands rejects telemetry samples no plausible network produces:
+// wrong cardinality, non-positive / NaN / infinite rates, or an aggregate
+// rate two orders of magnitude above the last good sample (no organic
+// shift multiplies total demand a hundredfold between two run boundaries).
+func saneDemands(obs, ref demand.Set) bool {
+	if len(obs.Demands) != len(ref.Demands) {
+		return false
+	}
+	var obsTotal, refTotal float64
+	for i := range obs.Demands {
+		r := obs.Demands[i].Rate
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return false
+		}
+		obsTotal += r
+		refTotal += ref.Demands[i].Rate
+	}
+	return refTotal <= 0 || obsTotal <= 100*refTotal
+}
+
+// driftScore is the relative L1 deviation between an observed demand set
+// and the plan's assumption grown to the current horizon:
+// Σ|obs−expected| / Σexpected. 0 means telemetry matches the plan exactly.
+func driftScore(obs, assumed demand.Set, scale float64) float64 {
+	var num, den float64
+	for i := range assumed.Demands {
+		exp := assumed.Demands[i].Rate * scale
+		var o float64
+		if i < len(obs.Demands) {
+			o = obs.Demands[i].Rate
+		}
+		num += math.Abs(o - exp)
+		den += exp
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
 }
 
 // backoff computes the capped exponential delay for a retry attempt with

@@ -1,0 +1,263 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"klotski/internal/core"
+	"klotski/internal/demand"
+	"klotski/internal/sim"
+)
+
+// TestRunDriftReplansOnGrowth: organic demand growth is invisible to the
+// epoch channel (the network does not "fail", traffic just grows), so only
+// the telemetry loop can catch it. With a drift threshold set, the
+// controller must observe the growth, replan, and still finish with zero
+// boundary violations.
+func TestRunDriftReplansOnGrowth(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, nil, 1)
+	world.SetDemandGrowth(0.02) // +2% per applied action, epoch never moves
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:          noSleep,
+		Seed:           1,
+		DriftThreshold: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("drifting run should complete")
+	}
+	if out.DriftReplans == 0 {
+		t.Fatal("sustained growth above the threshold never triggered a drift replan")
+	}
+	if out.Replans < out.DriftReplans {
+		t.Fatalf("drift replans (%d) must be included in replans (%d)", out.DriftReplans, out.Replans)
+	}
+	if out.TelemetryFaults != 0 || out.DegradedRuns != 0 {
+		t.Fatalf("clean telemetry should not count faults (%d) or degraded runs (%d)",
+			out.TelemetryFaults, out.DegradedRuns)
+	}
+	if out.BoundaryViolations != 0 {
+		t.Fatalf("controller let %d unsafe boundary states onto the live network", out.BoundaryViolations)
+	}
+	if err := core.ValidateSequence(task, out.Executed, nil); err != nil {
+		t.Fatalf("executed order invalid: %v", err)
+	}
+}
+
+// TestRunDriftDisabledIgnoresTelemetry: with DriftThreshold unset the
+// observation loop must stay off — no telemetry reads, no drift counters —
+// preserving pre-drift behavior exactly.
+func TestRunDriftDisabledIgnoresTelemetry(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, sim.Schedule{
+		{Step: 0, Kind: sim.FaultTelemetryDrop, Steps: 100},
+	}, 1)
+	out, err := Run(context.Background(), task, world, Options{Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("run should complete")
+	}
+	if out.DriftReplans+out.TelemetryFaults+out.DegradedRuns != 0 {
+		t.Fatalf("drift loop off but counters moved: %+v", out)
+	}
+}
+
+// TestRunTelemetryLossDegrades: when every observation is dropped, the
+// controller must not stall and must not trust garbage — it degrades to
+// planning against the inflated-demand envelope and still completes.
+func TestRunTelemetryLossDegrades(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, sim.Schedule{
+		{Step: 0, Kind: sim.FaultTelemetryDrop, Steps: 1000},
+	}, 1)
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:          noSleep,
+		Seed:           1,
+		DriftThreshold: 0.05,
+		DemandMargin:   1.2, // 120 × 1.2 = 144 stays plannable on this fabric
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("telemetry loss must degrade, not stall: run should complete")
+	}
+	if out.TelemetryFaults == 0 {
+		t.Fatal("dropped observations were not counted")
+	}
+	if out.DegradedRuns == 0 {
+		t.Fatal("runs executed blind were not counted as degraded")
+	}
+	if out.BoundaryViolations != 0 {
+		t.Fatalf("degraded mode let %d unsafe boundary states through", out.BoundaryViolations)
+	}
+}
+
+// TestRunCorruptTelemetryRejected: corrupt samples (NaN, negative, wildly
+// inflated rates) must fail the sanity checks and push the controller into
+// degraded mode rather than poisoning the planner's demand model.
+func TestRunCorruptTelemetryRejected(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, sim.Schedule{
+		{Step: 0, Kind: sim.FaultTelemetryCorrupt, Steps: 1000},
+	}, 3)
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:          noSleep,
+		Seed:           3,
+		DriftThreshold: 0.05,
+		DemandMargin:   1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("corrupt telemetry must not stall the migration")
+	}
+	if out.TelemetryFaults == 0 {
+		t.Fatal("corrupt observations passed the sanity checks")
+	}
+	if out.BoundaryViolations != 0 {
+		t.Fatalf("%d boundary violations", out.BoundaryViolations)
+	}
+}
+
+// TestRunDriftReplanBudgetExhausted: drift and environment replans share
+// one MaxReplans budget; when a hostile world outruns it, the controller
+// must surface the exhaustion error instead of looping.
+func TestRunReplanBudgetExhausted(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, sim.Schedule{
+		{Step: 1, Kind: sim.FaultSurge, Surge: &demand.Surge{Fraction: 1, Multiplier: 1.01}},
+		{Step: 3, Kind: sim.FaultSurge, Surge: &demand.Surge{Fraction: 1, Multiplier: 1.01}},
+	}, 1)
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:      noSleep,
+		MaxReplans: 1,
+	})
+	if err == nil {
+		t.Fatal("second epoch change with a budget of 1 should error out")
+	}
+	if !strings.Contains(err.Error(), "replan budget (1) exhausted") {
+		t.Fatalf("error should cite the exhausted budget: %v", err)
+	}
+	if out.Completed {
+		t.Fatal("budget-exhausted run must not report completion")
+	}
+}
+
+// TestRunWatchdogBackoffDeterministic: the telemetry watchdog and the
+// action-retry loop share one rng seeded from Options.Seed, so two
+// identical runs must sleep the exact same durations in the same order —
+// the reproducibility contract chaos campaigns rely on.
+func TestRunWatchdogBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		task, _ := loopTask(t)
+		world := sim.NewWorld(task, sim.Schedule{
+			{Step: 0, Kind: sim.FaultTelemetryDrop, Steps: 4},
+			{Step: 2, Kind: sim.FaultTransient, Attempts: 2},
+		}, 42)
+		var sleeps []time.Duration
+		_, err := Run(context.Background(), task, world, Options{
+			Sleep:          func(d time.Duration) { sleeps = append(sleeps, d) },
+			Seed:           42,
+			DriftThreshold: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("schedule should force at least one backoff sleep")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("backoff timing not reproducible:\n  run1: %v\n  run2: %v", a, b)
+	}
+}
+
+// TestCampaignDriftChaos is the acceptance campaign for the drift loop:
+// random fault trains drawing surges (some transient) plus telemetry
+// stale/drop/corrupt faults, executed with drift-aware replanning. Every
+// executed plan is audit-gated by the controller, and no run may let an
+// unsafe boundary state onto the live network.
+func TestCampaignDriftChaos(t *testing.T) {
+	task, _ := loopTask(t)
+	rep, err := Campaign(context.Background(), task, CampaignOptions{
+		Seeds: 8,
+		Seed:  500,
+		Schedule: sim.ScheduleOptions{
+			Faults:     4,
+			Telemetry:  true,
+			SurgeSteps: 2,
+		},
+		Run: Options{
+			DriftThreshold: 0.05,
+			DemandMargin:   1.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BoundaryViolations != 0 {
+		t.Fatalf("campaign observed %d boundary violations", rep.BoundaryViolations)
+	}
+	if rep.CompletionRate < 0.5 {
+		t.Fatalf("completion rate %.2f suspiciously low; failed seeds %v",
+			rep.CompletionRate, rep.FailedSeeds)
+	}
+	if rep.Completed+len(rep.FailedSeeds) != rep.Seeds {
+		t.Errorf("accounting mismatch: %d completed + %d failed != %d seeds",
+			rep.Completed, len(rep.FailedSeeds), rep.Seeds)
+	}
+	if rep.TelemetryFaults == 0 {
+		t.Error("telemetry fault trains drew no observation faults across 8 seeds")
+	}
+	if !strings.Contains(rep.String(), "telemetry faults") {
+		t.Errorf("report should surface drift counters: %s", rep)
+	}
+}
+
+// TestCampaignDriftChaosDeterministic: the same drift campaign run twice
+// must produce byte-identical reports — seeds fully determine fault
+// trains, watchdog retries, and replan decisions.
+func TestCampaignDriftChaosDeterministic(t *testing.T) {
+	task, _ := loopTask(t)
+	campaign := func() *CampaignReport {
+		rep, err := Campaign(context.Background(), task, CampaignOptions{
+			Seeds:    4,
+			Seed:     900,
+			Schedule: sim.ScheduleOptions{Faults: 4, Telemetry: true, SurgeSteps: 2},
+			Run:      Options{DriftThreshold: 0.05, DemandMargin: 1.2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := campaign(), campaign()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("campaign not reproducible:\n  run1: %+v\n  run2: %+v", a, b)
+	}
+}
+
+// errTelemetryIsMatchable pins the sentinel's errors.Is contract.
+func TestErrTelemetryMatchable(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, sim.Schedule{
+		{Step: 0, Kind: sim.FaultTelemetryDrop, Steps: 1},
+	}, 1)
+	world.Poll()
+	if _, err := world.ObserveDemands(); !errors.Is(err, sim.ErrTelemetry) {
+		t.Fatalf("dropped observation should match ErrTelemetry, got %v", err)
+	}
+}

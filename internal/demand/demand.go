@@ -169,7 +169,24 @@ func (f Forecast) At(s Set, steps int) Set {
 	if steps <= 0 || f.GrowthPerStep == 0 {
 		return s.Clone()
 	}
-	return s.Scaled(math.Pow(1+f.GrowthPerStep, float64(steps)))
+	return s.Scaled(f.ScaleAt(steps))
+}
+
+// ScaleAt returns the multiplier the forecast applies after the given
+// number of completed steps: (1+GrowthPerStep)^steps. Horizon 0 (or any
+// non-positive horizon) is exactly 1 — "now" needs no scaling — and a
+// horizon large enough to overflow float64 clamps to MaxFloat64 rather
+// than returning +Inf, so downstream utilization comparisons stay ordered
+// (anything times MaxFloat64 already fails every finite bound).
+func (f Forecast) ScaleAt(steps int) float64 {
+	if steps <= 0 || f.GrowthPerStep == 0 {
+		return 1
+	}
+	scale := math.Pow(1+f.GrowthPerStep, float64(steps))
+	if math.IsInf(scale, 1) || scale > math.MaxFloat64 {
+		return math.MaxFloat64
+	}
+	return scale
 }
 
 // Surge models an unexpected service-behavior change (paper §7.2: a warm
@@ -184,11 +201,21 @@ type Surge struct {
 // Apply returns a copy of the set with the surge applied, using rng to pick
 // the affected demands.
 func (su Surge) Apply(s Set, rng *rand.Rand) Set {
+	out, _ := su.ApplyTracked(s, rng)
+	return out
+}
+
+// ApplyTracked is Apply plus the indices of the affected demands, ascending.
+// Chaos worlds use the indices to undo a transient surge when it recovers
+// (divide the same rates back) without re-drawing from the rng.
+func (su Surge) ApplyTracked(s Set, rng *rand.Rand) (Set, []int32) {
 	out := s.Clone()
+	var hit []int32
 	for i := range out.Demands {
 		if rng.Float64() < su.Fraction {
 			out.Demands[i].Rate *= su.Multiplier
+			hit = append(hit, int32(i))
 		}
 	}
-	return out
+	return out, hit
 }

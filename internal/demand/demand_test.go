@@ -168,3 +168,81 @@ func TestForecastComposes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestForecastScaleAtEdges pins the horizon-scale table's edge behavior:
+// identity at horizon zero (and for negative or zero-growth inputs), and a
+// finite clamp — never +Inf — when the compounded growth overflows, so
+// utilization comparisons stay well-ordered instead of producing NaNs.
+func TestForecastScaleAtEdges(t *testing.T) {
+	f := Forecast{GrowthPerStep: 0.1}
+	if got := f.ScaleAt(0); got != 1 {
+		t.Fatalf("ScaleAt(0) = %v, want 1", got)
+	}
+	if got := f.ScaleAt(-5); got != 1 {
+		t.Fatalf("ScaleAt(-5) = %v, want 1", got)
+	}
+	if got := (Forecast{}).ScaleAt(1 << 30); got != 1 {
+		t.Fatalf("zero growth ScaleAt = %v, want 1", got)
+	}
+	if got := f.ScaleAt(1); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("ScaleAt(1) = %v, want 1.1", got)
+	}
+
+	// (1+10)^1000 overflows float64; the clamp must keep it finite.
+	huge := Forecast{GrowthPerStep: 10}
+	got := huge.ScaleAt(1000)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("overflowing ScaleAt = %v, want finite clamp", got)
+	}
+	if got != math.MaxFloat64 {
+		t.Fatalf("overflowing ScaleAt = %v, want MaxFloat64 clamp", got)
+	}
+	// Monotonicity survives the clamp.
+	if huge.ScaleAt(999) > huge.ScaleAt(1000) {
+		t.Fatal("ScaleAt not monotone across the clamp")
+	}
+}
+
+// TestForecastAtMatchesScaleAt: At must be exactly Scaled(ScaleAt(k)) so
+// the planners' comparison-time scaling and the materialized grown set
+// can never disagree.
+func TestForecastAtMatchesScaleAt(t *testing.T) {
+	s := Set{Demands: []Demand{{Src: 0, Dst: 1, Rate: 3.7}, {Src: 1, Dst: 2, Rate: 0.9}}}
+	f := Forecast{GrowthPerStep: 0.013}
+	for _, k := range []int{0, 1, 7, 50} {
+		grown := f.At(s, k)
+		scale := f.ScaleAt(k)
+		for i := range s.Demands {
+			if got, want := grown.Demands[i].Rate, s.Demands[i].Rate*scale; got != want {
+				t.Fatalf("k=%d demand %d: At=%v, Rate*ScaleAt=%v", k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSurgeApplyTrackedMatchesApply: ApplyTracked must surge exactly the
+// demands Apply would (same rng draw order) and report their indices.
+func TestSurgeApplyTrackedMatchesApply(t *testing.T) {
+	var s Set
+	for i := 0; i < 50; i++ {
+		s.Add(Demand{Src: 0, Dst: 1, Rate: 2})
+	}
+	sg := Surge{Fraction: 0.4, Multiplier: 3}
+	want := sg.Apply(s, rand.New(rand.NewSource(9)))
+	got, hit := sg.ApplyTracked(s, rand.New(rand.NewSource(9)))
+	hitSet := make(map[int32]bool, len(hit))
+	for i, h := range hit {
+		if i > 0 && hit[i-1] >= h {
+			t.Fatal("hit indices not strictly ascending")
+		}
+		hitSet[h] = true
+	}
+	for i := range want.Demands {
+		if want.Demands[i].Rate != got.Demands[i].Rate {
+			t.Fatalf("demand %d: tracked rate %v != untracked %v", i, got.Demands[i].Rate, want.Demands[i].Rate)
+		}
+		if surged := got.Demands[i].Rate != 2; surged != hitSet[int32(i)] {
+			t.Fatalf("demand %d: surged=%v but hit-tracked=%v", i, surged, hitSet[int32(i)])
+		}
+	}
+}

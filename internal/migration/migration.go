@@ -93,6 +93,13 @@ type Task struct {
 
 	Demands demand.Set
 
+	// Forecast grows Demands with migration progress (paper §7.1): a
+	// boundary state reached after k executed actions is checked against
+	// Demands scaled by Forecast.ScaleAt(k), so a plan is safe against the
+	// demand the network will actually carry when each state is reached —
+	// not the demand at planning time. The zero value disables growth.
+	Forecast demand.Forecast
+
 	// TopologyChanging marks migrations that alter the network's layer
 	// structure rather than swapping equipment in place (e.g. DMAG
 	// migration inserts a new regional-aggregation layer). The MRC and
@@ -400,6 +407,15 @@ func (t *Task) Stats() TaskStats {
 func (t *Task) WithDemands(ds demand.Set) *Task {
 	nt := *t
 	nt.Demands = ds
+	return &nt
+}
+
+// WithForecast returns a shallow task copy whose boundary checks sample
+// demand at each state's horizon using the given growth model. Topology,
+// types, blocks, and demands are shared with the original.
+func (t *Task) WithForecast(f demand.Forecast) *Task {
+	nt := *t
+	nt.Forecast = f
 	return &nt
 }
 

@@ -19,6 +19,9 @@ const (
 	MetricRetries            = "ctrl.retries"
 	MetricReplans            = "ctrl.replans"
 	MetricBoundaryViolations = "ctrl.boundary_violations"
+	MetricDriftReplans       = "ctrl.drift_replans"
+	MetricTelemetryFaults    = "ctrl.telemetry_faults"
+	MetricDegradedRuns       = "ctrl.degraded_runs"
 	MetricGroupInvalidations = "routing.group_invalidations"
 	MetricGroupsReused       = "routing.groups_reused"
 	MetricIncDisables        = "routing.incremental_disables"
@@ -52,6 +55,9 @@ type Recorder struct {
 	retries          *Counter
 	replans          *Counter
 	boundaryViol     *Counter
+	driftReplans     *Counter
+	telemetryFaults  *Counter
+	degradedRuns     *Counter
 	groupInval       *Counter
 	groupsReused     *Counter
 	incDisables      *Counter
@@ -86,6 +92,9 @@ func NewRecorder(reg *Registry) *Recorder {
 		retries:          reg.Counter(MetricRetries),
 		replans:          reg.Counter(MetricReplans),
 		boundaryViol:     reg.Counter(MetricBoundaryViolations),
+		driftReplans:     reg.Counter(MetricDriftReplans),
+		telemetryFaults:  reg.Counter(MetricTelemetryFaults),
+		degradedRuns:     reg.Counter(MetricDegradedRuns),
 		groupInval:       reg.Counter(MetricGroupInvalidations),
 		groupsReused:     reg.Counter(MetricGroupsReused),
 		incDisables:      reg.Counter(MetricIncDisables),
@@ -235,6 +244,33 @@ func (r *Recorder) BoundaryViolation() {
 		return
 	}
 	r.boundaryViol.Inc()
+}
+
+// DriftReplan counts one replan triggered by demand drift exceeding the
+// controller's threshold.
+func (r *Recorder) DriftReplan() {
+	if r == nil {
+		return
+	}
+	r.driftReplans.Inc()
+}
+
+// TelemetryFault counts one demand-telemetry observation that was dropped,
+// stale, or failed sanity checks.
+func (r *Recorder) TelemetryFault() {
+	if r == nil {
+		return
+	}
+	r.telemetryFaults.Inc()
+}
+
+// DegradedRun counts one run executed in degraded mode (planning against
+// the inflated-demand envelope because telemetry was unusable).
+func (r *Recorder) DegradedRun() {
+	if r == nil {
+		return
+	}
+	r.degradedRuns.Inc()
 }
 
 // GroupInvalidations counts n destination groups recomputed by incremental

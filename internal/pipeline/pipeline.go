@@ -150,7 +150,14 @@ func RunTaskContext(ctx context.Context, task *migration.Task, cfg Config) (*Res
 	}
 	if !cfg.SkipAudit {
 		auditSpan := rec.Span("pipeline.audit")
-		err := audit(task, plan, cfg)
+		// Audit against the same task the plan was produced on (including
+		// the demand forecast), so the replay samples the same per-step
+		// demand the planner's boundary checks did.
+		auditTask := task
+		if cfg.Forecast.GrowthPerStep != 0 {
+			auditTask = task.WithForecast(cfg.Forecast)
+		}
+		err := audit(auditTask, plan, cfg)
 		auditSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: plan failed audit: %w", err)
@@ -183,49 +190,56 @@ func applyUnitCosts(task *migration.Task, unitCosts map[string]float64) {
 	}
 }
 
-// planWithForecast plans the task, then walks the plan under demand growth
-// (§7.1): after each completed step demand grows by the forecast rate; the
-// first unsafe boundary triggers a re-plan of the remainder against the
-// grown demand. The loop is bounded by the number of actions.
+// planWithForecast plans the task under demand growth (§7.1). The planners
+// sample the task's demand forecast at every probed state's horizon
+// (migration.Task.Forecast), so the plan is forecast-safe by construction;
+// the verification walk below remains as an independent safety net — it
+// re-checks every boundary through core.CheckState and re-plans the
+// remainder from the first step where the plan and the forecast disagree.
+// The loop is bounded by the number of actions.
 func planWithForecast(ctx context.Context, task *migration.Task, cfg Config) (*core.Plan, int, error) {
-	plan, err := cfg.Planner.PlanContext(ctx, task, cfg.Options)
+	if cfg.Forecast.GrowthPerStep == 0 {
+		plan, err := cfg.Planner.PlanContext(ctx, task, cfg.Options)
+		return plan, 0, err
+	}
+
+	// Time-indexed demand: every boundary check — the planners', this
+	// loop's, and the independent audit's — uses the forecast sampled at
+	// the checked state's finished-action count.
+	ftask := task.WithForecast(cfg.Forecast)
+	plan, err := cfg.Planner.PlanContext(ctx, ftask, cfg.Options)
 	if err != nil {
 		return nil, 0, err
 	}
-	if cfg.Forecast.GrowthPerStep == 0 {
-		return plan, 0, nil
-	}
 
-	baseDemands := task.Demands
 	executed := []int(nil)
 	replans := 0
 	for attempt := 0; attempt <= task.NumActions(); attempt++ {
-		broken := firstUnsafeStep(task, plan, executed, cfg)
+		broken := firstUnsafeStep(ftask, plan, executed, cfg)
 		if broken < 0 {
 			// Safe under growth end to end. Re-assemble the full plan.
 			full := append(append([]int(nil), executed...), plan.Sequence...)
-			cost := core.SequenceCost(task, full, cfg.Options.Alpha, core.NoLast)
+			cost := core.SequenceCost(ftask, full, cfg.Options.Alpha, core.NoLast)
 			return &core.Plan{
-				Task:     task,
+				Task:     ftask,
 				Sequence: full,
-				Runs:     runsOf(task, full),
+				Runs:     runsOf(ftask, full),
 				Cost:     cost,
 				Metrics:  plan.Metrics,
 			}, replans, nil
 		}
 		// Execute up to (and including) the step before the break, then
-		// re-plan the remainder with demand grown to that point.
+		// re-plan the remainder. The counts are absolute, so the replan's
+		// boundary checks keep sampling the forecast at global horizons.
 		executed = append(executed, plan.Sequence[:broken]...)
-		grown := cfg.Forecast.At(baseDemands, len(executed))
-		replanTask := task.WithDemands(grown)
 		opts := cfg.Options
-		opts.InitialCounts = countsOf(task, executed)
+		opts.InitialCounts = countsOf(ftask, executed)
 		opts.InitialLast = core.NoLast
 		if len(executed) > 0 {
-			opts.InitialLast = task.Blocks[executed[len(executed)-1]].Type
+			opts.InitialLast = ftask.Blocks[executed[len(executed)-1]].Type
 		}
 		replans++
-		plan, err = cfg.Planner.PlanContext(ctx, replanTask, opts)
+		plan, err = cfg.Planner.PlanContext(ctx, ftask, opts)
 		if err != nil {
 			return nil, replans, fmt.Errorf("pipeline: replanning under forecast after %d steps: %w",
 				len(executed), err)
@@ -234,31 +248,28 @@ func planWithForecast(ctx context.Context, task *migration.Task, cfg Config) (*c
 	return nil, replans, errors.New("pipeline: forecast replanning did not converge")
 }
 
-// firstUnsafeStep verifies the plan's boundaries against demand grown per
-// executed step and returns the index (within plan.Sequence) of the first
-// step whose boundary is unsafe, or -1 when the whole plan holds.
+// firstUnsafeStep verifies the plan's boundaries against the task's demand
+// forecast sampled per step and returns the index (within plan.Sequence) of
+// the first step whose boundary is unsafe, or -1 when the whole plan holds.
+// task must carry the forecast (see planWithForecast).
 func firstUnsafeStep(task *migration.Task, plan *core.Plan, executed []int, cfg Config) int {
-	base := task.Demands
 	last := core.NoLast
 	if len(executed) > 0 {
 		last = task.Blocks[executed[len(executed)-1]].Type
 	}
 	for i := range plan.Sequence {
-		stepsDone := len(executed) + i
-		grown := cfg.Forecast.At(base, stepsDone)
 		// Check the boundary *before* step i when it switches type, and
-		// the final state after the last step, with the demand level at
-		// that time.
+		// the final state after the last step; CheckState samples the
+		// forecast at the state's own horizon.
 		ty := task.Blocks[plan.Sequence[i]].Type
 		if last != core.NoLast && ty != last {
-			if !boundarySafe(task, executed, plan.Sequence[:i], grown, cfg.Options) {
+			if !boundarySafe(task, executed, plan.Sequence[:i], cfg.Options) {
 				return i
 			}
 		}
 		last = ty
 	}
-	grownFinal := cfg.Forecast.At(base, len(executed)+len(plan.Sequence))
-	if !boundarySafe(task, executed, plan.Sequence, grownFinal, cfg.Options) {
+	if !boundarySafe(task, executed, plan.Sequence, cfg.Options) {
 		// The final state itself is unsafe under growth: replanning from
 		// any prefix cannot fix a task whose target no longer fits, but
 		// signal the last step so the caller re-plans and surfaces the
@@ -269,14 +280,13 @@ func firstUnsafeStep(task *migration.Task, plan *core.Plan, executed []int, cfg 
 }
 
 // boundarySafe checks one network state (base executed + prefix applied)
-// against the given demand level.
-func boundarySafe(task *migration.Task, executed, prefix []int, ds demand.Set, opts core.Options) bool {
-	probe := task.WithDemands(ds)
+// against the task's demand forecast at the state's horizon.
+func boundarySafe(task *migration.Task, executed, prefix []int, opts core.Options) bool {
 	seqCounts := countsOf(task, append(append([]int(nil), executed...), prefix...))
 	checkOpts := opts
 	checkOpts.InitialCounts = nil
 	checkOpts.InitialLast = core.NoLast
-	return core.CheckState(probe, seqCounts, checkOpts) == nil
+	return core.CheckState(task, seqCounts, checkOpts) == nil
 }
 
 func countsOf(task *migration.Task, seq []int) []int {
@@ -335,6 +345,11 @@ func ReplanContext(ctx context.Context, task *migration.Task, executed []int, ne
 	planTask := task
 	if newDemands != nil {
 		planTask = task.WithDemands(*newDemands)
+	}
+	if cfg.Forecast.GrowthPerStep != 0 && planTask.Forecast.GrowthPerStep == 0 {
+		// Carry the pipeline's growth model into the replan so its boundary
+		// checks sample demand at each state's (absolute) horizon too.
+		planTask = planTask.WithForecast(cfg.Forecast)
 	}
 	opts := cfg.Options
 	opts.InitialCounts = countsOf(task, executed)

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sort"
+
 	"klotski/internal/demand"
 	"klotski/internal/topo"
 )
@@ -106,11 +108,16 @@ type incMemo struct {
 	valid bool
 
 	// Identity of the memoized check configuration; any mismatch forces a
-	// full rebuild.
+	// full rebuild. scale is softer: placements are invariant under a
+	// uniform demand multiplier, so a scale change re-derives the
+	// utilization flags from the memoized totals in O(|circuits|) instead
+	// of rebuilding (see incRescale) — the common case when a planner
+	// probes states at different forecast horizons.
 	ds    *demand.Set
 	dsLen int
 	theta float64
 	split SplitMode
+	scale float64
 
 	groups []incGroup
 	// dirty marks groups whose memoized placement is stale relative to the
@@ -235,17 +242,158 @@ func (e *Evaluator) CheckDelta(v *topo.View, touchedSw []topo.SwitchID, touchedC
 	if theta <= 0 {
 		theta = 0.75
 	}
+	scale := opts.scale()
 	if !m.valid || m.ds != ds || m.dsLen != len(ds.Demands) || m.theta != theta || m.split != opts.Split {
 		e.IncRebuilds++
-		e.incRebuild(v, ds, theta, opts.Split)
-	} else if viol, aborted := e.incDelta(v, touchedSw, touchedCk, ds, theta, opts.Split); aborted {
+		e.incRebuild(v, ds, theta, opts.Split, scale)
+	} else {
+		if m.scale != scale {
+			e.incRescale(scale)
+		}
+		if viol, aborted := e.incDelta(v, touchedSw, touchedCk, ds, theta, opts.Split); aborted {
+			return viol
+		}
+	}
+	return e.incVerdict(v, ds)
+}
+
+// CheckDemandDelta verifies the view against a demand set whose rates were
+// mutated in place since the previous CheckDelta/CheckDemandDelta on this
+// evaluator. changed lists the indices into ds.Demands whose Rate changed
+// (duplicates and unchanged entries are harmless); the topology view must be
+// the memo's anchor view — combine with CheckDelta for mixed deltas by
+// calling each with its own delta. Exactly the destination groups owning a
+// changed demand are recomputed; every other group's placement is reused.
+// The verdict is identical to a full Check on the same view and demands, and
+// the resulting memoized totals are bitwise-identical to a full
+// re-evaluation (same per-group fold order).
+//
+// A wholesale delta (changed covering most destination groups) feeds the
+// same self-disable policy as CheckDelta: once reuse proves too low the
+// engine answers classically until ResetIncremental. An out-of-range index
+// forces a conservative full rebuild.
+func (e *Evaluator) CheckDemandDelta(v *topo.View, changed []int32, ds *demand.Set, opts CheckOpts) Violation {
+	if opts.FunnelFactor > 1 && len(opts.FunnelCircuits) > 0 {
+		e.ResetIncremental()
+		return e.Check(v, ds, opts)
+	}
+	m := e.ensureInc()
+	if m.off {
+		return e.Check(v, ds, opts)
+	}
+	e.Checks++
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+	scale := opts.scale()
+	rebuild := !m.valid || m.ds != ds || m.dsLen != len(ds.Demands) || m.theta != theta || m.split != opts.Split
+	for _, di := range changed {
+		if di < 0 || int(di) >= len(ds.Demands) {
+			rebuild = true
+			break
+		}
+	}
+	if rebuild {
+		e.IncRebuilds++
+		e.incRebuild(v, ds, theta, opts.Split, scale)
+		return e.incVerdict(v, ds)
+	}
+	if m.scale != scale {
+		e.incRescale(scale)
+	}
+	m.nextEpoch()
+	if !e.upForMemo { // a classic run overwrote e.up; restore the anchor
+		copy(e.up, m.upMemo)
+		e.upForMemo = true
+	}
+
+	// Mark the owning destination group of every changed demand dirty. The
+	// destination index is sorted, so a binary search per changed index
+	// suffices; groups already dirty from an earlier aborted pass remain so.
+	dsts, _ := ds.DestinationIndex()
+	for _, di := range changed {
+		dst := ds.Demands[di].Dst
+		gi := sort.Search(len(dsts), func(i int) bool { return dsts[i] >= dst })
+		if gi < len(dsts) && dsts[gi] == dst {
+			m.dirty[gi] = true
+		}
+	}
+	dirtyCount := 0
+	for gi := range m.dirty {
+		if m.dirty[gi] {
+			dirtyCount++
+		}
+	}
+	m.feedPolicy(e, dirtyCount)
+
+	// Port state is rate-independent, but the classic check answers port
+	// violations first; preserve that order.
+	if m.nPort > 0 {
+		for i, over := range m.portOver {
+			if over {
+				return Violation{Kind: ViolationPorts, Switch: topo.SwitchID(i)}
+			}
+		}
+	}
+	if viol, aborted := e.incRecomputeDirty(v, ds, theta, opts.Split); aborted {
 		return viol
 	}
 	return e.incVerdict(v, ds)
 }
 
+// incRescale re-derives the utilization flags from the memoized totals at a
+// new demand scale. Placements (and therefore totals) are invariant under a
+// uniform multiplier, so no group recompute is needed. Totals queued on
+// staleLis may be stale, but their flags are refreshed by the next completed
+// pass before any verdict consults them.
+func (e *Evaluator) incRescale(scale float64) {
+	m := e.inc
+	m.nOver = 0
+	for c := range m.over {
+		over := (m.total[2*c]+m.total[2*c+1])*scale/e.caps[c] > m.theta
+		m.over[c] = over
+		if over {
+			m.nOver++
+		}
+	}
+	m.scale = scale
+}
+
+// nextEpoch advances the memo's scratch-mark epoch, resetting the mark
+// arrays on wraparound.
+func (m *incMemo) nextEpoch() uint32 {
+	m.epoch++
+	if m.epoch == 0 { // wrapped; reset all marks
+		for i := range m.liMark {
+			m.liMark[i] = 0
+		}
+		for i := range m.swMark {
+			m.swMark[i] = 0
+		}
+		for i := range m.ckMark {
+			m.ckMark[i] = 0
+		}
+		m.epoch = 1
+	}
+	return m.epoch
+}
+
+// feedPolicy accumulates one delta pass into the self-disable policy and
+// latches the engine off when memo reuse proves too low.
+func (m *incMemo) feedPolicy(e *Evaluator, dirtyCount int) {
+	m.passes++
+	m.sumDirty += dirtyCount
+	m.sumGroups += len(m.groups)
+	if (m.passes >= incPolicyFastPasses && m.sumDirty == m.sumGroups) ||
+		(m.passes >= incPolicyMinPasses && incPolicyDirtyNum*m.sumDirty > incPolicyDirtyDen*m.sumGroups) {
+		m.off = true
+		e.IncDisables++
+	}
+}
+
 // incRebuild recomputes the whole memo from the view.
-func (e *Evaluator) incRebuild(v *topo.View, ds *demand.Set, theta float64, split SplitMode) {
+func (e *Evaluator) incRebuild(v *topo.View, ds *demand.Set, theta float64, split SplitMode, scale float64) {
 	m := e.inc
 	t := e.t
 	n, nc := t.NumSwitches(), t.NumCircuits()
@@ -308,14 +456,14 @@ func (e *Evaluator) incRebuild(v *topo.View, ds *demand.Set, theta float64, spli
 	m.nOver = 0
 	for c := 0; c < nc; c++ {
 		cid := topo.CircuitID(c)
-		over := (m.total[2*c]+m.total[2*c+1])/t.Circuit(cid).Capacity > theta
+		over := (m.total[2*c]+m.total[2*c+1])*scale/t.Circuit(cid).Capacity > theta
 		m.over[c] = over
 		if over {
 			m.nOver++
 		}
 	}
 
-	m.ds, m.dsLen, m.theta, m.split = ds, len(ds.Demands), theta, split
+	m.ds, m.dsLen, m.theta, m.split, m.scale = ds, len(ds.Demands), theta, split, scale
 	m.passes, m.sumDirty, m.sumGroups = 0, 0, 0 // fresh anchor, fresh policy window
 	m.valid = true
 }
@@ -382,20 +530,7 @@ func (e *Evaluator) incComputeGroup(v *topo.View, g *incGroup, ds *demand.Set, s
 func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk []topo.CircuitID, ds *demand.Set, theta float64, split SplitMode) (Violation, bool) {
 	m := e.inc
 	t := e.t
-	m.epoch++
-	if m.epoch == 0 { // wrapped; reset all marks
-		for i := range m.liMark {
-			m.liMark[i] = 0
-		}
-		for i := range m.swMark {
-			m.swMark[i] = 0
-		}
-		for i := range m.ckMark {
-			m.ckMark[i] = 0
-		}
-		m.epoch = 1
-	}
-	ep := m.epoch
+	ep := m.nextEpoch()
 	if !e.upForMemo { // a classic run overwrote e.up; restore the anchor
 		copy(e.up, m.upMemo)
 		e.upForMemo = true
@@ -523,14 +658,7 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 
 	// Feed the self-disable policy: a persistently high dirty fraction
 	// means this fabric invalidates wholesale and the memo cannot pay.
-	m.passes++
-	m.sumDirty += dirtyCount
-	m.sumGroups += len(m.groups)
-	if (m.passes >= incPolicyFastPasses && m.sumDirty == m.sumGroups) ||
-		(m.passes >= incPolicyMinPasses && incPolicyDirtyNum*m.sumDirty > incPolicyDirtyDen*m.sumGroups) {
-		m.off = true
-		e.IncDisables++
-	}
+	m.feedPolicy(e, dirtyCount)
 
 	// Port violations outrank routing ones in the classic check order, so
 	// answer them before paying for any group recompute; dirty groups wait.
@@ -541,6 +669,21 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 			}
 		}
 	}
+
+	return e.incRecomputeDirty(v, ds, theta, split)
+}
+
+// incRecomputeDirty is the shared tail of a delta pass (topology or demand):
+// recompute every dirty group in ascending order, fold the new contributions
+// into running partial totals, re-sum affected totals in classic fold order,
+// and refresh the utilization flags. Exits at the first proven violation
+// (aborted=true), leaving later dirty groups dirty and queueing affected
+// totals on staleLis for the next completed pass. m.epoch must have been
+// advanced by the caller for this pass.
+func (e *Evaluator) incRecomputeDirty(v *topo.View, ds *demand.Set, theta float64, split SplitMode) (Violation, bool) {
+	m := e.inc
+	ep := m.epoch
+	scale := m.scale
 
 	// 4. Recompute dirty groups in ascending order, folding each new
 	// contribution into a running partial total (e.load as scratch) and
@@ -594,8 +737,8 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 			if m.liMark[2*c+1] == ep {
 				tot += e.load[2*c+1]
 			}
-			if tot/e.caps[c] > theta {
-				viol = Violation{Kind: ViolationUtilization, Circuit: topo.CircuitID(c), Util: tot / e.caps[c]}
+			if tot*scale/e.caps[c] > theta {
+				viol = Violation{Kind: ViolationUtilization, Circuit: topo.CircuitID(c), Util: tot * scale / e.caps[c]}
 			}
 		}
 		if viol.Kind != ViolationNone {
@@ -636,7 +779,7 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 	// were invalidated and its total is now zero.
 	for _, li := range marked {
 		c := li >> 1
-		over := (m.total[2*c]+m.total[2*c+1])/e.caps[c] > theta
+		over := (m.total[2*c]+m.total[2*c+1])*scale/e.caps[c] > theta
 		if over != m.over[c] {
 			m.over[c] = over
 			if over {
@@ -701,7 +844,7 @@ func (e *Evaluator) incVerdict(v *topo.View, ds *demand.Set) Violation {
 		for c, over := range m.over {
 			if over {
 				cid := topo.CircuitID(c)
-				util := (m.total[2*c] + m.total[2*c+1]) / e.t.Circuit(cid).Capacity
+				util := (m.total[2*c] + m.total[2*c+1]) * m.scale / e.t.Circuit(cid).Capacity
 				return Violation{Kind: ViolationUtilization, Circuit: cid, Util: util}
 			}
 		}

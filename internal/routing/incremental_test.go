@@ -319,6 +319,109 @@ func containsCk(s []topo.CircuitID, want topo.CircuitID) bool {
 	return false
 }
 
+// TestCheckDemandDeltaMatchesCheckRandomWalk is the demand-side
+// equivalence property: after every step of a seeded random walk over
+// demand *rates* (mutated in place, topology fixed), CheckDemandDelta fed
+// the changed indices must agree with a from-scratch Evaluate on the
+// verdict, and the memoized per-circuit totals must be bitwise identical
+// to the full evaluation's loads. The walk also jitters the forecast
+// scale (exercising the memo's soft rescale path) and interleaves
+// topology deltas so both delta entry points share one memo coherently.
+func TestCheckDemandDeltaMatchesCheckRandomWalk(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tp, sw := randomFabric(rng)
+			ds := randomDemands(rng, sw)
+			split := SplitEqual
+			if seed%3 == 0 {
+				split = SplitCapacityWeighted
+			}
+			opts := CheckOpts{Theta: 0.5 + rng.Float64()*0.4, Split: split}
+
+			inc := NewEvaluator(tp)
+			full := NewEvaluator(tp)
+			view := tp.NewView()
+			view.Track()
+
+			for step := 0; step < 60; step++ {
+				if step%17 == 8 {
+					// Horizon moved: same demand set, new uniform scale.
+					opts.DemandScale = 1 + rng.Float64()*0.5
+				}
+				if step%5 == 4 {
+					// Interleave a topology delta through the same memo.
+					id := topo.CircuitID(rng.Intn(tp.NumCircuits()))
+					view.SetCircuitActive(id, !view.CircuitActive(id))
+					tsw, tck := view.TakeTouched()
+					tsw, tck = ExpandTouched(tp, tsw, tck)
+					got := inc.CheckDelta(view, tsw, tck, &ds, opts)
+					_, want := full.Evaluate(view, &ds, opts)
+					if got.OK() != want.OK() {
+						t.Fatalf("step %d (topo): CheckDelta=%v, full=%v", step, got, want)
+					}
+					continue
+				}
+				// Mutate a random small batch of demand rates in place.
+				var changed []int32
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					i := rng.Intn(ds.Len())
+					ds.Demands[i].Rate *= 0.5 + rng.Float64()
+					changed = append(changed, int32(i))
+				}
+				got := inc.CheckDemandDelta(view, changed, &ds, opts)
+				_, want := full.Evaluate(view, &ds, opts)
+				if got.OK() != want.OK() {
+					t.Fatalf("step %d: CheckDemandDelta=%v, full Check=%v", step, got, want)
+				}
+				if got.OK() && !inc.IncrementalOff() {
+					for c := 0; c < tp.NumCircuits(); c++ {
+						fa, fb := full.CircuitLoad(topo.CircuitID(c))
+						ia := inc.inc.total[2*c]
+						ib := inc.inc.total[2*c+1]
+						if ia != fa || ib != fb {
+							t.Fatalf("step %d: circuit %d memo load (%v,%v) != full (%v,%v)",
+								step, c, ia, ib, fa, fb)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckDemandDeltaSelfDisable verifies the shared invalidation policy
+// also guards the demand path: wholesale rate changes every pass must trip
+// the self-disable, after which verdicts still match the classic check.
+func TestCheckDemandDeltaSelfDisable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tp, sw := randomFabric(rng)
+	ds := randomDemands(rng, sw)
+	opts := CheckOpts{Theta: 0.9}
+	inc := NewEvaluator(tp)
+	full := NewEvaluator(tp)
+	view := tp.NewView()
+
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	for pass := 0; pass < 6; pass++ {
+		for i := range ds.Demands {
+			ds.Demands[i].Rate *= 0.8 + rng.Float64()*0.4
+		}
+		got := inc.CheckDemandDelta(view, all, &ds, opts)
+		_, want := full.Evaluate(view, &ds, opts)
+		if got.OK() != want.OK() {
+			t.Fatalf("pass %d: CheckDemandDelta=%v, full=%v", pass, got, want)
+		}
+	}
+	if !inc.IncrementalOff() {
+		t.Fatalf("wholesale demand deltas did not trip the self-disable")
+	}
+}
+
 // TestGroupFoldMatchesReference guards the restructured classic path: the
 // group-fold evaluation must still agree with the naive reference
 // implementation on random fabrics.

@@ -114,6 +114,23 @@ type CheckOpts struct {
 	// the survivors. Zero or 1 disables the adjustment.
 	FunnelFactor   float64
 	FunnelCircuits []topo.CircuitID
+
+	// DemandScale, when > 0 and ≠ 1, multiplies every demand rate at
+	// comparison time — the time-indexed demand of paper §7.1: a boundary
+	// state reached k steps into the migration is checked against
+	// forecasted demand Forecast.ScaleAt(k) without materializing a scaled
+	// Set per check. Scaling is applied to utilization comparisons and
+	// reported loads only; reachability and port constraints are
+	// rate-independent and unaffected. Zero means 1 (no scaling).
+	DemandScale float64
+}
+
+// scale returns the effective demand multiplier for the check.
+func (o CheckOpts) scale() float64 {
+	if o.DemandScale <= 0 {
+		return 1
+	}
+	return o.DemandScale
 }
 
 // Result summarizes a full (non-early-exit) evaluation of a network state.
@@ -358,6 +375,7 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 		e.load[i] = 0
 	}
 	e.setFunnel(opts)
+	scale := opts.scale()
 
 	// Group demands by destination and process each group with one reverse
 	// BFS plus one reverse-topological flow sweep.
@@ -415,7 +433,7 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 			e.load[li] += e.gload[li]
 			e.gload[li] = 0
 			cid := topo.CircuitID(li >> 1)
-			util := (e.load[2*cid] + e.load[2*cid+1]) / e.caps[cid]
+			util := (e.load[2*cid] + e.load[2*cid+1]) * scale / e.caps[cid]
 			bound := theta
 			if e.funnelSet && e.funnel[cid] {
 				bound = theta / opts.FunnelFactor
@@ -431,7 +449,7 @@ func (e *Evaluator) evalDemands(v *topo.View, ds *demand.Set, opts CheckOpts, th
 	}
 
 	if res != nil {
-		e.fillResult(v, theta, res)
+		e.fillResult(v, scale, res)
 	}
 	return firstViol
 }
@@ -574,7 +592,7 @@ func (e *Evaluator) addInflow(s topo.SwitchID, f float64) {
 	e.inflow[s] += f
 }
 
-func (e *Evaluator) fillResult(v *topo.View, theta float64, res *Result) {
+func (e *Evaluator) fillResult(v *topo.View, scale float64, res *Result) {
 	t := e.t
 	res.MinResidual = math.Inf(1)
 	res.MaxUtilCircuit = topo.NoCircuit
@@ -584,7 +602,7 @@ func (e *Evaluator) fillResult(v *topo.View, theta float64, res *Result) {
 			continue
 		}
 		ck := t.Circuit(cid)
-		load := e.load[2*c] + e.load[2*c+1]
+		load := (e.load[2*c] + e.load[2*c+1]) * scale
 		util := load / ck.Capacity
 		res.TotalLoad += load
 		if util > res.MaxUtil {

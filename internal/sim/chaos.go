@@ -11,6 +11,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -25,6 +26,11 @@ import (
 // rather than replan.
 var ErrTransient = errors.New("sim: transient failure")
 
+// ErrTelemetry marks a demand-telemetry observation that produced no data —
+// the collector is down or timed out. Controllers should back off, retry,
+// and eventually degrade to conservative planning rather than stall.
+var ErrTelemetry = errors.New("sim: telemetry unavailable")
+
 // FaultKind enumerates the injectable fault classes of §7.2.
 type FaultKind int
 
@@ -36,11 +42,29 @@ const (
 	// restores it (flapping optics).
 	FaultCircuitFlap
 	// FaultSurge multiplies a random fraction of demands (unexpected
-	// traffic surge).
+	// traffic surge). With Steps == 0 the surge is permanent — the service
+	// behavior changed for good (§7.2's storage backup-placement change).
+	// With Steps > 0 it is transient, like FaultCircuitFlap: after Steps
+	// further actions the affected rates are divided back to their
+	// pre-surge values, bumping the epoch again on recovery.
 	FaultSurge
 	// FaultTransient makes the next Attempts block applications fail with
 	// ErrTransient (drain RPC timeouts); the block itself is untouched.
 	FaultTransient
+	// FaultTelemetryStale freezes the demand telemetry feed: the next
+	// Steps ObserveDemands calls return the snapshot taken when the fault
+	// fired, however far the live demand has drifted since. Telemetry
+	// faults never bump the epoch — the network itself is unchanged; only
+	// the controller's view of it is degraded.
+	FaultTelemetryStale
+	// FaultTelemetryDrop makes the next Steps ObserveDemands calls fail
+	// outright with ErrTelemetry (collector down, timeout).
+	FaultTelemetryDrop
+	// FaultTelemetryCorrupt makes the next Steps ObserveDemands calls
+	// return garbage rates — NaN, negative, or wildly inflated values — the
+	// way a half-written aggregation or a unit mix-up looks in production.
+	// Consumers must sanity-check before trusting (see ctrl's watchdog).
+	FaultTelemetryCorrupt
 )
 
 func (k FaultKind) String() string {
@@ -53,6 +77,12 @@ func (k FaultKind) String() string {
 		return "surge"
 	case FaultTransient:
 		return "transient"
+	case FaultTelemetryStale:
+		return "telemetry-stale"
+	case FaultTelemetryDrop:
+		return "telemetry-drop"
+	case FaultTelemetryCorrupt:
+		return "telemetry-corrupt"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -63,9 +93,14 @@ type Fault struct {
 	Step int
 	Kind FaultKind
 
-	Switch   topo.SwitchID // FaultSwitchDown
-	Circuit  topo.CircuitID
-	Steps    int           // FaultCircuitFlap: actions until recovery
+	Switch  topo.SwitchID // FaultSwitchDown
+	Circuit topo.CircuitID
+	// Steps is the recovery horizon of recoverable faults: for
+	// FaultCircuitFlap, actions until the circuit comes back; for
+	// FaultSurge, actions until the surged rates are divided back (0 =
+	// permanent surge); for the telemetry kinds, the number of
+	// ObserveDemands calls affected (default 1).
+	Steps    int
 	Surge    *demand.Surge // FaultSurge
 	Attempts int           // FaultTransient: consecutive failures (default 1)
 }
@@ -80,6 +115,18 @@ type ScheduleOptions struct {
 	SurgeMultiplier float64 // surge rate multiplier (default 1.2)
 	MaxAttempts     int     // max transient failures per fault (default 2)
 	FlapSteps       int     // actions until a flapped circuit recovers (default 2)
+
+	// Telemetry widens the draw to the telemetry fault kinds (stale, drop,
+	// corrupt). Off by default so existing seeded schedules — and the
+	// deterministic campaigns replaying them — are byte-identical to before
+	// the telemetry kinds existed.
+	Telemetry bool
+	// TelemetrySteps is the number of ObserveDemands calls a telemetry
+	// fault affects (default 2).
+	TelemetrySteps int
+	// SurgeSteps, when > 0, makes drawn surges transient: surged rates
+	// recover after 1..SurgeSteps actions. 0 keeps surges permanent.
+	SurgeSteps int
 }
 
 func (o ScheduleOptions) withDefaults() ScheduleOptions {
@@ -97,6 +144,9 @@ func (o ScheduleOptions) withDefaults() ScheduleOptions {
 	}
 	if o.FlapSteps <= 0 {
 		o.FlapSteps = 2
+	}
+	if o.TelemetrySteps <= 0 {
+		o.TelemetrySteps = 2
 	}
 	return o
 }
@@ -146,10 +196,16 @@ func RandomSchedule(task *migration.Task, seed int64, opts ScheduleOptions) Sche
 	if maxStep < 1 {
 		maxStep = 1
 	}
+	// The draw modulus stays 4 when Telemetry is off so pre-telemetry
+	// seeded schedules reproduce byte-identically.
+	kinds := 4
+	if opts.Telemetry {
+		kinds = 7
+	}
 	var sched Schedule
 	for len(sched) < opts.Faults {
 		step := 1 + rng.Intn(maxStep)
-		switch rng.Intn(4) {
+		switch rng.Intn(kinds) {
 		case 0:
 			if len(spareSw) == 0 {
 				continue
@@ -164,11 +220,24 @@ func RandomSchedule(task *migration.Task, seed int64, opts ScheduleOptions) Sche
 				Circuit: spareCk[rng.Intn(len(spareCk))],
 				Steps:   1 + rng.Intn(opts.FlapSteps)})
 		case 2:
-			sched = append(sched, Fault{Step: step, Kind: FaultSurge,
+			steps := 0
+			if opts.SurgeSteps > 0 {
+				steps = 1 + rng.Intn(opts.SurgeSteps)
+			}
+			sched = append(sched, Fault{Step: step, Kind: FaultSurge, Steps: steps,
 				Surge: &demand.Surge{Fraction: opts.SurgeFraction, Multiplier: opts.SurgeMultiplier}})
-		default:
+		case 3:
 			sched = append(sched, Fault{Step: step, Kind: FaultTransient,
 				Attempts: 1 + rng.Intn(opts.MaxAttempts)})
+		case 4:
+			sched = append(sched, Fault{Step: step, Kind: FaultTelemetryStale,
+				Steps: 1 + rng.Intn(opts.TelemetrySteps)})
+		case 5:
+			sched = append(sched, Fault{Step: step, Kind: FaultTelemetryDrop,
+				Steps: 1 + rng.Intn(opts.TelemetrySteps)})
+		default:
+			sched = append(sched, Fault{Step: step, Kind: FaultTelemetryCorrupt,
+				Steps: 1 + rng.Intn(opts.TelemetrySteps)})
 		}
 	}
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].Step < sched[j].Step })
@@ -199,7 +268,31 @@ type World struct {
 	demands        demand.Set
 	demandsChanged bool
 
+	// surgeUndos holds pending transient-surge recoveries: at the recorded
+	// step the affected rates are divided back by the surge multiplier.
+	surgeUndos []surgeUndo
+
+	// growth is organic per-action demand growth applied silently on every
+	// Apply — drift the controller can only see through telemetry, never
+	// through the epoch counter.
+	growth float64
+
+	// Telemetry fault state: remaining affected ObserveDemands calls per
+	// kind (drop > corrupt > stale priority when several overlap) and the
+	// snapshot a stale feed keeps serving.
+	telDrop     int
+	telCorrupt  int
+	telStale    int
+	telSnapshot demand.Set
+
 	transientLeft int
+}
+
+// surgeUndo records how to roll back one transient surge.
+type surgeUndo struct {
+	step       int // executed-action count at which the surge recovers
+	multiplier float64
+	hit        []int32 // affected demand indices
 }
 
 // NewWorld builds a world over the task's initial topology and demands.
@@ -239,6 +332,22 @@ func (w *World) Poll() int {
 			w.epoch++
 		}
 	}
+	// Transient-surge recoveries: divide the affected rates back. Like a
+	// flap recovery this is an out-of-band environment change, so it bumps
+	// the epoch.
+	undos := w.surgeUndos[:0]
+	for _, u := range w.surgeUndos {
+		if u.step > step {
+			undos = append(undos, u)
+			continue
+		}
+		for _, di := range u.hit {
+			w.demands.Demands[di].Rate /= u.multiplier
+		}
+		w.demandsChanged = true
+		w.epoch++
+	}
+	w.surgeUndos = undos
 	return w.epoch
 }
 
@@ -258,9 +367,17 @@ func (w *World) fire(f *Fault) {
 		w.epoch++
 	case FaultSurge:
 		if f.Surge != nil {
-			w.demands = f.Surge.Apply(w.demands, w.rng)
+			var hit []int32
+			w.demands, hit = f.Surge.ApplyTracked(w.demands, w.rng)
 			w.demandsChanged = true
 			w.epoch++
+			if f.Steps > 0 && len(hit) > 0 {
+				w.surgeUndos = append(w.surgeUndos, surgeUndo{
+					step:       len(w.executed) + f.Steps,
+					multiplier: f.Surge.Multiplier,
+					hit:        hit,
+				})
+			}
 		}
 	case FaultTransient:
 		n := f.Attempts
@@ -268,11 +385,32 @@ func (w *World) fire(f *Fault) {
 			n = 1
 		}
 		w.transientLeft += n
+	case FaultTelemetryStale:
+		w.telStale += observationSteps(f)
+		w.telSnapshot = w.demands.Clone()
+	case FaultTelemetryDrop:
+		w.telDrop += observationSteps(f)
+	case FaultTelemetryCorrupt:
+		w.telCorrupt += observationSteps(f)
 	}
+}
+
+func observationSteps(f *Fault) int {
+	if f.Steps <= 0 {
+		return 1
+	}
+	return f.Steps
 }
 
 // Epoch returns the environment-change counter without firing faults.
 func (w *World) Epoch() int { return w.epoch }
+
+// SetDemandGrowth configures silent organic demand growth: after every
+// applied block, every rate is multiplied by (1+perStep). Unlike a surge
+// this never bumps the epoch — real traffic growth has no change event; a
+// controller can only notice it by observing telemetry, which is exactly
+// the drift-detection loop this exists to exercise.
+func (w *World) SetDemandGrowth(perStep float64) { w.growth = perStep }
 
 // Apply executes one block against the live network. Pending transient
 // faults consume the call and return ErrTransient (wrapped); the block is
@@ -284,6 +422,12 @@ func (w *World) Apply(blockID int) error {
 	}
 	w.task.Apply(w.view, blockID)
 	w.executed = append(w.executed, blockID)
+	if w.growth != 0 {
+		for i := range w.demands.Demands {
+			w.demands.Demands[i].Rate *= 1 + w.growth
+		}
+		w.demandsChanged = true
+	}
 	return nil
 }
 
@@ -330,6 +474,40 @@ func (w *World) DownCircuits() []topo.CircuitID {
 
 // Demands returns a copy of the current (possibly surged) demand set.
 func (w *World) Demands() demand.Set { return w.demands.Clone() }
+
+// ObserveDemands is the demand-telemetry channel: what a controller reads
+// when it asks "what is the network carrying right now". Normally it
+// returns a copy of the live demands; pending telemetry faults degrade the
+// answer instead — a dropped observation fails with ErrTelemetry, a corrupt
+// one returns garbage rates (NaN, negative, or wildly inflated), and a
+// stale one replays the snapshot taken when the feed froze. When faults of
+// several kinds are pending, drop outranks corrupt outranks stale — the
+// deadest feed wins. Each call consumes one pending affected observation.
+func (w *World) ObserveDemands() (demand.Set, error) {
+	switch {
+	case w.telDrop > 0:
+		w.telDrop--
+		return demand.Set{}, fmt.Errorf("%w: demand collector timed out", ErrTelemetry)
+	case w.telCorrupt > 0:
+		w.telCorrupt--
+		bad := w.demands.Clone()
+		for i := range bad.Demands {
+			switch w.rng.Intn(3) {
+			case 0:
+				bad.Demands[i].Rate = math.NaN()
+			case 1:
+				bad.Demands[i].Rate = -bad.Demands[i].Rate
+			default:
+				bad.Demands[i].Rate *= 1e9
+			}
+		}
+		return bad, nil
+	case w.telStale > 0:
+		w.telStale--
+		return w.telSnapshot.Clone(), nil
+	}
+	return w.demands.Clone(), nil
+}
 
 // DemandsChanged reports whether any surge has fired.
 func (w *World) DemandsChanged() bool { return w.demandsChanged }

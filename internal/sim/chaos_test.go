@@ -250,3 +250,141 @@ func TestCampaignWorstSeedAbsolute(t *testing.T) {
 		t.Fatalf("zero-peak campaign WorstSeed %d not absolute (base %d)", rep0.WorstSeed, base)
 	}
 }
+
+// TestWorldTelemetryFaults: telemetry faults degrade only the observation
+// channel — ObserveDemands errors or lies for the scheduled number of
+// observations, the network epoch never moves, and ground truth
+// (Demands()) stays intact throughout.
+func TestWorldTelemetryFaults(t *testing.T) {
+	task, _ := chaosTask(t)
+
+	t.Run("drop", func(t *testing.T) {
+		w := NewWorld(task, Schedule{{Step: 0, Kind: FaultTelemetryDrop, Steps: 2}}, 1)
+		if e := w.Poll(); e != 0 {
+			t.Fatalf("telemetry fault must not bump the epoch, got %d", e)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := w.ObserveDemands(); !errors.Is(err, ErrTelemetry) {
+				t.Fatalf("observation %d: want ErrTelemetry, got %v", i, err)
+			}
+		}
+		ds, err := w.ObserveDemands()
+		if err != nil {
+			t.Fatalf("collector should be back after 2 dropped observations: %v", err)
+		}
+		if ds.Demands[0].Rate != 150 {
+			t.Fatalf("recovered observation rate = %v, want 150", ds.Demands[0].Rate)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		w := NewWorld(task, Schedule{{Step: 0, Kind: FaultTelemetryCorrupt, Steps: 1}}, 1)
+		w.Poll()
+		bad, err := w.ObserveDemands()
+		if err != nil {
+			t.Fatalf("corrupt telemetry returns data, not an error: %v", err)
+		}
+		r := bad.Demands[0].Rate
+		if !(r != r || r <= 0 || r > 1e6) { // NaN, negated, or wildly inflated
+			t.Fatalf("corrupt observation rate %v looks sane", r)
+		}
+		if w.Demands().Demands[0].Rate != 150 {
+			t.Fatal("corruption leaked into ground truth")
+		}
+		good, err := w.ObserveDemands()
+		if err != nil || good.Demands[0].Rate != 150 {
+			t.Fatalf("next observation should be clean, got %v, %v", good.Demands, err)
+		}
+	})
+
+	t.Run("stale", func(t *testing.T) {
+		w := NewWorld(task, Schedule{{Step: 0, Kind: FaultTelemetryStale, Steps: 1}}, 1)
+		w.Poll()
+		// Ground truth moves after the snapshot was frozen.
+		w.SetDemandGrowth(0.1)
+		plan, err := core.PlanAStar(task, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Apply(plan.Sequence[0]); err != nil {
+			t.Fatal(err)
+		}
+		stale, err := w.ObserveDemands()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale.Demands[0].Rate != 150 {
+			t.Fatalf("stale observation rate = %v, want frozen 150", stale.Demands[0].Rate)
+		}
+		fresh, err := w.ObserveDemands()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Demands[0].Rate <= 150 {
+			t.Fatalf("post-stale observation rate = %v, want grown ground truth", fresh.Demands[0].Rate)
+		}
+	})
+}
+
+// TestWorldTransientSurgeRecovers: a FaultSurge with Steps set is a
+// transient spike — rates multiply when it fires and divide back after the
+// recovery horizon, each transition bumping the epoch so the controller
+// replans both into and out of the surge.
+func TestWorldTransientSurgeRecovers(t *testing.T) {
+	task, _ := chaosTask(t)
+	w := NewWorld(task, Schedule{
+		{Step: 0, Kind: FaultSurge, Steps: 2, Surge: &demand.Surge{Fraction: 1, Multiplier: 2}},
+	}, 1)
+	if e := w.Poll(); e != 1 {
+		t.Fatalf("surge should bump epoch to 1, got %d", e)
+	}
+	if r := w.Demands().Demands[0].Rate; r != 300 {
+		t.Fatalf("surged rate = %v, want 300", r)
+	}
+	plan, err := core.PlanAStar(task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Apply(plan.Sequence[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := w.Poll(); e != 2 {
+		t.Fatalf("surge recovery should bump epoch to 2, got %d", e)
+	}
+	if r := w.Demands().Demands[0].Rate; r != 150 {
+		t.Fatalf("recovered rate = %v, want 150", r)
+	}
+}
+
+// TestExecuteTransientSurgeRecovers: the open-loop replay honors surge
+// recovery horizons too — a big transient surge violates boundaries only
+// while it is live, not for the rest of the migration.
+func TestExecuteTransientSurgeRecovers(t *testing.T) {
+	task, _ := chaosTask(t)
+	plan, err := core.PlanAStar(task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewExecutor(task).Execute(plan.Sequence, Options{
+		Faults: Schedule{{Step: 0, Kind: FaultSurge, Steps: 1, Surge: &demand.Surge{Fraction: 1, Multiplier: 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("replay should complete")
+	}
+	if rep.BoundaryViolations == 0 {
+		t.Fatal("a 5x surge should violate at least one live boundary")
+	}
+	if rep.BoundaryViolations >= len(rep.Steps) {
+		t.Fatalf("surge never recovered: %d of %d boundaries violated",
+			rep.BoundaryViolations, len(rep.Steps))
+	}
+	last := rep.Steps[len(rep.Steps)-1]
+	if last.BoundaryUnsafe {
+		t.Fatal("final boundary still violated after the surge horizon passed")
+	}
+}

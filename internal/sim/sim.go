@@ -134,6 +134,12 @@ func (e *Executor) Execute(seq []int, opts Options) (*Report, error) {
 	stepsDone := 0
 	faultFired := make([]bool, len(opts.Faults))
 	flapRecovery := make(map[topo.CircuitID]int)
+	type surgeRecovery struct {
+		step       int
+		multiplier float64
+		hit        []int32
+	}
+	var surgeRecoveries []surgeRecovery
 	for ri, run := range runs {
 		if opts.InjectFailure && ri == opts.FailAtRun {
 			view.DrainSwitch(opts.FailSwitch)
@@ -149,6 +155,17 @@ func (e *Executor) Execute(seq []int, opts Options) (*Report, error) {
 				view.SetCircuitActive(c, true)
 			}
 		}
+		keep := surgeRecoveries[:0]
+		for _, sr := range surgeRecoveries {
+			if sr.step > stepsDone {
+				keep = append(keep, sr)
+				continue
+			}
+			for _, di := range sr.hit {
+				demands.Demands[di].Rate /= sr.multiplier
+			}
+		}
+		surgeRecoveries = keep
 		for fi := range opts.Faults {
 			f := &opts.Faults[fi]
 			if faultFired[fi] || f.Step > stepsDone {
@@ -167,10 +184,19 @@ func (e *Executor) Execute(seq []int, opts Options) (*Report, error) {
 				flapRecovery[f.Circuit] = stepsDone + steps
 			case FaultSurge:
 				if f.Surge != nil {
-					demands = f.Surge.Apply(demands, rng)
+					var hit []int32
+					demands, hit = f.Surge.ApplyTracked(demands, rng)
+					if f.Steps > 0 && len(hit) > 0 {
+						surgeRecoveries = append(surgeRecoveries, surgeRecovery{
+							step: stepsDone + f.Steps, multiplier: f.Surge.Multiplier, hit: hit})
+					}
 				}
 			case FaultTransient:
 				// No retry loop here; nothing to fail.
+			default:
+				// Telemetry faults degrade the controller's observation
+				// channel (internal/ctrl); the open-loop replay reads
+				// ground truth directly and is unaffected.
 			}
 		}
 		grown := opts.Forecast.At(demands, stepsDone)

@@ -576,11 +576,21 @@ const (
 	FaultCircuitFlap = sim.FaultCircuitFlap
 	FaultSurge       = sim.FaultSurge
 	FaultTransient   = sim.FaultTransient
+
+	// Telemetry faults degrade the controller's demand-observation channel
+	// without touching the network itself.
+	FaultTelemetryStale   = sim.FaultTelemetryStale
+	FaultTelemetryDrop    = sim.FaultTelemetryDrop
+	FaultTelemetryCorrupt = sim.FaultTelemetryCorrupt
 )
 
 // ErrTransient marks an action failure expected to clear on retry,
 // matchable with errors.Is.
 var ErrTransient = sim.ErrTransient
+
+// ErrTelemetry marks a failed demand observation (dropped collector),
+// matchable with errors.Is.
+var ErrTelemetry = sim.ErrTelemetry
 
 // RandomFaultSchedule draws a seeded fault train targeting only equipment
 // the migration does not operate and that carries no demand endpoint.

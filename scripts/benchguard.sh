@@ -12,5 +12,5 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -bench 'BenchmarkPlannerGuard' -benchtime "${BENCHTIME:-10x}" . |
+go test -run '^$' -bench 'BenchmarkPlannerGuard|BenchmarkCheckDemandDelta' -benchtime "${BENCHTIME:-10x}" . |
 	go run ./cmd/benchguard -baseline BENCH_planner.json "$@"
