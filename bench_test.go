@@ -292,6 +292,62 @@ func BenchmarkPlannerGuard(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerGuardLarge is the relational guard fixture: suite E at
+// 2.5× the micro-guard's scale, where the search (not fixed setup cost)
+// dominates ns/op. cmd/benchguard enforces two relations over it in
+// addition to the absolute baseline: the parallel entries must not run
+// slower than their serial twins beyond -max-parallel-excess (the adaptive
+// policy's job — on a single-CPU host it resolves to the serial path, so
+// "parallel" ties serial instead of paying for idle lanes), and the
+// audited defaults must not exceed their NoAudit twins beyond
+// -max-audit-overhead (the incremental parallel audit engine's job).
+//
+// The parallel entries use WorkersAdaptive, so their states/op depends on
+// the host's core count (the DP wavefront only enumerates its layer
+// lattice at ≥2 lanes); they deliberately report no search-effort metrics.
+// The serial entries keep the recorder wired so states/op stays guarded at
+// this scale too.
+func BenchmarkPlannerGuardLarge(b *testing.B) {
+	s, err := klotski.Suite("E", 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pl := range []struct {
+		name string
+		run  func(*klotski.Task, klotski.Options) (*klotski.Plan, error)
+		opts klotski.Options
+		det  bool // states/op machine-independent → report it
+	}{
+		{"AStar", klotski.PlanAStar, klotski.Options{}, true},
+		{"DP", klotski.PlanDP, klotski.Options{}, true},
+		{"AStarParallel", klotski.PlanAStar, klotski.Options{Workers: klotski.WorkersAdaptive}, false},
+		{"DPParallel", klotski.PlanDP, klotski.Options{Workers: klotski.WorkersAdaptive}, false},
+		{"AStarNoAudit", klotski.PlanAStar, klotski.Options{SkipAudit: true}, true},
+		{"DPNoAudit", klotski.PlanDP, klotski.Options{SkipAudit: true}, true},
+	} {
+		b.Run(pl.name, func(b *testing.B) {
+			opts := pl.opts
+			var reg *klotski.ObsRegistry
+			if pl.det {
+				reg = klotski.NewObsRegistry()
+				opts.Recorder = klotski.NewObsRecorder(reg)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.run(s.Task, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if reg != nil {
+				snap := reg.Snapshot()
+				b.ReportMetric(float64(snap.Counters["planner.states_expanded"])/float64(b.N), "states/op")
+			}
+		})
+	}
+}
+
 // BenchmarkCheckIncremental isolates the incremental satisfiability engine
 // at the planner level: both Klotski planners on topology E with
 // per-destination-group memoization (the default) versus the classic full

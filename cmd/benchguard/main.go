@@ -15,6 +15,23 @@
 // is deterministic, so even small growth there trips the wall-clock
 // tolerance only when real).
 //
+// Beyond the absolute baseline, two RELATIONAL invariants are enforced on
+// the large guard fixture (BenchmarkPlannerGuardLarge) whenever its
+// entries appear in the run, comparing entries of the same run against
+// each other — immune to machine speed, sensitive only to the ratios the
+// design promises:
+//
+//   - AStarParallel/DPParallel must not exceed their serial twins' ns/op
+//     by more than -max-parallel-excess: the adaptive worker policy must
+//     keep "parallel" from losing to serial on any host (on a single CPU
+//     it resolves to the serial path, so the entries tie up to noise).
+//   - The audited defaults (AStar/DP) must not exceed their NoAudit twins
+//     by more than -max-audit-overhead: the incremental parallel audit
+//     engine keeps the safety replay a small fraction of planning.
+//
+// Relational violations also block -update, so a baseline that breaks the
+// invariants cannot be committed by accident.
+//
 // Regenerate the baseline deliberately with -update after an accepted
 // performance change.
 package main
@@ -99,6 +116,8 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "BENCH_planner.json", "baseline file to compare against")
 	maxSlowdown := fs.Float64("max-slowdown", 0.30, "maximum tolerated fractional growth per guarded metric")
+	maxParallelExcess := fs.Float64("max-parallel-excess", 0.10, "maximum tolerated ns/op excess of the large fixture's parallel entries over their serial twins")
+	maxAuditOverhead := fs.Float64("max-audit-overhead", 0.15, "maximum tolerated ns/op excess of the large fixture's audited entries over their NoAudit twins")
 	update := fs.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,6 +133,8 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
+	relFailures := checkRelational(current, *maxParallelExcess, *maxAuditOverhead, stdout)
+
 	base, err := readBaseline(*baselinePath)
 	if os.IsNotExist(err) && !*update {
 		fmt.Fprintf(stderr, "benchguard: no baseline at %s; bootstrapping from current run\n", *baselinePath)
@@ -123,6 +144,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 	if *update {
+		if relFailures > 0 {
+			fmt.Fprintf(stderr, "benchguard: refusing to write baseline: %d relational invariant(s) violated (rerun, or raise -max-parallel-excess/-max-audit-overhead deliberately)\n", relFailures)
+			return 1
+		}
 		if err := writeBaseline(*baselinePath, Baseline{Benchmarks: current}); err != nil {
 			fmt.Fprintf(stderr, "benchguard: writing baseline: %v\n", err)
 			return 2
@@ -131,7 +156,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 0
 	}
 
-	failures := 0
+	failures := relFailures
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -176,6 +201,40 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// checkRelational enforces the large fixture's same-run ratio invariants:
+// parallel vs serial and audited vs NoAudit ns/op. Rules whose entries are
+// absent from the run are skipped silently — other bench selections (the
+// micro guard, the evaluator benches) carry no relational contract.
+func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverhead float64, stdout io.Writer) int {
+	rules := []struct {
+		what     string
+		num, den string
+		limit    float64
+	}{
+		{"parallel-vs-serial", "PlannerGuardLarge/AStarParallel", "PlannerGuardLarge/AStar", maxParallelExcess},
+		{"parallel-vs-serial", "PlannerGuardLarge/DPParallel", "PlannerGuardLarge/DP", maxParallelExcess},
+		{"audit-overhead", "PlannerGuardLarge/AStar", "PlannerGuardLarge/AStarNoAudit", maxAuditOverhead},
+		{"audit-overhead", "PlannerGuardLarge/DP", "PlannerGuardLarge/DPNoAudit", maxAuditOverhead},
+	}
+	failures := 0
+	for _, r := range rules {
+		num, okN := current[r.num]["ns/op"]
+		den, okD := current[r.den]["ns/op"]
+		if !okN || !okD || den <= 0 {
+			continue
+		}
+		excess := num/den - 1
+		status := "ok  "
+		if excess > r.limit {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(stdout, "%s %s: %s %.4g ns/op vs %s %.4g ns/op (%+.1f%%, limit +%.0f%%)\n",
+			status, r.what, r.num, num, r.den, den, excess*100, r.limit*100)
+	}
+	return failures
 }
 
 func readBaseline(path string) (Baseline, error) {

@@ -131,6 +131,84 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 	}
 }
 
+// largeBenchOutput satisfies both relational invariants: the adaptive
+// parallel entries tie or beat their serial twins, and audit overhead sits
+// at +10%/+8% against the NoAudit twins.
+const largeBenchOutput = `goos: linux
+goarch: amd64
+pkg: klotski
+BenchmarkPlannerGuardLarge/AStar-8         	       5	 220000000 ns/op	      1234 states/op
+BenchmarkPlannerGuardLarge/DP-8            	       5	 270000000 ns/op	      2000 states/op
+BenchmarkPlannerGuardLarge/AStarParallel-8 	       5	 215000000 ns/op
+BenchmarkPlannerGuardLarge/DPParallel-8    	       5	 268000000 ns/op
+BenchmarkPlannerGuardLarge/AStarNoAudit-8  	       5	 200000000 ns/op	      1234 states/op
+BenchmarkPlannerGuardLarge/DPNoAudit-8     	       5	 250000000 ns/op	      2000 states/op
+PASS
+ok  	klotski	11.2s
+`
+
+func TestRelationalInvariantsPass(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	code, out := guard(t, largeBenchOutput, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("invariant-satisfying run failed (%d): %s", code, out)
+	}
+	if !strings.Contains(out, "parallel-vs-serial") || !strings.Contains(out, "audit-overhead") {
+		t.Errorf("relational checks not reported: %s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected relational failure: %s", out)
+	}
+}
+
+func TestRelationalParallelExcessFails(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if code, out := guard(t, largeBenchOutput, "-baseline", base); code != 0 {
+		t.Fatal(out)
+	}
+	// AStarParallel at +18% over serial blows the default +10% allowance.
+	slow := strings.Replace(largeBenchOutput, "215000000 ns/op", "260000000 ns/op", 1)
+	code, out := guard(t, slow, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("parallel losing to serial should fail, got %d: %s", code, out)
+	}
+	if !strings.Contains(out, "FAIL parallel-vs-serial") {
+		t.Errorf("failure should name the relational rule: %s", out)
+	}
+	// A loosened allowance (noisy shared runner) accepts the same run.
+	if code, out := guard(t, slow, "-baseline", base, "-max-parallel-excess", "0.5"); code != 0 {
+		t.Fatalf("loosened allowance should pass: %s", out)
+	}
+}
+
+func TestRelationalAuditOverheadBlocksUpdate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	// Audited AStar at +20% over NoAudit blows the default +15% allowance;
+	// bootstrapping (an implicit -update) must refuse to commit it.
+	costly := strings.Replace(largeBenchOutput, "220000000 ns/op", "240000000 ns/op", 1)
+	code, out := guard(t, costly, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("audit overhead beyond limit should block bootstrap, got %d: %s", code, out)
+	}
+	if !strings.Contains(out, "refusing to write baseline") {
+		t.Errorf("expected update refusal notice: %s", out)
+	}
+	if _, err := os.Stat(base); !os.IsNotExist(err) {
+		t.Errorf("baseline must not be written on relational failure")
+	}
+}
+
+func TestRelationalSkippedWithoutLargeFixture(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	code, out := guard(t, benchOutput, "-baseline", base)
+	if code != 0 {
+		t.Fatal(out)
+	}
+	if strings.Contains(out, "parallel-vs-serial") || strings.Contains(out, "audit-overhead") {
+		t.Errorf("relational rules must skip silently when the fixture is absent: %s", out)
+	}
+}
+
 func TestEmptyInputIsAnError(t *testing.T) {
 	code, out := guard(t, "PASS\nok  \tklotski\t0.1s\n", "-baseline", filepath.Join(t.TempDir(), "b.json"))
 	if code != 2 {

@@ -1,10 +1,16 @@
 // Package audit is the independent plan verifier of the defense-in-depth
 // layer (paper §7.2, "extra audits and safety checks"): every plan the
-// planners emit is replayed step-by-step against a pristine, serial,
-// non-incremental evaluator — a fresh topo.View and a fresh
-// routing.Evaluator, with none of the planner's satisfiability caches,
-// incremental memos, or parallel lanes in the loop — and every boundary
-// state is re-checked for reachability, capacity, and occupancy.
+// planners emit is replayed step-by-step against a fresh topo.View and a
+// fresh routing.Evaluator — none of the planner's satisfiability caches,
+// search-state interning, or parallel lanes in the loop — and every
+// boundary state is re-checked for reachability, capacity, and occupancy.
+//
+// Two replay engines produce that verdict. ModeSerial re-evaluates every
+// boundary from scratch and is the pristine reference. ModeIncremental
+// (see incremental.go) reuses the routing evaluator's per-destination
+// group memo across consecutive boundaries and can split the replay over
+// parallel lanes; it is differential-tested byte-identical to the serial
+// engine, Report for Report, including failure steps under tampering.
 //
 // The package deliberately does NOT import internal/core: it re-derives
 // the boundary semantics (canonical ordering, run splits, funneling
@@ -74,6 +80,19 @@ type Config struct {
 	// (an interrupted plan prefix, e.g. from a checkpoint). The state
 	// after the last step is still checked as a run boundary.
 	AllowPartial bool
+
+	// Mode selects the replay engine: ModeSerial (zero value) re-evaluates
+	// every boundary from scratch and is the pristine reference;
+	// ModeIncremental reuses the evaluator's group memo across boundaries
+	// and may fan out across Workers lanes. Both produce byte-identical
+	// Reports (differential-tested); the incremental engine exists to make
+	// the mandatory audit cheap, not to change its answers.
+	Mode Mode
+
+	// Workers is the lane count for ModeIncremental; 0 or 1 replays on a
+	// single lane. Ignored by ModeSerial. The verdict is identical at any
+	// worker count.
+	Workers int
 
 	// Recorder optionally streams audit counters (states checked,
 	// failures) into an observability registry; nil is a no-op.
@@ -171,7 +190,11 @@ func Verify(task *migration.Task, seq []int, cfg Config) (*Report, error) {
 	if !validateSequence(task, seq, &cfg, rep) {
 		return rep, nil
 	}
-	replay(task, seq, &cfg, rep)
+	if cfg.Mode == ModeIncremental {
+		replayIncremental(task, seq, &cfg, rep)
+	} else {
+		replay(task, seq, &cfg, rep)
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,308 @@
+package audit_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"klotski/internal/audit"
+	"klotski/internal/core"
+	"klotski/internal/gen"
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+)
+
+// Differential harness for the incremental + parallel audit engine: every
+// Report it produces — passing, replay-failing, tampered, partial, resumed,
+// free-order — must be byte-identical (reflect.DeepEqual, floats included)
+// to the serial reference engine's, at every worker count. The serial
+// engine stays the pristine trust anchor; this suite is what licenses the
+// planners to use the cheap engine for the mandatory post-planning audit.
+
+// auditWorkerCounts is the worker matrix the differential runs over.
+func auditWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// diffAudit verifies seq under cfg with the serial engine and with the
+// incremental engine at every worker count, requires all Reports
+// byte-identical, and returns the serial reference.
+func diffAudit(t *testing.T, label string, task *migration.Task, seq []int, cfg audit.Config) *audit.Report {
+	t.Helper()
+	sCfg := cfg
+	sCfg.Mode = audit.ModeSerial
+	ref, err := audit.Verify(task, seq, sCfg)
+	if err != nil {
+		t.Fatalf("%s: serial audit: %v", label, err)
+	}
+	for _, w := range auditWorkerCounts() {
+		iCfg := cfg
+		iCfg.Mode = audit.ModeIncremental
+		iCfg.Workers = w
+		got, err := audit.Verify(task, seq, iCfg)
+		if err != nil {
+			t.Fatalf("%s: incremental audit (workers=%d): %v", label, w, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%s: incremental audit (workers=%d) diverged from serial\nserial:      %+v\nincremental: %+v",
+				label, w, ref, got)
+		}
+	}
+	return ref
+}
+
+// baseConfig mirrors core's auditConfig mapping for a planning option set.
+func baseConfig(opts core.Options) audit.Config {
+	return audit.Config{
+		Theta:        opts.Theta,
+		Split:        opts.Split,
+		FunnelFactor: opts.FunnelFactor,
+		MaxRunLength: opts.MaxRunLength,
+		SpaceBudget:  opts.SpaceBudget,
+		InitialLast:  audit.NoLast,
+	}
+}
+
+// exerciseFabric runs the full differential battery on one fabric: plan it,
+// then audit the plan and adversarial variants of it under both engines.
+// Reports false if the fabric is infeasible under opts.
+func exerciseFabric(t *testing.T, task *migration.Task, opts core.Options) bool {
+	t.Helper()
+	opts.SkipAudit = true // this suite audits explicitly, under both engines
+	plan, err := core.PlanAStar(task, opts)
+	if errors.Is(err, core.ErrInfeasible) {
+		return false
+	}
+	if err != nil {
+		t.Fatalf("planning: %v", err)
+	}
+	seq := plan.Sequence
+	cfg := baseConfig(opts)
+
+	// Passing plan: many OK boundaries, so WorstUtil/MaxUtil accumulate
+	// across the whole replay — the strongest float-identity probe.
+	ref := diffAudit(t, "passing", task, seq, cfg)
+	if !ref.Passed {
+		t.Fatalf("planner-emitted plan failed audit: %s", ref)
+	}
+
+	// Tightened bound: the replay must fail mid-sequence at the same
+	// boundary with the same synthesized Violation in both engines.
+	if ref.WorstUtil > 0 {
+		tight := cfg
+		tight.Theta = ref.WorstUtil * 0.95
+		r := diffAudit(t, "tight-theta", task, seq, tight)
+		if r.Passed {
+			t.Fatalf("audit passed with Theta %.4f below WorstUtil %.4f", tight.Theta, ref.WorstUtil)
+		}
+	}
+
+	// Over-tight space budget: the occupancy failure path, including the
+	// first-offending-DC scan and the Detail string.
+	if task.Topo.NumSwitches() > 1 {
+		occ := cfg
+		occ.SpaceBudget = map[int]int{task.Topo.Switch(0).DC: 1}
+		diffAudit(t, "tight-occupancy", task, seq, occ)
+	}
+
+	// The four tamper kinds: each must fail at the exact offending step,
+	// identically under both engines.
+	exerciseTampers(t, task, seq, cfg)
+
+	// Partial prefix (checkpoint audit).
+	if len(seq) > 2 {
+		part := cfg
+		part.AllowPartial = true
+		diffAudit(t, "partial", task, seq[:len(seq)/2], part)
+	}
+
+	// Resumed canonical plan: replay the tail from per-type initial counts.
+	if opts.MaxRunLength == 0 && len(seq) > 2 {
+		h := len(seq) / 2
+		counts := make([]int, task.NumTypes())
+		for _, id := range seq[:h] {
+			counts[task.Blocks[id].Type]++
+		}
+		res := cfg
+		res.InitialCounts = counts
+		res.InitialLast = task.Blocks[seq[h-1]].Type
+		diffAudit(t, "resumed", task, seq[h:], res)
+	}
+
+	// Free-order replay of the tail after an executed prefix.
+	if len(seq) > 2 {
+		fo := cfg
+		fo.FreeOrder = true
+		fo.Executed = seq[:len(seq)/2]
+		diffAudit(t, "free-order", task, seq[len(seq)/2:], fo)
+	}
+	return true
+}
+
+// exerciseTampers mutates a known-good sequence four ways — reordered,
+// injected, dropped, duplicated — and requires both engines to reject each
+// at the exact tamper step with the same Report.
+func exerciseTampers(t *testing.T, task *migration.Task, seq []int, cfg audit.Config) {
+	t.Helper()
+	if len(seq) < 2 {
+		return
+	}
+
+	// Reorder: swap an adjacent same-type pair (cross-type order is
+	// legitimately free, so only a within-type swap is a real tamper).
+	for i := 0; i+1 < len(seq); i++ {
+		if task.Blocks[seq[i]].Type != task.Blocks[seq[i+1]].Type {
+			continue
+		}
+		tampered := append([]int(nil), seq...)
+		tampered[i], tampered[i+1] = tampered[i+1], tampered[i]
+		r := diffAudit(t, "tamper-reorder", task, tampered, cfg)
+		if r.Passed || r.FailStep != i || !strings.Contains(r.Reason, "reordered") {
+			t.Fatalf("reorder at %d: passed=%v FailStep=%d reason=%q", i, r.Passed, r.FailStep, r.Reason)
+		}
+		break
+	}
+
+	// Inject: append a block that already executed.
+	injected := append(append([]int(nil), seq...), seq[0])
+	r := diffAudit(t, "tamper-inject", task, injected, cfg)
+	if r.Passed || r.FailStep != len(seq) || !strings.Contains(r.Reason, "injected") {
+		t.Fatalf("inject: passed=%v FailStep=%d reason=%q; want step %d", r.Passed, r.FailStep, r.Reason, len(seq))
+	}
+
+	// Drop: cut the final action (incomplete migration).
+	r = diffAudit(t, "tamper-drop", task, seq[:len(seq)-1], cfg)
+	if r.Passed || r.FailStep != len(seq)-1 || !strings.Contains(r.Reason, "dropped") {
+		t.Fatalf("drop: passed=%v FailStep=%d reason=%q; want step %d", r.Passed, r.FailStep, r.Reason, len(seq)-1)
+	}
+
+	// Duplicate: repeat a mid-sequence action in place.
+	k := len(seq) / 2
+	dup := append([]int(nil), seq[:k+1]...)
+	dup = append(dup, seq[k])
+	dup = append(dup, seq[k+1:]...)
+	r = diffAudit(t, "tamper-duplicate", task, dup, cfg)
+	if r.Passed || r.FailStep != k+1 || !strings.Contains(r.Reason, "duplicate") {
+		t.Fatalf("duplicate: passed=%v FailStep=%d reason=%q; want step %d", r.Passed, r.FailStep, r.Reason, k+1)
+	}
+}
+
+// TestAuditEngineDifferentialSuites runs the engine differential over every
+// fabric of the evaluation suite.
+func TestAuditEngineDifferentialSuites(t *testing.T) {
+	scales := map[string]float64{"A": 0.1, "B": 0.1, "C": 0.1, "D": 0.05, "E": 0.1, "E-DMAG": 0.05, "E-SSW": 0.05}
+	for _, name := range gen.SuiteNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := gen.Suite(name, scales[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exerciseFabric(t, s.Task, core.Options{MaxStates: 2_000_000}) {
+				t.Skipf("suite %s infeasible at scale %v", name, scales[name])
+			}
+		})
+	}
+}
+
+// TestAuditEngineDifferentialConstraintKnobs re-runs the differential on a
+// small fabric with the constraint knobs that change boundary structure:
+// funneling headroom (classic fallback path per boundary), forced run
+// splits, and capacity-weighted splitting.
+func TestAuditEngineDifferentialConstraintKnobs(t *testing.T) {
+	s, err := gen.Suite("A", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"funnel", core.Options{FunnelFactor: 1.3, MaxStates: 2_000_000}},
+		{"runlength", core.Options{MaxRunLength: 2, MaxStates: 2_000_000}},
+		{"wcmp", core.Options{Split: routing.SplitCapacityWeighted, MaxStates: 2_000_000}},
+		{"theta-tight", core.Options{Theta: 0.7, MaxStates: 2_000_000}},
+	}
+	feasible := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if exerciseFabric(t, s.Task, c.opts) {
+				feasible++
+			} else {
+				t.Skip("infeasible under this constraint set")
+			}
+		})
+	}
+	if feasible == 0 {
+		t.Error("every constraint variant infeasible; the differential exercised nothing")
+	}
+}
+
+// TestAuditEngineDifferentialRandomFabrics draws seeded random HGRID
+// fabrics (≥10) and runs the engine differential on each. The seed is
+// fixed, so a failure reproduces.
+func TestAuditEngineDifferentialRandomFabrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test over generated fabrics")
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	const cases = 10
+	feasible := 0
+	for i := 0; i < cases; i++ {
+		p := gen.HGRIDScenarioParams{
+			Region: gen.RegionParams{
+				Name: fmt.Sprintf("auditdiff-%d", i),
+				DCs: []gen.FabricParams{{
+					Pods:        1 + rng.Intn(2),
+					RSWPerPod:   2,
+					Planes:      4,
+					SSWPerPlane: 1 + rng.Intn(2),
+					FSWUplinks:  1,
+				}},
+				HGRID: gen.HGRIDParams{
+					Grids:        2 + rng.Intn(3),
+					FADUPerGrid:  1 + rng.Intn(2),
+					FAUUPerGrid:  1,
+					SSWDownlinks: 1,
+				},
+				EBs: 2, DRs: 1, EBBs: 1,
+			},
+			Demand:            gen.DemandSpec{BaseUtil: 0.30 + 0.15*rng.Float64()},
+			V2GridFactor:      1 + rng.Intn(2),
+			V2CapFactor:       0.5 + 0.5*rng.Float64(),
+			PortHeadroomGrids: 1,
+		}
+		opts := core.Options{
+			Theta:     0.65 + 0.2*rng.Float64(),
+			MaxStates: 500_000,
+		}
+		switch i % 3 {
+		case 1:
+			opts.MaxRunLength = 1 + rng.Intn(3)
+		case 2:
+			opts.FunnelFactor = 1.1 + 0.4*rng.Float64()
+		}
+		i := i
+		t.Run(fmt.Sprintf("case=%d", i), func(t *testing.T) {
+			s, err := gen.HGRIDScenario(p.Region.Name, p)
+			if err != nil {
+				t.Fatalf("generating fabric: %v", err)
+			}
+			if exerciseFabric(t, s.Task, opts) {
+				feasible++
+			}
+		})
+	}
+	if feasible == 0 {
+		t.Error("every random fabric infeasible; the differential exercised nothing")
+	}
+}

@@ -1,0 +1,291 @@
+package audit
+
+import (
+	"fmt"
+	"sync"
+
+	"klotski/internal/migration"
+	"klotski/internal/routing"
+	"klotski/internal/topo"
+)
+
+// This file implements the incremental + parallel replay engine — the cheap
+// audit of ROADMAP item 3. The serial engine in audit.go re-evaluates every
+// boundary state from scratch: one full placement per boundary, which costs
+// 40-50% of the whole planning run on top of every plan. The incremental
+// engine replays the same boundary states but:
+//
+//   - evaluates consecutive boundaries with routing.EvaluateDelta, reusing
+//     the evaluator's per-destination-group memo across boundaries instead
+//     of recomputing every group's placement each time;
+//   - optionally splits the boundary list across worker lanes, each lane
+//     replaying its contiguous segment on its own fresh view and evaluator;
+//   - counts datacenter occupancy with a reused dense scratch instead of a
+//     fresh map per boundary.
+//
+// Independence is preserved. The auditor still builds its own topo.View and
+// its own routing evaluator, still re-derives boundary positions, funneling
+// circuits, and occupancy directly from the task definition, and still
+// shares no code or state with internal/core (which this package does not
+// import). What it reuses is routing's incremental engine — the same
+// evaluation library the serial auditor already trusts for classic checks —
+// and EvaluateDelta promises (and the routing differential tests verify)
+// results byte-identical to a classic full evaluation. On top of that, this
+// engine as a whole is differential-tested byte-identical, Report for
+// Report, against the serial auditor across fabrics, tamperings, and worker
+// counts; ModeSerial remains the pristine reference path.
+//
+// Verdict assembly is strictly sequential regardless of worker count: lane
+// results are merged in ascending boundary order and the report is
+// truncated at the first failing boundary, so StatesChecked, WorstUtil,
+// Steps, FailStep, and Reason are exactly what the serial replay produces.
+
+// Mode selects the audit replay engine.
+type Mode uint8
+
+const (
+	// ModeSerial replays every boundary with a full, from-scratch
+	// evaluation — the pristine reference engine.
+	ModeSerial Mode = iota
+
+	// ModeIncremental replays boundaries with memo-reusing delta
+	// evaluations, optionally across parallel lanes (Config.Workers).
+	// Differential-tested byte-identical to ModeSerial.
+	ModeIncremental
+)
+
+// boundary is one state the replay must audit: the state reached after
+// applying seq[:idx], checked before executing block (or -1 at the end).
+type boundary struct {
+	idx        int
+	block      int
+	withFunnel bool
+	applied    int // absolute executed-action count (demand horizon)
+	lastBlock  int // block whose funneling headroom applies; -1 none
+}
+
+// boundaryResult is one boundary's evaluation, produced by a lane and
+// consumed by the sequential assembly.
+type boundaryResult struct {
+	res       routing.Result
+	viol      routing.Violation
+	occOK     bool
+	occDC     int
+	occN      int
+	occBudget int
+}
+
+// boundaries enumerates the audited states of seq with exactly the loop
+// structure of the serial replay: the initial state, every run boundary
+// (type change, or forced MaxRunLength split), and the final state.
+func boundaries(task *migration.Task, seq []int, cfg *Config, last migration.ActionType, tail, applied, lastBlock int) []boundary {
+	bs := make([]boundary, 0, len(seq)+2)
+	next := -1
+	if len(seq) > 0 {
+		next = seq[0]
+	}
+	bs = append(bs, boundary{idx: 0, block: next, withFunnel: false, applied: applied, lastBlock: lastBlock})
+	for i, id := range seq {
+		ty := task.Blocks[id].Type
+		b := ty != last ||
+			(!cfg.FreeOrder && cfg.MaxRunLength > 0 && tail >= cfg.MaxRunLength)
+		if b && last != NoLast {
+			bs = append(bs, boundary{idx: i, block: id, withFunnel: true, applied: applied + i, lastBlock: lastBlock})
+		}
+		if ty != last || b {
+			tail = 1
+		} else {
+			tail++
+		}
+		last = ty
+		lastBlock = id
+	}
+	bs = append(bs, boundary{idx: len(seq), block: -1, withFunnel: true, applied: applied + len(seq), lastBlock: lastBlock})
+	return bs
+}
+
+// replayIncremental is the ModeIncremental counterpart of replay. It
+// produces a Report byte-identical to the serial engine's.
+func replayIncremental(task *migration.Task, seq []int, cfg *Config, rep *Report) {
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+
+	// Establish the already-executed starting context, mirroring replay.
+	last := NoLast
+	tail := 0
+	applied := 0
+	lastBlock := -1
+	if cfg.FreeOrder {
+		applied = len(cfg.Executed)
+		if n := len(cfg.Executed); n > 0 {
+			lastBlock = cfg.Executed[n-1]
+			last = task.Blocks[lastBlock].Type
+		}
+	} else if cfg.InitialCounts != nil {
+		for _, c := range cfg.InitialCounts {
+			applied += c
+		}
+		last = cfg.InitialLast
+		tail = cfg.InitialRunLength
+		if last != NoLast && cfg.InitialCounts[last] > 0 {
+			lastBlock = task.BlocksOfType(last)[cfg.InitialCounts[last]-1]
+		}
+	}
+
+	bs := boundaries(task, seq, cfg, last, tail, applied, lastBlock)
+	results := make([]boundaryResult, len(bs))
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	if workers == 1 {
+		replayLane(task, seq, cfg, theta, bs, results)
+	} else {
+		// Contiguous segments, balanced to within one boundary. Each lane
+		// re-applies its prefix once and then replays deltas; results land
+		// in disjoint slices of the shared results array.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(bs) / workers
+			hi := (w + 1) * len(bs) / workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				replayLane(task, seq, cfg, theta, bs[lo:hi], results[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Sequential assembly in ascending boundary order: exactly the serial
+	// replay's accounting, truncated at the first failing boundary.
+	for k := range bs {
+		b := &bs[k]
+		r := &results[k]
+		rep.StatesChecked++
+		if r.res.MaxUtil > rep.WorstUtil {
+			rep.WorstUtil = r.res.MaxUtil
+		}
+		step := Step{Index: b.idx, Block: b.block, OK: true, MaxUtil: r.res.MaxUtil}
+		if !r.viol.OK() {
+			step.OK = false
+			step.Violation = r.viol
+			rep.Steps = append(rep.Steps, step)
+			rep.fail(b.idx, "unsafe state before step %d: %s", b.idx, r.viol)
+			return
+		}
+		if !r.occOK {
+			step.OK = false
+			step.Detail = fmt.Sprintf("space budget exceeded in DC %d: %d switches present, budget %d", r.occDC, r.occN, r.occBudget)
+			rep.Steps = append(rep.Steps, step)
+			rep.fail(b.idx, "unsafe state before step %d: %s", b.idx, step.Detail)
+			return
+		}
+		rep.Steps = append(rep.Steps, step)
+	}
+	rep.Passed = true
+}
+
+// replayLane evaluates one contiguous run of boundaries on a fresh view and
+// a fresh evaluator: it applies the executed prefix plus every sequence step
+// preceding its first boundary, then walks its boundaries in order, feeding
+// each inter-boundary block delta to the memo-reusing evaluator.
+func replayLane(task *migration.Task, seq []int, cfg *Config, theta float64, bs []boundary, results []boundaryResult) {
+	view := task.Topo.NewView()
+	eval := routing.NewEvaluator(task.Topo)
+
+	if cfg.FreeOrder {
+		for _, id := range cfg.Executed {
+			task.Apply(view, id)
+		}
+	} else if cfg.InitialCounts != nil {
+		for ty, c := range cfg.InitialCounts {
+			for _, id := range task.BlocksOfType(migration.ActionType(ty))[:c] {
+				task.Apply(view, id)
+			}
+		}
+	}
+	view.Track()
+
+	occ := newOccScratch(task, cfg.SpaceBudget)
+	var xsw []topo.SwitchID
+	var xck []topo.CircuitID
+	pos := 0
+	for k := range bs {
+		b := &bs[k]
+		for ; pos < b.idx; pos++ {
+			task.Apply(view, seq[pos])
+		}
+		// Close the raw touched set over circuit/switch incidence, as
+		// CheckDelta's invalidation rule requires (see ExpandTouched); the
+		// buffers are lane-local and reused across boundaries.
+		tsw, tck := view.TakeTouched()
+		xsw, xck = xsw[:0], xck[:0]
+		xsw = append(xsw, tsw...)
+		xck = append(xck, tck...)
+		for _, s := range tsw {
+			xck = append(xck, task.Topo.Switch(s).Circuits()...)
+		}
+		for _, c := range xck {
+			cc := task.Topo.Circuit(c)
+			xsw = append(xsw, cc.A, cc.B)
+		}
+
+		copts := routing.CheckOpts{Theta: theta, Split: cfg.Split,
+			DemandScale: task.Forecast.ScaleAt(b.applied)}
+		if b.withFunnel && !cfg.FreeOrder && cfg.FunnelFactor > 1 && b.lastBlock >= 0 {
+			copts.FunnelFactor = cfg.FunnelFactor
+			copts.FunnelCircuits = funnelCircuits(task, b.lastBlock)
+		}
+		r := &results[k]
+		r.res, r.viol = eval.EvaluateDelta(view, xsw, xck, &task.Demands, copts)
+		r.occDC, r.occN, r.occBudget, r.occOK = occ.check(task, view)
+	}
+}
+
+// occScratch counts per-DC switch presence with a reused map, replicating
+// occupancyOK's first-offender semantics without a fresh allocation per
+// boundary.
+type occScratch struct {
+	budget  map[int]int
+	present map[int]int
+}
+
+func newOccScratch(task *migration.Task, budget map[int]int) *occScratch {
+	if len(budget) == 0 {
+		return &occScratch{}
+	}
+	return &occScratch{budget: budget, present: make(map[int]int, len(budget)+1)}
+}
+
+// check mirrors occupancyOK: count active switches per DC from the view,
+// then report the first over-budget DC in ascending switch order.
+func (o *occScratch) check(task *migration.Task, view *topo.View) (dc, n, limit int, ok bool) {
+	if len(o.budget) == 0 {
+		return 0, 0, 0, true
+	}
+	for k := range o.present {
+		delete(o.present, k)
+	}
+	for i := 0; i < task.Topo.NumSwitches(); i++ {
+		if view.SwitchActive(topo.SwitchID(i)) {
+			o.present[task.Topo.Switch(topo.SwitchID(i)).DC]++
+		}
+	}
+	for i := 0; i < task.Topo.NumSwitches(); i++ {
+		d := task.Topo.Switch(topo.SwitchID(i)).DC
+		if b, capped := o.budget[d]; capped && b > 0 && o.present[d] > b {
+			return d, o.present[d], b, false
+		}
+	}
+	return 0, 0, 0, true
+}

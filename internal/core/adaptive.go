@@ -1,0 +1,167 @@
+package core
+
+import "runtime"
+
+// Adaptive worker policy.
+//
+// The static -workers knob makes the operator guess how much parallelism a
+// fabric can absorb, and guessing wrong makes parallel *lose* to serial:
+// on a small fixture or a saturated machine, worker spawns, shard
+// contention, and speculative warming cost more than they save. The
+// adaptive policy removes the guess. It starts from the runtime's
+// parallelism (GOMAXPROCS) and then resizes at run time from the same
+// counters the observability layer already exports:
+//
+//   - shard_contention: cross-worker collisions on the intern table and
+//     the verdict-claim CAS. A high collision rate per worker check means
+//     the lanes are fighting over the shared tables — halve them.
+//   - speculative_waste: frontier-warmed verdicts the serial search never
+//     consumed. When most of a warming batch is wasted, speculation is
+//     mispredicting this fabric — switch the A* warmer off.
+//   - cache hit-rate: when nearly every consultation hits the
+//     satisfiability cache, parallel check capacity is idle — shed a lane.
+//
+// Decisions are taken between parallel phases (after a warming batch or a
+// wavefront layer, when worker lanes are joined), never concurrently with
+// them. The policy only ever resizes lane counts or disables warming —
+// both proven verdict-neutral (plans are byte-identical at every worker
+// count, warming only precomputes verdicts the lazy path would compute
+// identically) — so for ANY counter history the emitted plan is
+// byte-identical to the serial planner's; the adaptive property test
+// drives randomized histories through adaptiveTestHook to pin exactly
+// that. Every decision is traced through internal/obs
+// (planner.adaptive_decisions, planner.adaptive_lanes,
+// planner.adaptive_warm_offs) and mirrored in Metrics.
+//
+// Select the policy with Options.Workers = WorkersAdaptive; an explicit
+// worker count keeps the old static behavior as an override.
+
+// WorkersAdaptive, assigned to Options.Workers, selects the runtime
+// adaptive worker policy instead of a static worker count.
+const WorkersAdaptive = -1
+
+const (
+	// adaptiveMinEvidence is the minimum number of worker-lane checks a
+	// decision window must contain; smaller windows keep accumulating.
+	adaptiveMinEvidence = 32
+
+	// adaptiveContentionShrink halves the lane count when the window's
+	// shard-contention events exceed this fraction of its worker checks.
+	adaptiveContentionShrink = 0.25
+
+	// adaptiveWasteOff disables A* speculative warming when more than this
+	// fraction of the window's batched verdicts sit unconsumed.
+	adaptiveWasteOff = 0.5
+
+	// adaptiveMissFloor sheds one lane when fewer than 1 in
+	// adaptiveMissFloor cache consultations miss — check capacity is idle.
+	adaptiveMissFloor = 20
+)
+
+// adaptiveWindow is the counter evidence one decision acts on: deltas
+// since the previous decision, except Waste, which is the current
+// unconsumed-speculation gauge.
+type adaptiveWindow struct {
+	Contention   int // new intern-shard / verdict-claim collisions
+	WorkerChecks int // checks executed on worker lanes
+	Batched      int // verdicts resolved by warming batches
+	Waste        int // speculative verdicts currently unconsumed
+	Hits         int // satisfiability-cache hits (all lanes)
+	Misses       int // satisfiability-cache misses (all lanes)
+}
+
+// adaptiveTestHook, when non-nil, observes (and may rewrite) every decision
+// window before the policy acts on it. The adaptive property test drives
+// randomized counter histories through it and asserts the emitted plan
+// stays byte-identical to the serial planner's regardless.
+var adaptiveTestHook func(*adaptiveWindow)
+
+// adaptivePolicy owns the effective lane count and the warming switch for
+// one space. Only the planner goroutine touches it, between parallel
+// phases.
+type adaptivePolicy struct {
+	sp      *space
+	lanes   int  // current effective worker-lane count (1 = serial)
+	warming bool // A* speculative frontier warming enabled
+
+	// Window baselines: counter values at the last acted-on decision.
+	lastContention   int
+	lastWorkerChecks int
+	lastBatched      int
+	lastHits         int
+	lastMisses       int
+}
+
+// newAdaptivePolicy resolves the initial lane count from the runtime's
+// parallelism and traces the resolve as the first decision.
+func newAdaptivePolicy(sp *space) *adaptivePolicy {
+	ap := &adaptivePolicy{sp: sp, lanes: runtime.GOMAXPROCS(0)}
+	ap.warming = ap.lanes >= 2
+	sp.metrics.AdaptiveDecisions++
+	sp.metrics.AdaptiveLanes = ap.lanes
+	sp.rec.AdaptiveDecision(ap.lanes)
+	return ap
+}
+
+// observe gathers the counter window since the last acted-on decision and,
+// given enough evidence, decides. Called by the coordinator right after
+// worker lanes fold — never concurrently with them.
+func (ap *adaptivePolicy) observe() {
+	sp := ap.sp
+	cont := int(sp.contention.Load() + sp.vt.contention.Load())
+	w := adaptiveWindow{
+		Contention:   cont - ap.lastContention,
+		WorkerChecks: sp.metrics.WorkerChecks - ap.lastWorkerChecks,
+		Batched:      sp.metrics.BatchedChecks - ap.lastBatched,
+		Waste:        len(sp.specPending),
+		Hits:         sp.metrics.CacheHits - ap.lastHits,
+		Misses:       sp.metrics.CacheMisses - ap.lastMisses,
+	}
+	if hook := adaptiveTestHook; hook != nil {
+		hook(&w)
+	}
+	if w.WorkerChecks < adaptiveMinEvidence {
+		return // keep accumulating; thin windows make noisy decisions
+	}
+	ap.lastContention = cont
+	ap.lastWorkerChecks = sp.metrics.WorkerChecks
+	ap.lastBatched = sp.metrics.BatchedChecks
+	ap.lastHits = sp.metrics.CacheHits
+	ap.lastMisses = sp.metrics.CacheMisses
+	ap.decide(w)
+}
+
+// decide applies the policy rules to one evidence window. Lane counts only
+// shrink: growth would re-probe a configuration the counters already
+// rejected, and a resumed leg re-resolves from scratch anyway.
+func (ap *adaptivePolicy) decide(w adaptiveWindow) {
+	sp := ap.sp
+	changed := false
+	if ap.warming && w.Batched > 0 &&
+		float64(w.Waste) > adaptiveWasteOff*float64(w.Batched) {
+		ap.warming = false
+		changed = true
+		sp.metrics.AdaptiveWarmOffs++
+		sp.rec.AdaptiveWarmOff()
+	}
+	switch {
+	case w.Contention > 0 &&
+		float64(w.Contention) > adaptiveContentionShrink*float64(w.WorkerChecks):
+		ap.lanes /= 2
+		changed = true
+	case ap.lanes > 2 && w.Hits+w.Misses > 0 &&
+		w.Misses*adaptiveMissFloor < w.Hits+w.Misses:
+		ap.lanes--
+		changed = true
+	}
+	if ap.lanes < 2 {
+		// Below two lanes parallelism cannot pay; run the rest serially.
+		ap.lanes = 1
+		ap.warming = false
+	}
+	if changed {
+		sp.metrics.AdaptiveDecisions++
+		sp.metrics.AdaptiveLanes = ap.lanes
+		sp.rec.AdaptiveDecision(ap.lanes)
+	}
+}

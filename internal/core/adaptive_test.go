@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"klotski/internal/migration"
+)
+
+// plansMatch fails the test unless the two plans are byte-identical:
+// same cost and same block sequence.
+func plansMatch(t *testing.T, label string, want, got *Plan) {
+	t.Helper()
+	if math.Abs(want.Cost-got.Cost) > 1e-9 {
+		t.Fatalf("%s: cost %v != serial cost %v", label, got.Cost, want.Cost)
+	}
+	if len(want.Sequence) != len(got.Sequence) {
+		t.Fatalf("%s: sequence length %d != serial %d", label, len(got.Sequence), len(want.Sequence))
+	}
+	for i := range want.Sequence {
+		if want.Sequence[i] != got.Sequence[i] {
+			t.Fatalf("%s: sequences diverge at step %d: %d != %d",
+				label, i, got.Sequence[i], want.Sequence[i])
+		}
+	}
+}
+
+// TestAdaptivePlanIdenticalAnyCounterHistory is the adaptive-policy
+// property test: for any seeded fabric and ANY counter history — windows
+// are rewritten with random values through adaptiveTestHook, so decisions
+// fire in arbitrary orders, including degenerate ones (immediate shed to
+// serial, warming flapping off mid-search, never enough evidence) — the
+// plan under Workers=WorkersAdaptive is byte-identical to the serial
+// planner's. GOMAXPROCS is pinned to 4 so the policy resolves real
+// parallelism even on single-CPU CI hosts.
+func TestAdaptivePlanIdenticalAnyCounterHistory(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	defer func() { adaptiveTestHook = nil }()
+
+	planners := []struct {
+		name string
+		fn   func(*migration.Task, Options) (*Plan, error)
+	}{
+		{"astar", PlanAStar},
+		{"dp", PlanDP},
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	runs, decisions := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		task := bridgeTask(t, 2+rng.Intn(3), 2+rng.Intn(3), 1,
+			0.8+rng.Float64(), 0.5+rng.Float64(), 0)
+		opts := Options{}
+		switch trial % 3 {
+		case 1:
+			opts.Theta = 0.8
+		case 2:
+			opts.SpaceBudget = map[int]int{0: task.Topo.NumSwitches() - 1}
+		}
+		for _, p := range planners {
+			adaptiveTestHook = nil
+			serial, errS := p.fn(task, opts)
+
+			hrng := rand.New(rand.NewSource(rng.Int63()))
+			adaptiveTestHook = func(w *adaptiveWindow) {
+				w.WorkerChecks = hrng.Intn(96) // sometimes below the evidence gate
+				w.Contention = hrng.Intn(48)
+				w.Batched = hrng.Intn(48)
+				w.Waste = hrng.Intn(48)
+				w.Hits = hrng.Intn(300)
+				w.Misses = hrng.Intn(30)
+			}
+			aopts := opts
+			aopts.Workers = WorkersAdaptive
+			adaptive, errA := p.fn(task, aopts)
+			if (errS == nil) != (errA == nil) {
+				t.Fatalf("trial %d %s: feasibility disagreement: %v vs %v",
+					trial, p.name, errS, errA)
+			}
+			if errS != nil {
+				continue
+			}
+			plansMatch(t, p.name, serial, adaptive)
+			runs++
+			decisions += adaptive.Metrics.AdaptiveDecisions
+		}
+	}
+	// Every adaptive run traces at least the initial lane resolve; randomized
+	// windows must additionally have fired real policy decisions somewhere,
+	// or the property test exercised nothing.
+	if decisions <= runs {
+		t.Fatalf("adaptive policy never acted across %d randomized runs (%d decisions)",
+			runs, decisions)
+	}
+}
+
+// TestAdaptiveDecisionRules pins each policy rule on crafted evidence
+// windows: waste switches warming off, contention halves the lanes, an
+// idle cache sheds one lane, and dropping below two lanes clamps to
+// serial with warming off.
+func TestAdaptiveDecisionRules(t *testing.T) {
+	task := bridgeTask(t, 2, 2, 1, 1, 0.5, 0)
+	sp, err := newSpace(task, Options{Workers: WorkersAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := sp.adaptive
+	if ap == nil {
+		t.Fatal("Workers=WorkersAdaptive did not install the adaptive policy")
+	}
+	if sp.metrics.AdaptiveDecisions != 1 {
+		t.Fatalf("initial resolve should trace one decision, got %d", sp.metrics.AdaptiveDecisions)
+	}
+
+	ap.lanes, ap.warming = 4, true
+	ap.decide(adaptiveWindow{WorkerChecks: 40, Batched: 10, Waste: 6})
+	if ap.warming {
+		t.Fatal("waste 6/10 should switch warming off")
+	}
+	if ap.lanes != 4 {
+		t.Fatalf("waste rule must not touch lanes, got %d", ap.lanes)
+	}
+	if sp.metrics.AdaptiveWarmOffs != 1 {
+		t.Fatalf("AdaptiveWarmOffs = %d, want 1", sp.metrics.AdaptiveWarmOffs)
+	}
+
+	ap.decide(adaptiveWindow{WorkerChecks: 40, Contention: 20})
+	if ap.lanes != 2 {
+		t.Fatalf("contention 20/40 should halve lanes to 2, got %d", ap.lanes)
+	}
+
+	ap.lanes = 3
+	ap.decide(adaptiveWindow{WorkerChecks: 64, Hits: 99, Misses: 1})
+	if ap.lanes != 2 {
+		t.Fatalf("1%% miss rate should shed one lane from 3, got %d", ap.lanes)
+	}
+
+	// At two lanes the idle-cache rule no longer sheds (2 is the minimum
+	// useful parallel width); only contention can push below it.
+	ap.decide(adaptiveWindow{WorkerChecks: 64, Hits: 99, Misses: 1})
+	if ap.lanes != 2 {
+		t.Fatalf("idle-cache rule must not shed below 2 lanes, got %d", ap.lanes)
+	}
+	ap.decide(adaptiveWindow{WorkerChecks: 40, Contention: 20})
+	if ap.lanes != 1 {
+		t.Fatalf("halving 2 lanes should clamp to serial, got %d", ap.lanes)
+	}
+	if ap.warming {
+		t.Fatal("serial clamp must switch warming off")
+	}
+	if sp.metrics.AdaptiveLanes != 1 {
+		t.Fatalf("Metrics.AdaptiveLanes = %d, want 1", sp.metrics.AdaptiveLanes)
+	}
+
+	// The evidence gate: a thin window (few worker checks) must not act.
+	before := sp.metrics.AdaptiveDecisions
+	adaptiveTestHook = func(w *adaptiveWindow) { w.WorkerChecks = adaptiveMinEvidence - 1; w.Contention = 1000 }
+	defer func() { adaptiveTestHook = nil }()
+	ap.lanes = 4
+	ap.observe()
+	if sp.metrics.AdaptiveDecisions != before || ap.lanes != 4 {
+		t.Fatalf("thin window acted: decisions %d→%d, lanes %d",
+			before, sp.metrics.AdaptiveDecisions, ap.lanes)
+	}
+}
+
+// TestAdaptiveWorkersPublicEntryPoints drives WorkersAdaptive through the
+// public planner surfaces (natural counter history, no hook) and checks
+// the option validation rejects counts below the sentinel.
+func TestAdaptiveWorkersPublicEntryPoints(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	task := bridgeTask(t, 3, 3, 1, 1, 0.6, 0)
+	serialA, err := PlanAStar(task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptA, err := PlanAStarParallel(task, Options{}, WorkersAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansMatch(t, "astar-adaptive", serialA, adaptA)
+
+	serialD, err := PlanDP(task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptD, err := PlanDPParallel(task, Options{}, WorkersAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansMatch(t, "dp-adaptive", serialD, adaptD)
+
+	if _, err := PlanAStar(task, Options{Workers: -2}); err == nil {
+		t.Fatal("Workers below WorkersAdaptive must be rejected")
+	}
+}

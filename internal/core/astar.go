@@ -49,6 +49,10 @@ func PlanAStarParallel(task *migration.Task, opts Options, workers int) (*Plan, 
 // PlanAStarParallelContext is PlanAStarParallel with cooperative
 // cancellation, mirroring PlanAStarContext.
 func PlanAStarParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
+	if workers == WorkersAdaptive {
+		opts.Workers = WorkersAdaptive
+		return planAStar(ctx, task, opts)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -113,10 +117,12 @@ type astarSearch struct {
 }
 
 // configureWarmer (re)arms the parallel frontier warmer from the current
-// Options.Workers. Called at search start and after every rebudget, so a
-// serial checkpoint resumed with workers picks up warming (and vice versa).
+// effective worker count (the static Options.Workers knob, or the adaptive
+// policy's live lane count). Called at search start and after every
+// rebudget, so a serial checkpoint resumed with workers picks up warming
+// (and vice versa).
 func (s *astarSearch) configureWarmer() {
-	s.warm = s.sp.newFrontierWarmer(s.sp.opts.Workers)
+	s.warm = s.sp.newFrontierWarmer(s.sp.effectiveWorkers())
 }
 
 func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g float64) {
@@ -185,9 +191,10 @@ func (s *astarSearch) run() (*Plan, error) {
 		if s.warm != nil {
 			s.warm.run(cur, it.vecIdx, s.pq)
 			if s.warm.retired {
-				// A worker lane panicked inside the warmer: the warmer is
-				// permanently retired and the search continues on the
-				// serial lazy path, which produces the identical plan.
+				// The warmer is permanently done — a worker lane panicked
+				// inside it, or the adaptive policy judged speculation a
+				// net loss on this fabric — and the search continues on
+				// the serial lazy path, which produces the identical plan.
 				s.warm = nil
 			}
 		}

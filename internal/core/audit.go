@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"runtime"
 
 	"klotski/internal/audit"
 	"klotski/internal/migration"
@@ -14,9 +15,14 @@ import (
 var ErrAudit = errors.New("core: plan failed independent audit")
 
 // auditConfig maps planner options onto the independent auditor's
-// configuration. Fast-path knobs (caches, incremental evaluation, workers,
-// the shared Evaluator) deliberately do not cross this boundary: the audit
-// is always pristine and serial.
+// configuration. The planner's own fast-path knobs (its caches, its
+// incremental toggles, its shared Evaluator) deliberately do not cross
+// this boundary: the auditor builds all of its state from the task alone.
+// The audit does default to the auditor's OWN incremental + parallel
+// engine (audit.ModeIncremental), which is differential-tested
+// byte-identical to the serial reference — Options.AuditSerial forces the
+// reference engine; audit worker lanes follow the planner's worker
+// setting (adaptive resolves to the runtime's parallelism).
 func auditConfig(opts *Options) audit.Config {
 	cfg := audit.Config{
 		Theta:        opts.Theta,
@@ -27,6 +33,13 @@ func auditConfig(opts *Options) audit.Config {
 		Recorder:     opts.Recorder,
 		InitialLast:  audit.NoLast,
 	}
+	if !opts.AuditSerial {
+		cfg.Mode = audit.ModeIncremental
+		cfg.Workers = opts.Workers
+		if opts.Workers == WorkersAdaptive {
+			cfg.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	if opts.InitialCounts != nil {
 		cfg.InitialCounts = opts.InitialCounts
 		cfg.InitialLast = opts.InitialLast
@@ -35,7 +48,7 @@ func auditConfig(opts *Options) audit.Config {
 	return cfg
 }
 
-// AuditSequence replays seq against the pristine serial verifier of
+// AuditSequence replays seq against the independent verifier of
 // internal/audit, honoring the planning options' constraint set (θ, split
 // mode, funneling, run cap, space budget) and canonical resume state. It
 // returns the structured report; an error only signals malformed inputs,
@@ -87,9 +100,9 @@ func AuditResumed(task *migration.Task, seq, executed []int, opts Options, freeO
 // finishPlan runs the opt-out post-planning audit on a freshly
 // reconstructed plan. Every planner success path funnels through here, so
 // resumed runs (ResumePlan re-enters the same paths) are covered too. The
-// audit replays the sequence on a fresh view with a fresh serial
-// evaluator; a failure turns the "success" into ErrAudit — a wrong plan
-// must never look like a right one.
+// audit replays the sequence on fresh views with fresh evaluators, sharing
+// nothing with the search that produced it; a failure turns the "success"
+// into ErrAudit — a wrong plan must never look like a right one.
 func (sp *space) finishPlan(p *Plan) (*Plan, error) {
 	if sp.opts.SkipAudit {
 		return p, nil

@@ -47,10 +47,14 @@ type frontierWarmer struct {
 }
 
 // newFrontierWarmer returns a warmer for sp, or nil when warming cannot
-// help (fewer than two workers, cache disabled, funneling in effect, or a
-// prior worker panic degraded the run to serial).
+// help (fewer than two workers, cache disabled, funneling in effect, a
+// prior worker panic degraded the run to serial, or the adaptive policy
+// has switched warming off).
 func (sp *space) newFrontierWarmer(workers int) *frontierWarmer {
 	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 || sp.degraded {
+		return nil
+	}
+	if sp.adaptive != nil && !sp.adaptive.warming {
 		return nil
 	}
 	if sp.specPending == nil {
@@ -137,6 +141,19 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 		// the lanes are suspect. Retire the warmer and degrade the run.
 		fw.retired = true
 		sp.degradeToSerial()
+		return
+	}
+	if ap := sp.adaptive; ap != nil {
+		// Lanes are joined and folded: a safe decision point. The policy
+		// may shrink the batch width or switch warming off entirely; both
+		// are verdict-neutral, so the search is unaffected beyond timing.
+		ap.observe()
+		if ap.lanes < fw.workers {
+			fw.workers = ap.lanes
+		}
+		if !ap.warming || fw.workers < 2 {
+			fw.retired = true
+		}
 	}
 }
 

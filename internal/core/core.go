@@ -134,10 +134,15 @@ type Options struct {
 	// Workers sets the parallelism of the search: 0 or 1 runs fully serial;
 	// n > 1 lets the planners resolve satisfiability checks on n concurrent
 	// worker lanes (A* warms the frontier speculatively, DP sweeps the
-	// lattice in wavefront layers). The emitted plan is byte-identical at
-	// every worker count — parallelism only changes where verdicts are
-	// computed, never which states the search commits. Values above
-	// GOMAXPROCS are honored as given; negative values are rejected.
+	// lattice in wavefront layers); WorkersAdaptive (-1) hands the choice
+	// to the runtime adaptive policy, which starts from GOMAXPROCS and
+	// resizes lanes — and disables speculative warming — from the observed
+	// shard-contention, speculative-waste, and cache hit-rate counters (see
+	// adaptive.go). The emitted plan is byte-identical at every worker
+	// count and under the adaptive policy for any counter history —
+	// parallelism only changes where verdicts are computed, never which
+	// states the search commits. Values above GOMAXPROCS are honored as
+	// given; values below WorkersAdaptive are rejected.
 	Workers int
 
 	// MaxStates caps the number of states the planner may create. 0 means
@@ -158,12 +163,21 @@ type Options struct {
 	InitialRunLength int
 
 	// SkipAudit disables the independent post-planning audit: by default
-	// every emitted plan is replayed step-by-step against a pristine,
-	// serial, non-incremental evaluator (internal/audit) before it is
-	// returned, and planning fails with ErrAudit if any boundary state
-	// violates a constraint. Benchmarks isolating raw search time opt
-	// out; production callers should not.
+	// every emitted plan is replayed step-by-step against an independent
+	// verifier (internal/audit) before it is returned, and planning fails
+	// with ErrAudit if any boundary state violates a constraint.
+	// Benchmarks isolating raw search time opt out; production callers
+	// should not.
 	SkipAudit bool
+
+	// AuditSerial forces the post-planning audit onto the serial reference
+	// engine. The default replays the plan with the incremental + parallel
+	// audit engine (audit.ModeIncremental), which is differential-tested
+	// byte-identical to the serial reference but roughly removes the
+	// 40-50% audit overhead of re-evaluating every boundary from scratch.
+	// Set AuditSerial when certifying a release build against the pristine
+	// reference path.
+	AuditSerial bool
 
 	// Evaluator optionally supplies a routing evaluator to reuse across
 	// planning runs over the same topology. When nil a fresh one is built.
@@ -200,8 +214,8 @@ func (o *Options) validate() error {
 	if o.InitialRunLength < 0 {
 		return fmt.Errorf("core: negative InitialRunLength %d", o.InitialRunLength)
 	}
-	if o.Workers < 0 {
-		return fmt.Errorf("core: negative Workers %d (0 selects serial)", o.Workers)
+	if o.Workers < WorkersAdaptive {
+		return fmt.Errorf("core: Workers %d invalid (0 selects serial, %d the adaptive policy)", o.Workers, WorkersAdaptive)
 	}
 	return nil
 }
@@ -247,6 +261,11 @@ type Metrics struct {
 	ShardContention  int // intern-shard and verdict-claim collisions between workers
 	SpeculativeWaste int // speculatively batched verdicts the search never consumed
 	LanePanics       int // worker-lane panics contained by degrading to serial execution
+
+	// Adaptive worker-policy trace (zero unless Workers == WorkersAdaptive).
+	AdaptiveDecisions int // policy decisions taken (incl. the initial resolve)
+	AdaptiveLanes     int // effective lane count after the last decision
+	AdaptiveWarmOffs  int // speculative-warming disables by the policy
 }
 
 // Plan is an ordered, safe, minimum-cost migration plan.

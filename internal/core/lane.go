@@ -46,6 +46,13 @@ type lane struct {
 	// occ is the per-check occupancy scratch (dense, indexed by DC+1).
 	occ []int32
 
+	// act is the packed occupancy state: the active-switch bitset mirroring
+	// curVec, maintained incrementally by buildView so the occupancy check
+	// is one popcount per budget-constrained DC. nil when no space budget
+	// is set or when DisableIncrementalView forces the dense reference
+	// recount (there is no tracked current vector to maintain it against).
+	act routing.Bitset
+
 	// m receives the lane's check accounting: &space.metrics for lane 0,
 	// a lane-private struct for workers.
 	m *Metrics
@@ -67,6 +74,9 @@ func (sp *space) newLane(eval *routing.Evaluator, rec *obs.Recorder, useInc bool
 	}
 	if sp.occDelta != nil {
 		ln.occ = make([]int32, len(sp.occBase))
+		if !sp.opts.DisableIncrementalView {
+			ln.act = routing.NewBitset(sp.task.Topo.NumSwitches())
+		}
 	}
 	return ln
 }
@@ -85,11 +95,15 @@ func (ln *lane) fold() {
 	sp := ln.sp
 	sp.metrics.Checks += ln.m.Checks
 	sp.metrics.WorkerChecks += ln.m.Checks
+	sp.metrics.CacheHits += ln.m.CacheHits
+	sp.metrics.CacheMisses += ln.m.CacheMisses
 	sp.metrics.GroupInvalidations += ln.m.GroupInvalidations
 	sp.metrics.GroupsReused += ln.m.GroupsReused
 	sp.metrics.IncDisables += ln.m.IncDisables
 	sp.rec.ChecksAdded(ln.m.Checks)
 	sp.rec.WorkerChecks(ln.m.Checks)
+	sp.rec.CacheHitsAdded(ln.m.CacheHits)
+	sp.rec.CacheMissesAdded(ln.m.CacheMisses)
 	sp.rec.GroupInvalidations(ln.m.GroupInvalidations)
 	sp.rec.GroupsReused(ln.m.GroupsReused)
 	*ln.m = Metrics{}
@@ -204,10 +218,14 @@ func (ln *lane) buildView(v []uint16) {
 	sp := ln.sp
 	if sp.opts.DisableIncrementalView || ln.curVec == nil {
 		ln.view.Reset()
+		if ln.act != nil {
+			ln.act.CopyFrom(sp.actBase)
+		}
 		for ty := 0; ty < sp.nTypes; ty++ {
 			blocks := sp.task.BlocksOfType(migration.ActionType(ty))
 			for j := 0; j < int(v[ty]); j++ {
 				sp.task.Apply(ln.view, blocks[j])
+				ln.applyBlockBits(blocks[j], true)
 			}
 		}
 		if !sp.opts.DisableIncrementalView {
@@ -223,18 +241,71 @@ func (ln *lane) buildView(v []uint16) {
 		blocks := sp.task.BlocksOfType(migration.ActionType(ty))
 		for j := cur; j < want; j++ {
 			sp.task.Apply(ln.view, blocks[j])
+			ln.applyBlockBits(blocks[j], true)
 		}
 		for j := cur; j > want; j-- {
 			sp.task.Revert(ln.view, blocks[j-1])
+			ln.applyBlockBits(blocks[j-1], false)
 		}
 		ln.curVec[ty] = uint16(want)
 	}
 }
 
-// occupancyOK verifies the transient space/power budget for the state. The
-// dense scratch slice is reset by copy from the base occupancy, avoiding
-// a per-check map allocation.
+// applyBlockBits mirrors one block apply/revert into the lane's packed
+// active-switch set. Apply/Revert set activity absolutely (each switch is
+// operated by at most one block), so the mirror is exact: an applied
+// undrain activates the block's switches, an applied drain deactivates
+// them, and a revert does the opposite.
+func (ln *lane) applyBlockBits(blockID int, apply bool) {
+	if ln.act == nil {
+		return
+	}
+	t := ln.sp.task
+	b := &t.Blocks[blockID]
+	active := t.Types[b.Type].Op == migration.Undrain
+	if !apply {
+		active = !active
+	}
+	if active {
+		for _, s := range b.Switches {
+			ln.act.Set(int(s))
+		}
+	} else {
+		for _, s := range b.Switches {
+			ln.act.Clear(int(s))
+		}
+	}
+}
+
+// occupancyOK verifies the transient space/power budget for the state.
+// With the incremental view active the lane's packed active-switch set
+// already mirrors v (buildView runs first), so the check is one popcount
+// per constrained DC; otherwise the dense reference recount runs. The two
+// paths are cross-checked by FuzzOccupancyBitset.
 func (ln *lane) occupancyOK(v []uint16) bool {
+	if ln.act != nil {
+		return ln.occupancyPacked()
+	}
+	return ln.occupancyDense(v)
+}
+
+// occupancyPacked answers the budget check from the maintained bitset:
+// the occupancy of a DC is the number of active switches located in it,
+// which is popcount(activity ∧ DC membership mask).
+func (ln *lane) occupancyPacked() bool {
+	for i := range ln.sp.occCheck {
+		e := &ln.sp.occCheck[i]
+		if int32(ln.act.CountAnd(e.mask)) > e.budget {
+			return false
+		}
+	}
+	return true
+}
+
+// occupancyDense is the reference occupancy check: reset the dense scratch
+// from the base occupancy by copy (no per-check map allocation), replay
+// every applied block's per-DC deltas, and compare against the budgets.
+func (ln *lane) occupancyDense(v []uint16) bool {
 	sp := ln.sp
 	occ := ln.occ
 	copy(occ, sp.occBase)

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"klotski/internal/demand"
+	"klotski/internal/migration"
+	"klotski/internal/topo"
+)
+
+// multiDCBridgeTask is bridgeTask with every bridge switch scattered
+// across nDC datacenters (src/dst stay regional, DC -1), so the packed
+// occupancy masks span several budget slots including the regional one.
+func multiDCBridgeTask(t testing.TB, rng *rand.Rand, nOld, nNew, nDC int) *migration.Task {
+	t.Helper()
+	tp := topo.New("multidc")
+	src := tp.AddSwitch(topo.Switch{Name: "src", Role: topo.RoleRSW, DC: -1})
+	dst := tp.AddSwitch(topo.Switch{Name: "dst", Role: topo.RoleEBB, DC: -1})
+	task := &migration.Task{Name: "multidc", Topo: tp}
+	d := task.AddType(migration.ActionTypeInfo{Name: "drain-old", Op: migration.Drain, Role: topo.RoleFADU})
+	u := task.AddType(migration.ActionTypeInfo{Name: "undrain-new", Op: migration.Undrain, Role: topo.RoleFADU})
+	for i := 0; i < nOld; i++ {
+		s := tp.AddSwitch(topo.Switch{Name: "old" + string(rune('a'+i)), Role: topo.RoleFADU,
+			Generation: 1, DC: rng.Intn(nDC)})
+		tp.AddCircuit(src, s, 1)
+		tp.AddCircuit(s, dst, 1)
+		task.AddBlock(migration.Block{Type: d, Switches: []topo.SwitchID{s}})
+	}
+	for i := 0; i < nNew; i++ {
+		s := tp.AddSwitch(topo.Switch{Name: "new" + string(rune('a'+i)), Role: topo.RoleFADU,
+			Generation: 2, DC: rng.Intn(nDC)})
+		tp.SetSwitchActive(s, false)
+		tp.AddCircuit(src, s, 1)
+		tp.AddCircuit(s, dst, 1)
+		task.AddBlock(migration.Block{Type: u, Switches: []topo.SwitchID{s}})
+	}
+	task.Demands.Add(demand.Demand{Name: "d", Src: src, Dst: dst, Rate: 0.5})
+	return task
+}
+
+// FuzzOccupancyBitset cross-checks the two packed scratch structures
+// against their dense references on randomized fabrics:
+//
+//   - the packed active-switch occupancy (lane.occupancyPacked, one
+//     popcount per budgeted DC over the incrementally maintained bitset)
+//     against the dense per-DC recount (lane.occupancyDense), both as the
+//     final verdict and as exact per-DC counts, across a random walk of
+//     vectors through buildView;
+//   - the 2-bit packed feasTable (16 verdicts per word, CAS-maintained)
+//     against a dense map model across random get/set/claim sequences
+//     spanning multiple chunks.
+func FuzzOccupancyBitset(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(20260808), uint8(0))
+	f.Add(int64(-7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, budgetBits uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		nDC := 1 + rng.Intn(3)
+		task := multiDCBridgeTask(t, rng, 2+rng.Intn(4), 2+rng.Intn(4), nDC)
+
+		// Budget a random subset of DCs (bit i of budgetBits constrains DC
+		// i; bit 7 constrains the regional pseudo-DC) with random caps, so
+		// both tight and slack budgets appear.
+		nSw := task.Topo.NumSwitches()
+		bud := map[int]int{}
+		for dc := 0; dc < nDC; dc++ {
+			if budgetBits&(1<<uint(dc)) != 0 {
+				bud[dc] = 1 + rng.Intn(nSw)
+			}
+		}
+		if budgetBits&(1<<7) != 0 {
+			bud[-1] = 1 + rng.Intn(nSw)
+		}
+		if len(bud) == 0 {
+			bud[0] = 1 + rng.Intn(nSw)
+		}
+		sp, err := newSpace(task, Options{SpaceBudget: bud})
+		if err != nil {
+			t.Fatalf("newSpace: %v", err)
+		}
+		ln := sp.ln
+		if ln.act == nil {
+			t.Fatal("incremental lane should maintain the packed activity bitset")
+		}
+
+		occ := make([]int32, len(sp.occBase))
+		vec := make([]uint16, sp.nTypes)
+		for step := 0; step < 150; step++ {
+			ty := rng.Intn(sp.nTypes)
+			if rng.Intn(2) == 0 && vec[ty] < sp.totals[ty] {
+				vec[ty]++
+			} else if vec[ty] > 0 {
+				vec[ty]--
+			}
+			ln.buildView(vec)
+
+			if packed, dense := ln.occupancyPacked(), ln.occupancyDense(vec); packed != dense {
+				t.Fatalf("step %d vec %v: packed verdict %v != dense %v", step, vec, packed, dense)
+			}
+			// Exact per-DC counts: replay the dense deltas and compare the
+			// popcounts. occCheck entries are built in ascending DC-slot
+			// order over the budgeted slots.
+			copy(occ, sp.occBase)
+			for ty := 0; ty < sp.nTypes; ty++ {
+				blocks := task.BlocksOfType(migration.ActionType(ty))
+				for j := 0; j < int(vec[ty]); j++ {
+					for _, d := range sp.occDelta[blocks[j]] {
+						occ[d.dc] += d.delta
+					}
+				}
+			}
+			entry := 0
+			for slot, b := range sp.occBudget {
+				if b <= 0 {
+					continue
+				}
+				e := &sp.occCheck[entry]
+				entry++
+				if e.budget != b {
+					t.Fatalf("occCheck[%d] budget %d != occBudget[%d] %d", entry-1, e.budget, slot, b)
+				}
+				if got, want := int32(ln.act.CountAnd(e.mask)), occ[slot]; got != want {
+					t.Fatalf("step %d vec %v DC slot %d: packed count %d != dense %d",
+						step, vec, slot, got, want)
+				}
+			}
+			if entry != len(sp.occCheck) {
+				t.Fatalf("%d occCheck entries for %d budgeted slots", len(sp.occCheck), entry)
+			}
+		}
+
+		// Packed 2-bit feasibility table vs a dense model. Indices span
+		// several chunks so word packing, chunk selection, and the claim
+		// protocol's own-entry test are all exercised.
+		ft := &feasTable{}
+		model := map[int32]int8{}
+		maxIdx := int32(3 * chunkSize)
+		for op := 0; op < 400; op++ {
+			idx := rng.Int31n(maxIdx)
+			switch rng.Intn(4) {
+			case 0: // read
+				if got, want := ft.get(idx), model[idx]; got != want {
+					t.Fatalf("op %d: get(%d) = %d, model %d", op, idx, got, want)
+				}
+			case 1: // commit a verdict (overwrites claims, like the real flow)
+				v := feasYes
+				if rng.Intn(2) == 0 {
+					v = feasNo
+				}
+				ft.set(idx, v)
+				model[idx] = v
+			case 2: // claim: must win exactly when the entry is unknown
+				if got, want := ft.claim(idx), model[idx] == 0; got != want {
+					t.Fatalf("op %d: claim(%d) = %v, model %v (state %d)", op, idx, got, want, model[idx])
+				}
+				if model[idx] == 0 {
+					model[idx] = feasClaimed
+				}
+			case 3: // abandon a claim (the checker's unwind guard does this)
+				if model[idx] == feasClaimed {
+					ft.set(idx, 0)
+					model[idx] = 0
+				}
+			}
+		}
+		for idx := int32(0); idx < maxIdx; idx += 13 {
+			if got, want := ft.get(idx), model[idx]; got != want {
+				t.Fatalf("final sweep: get(%d) = %d, model %d", idx, got, want)
+			}
+		}
+	})
+}

@@ -72,8 +72,8 @@ type wfResult struct {
 // is parallelized.
 func (d *dpRun) wavefront() error {
 	sp := d.sp
-	workers := sp.opts.Workers
-	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 {
+	workers := sp.effectiveWorkers()
+	if workers < 2 || sp.opts.DisableCache || sp.opts.FunnelFactor > 1 || sp.degraded {
 		return nil
 	}
 	size := 1
@@ -156,7 +156,7 @@ func (d *dpRun) wavefront() error {
 		for i := range res {
 			res[i] = wfResult{}
 		}
-		panicked := d.computeLayer(states, res, lanes)
+		panicked := d.computeLayer(states, res, lanes[:workers])
 		// Merge in ascending state order. Values are final regardless of
 		// merge order (states of one layer are independent); the order only
 		// keeps the accounting deterministic. Results of a poisoned layer
@@ -185,6 +185,19 @@ func (d *dpRun) wavefront() error {
 			// the run and let the serial sweep finish the plan.
 			sp.degradeToSerial()
 			return nil
+		}
+		if ap := sp.adaptive; ap != nil {
+			// Layer joined and folded: a safe decision point. Shrinking
+			// narrows the next layer's worker pool; dropping below two
+			// lanes abandons the wavefront — the serial sweep lazily
+			// values whatever remains, with byte-identical results.
+			ap.observe()
+			if ap.lanes < 2 {
+				return nil
+			}
+			if ap.lanes < workers {
+				workers = ap.lanes
+			}
 		}
 		sp.pollCountdown = 1 // force a real time/context poll per layer
 		if err := sp.interrupted(); err != nil {
@@ -274,6 +287,10 @@ func PlanDPParallel(task *migration.Task, opts Options, workers int) (*Plan, err
 // of the run and still emits the byte-identical plan
 // (Metrics.LanePanics counts the event).
 func PlanDPParallelContext(ctx context.Context, task *migration.Task, opts Options, workers int) (*Plan, error) {
+	if workers == WorkersAdaptive {
+		opts.Workers = WorkersAdaptive
+		return PlanDPContext(ctx, task, opts)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -16,10 +16,11 @@ import (
 //     concurrent interns of different vectors rarely serialize, and stores
 //     vector payloads in fixed-position chunks published with atomic
 //     pointers, so readers never observe a reallocation;
-//   - feasTable keeps one int32 verdict slot per interned vector in the
-//     same chunked layout, accessed purely with atomics — a cache probe is
-//     one load, and workers claim unknown entries with a CAS so each
-//     vector is checked exactly once no matter how many workers want it.
+//   - feasTable packs one 2-bit verdict per interned vector, 16 verdicts
+//     to a uint32 word, in the same chunked layout, accessed purely with
+//     atomics — a cache probe is one load plus a shift, and workers claim
+//     unknown entries with a word-CAS so each vector is checked exactly
+//     once no matter how many workers want it.
 //
 // Dense indices are allocated by a global atomic counter, which keeps the
 // two tables aligned: feasTable slot i is the verdict for vecTable vector
@@ -201,14 +202,24 @@ func (vt *vecTable) lookup(k *keyer, vec []uint16) (int32, bool) {
 
 // feasTable is the equivalent-state satisfiability cache (§4.2) for the
 // non-funneling regime, where a verdict depends on the vector alone: one
-// atomic int32 verdict slot per interned vector, in the same chunked
-// layout as vecTable. Verdicts are feasYes/feasNo; 0 is unknown and
-// feasClaimed marks a check in flight on some worker lane.
+// 2-bit verdict per interned vector, packed 16 to a uint32 word, in the
+// same chunked layout as vecTable. Verdicts are feasYes/feasNo; 0 is
+// unknown and feasClaimed marks a check in flight on some worker lane.
+// The packing shrinks the cache 16× versus a verdict slot per int32 (1KB
+// instead of 16KB per 4096-vector chunk); neighbor verdicts share a word,
+// so writes are CAS loops rather than plain stores — a verdict is written
+// once (plus the rare claim/unwind), so the loop is effectively one CAS.
 type feasTable struct {
 	spine [spineSize]atomic.Pointer[feasChunk]
 }
 
-type feasChunk [chunkSize]int32
+const (
+	feasBits    = 2
+	feasPerWord = 32 / feasBits // verdicts packed per uint32
+	feasVMask   = 1<<feasBits - 1
+)
+
+type feasChunk [chunkSize / feasPerWord]uint32
 
 const feasClaimed int8 = 3
 
@@ -227,6 +238,12 @@ func (ft *feasTable) chunk(c int, alloc bool) *feasChunk {
 	return p
 }
 
+// slot locates idx's word and in-word bit shift within its chunk.
+func feasSlot(idx int32) (word int, shift uint) {
+	off := int(idx) & chunkMask
+	return off / feasPerWord, uint(off%feasPerWord) * feasBits
+}
+
 // get returns the verdict for idx: feasYes, feasNo, feasClaimed, or 0 for
 // unknown.
 func (ft *feasTable) get(idx int32) int8 {
@@ -234,19 +251,40 @@ func (ft *feasTable) get(idx int32) int8 {
 	if ch == nil {
 		return 0
 	}
-	return int8(atomic.LoadInt32(&ch[int(idx)&chunkMask]))
+	word, shift := feasSlot(idx)
+	return int8(atomic.LoadUint32(&ch[word]) >> shift & feasVMask)
 }
 
-// set stores a verdict (or 0 to forget one).
+// set stores a verdict (or 0 to forget one). The CAS loop only retries
+// when a neighbor verdict in the same word moved underneath us; this
+// entry's 2 bits are overwritten unconditionally.
 func (ft *feasTable) set(idx int32, v int8) {
 	ch := ft.chunk(int(idx)>>chunkBits, true)
-	atomic.StoreInt32(&ch[int(idx)&chunkMask], int32(v))
+	word, shift := feasSlot(idx)
+	for {
+		old := atomic.LoadUint32(&ch[word])
+		next := old&^(uint32(feasVMask)<<shift) | uint32(v)<<shift
+		if old == next || atomic.CompareAndSwapUint32(&ch[word], old, next) {
+			return
+		}
+	}
 }
 
 // claim attempts to take ownership of an unknown entry, transitioning
 // 0 → feasClaimed. Exactly one claimant wins; the winner must finalize the
-// entry with set (and reset it to 0 if its check unwinds).
+// entry with set (and reset it to 0 if its check unwinds). A word-CAS
+// failure caused by a neighbor verdict retries; only a non-zero value in
+// this entry's own bits loses the claim.
 func (ft *feasTable) claim(idx int32) bool {
 	ch := ft.chunk(int(idx)>>chunkBits, true)
-	return atomic.CompareAndSwapInt32(&ch[int(idx)&chunkMask], 0, int32(feasClaimed))
+	word, shift := feasSlot(idx)
+	for {
+		old := atomic.LoadUint32(&ch[word])
+		if old>>shift&feasVMask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&ch[word], old, old|uint32(feasClaimed)<<shift) {
+			return true
+		}
+	}
 }

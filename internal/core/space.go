@@ -94,6 +94,20 @@ type space struct {
 	occDelta  [][]dcDelta // nil when SpaceBudget is nil
 	occBudget []int32     // 0 means unconstrained
 
+	// Packed-occupancy precompute: actBase is the active-switch bitset of
+	// the base topology, and occCheck lists the budget-constrained DCs with
+	// their switch-membership masks. Lanes mirror actBase incrementally
+	// alongside their view and answer the occupancy check with one popcount
+	// per constrained DC instead of a dense per-DC recount; the dense scratch
+	// path remains as the reference (and the DisableIncrementalView path).
+	actBase  routing.Bitset
+	occCheck []occMaskEntry
+
+	// adaptive, when non-nil, is the runtime worker policy selected by
+	// Options.Workers == WorkersAdaptive; it owns the effective lane count
+	// and the warming on/off decision.
+	adaptive *adaptivePolicy
+
 	// contention counts cross-worker collisions on satisfiability-cache
 	// claims; folded together with the intern table's count into
 	// Metrics.ShardContention.
@@ -117,6 +131,13 @@ type space struct {
 type dcDelta struct {
 	dc    int32
 	delta int32
+}
+
+// occMaskEntry is one budget-constrained datacenter's packed occupancy
+// check: popcount(lane activity ∧ mask) must stay within budget.
+type occMaskEntry struct {
+	budget int32
+	mask   routing.Bitset
 }
 
 const (
@@ -207,7 +228,20 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 		}
 	}
 	sp.ln = sp.newLane(eval, sp.rec, sp.useInc, &sp.metrics)
+	if opts.Workers == WorkersAdaptive {
+		sp.adaptive = newAdaptivePolicy(sp)
+	}
 	return sp, nil
+}
+
+// effectiveWorkers is the worker count the parallel paths should size to:
+// the adaptive policy's current lane count when the policy is active, the
+// static Options.Workers knob otherwise.
+func (sp *space) effectiveWorkers() int {
+	if sp.adaptive != nil {
+		return sp.adaptive.lanes
+	}
+	return sp.opts.Workers
 }
 
 // demandScaleAt returns the forecasted demand multiplier for a state with
@@ -518,8 +552,16 @@ func (sp *space) rebudget(ctx context.Context, opts Options) {
 	sp.opts.Timeout = opts.Timeout
 	// Workers is verdict-neutral (plans are identical at any worker count),
 	// so a resume leg may change it freely — a serial checkpoint can resume
-	// under a parallel planner and vice versa.
+	// under a parallel planner and vice versa, including switching the
+	// adaptive policy on or off. A policy that shut parallelism off during
+	// an earlier leg starts the new leg fresh: the counters it acted on
+	// described the old budget envelope.
 	sp.opts.Workers = opts.Workers
+	if opts.Workers == WorkersAdaptive {
+		sp.adaptive = newAdaptivePolicy(sp)
+	} else {
+		sp.adaptive = nil
+	}
 	sp.budgetBase = sp.metrics.StatesCreated
 	sp.deadline = time.Time{}
 	if opts.Timeout > 0 {
@@ -604,10 +646,18 @@ func (sp *space) consumeSpec(vecIdx int32) {
 // lane, cooperating with other workers through the satisfiability table's
 // claim protocol so every vector is checked exactly once. Returns feasYes
 // or feasNo.
+//
+// Cache accounting mirrors the serial feasible(): a verdict answered from
+// the table (including one another worker just resolved) is a hit, and a
+// won claim — whose owner runs the evaluator — is a miss. The counts
+// accumulate in the lane's private Metrics and fold into the shared ones
+// after the batch joins, so the hit-rate metric means the same thing
+// whether a planner consults the cache serially or from worker lanes.
 func (sp *space) feasibleOn(ln *lane, vecIdx int32) int8 {
 	for {
 		switch v := sp.feasT.get(vecIdx); v {
 		case feasYes, feasNo:
+			ln.m.CacheHits++
 			return v
 		case feasClaimed:
 			// Another worker is mid-check on this vector; yield and re-poll.
@@ -618,6 +668,7 @@ func (sp *space) feasibleOn(ln *lane, vecIdx int32) int8 {
 				sp.contention.Add(1)
 				continue
 			}
+			ln.m.CacheMisses++
 			return sp.checkClaimed(ln, vecIdx)
 		}
 	}
@@ -677,6 +728,24 @@ func (sp *space) precomputeOccupancy() {
 		if dc+1 >= 0 && dc+1 < nDC && b > 0 {
 			sp.occBudget[dc+1] = int32(b)
 		}
+	}
+	sp.actBase = routing.NewBitset(t.Topo.NumSwitches())
+	for i := 0; i < t.Topo.NumSwitches(); i++ {
+		if t.Topo.SwitchActive(topo.SwitchID(i)) {
+			sp.actBase.Set(i)
+		}
+	}
+	for dcSlot, b := range sp.occBudget {
+		if b <= 0 {
+			continue
+		}
+		e := occMaskEntry{budget: b, mask: routing.NewBitset(t.Topo.NumSwitches())}
+		for i := 0; i < t.Topo.NumSwitches(); i++ {
+			if t.Topo.Switch(topo.SwitchID(i)).DC+1 == dcSlot {
+				e.mask.Set(i)
+			}
+		}
+		sp.occCheck = append(sp.occCheck, e)
 	}
 	sp.occDelta = make([][]dcDelta, len(t.Blocks))
 	for i := range t.Blocks {

@@ -1,0 +1,45 @@
+package ctrl
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/sim"
+)
+
+// TestRunAdaptiveWorkersMatchesSerial pins the control loop's
+// replayability contract under the adaptive worker policy: planning with
+// Workers=WorkersAdaptive (including every replan — each replan resolves
+// a fresh policy) must execute the exact action sequence of a serial run,
+// fault for fault, because adaptive decisions are verdict-neutral and
+// never reach plan content.
+func TestRunAdaptiveWorkersMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, seed := range []int64{3, 11} {
+		run := func(workers int) (*Outcome, error) {
+			task, _ := loopTask(t)
+			schedule := sim.RandomSchedule(task, seed, sim.ScheduleOptions{Faults: 3})
+			world := sim.NewWorld(task, schedule, seed)
+			opts := Options{Sleep: noSleep, Seed: seed}
+			opts.Config.Options.Workers = workers
+			return Run(context.Background(), task, world, opts)
+		}
+		serial, errS := run(0)
+		adaptive, errA := run(core.WorkersAdaptive)
+		if errString(errS) != errString(errA) {
+			t.Fatalf("seed %d: errors differ: %v vs %v", seed, errS, errA)
+		}
+		if errS != nil {
+			continue
+		}
+		if !reflect.DeepEqual(serial, adaptive) {
+			t.Fatalf("seed %d: outcomes differ:\nserial:   %+v\nadaptive: %+v",
+				seed, serial, adaptive)
+		}
+	}
+}

@@ -32,6 +32,9 @@ const (
 	MetricAuditSteps         = "audit.steps_checked"
 	MetricAuditFailures      = "audit.failures"
 	MetricLanePanics         = "planner.lane_panics_degraded"
+	MetricAdaptiveDecisions  = "planner.adaptive_decisions"
+	MetricAdaptiveLanes      = "planner.adaptive_lanes"
+	MetricAdaptiveWarmOffs   = "planner.adaptive_warm_offs"
 	TraceName                = "planner"
 )
 
@@ -68,6 +71,9 @@ type Recorder struct {
 	auditSteps       *Counter
 	auditFailures    *Counter
 	lanePanics       *Counter
+	adaptiveDecns    *Counter
+	adaptiveLanes    *Gauge
+	adaptiveWarmOffs *Counter
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -105,6 +111,9 @@ func NewRecorder(reg *Registry) *Recorder {
 		auditSteps:       reg.Counter(MetricAuditSteps),
 		auditFailures:    reg.Counter(MetricAuditFailures),
 		lanePanics:       reg.Counter(MetricLanePanics),
+		adaptiveDecns:    reg.Counter(MetricAdaptiveDecisions),
+		adaptiveLanes:    reg.Gauge(MetricAdaptiveLanes),
+		adaptiveWarmOffs: reg.Counter(MetricAdaptiveWarmOffs),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -177,6 +186,24 @@ func (r *Recorder) CacheMiss() {
 		return
 	}
 	r.cacheMisses.Inc()
+}
+
+// CacheHitsAdded counts n satisfiability-cache hits at once — used for
+// bulk accounting when worker-lane counters fold after a parallel batch.
+func (r *Recorder) CacheHitsAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.cacheHits.Add(int64(n))
+}
+
+// CacheMissesAdded counts n satisfiability-cache misses at once — the
+// bulk counterpart of CacheMiss.
+func (r *Recorder) CacheMissesAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.cacheMisses.Add(int64(n))
 }
 
 // CheckObserved counts one satisfiability check and records its latency.
@@ -363,6 +390,26 @@ func (r *Recorder) LanePanicDegraded() {
 		return
 	}
 	r.lanePanics.Inc()
+}
+
+// AdaptiveDecision traces one adaptive worker-policy decision (including
+// the initial resolve): the decision counter increments and the gauge
+// records the effective lane count the policy settled on.
+func (r *Recorder) AdaptiveDecision(lanes int) {
+	if r == nil {
+		return
+	}
+	r.adaptiveDecns.Inc()
+	r.adaptiveLanes.Set(int64(lanes))
+}
+
+// AdaptiveWarmOff counts one adaptive-policy decision to disable A*
+// speculative frontier warming (observed speculative waste too high).
+func (r *Recorder) AdaptiveWarmOff() {
+	if r == nil {
+		return
+	}
+	r.adaptiveWarmOffs.Inc()
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

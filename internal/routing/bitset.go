@@ -1,0 +1,59 @@
+package routing
+
+import "math/bits"
+
+// Bitset is a packed bit vector over small integer indices (switch or
+// circuit IDs). It replaces []bool scratch on paths where the win is
+// allocation count and cache footprint rather than single-bit access time:
+// one word covers 64 switches, and population counts over masked ranges
+// (e.g. "active switches in one DC") collapse to a handful of POPCNT ops.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset { return make(Bitset, bitsetWords(n)) }
+
+// bitsetWords returns the word count needed for n bits.
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[uint(i)>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[uint(i)>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[uint(i)>>6] &^= 1 << (uint(i) & 63) }
+
+// Reset clears every bit.
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with src; the two must be the same length.
+func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountAnd returns the number of bits set in both b and mask, without
+// materializing the intersection. mask may be shorter than b; missing
+// words count as zero.
+func (b Bitset) CountAnd(mask Bitset) int {
+	n := len(b)
+	if len(mask) < n {
+		n = len(mask)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b[i] & mask[i])
+	}
+	return c
+}

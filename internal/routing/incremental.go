@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"math"
 	"sort"
 
 	"klotski/internal/demand"
@@ -87,12 +88,15 @@ type incGroup struct {
 	// dist is the group's memoized shortest-distance field, biased by +1 so
 	// that 0 marks unreachable — recompute then clears it with a memclr
 	// instead of a -1 fill. Distance comparisons are unaffected by the bias
-	// (it cancels in differences). Meaningful only while dstActive.
+	// (it cancels in differences). Meaningful only while dstActive. The
+	// backing array is a slice of the memo-wide distSlab, not a private
+	// allocation.
 	dist []int32
 	// hasFlow marks switches that carried any of this group's flow in the
 	// memoized placement (positive inflow after the sweep). A DAG edge
 	// appearing or disappearing at a flow-less switch cannot move load.
-	hasFlow []bool
+	// Packed: one bit per switch, sliced out of the memo-wide flowSlab.
+	hasFlow Bitset
 
 	// Sparse contribution: directional load indices and values, aligned.
 	lis  []int32
@@ -132,6 +136,13 @@ type incMemo struct {
 	upMemo []bool    // per circuit: up-state in the memoized view
 	degree []int32   // per switch: up-circuit count in the memoized view
 
+	// Slab backing for every group's dist and hasFlow. One allocation per
+	// rebuild (amortized to zero once capacity sticks) instead of two per
+	// active destination group — the dominant alloc site on the planner's
+	// serial hot path before slabbing.
+	distSlab []int32
+	flowSlab Bitset
+
 	portOver []bool // per switch: over its port budget
 	nPort    int
 	over     []bool // per circuit: over the utilization bound
@@ -170,6 +181,12 @@ func (e *Evaluator) ensureInc() *incMemo {
 			liMark:   make([]uint32, 2*m),
 			swMark:   make([]uint32, n),
 			ckMark:   make([]uint32, m),
+			// Delta scratch at its worst-case sizes up front, so delta
+			// passes never grow-and-copy short-lived arrays.
+			tsw:     make([]topo.SwitchID, 0, n),
+			transCk: make([]topo.CircuitID, 0, m),
+			degCh:   make([]topo.SwitchID, 0, 2*m),
+			marked:  make([]int32, 0, 2*m),
 		}
 	}
 	return e.inc
@@ -342,6 +359,90 @@ func (e *Evaluator) CheckDemandDelta(v *topo.View, changed []int32, ds *demand.S
 	return e.incVerdict(v, ds)
 }
 
+// EvaluateDelta is Evaluate's memo-reusing counterpart: it applies a
+// touched-element delta exactly like CheckDelta and, when the state is safe,
+// synthesizes the full Result from the memoized per-circuit totals — which
+// are maintained bitwise-identical to a classic evaluation's loads (same
+// ascending-group fold order) — so the returned statistics are
+// byte-identical to what Evaluate would produce on the same view.
+//
+// Any path where that identity cannot be established from the memo falls
+// back to a classic full Evaluate on the spot: funneled options (which
+// bypass memoization and drop the memo), a self-disabled engine, an aborted
+// delta pass, or any non-OK verdict. Violating states therefore always
+// return the classic sweep's exact Result and Violation detail, not a
+// synthesized one — unlike CheckDelta, whose unsafe-state details may
+// differ from Check's. This is what lets an auditor replay run boundaries
+// incrementally while promising reports identical to full re-evaluation.
+func (e *Evaluator) EvaluateDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk []topo.CircuitID, ds *demand.Set, opts CheckOpts) (Result, Violation) {
+	if opts.FunnelFactor > 1 && len(opts.FunnelCircuits) > 0 {
+		e.ResetIncremental()
+		return e.Evaluate(v, ds, opts)
+	}
+	m := e.ensureInc()
+	if m.off {
+		return e.Evaluate(v, ds, opts)
+	}
+	theta := opts.Theta
+	if theta <= 0 {
+		theta = 0.75
+	}
+	scale := opts.scale()
+	if !m.valid || m.ds != ds || m.dsLen != len(ds.Demands) || m.theta != theta || m.split != opts.Split {
+		e.IncRebuilds++
+		e.incRebuild(v, ds, theta, opts.Split, scale)
+	} else {
+		if m.scale != scale {
+			e.incRescale(scale)
+		}
+		if _, aborted := e.incDelta(v, touchedSw, touchedCk, ds, theta, opts.Split); aborted {
+			// The memo stays coherent (dirty groups and stale totals are
+			// queued for the next completed pass); answer classically so the
+			// caller gets the exact sweep-order Result and Violation.
+			return e.Evaluate(v, ds, opts)
+		}
+	}
+	if viol := e.incVerdict(v, ds); !viol.OK() {
+		return e.Evaluate(v, ds, opts)
+	}
+	e.Checks++
+	var res Result
+	e.fillResultTotals(v, scale, &res)
+	return res, Violation{}
+}
+
+// fillResultTotals is fillResult reading the memoized per-circuit totals
+// instead of the evaluator's per-call load scratch. The iteration, skip
+// filter, and float operation order are kept exactly in sync with
+// fillResult so the produced Result is bitwise-identical whenever
+// m.total matches e.load (the engine's fold-order invariant).
+func (e *Evaluator) fillResultTotals(v *topo.View, scale float64, res *Result) {
+	t := e.t
+	m := e.inc
+	res.MinResidual = math.Inf(1)
+	res.MaxUtilCircuit = topo.NoCircuit
+	for c := 0; c < t.NumCircuits(); c++ {
+		cid := topo.CircuitID(c)
+		if !v.CircuitUp(cid) {
+			continue
+		}
+		ck := t.Circuit(cid)
+		load := (m.total[2*c] + m.total[2*c+1]) * scale
+		util := load / ck.Capacity
+		res.TotalLoad += load
+		if util > res.MaxUtil {
+			res.MaxUtil = util
+			res.MaxUtilCircuit = cid
+		}
+		if resid := 1 - util; resid < res.MinResidual {
+			res.MinResidual = resid
+		}
+	}
+	if math.IsInf(res.MinResidual, 1) {
+		res.MinResidual = 0
+	}
+}
+
 // incRescale re-derives the utilization flags from the memoized totals at a
 // new demand scale. Placements (and therefore totals) are invariant under a
 // uniform multiplier, so no group recompute is needed. Totals queued on
@@ -436,6 +537,19 @@ func (e *Evaluator) incRebuild(v *topo.View, ds *demand.Set, theta float64, spli
 	for i := range m.dirty {
 		m.dirty[i] = false
 	}
+	// Carve each group's dist / hasFlow out of the shared slabs. Slices must
+	// be re-carved every rebuild: the slab may have been regrown, and groups
+	// are reused across rebuilds with different destination counts.
+	words := bitsetWords(n)
+	if len(m.distSlab) < len(dsts)*n {
+		m.distSlab = make([]int32, len(dsts)*n)
+		m.flowSlab = make(Bitset, len(dsts)*words)
+	}
+	for gi := range m.groups {
+		g := &m.groups[gi]
+		g.dist = m.distSlab[gi*n : (gi+1)*n : (gi+1)*n]
+		g.hasFlow = m.flowSlab[gi*words : (gi+1)*words : (gi+1)*words]
+	}
 	m.staleLis = m.staleLis[:0]
 	for i := range m.total {
 		m.total[i] = 0
@@ -481,16 +595,10 @@ func (e *Evaluator) incComputeGroup(v *topo.View, g *incGroup, ds *demand.Set, s
 		g.unreach = int32(len(g.demands))
 		return
 	}
-	if g.dist == nil {
-		g.dist = make([]int32, e.t.NumSwitches())
-		g.hasFlow = make([]bool, e.t.NumSwitches())
-	}
 	for i := range g.dist { // memclr: 0 = unreachable under the +1 bias
 		g.dist[i] = 0
 	}
-	for i := range g.hasFlow {
-		g.hasFlow[i] = false
-	}
+	g.hasFlow.Reset()
 
 	e.bfs(v, g.dst)
 	for _, u := range e.queue {
@@ -505,6 +613,13 @@ func (e *Evaluator) incComputeGroup(v *topo.View, g *incGroup, ds *demand.Set, s
 		e.addInflow(d.Src, d.Rate)
 	}
 	e.sweepGroup(v, g.dst, split)
+	// Snapshot the sparse contribution at exact size: growing via repeated
+	// append doubles through several short-lived arrays per group, which
+	// dominated the planner's alloc profile.
+	if need := len(e.gtouched); cap(g.lis) < need {
+		g.lis = make([]int32, 0, need)
+		g.vals = make([]float64, 0, need)
+	}
 	for _, li := range e.gtouched {
 		g.lis = append(g.lis, li)
 		g.vals = append(g.vals, e.gload[li])
@@ -512,7 +627,9 @@ func (e *Evaluator) incComputeGroup(v *topo.View, g *incGroup, ds *demand.Set, s
 	}
 	e.gtouched = e.gtouched[:0]
 	for _, u := range e.queue {
-		g.hasFlow[u] = e.inflowOf(u) > 0
+		if e.inflowOf(u) > 0 {
+			g.hasFlow.Set(int(u))
+		}
 	}
 }
 
@@ -629,7 +746,7 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 					}
 					// Exact tie: distances hold, but the DAG gains an edge
 					// at far — which only moves load if far carries flow.
-					if diff == ck.Metric && g.hasFlow[far] {
+					if diff == ck.Metric && g.hasFlow.Get(int(far)) {
 						hit = true
 						break
 					}
@@ -641,7 +758,7 @@ func (e *Evaluator) incDelta(v *topo.View, touchedSw []topo.SwitchID, touchedCk 
 					if dx == 0 || dy == 0 || diff != ck.Metric {
 						continue
 					}
-					if g.hasFlow[far] || !e.supported(g, far) {
+					if g.hasFlow.Get(int(far)) || !e.supported(g, far) {
 						hit = true
 						break
 					}

@@ -224,11 +224,15 @@ func NewEvaluator(t *topo.Topology) *Evaluator {
 		queue:  make([]topo.SwitchID, 0, n),
 		load:   make([]float64, 2*m),
 		gload:  make([]float64, 2*m),
-		funnel: make([]bool, m),
-		degree: make([]int32, n),
-		up:     make([]bool, m),
-		caps:   make([]float64, m),
-		adjOff: make([]int32, n+1),
+		// gtouched can reach every directional index of one group's sweep;
+		// sizing it (and tight, bounded by max switch degree) up front keeps
+		// the sweep inner loops free of grow-and-copy allocations.
+		gtouched: make([]int32, 0, 2*m),
+		funnel:   make([]bool, m),
+		degree:   make([]int32, n),
+		up:       make([]bool, m),
+		caps:     make([]float64, m),
+		adjOff:   make([]int32, n+1),
 	}
 	for c := 0; c < m; c++ {
 		e.caps[c] = t.Circuit(topo.CircuitID(c)).Capacity
@@ -236,9 +240,15 @@ func NewEvaluator(t *topo.Topology) *Evaluator {
 	for i := range e.dist {
 		e.dist[i] = -1
 	}
+	maxDeg := 0
 	for i := 0; i < n; i++ {
-		e.adjOff[i+1] = e.adjOff[i] + int32(len(t.Switch(topo.SwitchID(i)).Circuits()))
+		deg := len(t.Switch(topo.SwitchID(i)).Circuits())
+		e.adjOff[i+1] = e.adjOff[i] + int32(deg)
+		if deg > maxDeg {
+			maxDeg = deg
+		}
 	}
+	e.tight = make([]int32, 0, maxDeg)
 	// Arcs are laid out in each switch's Circuits() order, so the sweep's
 	// share-accumulation order — and therefore every float sum — is
 	// identical to iterating the switch's circuit list directly.
@@ -287,18 +297,20 @@ func (e *Evaluator) Clone() *Evaluator { return e.Fork() }
 func (e *Evaluator) Fork() *Evaluator {
 	n, m := e.t.NumSwitches(), e.t.NumCircuits()
 	f := &Evaluator{
-		t:      e.t,
-		adj:    e.adj,
-		adjOff: e.adjOff,
-		caps:   e.caps,
-		dist:   make([]int32, n),
-		inflow: make([]float64, n),
-		queue:  make([]topo.SwitchID, 0, n),
-		load:   make([]float64, 2*m),
-		gload:  make([]float64, 2*m),
-		funnel: make([]bool, m),
-		degree: make([]int32, n),
-		up:     make([]bool, m),
+		t:        e.t,
+		adj:      e.adj,
+		adjOff:   e.adjOff,
+		caps:     e.caps,
+		dist:     make([]int32, n),
+		inflow:   make([]float64, n),
+		queue:    make([]topo.SwitchID, 0, n),
+		load:     make([]float64, 2*m),
+		gload:    make([]float64, 2*m),
+		gtouched: make([]int32, 0, 2*m),
+		tight:    make([]int32, 0, cap(e.tight)),
+		funnel:   make([]bool, m),
+		degree:   make([]int32, n),
+		up:       make([]bool, m),
 	}
 	for i := range f.dist {
 		f.dist[i] = -1

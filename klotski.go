@@ -185,18 +185,30 @@ var (
 // NoLast marks "no action executed yet" in replanning options.
 const NoLast = core.NoLast
 
+// WorkersAdaptive, assigned to Options.Workers, selects the adaptive
+// worker policy: lane counts start at the runtime's parallelism and are
+// resized at run time from observed shard-contention, speculative-waste,
+// and cache hit-rate counters (A* speculative warming is switched off when
+// it mispredicts). Decisions are traced through the observability registry
+// (planner.adaptive_decisions, planner.adaptive_lanes,
+// planner.adaptive_warm_offs) and never change plan content: plans stay
+// byte-identical to the serial planner's for any counter history.
+const WorkersAdaptive = core.WorkersAdaptive
+
 // PlanAStar finds a minimum-cost safe migration plan with the A* search
 // planner (paper §4.4) — the production configuration. Set Options.Workers
-// > 1 to resolve satisfiability checks on concurrent worker lanes; the
-// emitted plan is byte-identical at every worker count.
+// > 1 to resolve satisfiability checks on concurrent worker lanes, or to
+// WorkersAdaptive to let the runtime counters size them; the emitted plan
+// is byte-identical at every worker setting.
 func PlanAStar(task *Task, opts Options) (*Plan, error) { return core.PlanAStar(task, opts) }
 
 // PlanAStarParallel is PlanAStar with batch-expansion frontier warming: at
 // each expansion the feasibility verdicts the search needs next (the
 // expanded node, its successors, and the top of the open heap) are resolved
 // concurrently on per-worker evaluator forks and committed into the shared
-// satisfiability cache (0 workers picks GOMAXPROCS). Plans and costs are
-// byte-identical to PlanAStar. Equivalent to setting Options.Workers.
+// satisfiability cache (0 workers picks GOMAXPROCS, WorkersAdaptive the
+// adaptive policy). Plans and costs are byte-identical to PlanAStar.
+// Equivalent to setting Options.Workers.
 func PlanAStarParallel(task *Task, opts Options, workers int) (*Plan, error) {
 	return core.PlanAStarParallel(task, opts, workers)
 }
@@ -208,8 +220,8 @@ func PlanDP(task *Task, opts Options) (*Plan, error) { return core.PlanDP(task, 
 
 // PlanDPParallel is PlanDP with the memo table computed bottom-up in
 // parallel wavefront layers across the given number of workers (0 picks
-// GOMAXPROCS). Plans and costs are byte-identical to PlanDP. Equivalent to
-// setting Options.Workers.
+// GOMAXPROCS, WorkersAdaptive the adaptive policy). Plans and costs are
+// byte-identical to PlanDP. Equivalent to setting Options.Workers.
 func PlanDPParallel(task *Task, opts Options, workers int) (*Plan, error) {
 	return core.PlanDPParallel(task, opts, workers)
 }
