@@ -28,6 +28,12 @@
 //   - The audited defaults (AStar/DP) must not exceed their NoAudit twins
 //     by more than -max-audit-overhead: the incremental parallel audit
 //     engine keeps the safety replay a small fraction of planning.
+//   - With -min-prune-ratio r > 0, the bound-pruned entries
+//     (AStarBounded/DPBounded) must come in at least r below their
+//     unpruned twins in states/op — the lower-bound engine must actually
+//     prune. The Bounded entries share one warm engine across iterations,
+//     so this rule needs -benchtime well above 1x (the first, cold
+//     iteration learns the cuts the rest exploit; at 1x the ratio is 1).
 //
 // Relational violations also block -update, so a baseline that breaks the
 // invariants cannot be committed by accident.
@@ -118,6 +124,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	maxSlowdown := fs.Float64("max-slowdown", 0.30, "maximum tolerated fractional growth per guarded metric")
 	maxParallelExcess := fs.Float64("max-parallel-excess", 0.10, "maximum tolerated ns/op excess of the large fixture's parallel entries over their serial twins")
 	maxAuditOverhead := fs.Float64("max-audit-overhead", 0.15, "maximum tolerated ns/op excess of the large fixture's audited entries over their NoAudit twins")
+	minPruneRatio := fs.Float64("min-prune-ratio", 0, "minimum required fractional states/op reduction of the large fixture's Bounded entries vs their unpruned twins (0 = off; needs a warm engine, i.e. -benchtime well above 1x)")
 	update := fs.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,7 +140,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
-	relFailures := checkRelational(current, *maxParallelExcess, *maxAuditOverhead, stdout)
+	relFailures := checkRelational(current, *maxParallelExcess, *maxAuditOverhead, *minPruneRatio, stdout)
 
 	base, err := readBaseline(*baselinePath)
 	if os.IsNotExist(err) && !*update {
@@ -204,24 +211,37 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 }
 
 // checkRelational enforces the large fixture's same-run ratio invariants:
-// parallel vs serial and audited vs NoAudit ns/op. Rules whose entries are
-// absent from the run are skipped silently — other bench selections (the
-// micro guard, the evaluator benches) carry no relational contract.
-func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverhead float64, stdout io.Writer) int {
-	rules := []struct {
+// parallel vs serial ns/op, audited vs NoAudit ns/op, and — when
+// -min-prune-ratio is set — bound-pruned vs unpruned states/op. Rules
+// whose entries are absent from the run are skipped silently — other
+// bench selections (the micro guard, the evaluator benches) carry no
+// relational contract. A rule with a negative limit is a floor in
+// disguise: the numerator must come in at least |limit| BELOW the
+// denominator, which is how the prune-ratio rule demands a minimum
+// states/op reduction instead of tolerating a maximum excess.
+func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverhead, minPruneRatio float64, stdout io.Writer) int {
+	type rule struct {
 		what     string
 		num, den string
+		unit     string
 		limit    float64
-	}{
-		{"parallel-vs-serial", "PlannerGuardLarge/AStarParallel", "PlannerGuardLarge/AStar", maxParallelExcess},
-		{"parallel-vs-serial", "PlannerGuardLarge/DPParallel", "PlannerGuardLarge/DP", maxParallelExcess},
-		{"audit-overhead", "PlannerGuardLarge/AStar", "PlannerGuardLarge/AStarNoAudit", maxAuditOverhead},
-		{"audit-overhead", "PlannerGuardLarge/DP", "PlannerGuardLarge/DPNoAudit", maxAuditOverhead},
+	}
+	rules := []rule{
+		{"parallel-vs-serial", "PlannerGuardLarge/AStarParallel", "PlannerGuardLarge/AStar", "ns/op", maxParallelExcess},
+		{"parallel-vs-serial", "PlannerGuardLarge/DPParallel", "PlannerGuardLarge/DP", "ns/op", maxParallelExcess},
+		{"audit-overhead", "PlannerGuardLarge/AStar", "PlannerGuardLarge/AStarNoAudit", "ns/op", maxAuditOverhead},
+		{"audit-overhead", "PlannerGuardLarge/DP", "PlannerGuardLarge/DPNoAudit", "ns/op", maxAuditOverhead},
+	}
+	if minPruneRatio > 0 {
+		rules = append(rules,
+			rule{"prune-ratio", "PlannerGuardLarge/AStarBounded", "PlannerGuardLarge/AStar", "states/op", -minPruneRatio},
+			rule{"prune-ratio", "PlannerGuardLarge/DPBounded", "PlannerGuardLarge/DP", "states/op", -minPruneRatio},
+		)
 	}
 	failures := 0
 	for _, r := range rules {
-		num, okN := current[r.num]["ns/op"]
-		den, okD := current[r.den]["ns/op"]
+		num, okN := current[r.num][r.unit]
+		den, okD := current[r.den][r.unit]
 		if !okN || !okD || den <= 0 {
 			continue
 		}
@@ -231,8 +251,8 @@ func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverh
 			status = "FAIL"
 			failures++
 		}
-		fmt.Fprintf(stdout, "%s %s: %s %.4g ns/op vs %s %.4g ns/op (%+.1f%%, limit +%.0f%%)\n",
-			status, r.what, r.num, num, r.den, den, excess*100, r.limit*100)
+		fmt.Fprintf(stdout, "%s %s: %s %.4g %s vs %s %.4g %s (%+.1f%%, limit %+.0f%%)\n",
+			status, r.what, r.num, num, r.unit, r.den, den, r.unit, excess*100, r.limit*100)
 	}
 	return failures
 }

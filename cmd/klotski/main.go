@@ -5,6 +5,7 @@
 //
 //	klotski -npd region.json [-o plan.json] [-planner astar|dp|mrc|janus]
 //	        [-theta 0.75] [-alpha 0] [-growth 0] [-maxrun 0] [-timeout 5m] [-v]
+//	        [-gap] [-gap-max 0]
 //	        [-checkpoint ckpt.json] [-chaos 0] [-chaos-faults 3] [-chaos-seed 1]
 //	        [-drift-threshold 0] [-demand-margin 1.25]
 //	        [-stats-out stats.json] [-debug-addr localhost:6060]
@@ -42,15 +43,29 @@
 // demand telemetry before each run, replans when observed drift exceeds
 // the threshold, and — when telemetry is dropped or corrupted (the fault
 // train then includes telemetry faults) — degrades to planning against the
-// last good demand inflated by -demand-margin. The resulting
-// ctrl.drift_replans, ctrl.telemetry_faults, and ctrl.degraded_runs
-// counters land in the -stats-out snapshot.
+// last good demand inflated by -demand-margin. With -gap-skip G > 0 a
+// drift replan is skipped when the remaining plan re-audits safe against
+// the drifted demands and its cost is certified within G of the
+// completion lower bound — drift that cannot buy a better plan no longer
+// costs a replan. The resulting ctrl.drift_replans, ctrl.gap_skips,
+// ctrl.telemetry_faults, and ctrl.degraded_runs counters land in the
+// -stats-out snapshot.
+//
+// Every optimal-planner run carries an anytime optimality certificate:
+// the incumbent plan cost, the proven global lower bound, and the
+// certified relative gap between them (0 when the plan is provably
+// optimal). -gap prints the certificate to stderr; -gap-max G exits
+// non-zero when the certified gap exceeds G (so -gap-max 0 demands a
+// proven-optimal plan). The certificate also lands in the -stats-out
+// snapshot (planner.optimality_gap) and in checkpoint envelopes, where
+// resuming restores and can only tighten it.
 //
 // Observability: -stats-out writes a JSON snapshot of the planner's
 // instruments (states created/expanded, check-latency histogram, cache
-// hit/miss counts and ratio, span timings) when the run ends — including
-// interrupted runs. -debug-addr serves the live registry over HTTP while
-// planning: expvar under /debug/vars, profiles under /debug/pprof/.
+// hit/miss counts and ratio, span timings, bound-engine cut counters)
+// when the run ends — including interrupted runs. -debug-addr serves the
+// live registry over HTTP while planning: expvar under /debug/vars,
+// profiles under /debug/pprof/.
 package main
 
 import (
@@ -97,7 +112,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		timeout = fs.Duration("timeout", 5*time.Minute, "planning time budget")
 
 		auditSerial = fs.Bool("audit-serial", false, "run the post-planning audit on the serial reference engine instead of the incremental parallel one (slower, same verdicts)")
-		verbose = fs.Bool("v", false, "print the plan's runs and phase snapshots to stderr")
+		verbose     = fs.Bool("v", false, "print the plan's runs and phase snapshots to stderr")
+
+		gap    = fs.Bool("gap", false, "print the plan's certified optimality certificate (incumbent cost, proven lower bound, relative gap) to stderr")
+		gapMax = fs.Float64("gap-max", -1, "exit non-zero when the certified relative optimality gap exceeds this value (e.g. 0 demands a proven-optimal plan; -1 = off)")
 
 		resume   = fs.String("resume", "", "earlier plan document to resume from")
 		executed = fs.Int("executed", 0, "number of actions of the -resume plan already executed")
@@ -110,6 +128,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chaosSeed   = fs.Int64("chaos-seed", 1, "base seed for the chaos campaign")
 
 		driftThreshold = fs.Float64("drift-threshold", 0, "chaos-campaign demand-drift replan threshold (relative L1 deviation; 0 = drift loop off)")
+		gapSkip        = fs.Float64("gap-skip", 0, "skip drift replans when the remaining plan re-audits safe and its cost is certified within this relative gap of the completion lower bound (0 = off)")
 		demandMargin   = fs.Float64("demand-margin", 1.25, "degraded-mode demand envelope multiplier when telemetry is unusable")
 
 		statsOut  = fs.String("stats-out", "", "write a JSON observability snapshot (counters, gauges, histograms, spans) here on exit")
@@ -193,6 +212,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *gap || *gapMax >= 0 {
+		m := res.Plan.Metrics
+		fmt.Fprintf(stderr, "optimality certificate: incumbent %g, lower bound %g, gap %.2f%%\n",
+			m.IncumbentCost, m.LowerBound, m.OptimalityGap*100)
+	}
+
 	if *verbose {
 		fmt.Fprintf(stderr, "planned in %s (%d states, %d checks, %d cache hits, %d misses)\n",
 			time.Since(start).Round(time.Millisecond),
@@ -219,9 +244,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			// them is on, keeping pre-drift seeds byte-identical.
 			Schedule: klotski.FaultScheduleOptions{Faults: *chaosFaults, Telemetry: *driftThreshold > 0},
 			Run: klotski.ControlOptions{
-				Config:         cfg,
-				DriftThreshold: *driftThreshold,
-				DemandMargin:   *demandMargin,
+				Config:           cfg,
+				DriftThreshold:   *driftThreshold,
+				GapSkipThreshold: *gapSkip,
+				DemandMargin:     *demandMargin,
 			},
 		})
 		if err != nil {
@@ -239,7 +265,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		out = f
 	}
-	return res.Document.Encode(out)
+	if err := res.Document.Encode(out); err != nil {
+		return err
+	}
+	if *gapMax >= 0 {
+		if g := res.Plan.Metrics.OptimalityGap; g > *gapMax {
+			return fmt.Errorf("certified optimality gap %.4f exceeds -gap-max %g (incumbent %g, lower bound %g)",
+				g, *gapMax, res.Plan.Metrics.IncumbentCost, res.Plan.Metrics.LowerBound)
+		}
+	}
+	return nil
 }
 
 // writeStats dumps the registry's JSON snapshot to path.

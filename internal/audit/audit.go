@@ -144,6 +144,12 @@ type Report struct {
 	// states — the transient headroom the plan actually consumes.
 	WorstUtil float64
 
+	// Gap is the planner's certified relative optimality gap for the
+	// audited plan (0 = provably optimal), stamped by the planner after
+	// verification. The auditor itself does not compute it; audits
+	// invoked directly leave it 0.
+	Gap float64
+
 	// Steps holds one record per audited boundary state, in replay order.
 	// Sequence-validation failures abort before the replay, leaving it
 	// empty.

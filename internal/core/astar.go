@@ -99,6 +99,7 @@ func planAStar(ctx context.Context, task *migration.Task, opts Options) (*Plan, 
 		startTail = opts.InitialRunLength
 	}
 	s.push(startIdx, startLast, startTail, 0)
+	sp.initLowerBound(startIdx, startLast, startTail)
 	return s.run()
 }
 
@@ -135,6 +136,12 @@ func (s *astarSearch) push(vecIdx int32, last migration.ActionType, tail int, g 
 	sp.metrics.StatesCreated++
 	sp.rec.StateCreated()
 	s.front.observe(sp, vecIdx, last, tail)
+	if g < sp.incumbent && sp.isTarget(vecIdx) {
+		// Anytime incumbent: reaching the target with a cheaper g tightens
+		// the certificate even before the target is popped (and even if the
+		// search is interrupted before it ever is).
+		sp.incumbent = g
+	}
 	heap.Push(s.pq, openItem{
 		f:        g + sp.heuristicCapped(vecIdx, last, tail),
 		finished: int32(sp.finished(vecIdx)),
@@ -158,11 +165,28 @@ func (s *astarSearch) run() (*Plan, error) {
 			return nil, s.interrupt(reason)
 		}
 		it := heap.Pop(s.pq).(openItem)
+		// With a consistent heuristic the popped f values are
+		// non-decreasing over clean (non-stale) pops, so the largest f seen
+		// is the min over the open list at some point in time — a valid
+		// global lower bound on the optimum, even mid-search.
+		if it.f > sp.lowerBound {
+			sp.lowerBound = it.f
+		}
 		k := sp.extKeyT(it.vecIdx, it.last, int(it.tail))
 		if s.closed[k] || it.g > s.best[k] {
 			continue // stale duplicate
 		}
 		s.closed[k] = true
+		if sp.bd != nil && it.last != NoLast && sp.bd.Dead(sp.vec(it.vecIdx), int(it.last)) {
+			// The cut set proves no feasible completion exists from this
+			// state: expanding it could only generate more dead states, so
+			// skipping the expansion cannot change which plan is found (or
+			// the order the surviving states are pushed in — the plan stays
+			// byte-identical to the unpruned search's).
+			sp.metrics.BoundStatesPruned++
+			sp.rec.BoundStatesPruned(1)
+			continue
+		}
 		sp.metrics.StatesPopped++
 		if sp.rec.Enabled() {
 			sp.rec.StateExpanded()
@@ -172,6 +196,8 @@ func (s *astarSearch) run() (*Plan, error) {
 		if sp.isTarget(it.vecIdx) {
 			seq := sp.reconstruct(s.prev, it.vecIdx, it.last, int(it.tail))
 			sp.rec.PlanCompleted()
+			sp.incumbent = it.g
+			sp.lowerBound = it.g // popped target g is provably optimal
 			return sp.finishPlan(&Plan{
 				Task:     task,
 				Sequence: seq,

@@ -104,6 +104,7 @@ func AuditResumed(task *migration.Task, seq, executed []int, opts Options, freeO
 // nothing with the search that produced it; a failure turns the "success"
 // into ErrAudit — a wrong plan must never look like a right one.
 func (sp *space) finishPlan(p *Plan) (*Plan, error) {
+	sp.sealBound(p)
 	if sp.opts.SkipAudit {
 		return p, nil
 	}
@@ -114,6 +115,7 @@ func (sp *space) finishPlan(p *Plan) (*Plan, error) {
 		return nil, err
 	}
 	p.Audit = rep
+	rep.Gap = p.Metrics.OptimalityGap
 	if !rep.Passed {
 		return nil, planErrf(ErrAudit, "%s", rep.Reason)
 	}

@@ -83,9 +83,15 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 	// The heap prefix is deterministic: it is a pure function of the push
 	// and pop sequence, which parallelism does not alter. Entries may be
 	// stale duplicates; warming them is harmless (worst case it is counted
-	// as speculative waste).
+	// as speculative waste). Entries the bound engine already proves dead
+	// are skipped: pop-time pruning will discard them unexpanded, so
+	// resolving verdicts for them or their successors is guaranteed waste.
+	// Verdict-neutral — warming only prefills the cache.
 	for i := 0; i < fw.topK && i < len(pq.items); i++ {
 		it := pq.items[i]
+		if sp.bd != nil && it.last != NoLast && sp.bd.Dead(sp.vec(it.vecIdx), int(it.last)) {
+			continue
+		}
 		fw.add(it.vecIdx)
 		fw.addSuccessors(sp.vec(it.vecIdx))
 	}

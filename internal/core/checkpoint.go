@@ -33,6 +33,15 @@ type Checkpoint struct {
 // Task returns the migration task the checkpointed search is planning.
 func (cp *Checkpoint) Task() *migration.Task { return cp.task }
 
+// Gap returns the interrupted search's anytime optimality certificate:
+// the best incumbent cost found so far (0 when no complete plan has been
+// seen yet), the global lower bound proven so far, and the certified
+// relative gap between them (1 when nothing is certified yet). Resume
+// restores the certificate and can only tighten it.
+func (cp *Checkpoint) Gap() (incumbent, lowerBound, gap float64) {
+	return cp.Metrics.IncumbentCost, cp.Metrics.LowerBound, cp.Metrics.OptimalityGap
+}
+
 // Resume continues an interrupted search from its checkpoint under a fresh
 // budget envelope: opts.MaxStates and opts.Timeout bound the resumed leg
 // (counted from the resumption, not cumulatively), and ctx cancels it

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"klotski/internal/audit"
+	"klotski/internal/bound"
 	"klotski/internal/migration"
 	"klotski/internal/obs"
 	"klotski/internal/routing"
@@ -190,6 +191,19 @@ type Options struct {
 	// nil — the default — is the no-op recorder: every hook degrades to a
 	// single branch, keeping the search hot path unaffected.
 	Recorder *obs.Recorder
+
+	// Bound optionally attaches a lower-bound engine (internal/bound):
+	// infeasible boundary verdicts discovered during search are learned as
+	// cuts, provably-dead states are skipped, and — once the engine has
+	// been sealed by a completed run over the same problem — DP cells whose
+	// bound exceeds the incumbent are pruned. Plans are byte-identical with
+	// and without an engine; only the effort changes. The engine must have
+	// been built for this task's shape (see NewBoundEngine); a mismatched
+	// engine is ignored, as are configurations the cut model does not cover
+	// (funneling, run caps). The same engine may be reused across runs and
+	// replans — that reuse is where the pruning power comes from — but it
+	// is not safe for concurrent planner runs.
+	Bound *bound.Engine
 }
 
 // validate rejects option combinations that would silently produce
@@ -266,6 +280,29 @@ type Metrics struct {
 	AdaptiveDecisions int // policy decisions taken (incl. the initial resolve)
 	AdaptiveLanes     int // effective lane count after the last decision
 	AdaptiveWarmOffs  int // speculative-warming disables by the policy
+
+	// SpeculativeStates counts wavefront-valued DP cells the equivalent
+	// serial recursion never evaluates (reachable only through infeasible
+	// boundaries). They are memoized but excluded from StatesCreated and
+	// StatesPopped, so effort counts agree at every worker count.
+	SpeculativeStates int
+
+	// Lower-bound engine counters (zero unless Options.Bound is attached).
+	BoundCutsLearned  int // new infeasibility cuts learned during this run
+	BoundCutHits      int // queries answered from the cut set (dead/dominated)
+	BoundStatesPruned int // search states skipped as provably dead or dominated
+
+	// Anytime optimality certificate. IncumbentCost is the cost of the
+	// best complete plan found (0 with OptimalityGap 1 when none yet);
+	// LowerBound is a certified lower bound on the optimal cost;
+	// OptimalityGap is (incumbent − bound)/incumbent, so 0 means the
+	// incumbent is provably optimal. Completed A*/DP runs always certify
+	// gap 0; interrupted checkpoints carry the gap of the partial search.
+	// Baseline planners (MRC, Janus) do not certify: they report a zero
+	// certificate (all three fields 0).
+	IncumbentCost float64
+	LowerBound    float64
+	OptimalityGap float64
 }
 
 // Plan is an ordered, safe, minimum-cost migration plan.
@@ -363,6 +400,48 @@ func SequenceCostCapped(t *migration.Task, seq []int, alpha float64, initialLast
 		last = ty
 	}
 	return cost
+}
+
+// NewBoundEngine builds a lower-bound engine sized to the task's shape
+// (per-type totals, unit costs, α), ready to attach via Options.Bound.
+// The engine accumulates infeasibility cuts across every run it is
+// attached to — including drift replans, where structurally-valid cuts
+// survive — so reusing one engine per task is what makes it effective.
+func NewBoundEngine(task *migration.Task, opts Options) *bound.Engine {
+	n := task.NumTypes()
+	totals := make([]uint16, n)
+	units := make([]float64, n)
+	for i, c := range task.Counts() {
+		if c > 0xFFFF {
+			c = 0xFFFF // out of planner range anyway; Matches will reject
+		}
+		totals[i] = uint16(c)
+		units[i] = unitCost(task, migration.ActionType(i))
+	}
+	return bound.New(totals, units, opts.Alpha)
+}
+
+// CompletionLowerBound is an admissible lower bound on the cost of any
+// feasible completion of a partially executed migration: counts[i]
+// actions of type i are done, the last executed action had type last
+// (NoLast for none), runs are capped at maxRun (0 = uncapped). It is the
+// pure counting relaxation of the planners' heuristic — independent of
+// demands and topology state, so it remains a valid bound on the optimal
+// cost of ANY replan of the same remaining work, even after drift or
+// outages. The in-progress run is assumed at its weakest (full tail)
+// under a run cap, keeping the bound admissible without tail knowledge.
+func CompletionLowerBound(t *migration.Task, counts []int, last migration.ActionType, alpha float64, maxRun int) float64 {
+	n := t.NumTypes()
+	units := make([]float64, n)
+	rem := make([]int, n)
+	for i := 0; i < n; i++ {
+		units[i] = unitCost(t, migration.ActionType(i))
+		rem[i] = len(t.BlocksOfType(migration.ActionType(i)))
+		if counts != nil && i < len(counts) {
+			rem[i] -= counts[i]
+		}
+	}
+	return bound.RelaxCapped(units, rem, alpha, int(last), maxRun, maxRun)
 }
 
 // ValidateSequence checks that a block sequence is a permutation of the

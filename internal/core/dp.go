@@ -75,9 +75,11 @@ func planDP(ctx context.Context, task *migration.Task, opts Options) (*Plan, err
 		panic("core: target vector construction error")
 	}
 	if targetIdx == startIdx {
+		sp.incumbent, sp.lowerBound = 0, 0 // empty plan, trivially optimal
 		return sp.finishPlan(&Plan{Task: task, Cost: 0, Metrics: sp.elapsedMetrics()})
 	}
 	d.targetIdx = targetIdx
+	sp.initLowerBound(startIdx, startLast, startTail)
 	return d.plan()
 }
 
@@ -109,6 +111,18 @@ type dpRun struct {
 	// cycle sentinel, not a final value, and must be evicted before the
 	// memo can serve as a checkpoint.
 	stack []int64
+
+	// Wavefront accounting ledgers (see flushWavefront). wfLedger holds
+	// the keys of memo entries the parallel wavefront valued; wfPruned the
+	// keys skipped by the bound engine (both enumeration-pruned and
+	// serially-pruned). The *Flushed counters are the cumulative amounts
+	// already folded into Metrics, so repeated flushes across resume legs
+	// never double-count.
+	wfLedger         map[int64]struct{}
+	wfPruned         map[int64]struct{}
+	wfCreatedFlushed int
+	wfPoppedFlushed  int
+	wfPrunedFlushed  int
 }
 
 // sweep evaluates the DP at the target over every admissible last action
@@ -139,12 +153,15 @@ func (d *dpRun) sweep() (*Plan, error) {
 			}
 		}
 	}
+	d.flushWavefront()
 	if math.IsInf(bestCost, 1) {
 		return nil, planErrf(ErrInfeasible, "DP table contains no path to target (%d states evaluated)",
 			sp.metrics.StatesPopped)
 	}
 	seq := sp.reconstruct(d.prev, d.targetIdx, bestLast, bestTail)
 	sp.rec.PlanCompleted()
+	// The DP optimum is exact: the certificate closes with gap 0.
+	sp.incumbent, sp.lowerBound = bestCost, bestCost
 	return sp.finishPlan(&Plan{
 		Task:     task,
 		Sequence: seq,
@@ -163,6 +180,7 @@ func (d *dpRun) interrupt(reason error) error {
 		delete(d.memo, k)
 	}
 	d.stack = d.stack[:0]
+	d.flushWavefront()
 	sp.pause()
 	counts, partial := d.frontierSnapshot()
 	cp := &Checkpoint{
@@ -218,6 +236,27 @@ func (d *dpRun) f(vecIdx int32, a migration.ActionType, t int) (float64, error) 
 	key := sp.extKeyT(vecIdx, a, t)
 	if c, ok := d.memo[key]; ok {
 		return c, nil
+	}
+	if sp.bd != nil && sp.bd.DominatedDP(sp.vec(vecIdx), int(a)) {
+		// The bound engine proves this cell cannot lie on any optimal
+		// plan (dead, or reach + cost-to-go provably above the sealed
+		// incumbent). Memoizing +Inf without recursing is value-exact for
+		// dead/unreachable cells and harmlessly pessimistic for dominated
+		// ones: a raised value can only propagate to cells that are
+		// themselves above the incumbent, which never win (or tie) a
+		// predecessor selection on any cell the optimal plan traverses —
+		// so the sweep's plan stays byte-identical to the unpruned one.
+		// Counted as pruned, not created: the serial recursion under
+		// pruning never evaluates the cell.
+		d.memo[key] = math.Inf(1)
+		if d.wfPruned == nil {
+			d.wfPruned = make(map[int64]struct{})
+		}
+		d.wfPruned[key] = struct{}{}
+		d.wfPrunedFlushed++
+		sp.metrics.BoundStatesPruned++
+		sp.rec.BoundStatesPruned(1)
+		return math.Inf(1), nil
 	}
 	sp.metrics.StatesCreated++
 	sp.rec.StateCreated()

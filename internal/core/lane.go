@@ -56,6 +56,11 @@ type lane struct {
 	// m receives the lane's check accounting: &space.metrics for lane 0,
 	// a lane-private struct for workers.
 	m *Metrics
+
+	// occRejected reports whether the most recent failing check was
+	// rejected by the occupancy budget — a demand-independent (structural)
+	// verdict the bound engine keeps across demand drift.
+	occRejected bool
 }
 
 // newLane builds a check lane over sp. eval supplies the routing evaluator
@@ -115,6 +120,7 @@ func (ln *lane) fold() {
 func (ln *lane) check(v []uint16, last migration.ActionType, funneling bool) bool {
 	sp := ln.sp
 	ln.m.Checks++
+	ln.occRejected = false
 	var checkStart time.Time
 	if ln.rec.Enabled() {
 		checkStart = time.Now()
@@ -125,6 +131,7 @@ func (ln *lane) check(v []uint16, last migration.ActionType, funneling bool) boo
 	if sp.occDelta != nil && !ln.occupancyOK(v) {
 		// The evaluator never saw this view; incVec intentionally stays at
 		// the memoized state so the next delta is computed from it.
+		ln.occRejected = true
 		return false
 	}
 

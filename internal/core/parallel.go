@@ -29,8 +29,16 @@ import (
 // wavefront additionally values states the serial top-down recursion
 // prunes (ones reachable only through infeasible boundaries); those extra
 // entries are never read by the sweep or reconstruction, so plans are
-// byte-identical. StatesCreated/StatesPopped count the wavefront's larger
-// (but still deterministic) state set.
+// byte-identical.
+//
+// Accounting: StatesCreated/StatesPopped count exactly the states the
+// serial recursion evaluates, at any worker count. Wavefront-valued memo
+// entries are not counted at merge time; instead their keys are kept in a
+// ledger and flushWavefront replays the serial recursion's reachable
+// closure over the resolved satisfiability verdicts, counting only the
+// ledger entries the serial planner would have evaluated itself. The
+// surplus — speculative cells the serial recursion never reads — is
+// reported separately as Metrics.SpeculativeStates.
 //
 // The wavefront is incompatible with funneling headroom (feasibility then
 // depends on the in-flight block, not just the vector) and pointless when
@@ -135,6 +143,20 @@ func (d *dpRun) wavefront() error {
 					if _, ok := d.memo[key]; ok {
 						continue // already finalized by a previous leg
 					}
+					if sp.bd != nil && sp.bd.DominatedDP(v, a) {
+						// Same pruning decision the serial recursion makes
+						// in f(): memoize +Inf without valuing the cell.
+						// Uncounted here — flushWavefront counts the subset
+						// of pruned cells the serial recursion would
+						// actually have reached, keeping the pruned-states
+						// metric identical at any worker count.
+						d.memo[key] = math.Inf(1)
+						if d.wfPruned == nil {
+							d.wfPruned = make(map[int64]struct{})
+						}
+						d.wfPruned[key] = struct{}{}
+						continue
+					}
 					states = append(states, wfState{vecIdx, migration.ActionType(a), t, key})
 				}
 			}
@@ -144,8 +166,11 @@ func (d *dpRun) wavefront() error {
 		}
 		// Guard the budget before committing to the layer, so an oversized
 		// layer interrupts cleanly at a layer boundary (all merged memo
-		// entries final) instead of mid-merge.
-		if sp.metrics.StatesCreated-sp.budgetBase+len(states) > sp.opts.maxStates() {
+		// entries final) instead of mid-merge. Merged-but-unflushed ledger
+		// entries stand in for the StatesCreated they will fold into, so
+		// the guard tracks total work even though the merge itself no
+		// longer bumps the counter.
+		if sp.metrics.StatesCreated-sp.budgetBase+(len(d.wfLedger)-d.wfPoppedFlushed)+len(states) > sp.opts.maxStates() {
 			sp.stopErr = ErrBudget
 			return sp.stopErr
 		}
@@ -158,11 +183,15 @@ func (d *dpRun) wavefront() error {
 		}
 		panicked := d.computeLayer(states, res, lanes[:workers])
 		// Merge in ascending state order. Values are final regardless of
-		// merge order (states of one layer are independent); the order only
-		// keeps the accounting deterministic. Results of a poisoned layer
-		// are merged too: each valid slot was fully computed before the
-		// panic and the sweep revalues the rest lazily.
-		merged := 0
+		// merge order (states of one layer are independent). Results of a
+		// poisoned layer are merged too: each valid slot was fully computed
+		// before the panic and the sweep revalues the rest lazily. Merged
+		// keys go to the ledger, not the counters — flushWavefront later
+		// folds in exactly the subset the serial recursion would have
+		// evaluated, so the accounting is worker-invariant.
+		if d.wfLedger == nil {
+			d.wfLedger = make(map[int64]struct{}, len(res))
+		}
 		for i := range res {
 			if !res[i].valid {
 				continue // worker bailed on cancellation or panic; recomputed later
@@ -171,12 +200,8 @@ func (d *dpRun) wavefront() error {
 			if !math.IsInf(res[i].cost, 1) {
 				d.prev[states[i].key] = res[i].prev
 			}
-			merged++
+			d.wfLedger[states[i].key] = struct{}{}
 		}
-		sp.metrics.StatesCreated += merged
-		sp.metrics.StatesPopped += merged
-		sp.rec.StatesCreatedAdded(merged)
-		sp.rec.StatesExpandedAdded(merged)
 		for _, ln := range lanes {
 			ln.fold()
 		}
@@ -268,10 +293,161 @@ func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) (p
 	return panicked
 }
 
+// flushWavefront folds the wavefront ledgers into the shared metrics
+// under the serial planner's accounting definition: StatesCreated and
+// StatesPopped count exactly the states the serial top-down recursion
+// evaluates, regardless of how many the wavefront valued speculatively.
+//
+// It replays the serial recursion's call graph — same roots (the sweep's
+// target states), same per-predecessor consideration structure as
+// computeWith, gated on the satisfiability verdicts the run resolved —
+// and counts, of the cells reached: ledger entries as created+popped
+// (the wavefront valued them in the serial planner's stead), guard cells
+// hanging off ledger entries as created only (the serial recursion calls
+// f on them and gets the v[a] ≤ initial[a] early return, without an
+// expansion), and bound-engine-pruned cells as pruned. Unknown verdicts
+// gate closed — pessimistic, and monotone as verdicts resolve — so the
+// counts only grow across flushes; cumulative *Flushed watermarks make
+// repeated flushes (interruptions, resume legs, the final sweep) fold
+// each cell in exactly once. Cells outside the replayed closure are the
+// wavefront's speculative surplus, reported as the SpeculativeStates
+// gauge.
+//
+// Called only between parallel phases (after layers join), so the
+// verdict table is quiescent. Serial-only runs keep an empty ledger and
+// return immediately.
+func (d *dpRun) flushWavefront() {
+	sp := d.sp
+	if len(d.wfLedger) == 0 && len(d.wfPruned) == d.wfPrunedFlushed {
+		return
+	}
+	tails := d.tails()
+	type simCell struct {
+		vecIdx int32
+		a      migration.ActionType
+		t      int
+	}
+	visited := make(map[int64]struct{}, len(d.wfLedger)*2)
+	var stack []simCell
+	visit := func(vecIdx int32, a migration.ActionType, t int) {
+		key := sp.extKeyT(vecIdx, a, t)
+		if _, ok := visited[key]; ok {
+			return
+		}
+		visited[key] = struct{}{}
+		stack = append(stack, simCell{vecIdx, a, t})
+	}
+	for a := 0; a < sp.nTypes; a++ {
+		if sp.totals[a] == sp.initial[a] {
+			continue
+		}
+		for _, t := range tails {
+			visit(d.targetIdx, migration.ActionType(a), t)
+		}
+	}
+	ledgerHit, guardHit, prunedHit := 0, 0, 0
+	k := sp.runCap()
+	pred := make([]uint16, sp.nTypes)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		key := sp.extKeyT(c.vecIdx, c.a, c.t)
+		if _, pruned := d.wfPruned[key]; pruned {
+			// The engine pruned this cell (at enumeration or serially):
+			// the recursion memoizes +Inf here and does not descend.
+			prunedHit++
+			continue
+		}
+		_, inLedger := d.wfLedger[key]
+		if inLedger {
+			ledgerHit++
+		}
+		v := sp.vec(c.vecIdx)
+		copy(pred, v)
+		pred[c.a]--
+		atInitial := true
+		for i := range pred {
+			if pred[i] != sp.initial[i] {
+				atInitial = false
+				break
+			}
+		}
+		if atInitial {
+			continue // computeWith's base case: no recursion
+		}
+		predIdx, _ := sp.intern(pred)
+		gateOpen := sp.feasT.get(predIdx) == feasYes
+		switch {
+		case k == 0:
+			for b := 0; b < sp.nTypes; b++ {
+				if pred[b] <= sp.initial[b] {
+					continue
+				}
+				if b != int(c.a) && !gateOpen {
+					continue
+				}
+				visit(predIdx, migration.ActionType(b), 0)
+			}
+		case c.t > 1:
+			// Sole predecessor: the same run, one action shorter —
+			// unconditionally f-called by the recursion, even when it is a
+			// guard cell (pred[a] ≤ initial[a]) that answers +Inf without
+			// an expansion. A guard cell has exactly this one caller, so
+			// it is counted here iff its caller was wavefront-valued; a
+			// serially-computed caller already counted it inline.
+			if pred[c.a] > sp.initial[c.a] {
+				visit(predIdx, c.a, c.t-1)
+			} else if inLedger {
+				gk := sp.extKeyT(predIdx, c.a, c.t-1)
+				if _, ok := visited[gk]; !ok {
+					visited[gk] = struct{}{}
+					guardHit++
+				}
+			}
+		default: // c.t == 1: fresh run started here; predecessor observed
+			if !gateOpen {
+				continue
+			}
+			for b := 0; b < sp.nTypes; b++ {
+				if pred[b] <= sp.initial[b] {
+					continue
+				}
+				if b == int(c.a) {
+					visit(predIdx, c.a, k)
+					continue
+				}
+				for _, pt := range tails {
+					visit(predIdx, migration.ActionType(b), pt)
+				}
+			}
+		}
+	}
+	created := ledgerHit + guardHit
+	if dlt := created - d.wfCreatedFlushed; dlt > 0 {
+		sp.metrics.StatesCreated += dlt
+		sp.rec.StatesCreatedAdded(dlt)
+		d.wfCreatedFlushed = created
+	}
+	if dlt := ledgerHit - d.wfPoppedFlushed; dlt > 0 {
+		sp.metrics.StatesPopped += dlt
+		sp.rec.StatesExpandedAdded(dlt)
+		d.wfPoppedFlushed = ledgerHit
+	}
+	if dlt := prunedHit - d.wfPrunedFlushed; dlt > 0 {
+		sp.metrics.BoundStatesPruned += dlt
+		sp.rec.BoundStatesPruned(dlt)
+		d.wfPrunedFlushed = prunedHit
+	}
+	sp.metrics.SpeculativeStates = len(d.wfLedger) - ledgerHit
+	sp.rec.StatesSpeculative(sp.metrics.SpeculativeStates)
+}
+
 // PlanDPParallel runs the DP planner with the memo table computed across
-// the given number of workers (0 picks GOMAXPROCS). Plans and costs are
-// byte-identical to PlanDP's; only wall-clock time and the effort
-// accounting change.
+// the given number of workers (0 picks GOMAXPROCS). Plans, costs, and the
+// state accounting are byte-identical to PlanDP's — wavefront-valued
+// states the serial recursion would not evaluate are excluded from
+// StatesCreated/StatesPopped and reported as Metrics.SpeculativeStates —
+// so only wall-clock time and the check/cache accounting change.
 //
 // Equivalent to setting Options.Workers and calling PlanDP — kept as a
 // convenience entry point.

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
+	"klotski/internal/bound"
 	"klotski/internal/demand"
 	"klotski/internal/migration"
 	"klotski/internal/obs"
@@ -125,6 +128,18 @@ type space struct {
 	// which produces byte-identical plans. Only the planner goroutine
 	// writes it, between parallel phases.
 	degraded bool
+
+	// bd is the attached lower-bound engine — nil unless Options.Bound
+	// matches this task shape and the configuration is one the engine's
+	// cut model covers (no funneling, no run cap). incumbent/lowerBound
+	// carry the run's anytime optimality certificate; the *Base fields
+	// rebase the engine's lifetime counters onto this run's metrics so
+	// reuse across runs never double-counts.
+	bd         *bound.Engine
+	incumbent  float64
+	lowerBound float64
+	bdCutsBase int
+	bdHitsBase int
 }
 
 // dcDelta is one block's occupancy change in one datacenter (index DC+1).
@@ -231,7 +246,113 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 	if opts.Workers == WorkersAdaptive {
 		sp.adaptive = newAdaptivePolicy(sp)
 	}
+	// No plan yet: the incumbent is +Inf until a planner completes (or a
+	// target push improves it), and the global lower bound starts at 0.
+	sp.incumbent = math.Inf(1)
+	// Attach the caller's lower-bound engine when it covers this
+	// configuration. Funneling verdicts depend on (vector, last) and a run
+	// cap changes which vectors are boundary-checked, so the engine's
+	// vector-keyed cut model excludes both; a mismatched engine (different
+	// task shape) is ignored rather than rejected, so one engine can be
+	// carried across heterogeneous runs harmlessly.
+	if b := opts.Bound; b != nil && opts.FunnelFactor <= 1 && opts.MaxRunLength == 0 &&
+		b.Matches(sp.totals, sp.units, opts.Alpha) {
+		sp.bd = b
+		b.Bind(sp.boundStructSig(), sp.boundDemandSig())
+		last := opts.InitialLast
+		if opts.InitialCounts == nil {
+			last = NoLast
+		}
+		b.Arm(sp.initial, int(last))
+		sp.bdCutsBase = b.CutsLearned()
+		sp.bdHitsBase = b.CutHits()
+	}
 	return sp, nil
+}
+
+// fnv64a mixing for the bound engine's provenance signatures.
+const (
+	sigOffset uint64 = 14695981039346656037
+	sigPrime  uint64 = 1099511628211
+)
+
+func sigMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * sigPrime
+		x >>= 8
+	}
+	return h
+}
+
+// boundStructSig fingerprints every demand-independent input that shapes
+// boundary verdicts: θ, α, split policy, funneling, run cap, space
+// budgets, topology element activity (outages), and the task shape. Any
+// change invalidates the engine's entire cut set.
+func (sp *space) boundStructSig() uint64 {
+	h := sigOffset
+	h = sigMix(h, math.Float64bits(sp.opts.Theta))
+	h = sigMix(h, math.Float64bits(sp.opts.Alpha))
+	h = sigMix(h, uint64(sp.opts.Split))
+	h = sigMix(h, math.Float64bits(sp.opts.FunnelFactor))
+	h = sigMix(h, uint64(sp.opts.MaxRunLength))
+	if len(sp.opts.SpaceBudget) > 0 {
+		dcs := make([]int, 0, len(sp.opts.SpaceBudget))
+		for dc := range sp.opts.SpaceBudget {
+			dcs = append(dcs, dc)
+		}
+		sort.Ints(dcs)
+		for _, dc := range dcs {
+			h = sigMix(h, uint64(int64(dc)))
+			h = sigMix(h, uint64(int64(sp.opts.SpaceBudget[dc])))
+		}
+	}
+	t := sp.task.Topo
+	h = sigMix(h, uint64(t.NumSwitches()))
+	h = sigMix(h, uint64(t.NumCircuits()))
+	var w uint64
+	nb := 0
+	for i := 0; i < t.NumSwitches(); i++ {
+		w <<= 1
+		if t.SwitchActive(topo.SwitchID(i)) {
+			w |= 1
+		}
+		if nb++; nb == 64 {
+			h = sigMix(h, w)
+			w, nb = 0, 0
+		}
+	}
+	for i := 0; i < t.NumCircuits(); i++ {
+		w <<= 1
+		if t.CircuitActive(topo.CircuitID(i)) {
+			w |= 1
+		}
+		if nb++; nb == 64 {
+			h = sigMix(h, w)
+			w, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		h = sigMix(h, w)
+	}
+	for _, tot := range sp.totals {
+		h = sigMix(h, uint64(tot))
+	}
+	return h
+}
+
+// boundDemandSig fingerprints the demand matrix and growth model — the
+// inputs whose drift invalidates demand-dependent cuts while structural
+// (occupancy) cuts survive.
+func (sp *space) boundDemandSig() uint64 {
+	h := sigOffset
+	for i := range sp.demands.Demands {
+		d := &sp.demands.Demands[i]
+		h = sigMix(h, uint64(int64(d.Src)))
+		h = sigMix(h, uint64(int64(d.Dst)))
+		h = sigMix(h, math.Float64bits(d.Rate))
+	}
+	h = sigMix(h, math.Float64bits(sp.task.Forecast.GrowthPerStep))
+	return h
 }
 
 // effectiveWorkers is the worker count the parallel paths should size to:
@@ -620,6 +741,15 @@ func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
 			sp.metrics.CacheHits++
 			sp.rec.CacheHit()
 			sp.consumeSpec(vecIdx)
+			if sp.bd != nil {
+				// Learned idempotently on the hit path too, so serial and
+				// warmed runs observe identical cut evolution: the warmer
+				// resolves verdicts on worker lanes (which never touch the
+				// engine), and the serial search then learns them here — at
+				// the same point in its deterministic visit sequence where
+				// an unwarmed run would have learned from a fresh check.
+				sp.bd.Learn(sp.vec(vecIdx), false)
+			}
 			return false
 		}
 		sp.metrics.CacheMisses++
@@ -631,6 +761,9 @@ func (sp *space) feasible(vecIdx int32, last migration.ActionType) bool {
 		res = feasYes
 	}
 	sp.feasT.set(vecIdx, res)
+	if !ok && sp.bd != nil {
+		sp.bd.Learn(sp.vec(vecIdx), sp.ln.occRejected)
+	}
 	return ok
 }
 
@@ -807,12 +940,75 @@ func (sp *space) reconstruct(prev map[int64]prevInfo, vecIdx int32, last migrati
 	return rev
 }
 
+// initLowerBound seeds the run's global lower bound from a start state:
+// the planners' own admissible heuristic, sharpened by the engine's
+// cut-aware completion bound when one is attached. Monotone — a resumed
+// leg can only raise the bound, never lower it.
+func (sp *space) initLowerBound(vecIdx int32, last migration.ActionType, tail int) {
+	lb := sp.heuristicCapped(vecIdx, last, tail)
+	if sp.bd != nil {
+		if c := sp.bd.Completion(sp.vec(vecIdx), int(last)); c > lb && !math.IsInf(c, 1) {
+			lb = c
+		}
+	}
+	if lb > sp.lowerBound {
+		sp.lowerBound = lb
+	}
+}
+
+// certGap normalizes an (incumbent, lower bound) pair into the reported
+// certificate. No incumbent yet → (0, lb, 1): nothing is certified. A
+// zero-cost incumbent is trivially optimal. Otherwise the bound is
+// clamped into [0, incumbent] (floating-point noise in the f-ordering can
+// push it epsilon past the true optimum) and the relative gap returned —
+// gap = 0 means the plan is provably optimal.
+func certGap(incumbent, lb float64) (inc, lower, gap float64) {
+	if math.IsInf(incumbent, 1) {
+		if lb < 0 || math.IsInf(lb, 1) {
+			lb = 0
+		}
+		return 0, lb, 1
+	}
+	if lb > incumbent {
+		lb = incumbent
+	}
+	if lb < 0 {
+		lb = 0
+	}
+	if incumbent <= 0 {
+		return incumbent, incumbent, 0
+	}
+	return incumbent, lb, (incumbent - lb) / incumbent
+}
+
+// sealBound finalizes the engine after a successful run: every infeasible
+// verdict the run resolved — including ones committed by worker lanes,
+// which never reach the serial Learn hook — is imported as a cut, then
+// the plan's optimal cost is sealed as the incumbent for this basis. The
+// next run over the same bound problem prunes against the sealed tables.
+// Interrupted and infeasible runs seal nothing: their search state is
+// incomplete and their cost is not an incumbent.
+func (sp *space) sealBound(p *Plan) {
+	if sp.bd == nil {
+		return
+	}
+	for i, n := int32(0), int32(sp.vt.len()); i < n; i++ {
+		if sp.feasT.get(i) == feasNo {
+			sp.bd.Learn(sp.vt.vec(i), false)
+		}
+	}
+	sp.bd.Seal(p.Cost)
+}
+
 // elapsedMetrics finalizes and returns the metrics for a finished run,
 // accumulating planning time across resumed legs (the wall-clock gap
 // between interruption and resumption is not counted). Shard contention is
 // folded as a delta so that an interrupted run's checkpoint metrics and the
 // final metrics never double-count; speculative waste is a point-in-time
-// gauge of batched-but-unconsumed verdicts.
+// gauge of batched-but-unconsumed verdicts. The optimality certificate
+// (incumbent, global lower bound, relative gap) and the bound engine's
+// effectiveness counters are stamped here so every exit path — success,
+// interruption, checkpoint — reports them consistently.
 func (sp *space) elapsedMetrics() Metrics {
 	cont := int(sp.contention.Load() + sp.vt.contention.Load())
 	if d := cont - sp.contFolded; d > 0 {
@@ -822,6 +1018,17 @@ func (sp *space) elapsedMetrics() Metrics {
 	}
 	sp.metrics.SpeculativeWaste = len(sp.specPending)
 	sp.rec.SpeculativeWaste(len(sp.specPending))
+	if sp.bd != nil {
+		cl := sp.bd.CutsLearned() - sp.bdCutsBase
+		ch := sp.bd.CutHits() - sp.bdHitsBase
+		sp.rec.BoundCutsLearnedAdded(cl - sp.metrics.BoundCutsLearned)
+		sp.rec.BoundCutHitsAdded(ch - sp.metrics.BoundCutHits)
+		sp.metrics.BoundCutsLearned = cl
+		sp.metrics.BoundCutHits = ch
+	}
+	sp.metrics.IncumbentCost, sp.metrics.LowerBound, sp.metrics.OptimalityGap =
+		certGap(sp.incumbent, sp.lowerBound)
+	sp.rec.OptimalityGap(sp.metrics.OptimalityGap)
 	m := sp.metrics
 	m.PlanningTime = sp.priorElapsed + time.Since(sp.started)
 	return m

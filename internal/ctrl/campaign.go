@@ -39,6 +39,7 @@ type CampaignReport struct {
 
 	// Drift-loop aggregates (all zero unless Run.DriftThreshold is set).
 	DriftReplans    int // replans triggered by observed demand drift
+	GapSkips        int // drift replans skipped on a certified optimality gap
 	TelemetryFaults int // demand observations dropped or failing sanity checks
 	DegradedRuns    int // runs executed against the inflated-demand envelope
 
@@ -89,6 +90,7 @@ func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (
 		rep.TotalRetries += out.Retries
 		rep.TotalReplans += out.Replans
 		rep.DriftReplans += out.DriftReplans
+		rep.GapSkips += out.GapSkips
 		rep.TelemetryFaults += out.TelemetryFaults
 		rep.DegradedRuns += out.DegradedRuns
 		rep.BoundaryViolations += out.BoundaryViolations
@@ -111,9 +113,9 @@ func (r *CampaignReport) String() string {
 	s := fmt.Sprintf("chaos campaign over %d seeds: %.0f%% completed, %d retries, %d replans, %d boundary violations, peak util %.3f (worst seed %d)",
 		r.Seeds, 100*r.CompletionRate, r.TotalRetries, r.TotalReplans,
 		r.BoundaryViolations, r.PeakUtil, r.WorstSeed)
-	if r.DriftReplans+r.TelemetryFaults+r.DegradedRuns > 0 {
-		s += fmt.Sprintf("; drift: %d drift replans, %d telemetry faults, %d degraded runs",
-			r.DriftReplans, r.TelemetryFaults, r.DegradedRuns)
+	if r.DriftReplans+r.GapSkips+r.TelemetryFaults+r.DegradedRuns > 0 {
+		s += fmt.Sprintf("; drift: %d drift replans, %d gap skips, %d telemetry faults, %d degraded runs",
+			r.DriftReplans, r.GapSkips, r.TelemetryFaults, r.DegradedRuns)
 	}
 	return s
 }

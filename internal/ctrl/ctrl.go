@@ -47,6 +47,19 @@ type Options struct {
 	// 0 disables the observation loop entirely.
 	DriftThreshold float64
 
+	// GapSkipThreshold enables certified-gap replan skipping on top of the
+	// drift loop: when observed drift exceeds DriftThreshold, the
+	// controller first asks whether a replan could actually help — the
+	// remaining plan's cost is compared against the certified completion
+	// lower bound of the drifted problem, and the plan is re-audited
+	// against the drifted demands and live topology. If the cost is within
+	// this relative gap of the bound and the audit passes, no replan can
+	// improve cost by more than the gap and the plan is provably still
+	// safe, so the replan (and its MaxReplans slot) is skipped. 0 disables
+	// the check; it never fires in degraded mode (the envelope, not the
+	// observation, is what the plan must track there).
+	GapSkipThreshold float64
+
 	// DemandMargin is the degraded-mode safety envelope: when telemetry is
 	// unavailable or fails sanity checks even after the watchdog's
 	// retries, the controller replans against the last good demand set
@@ -123,6 +136,10 @@ type Outcome struct {
 	// DriftReplans counts replans (included in Replans) triggered by
 	// observed demand drift exceeding Options.DriftThreshold.
 	DriftReplans int
+	// GapSkips counts drift replans avoided because the remaining plan was
+	// certified within Options.GapSkipThreshold of the drifted problem's
+	// completion lower bound and re-audited safe against it.
+	GapSkips int
 	// TelemetryFaults counts demand observations that failed or were
 	// rejected by sanity checks (including watchdog retries).
 	TelemetryFaults int
@@ -300,6 +317,25 @@ func Run(ctx context.Context, task *migration.Task, world *sim.World, opts Optio
 		if score <= opts.DriftThreshold {
 			return nil
 		}
+		if opts.GapSkipThreshold > 0 {
+			var rf *demand.Forecast
+			if haveRefit {
+				rf = &refit
+			}
+			if gapSkipCheck(task, world, opts.Config, opts.GapSkipThreshold, remaining[idx:], obsSet, rf) {
+				out.GapSkips++
+				rec.GapSkip()
+				// The plan was certified against the observation; make it
+				// the new drift reference so the same drift does not re-run
+				// the certificate at every boundary.
+				if haveRefit {
+					assumedF = refit
+				}
+				assumed = obsSet.Clone()
+				assumedAt = len(world.Executed())
+				return nil
+			}
+		}
 		ov := &demandOverride{demands: &obsSet}
 		if haveRefit {
 			ov.forecast = &refit
@@ -434,6 +470,46 @@ func ensureAudited(p *core.Plan, executed []int, cfg pipeline.Config) error {
 			p.Audit.FailStep, p.Audit.Reason)
 	}
 	return nil
+}
+
+// gapSkipCheck reports whether the remaining plan may keep executing
+// despite demand drift beyond the replan threshold: a replan is only
+// worth its cost (and its MaxReplans slot) if it could produce a
+// meaningfully better plan, and it provably cannot when the remaining
+// sequence's cost is already within GapSkipThreshold of the drifted
+// problem's certified completion lower bound. Cost alone is not enough —
+// the plan must also still be SAFE under the drifted demands — so the
+// remaining sequence is re-audited against the drifted task (observed
+// demands, refit forecast, live outages) on a pristine evaluator before
+// the skip is granted.
+func gapSkipCheck(task *migration.Task, world *sim.World, cfg pipeline.Config, thr float64, remaining []int, obsSet demand.Set, refit *demand.Forecast) bool {
+	executed := world.Executed()
+	opts := cfg.Options
+	// Incumbent: the remaining plan's cost, conservatively restarting the
+	// run structure at the boundary (NoLast can only overestimate, keeping
+	// the certificate sound).
+	inc := core.SequenceCostCapped(task, remaining, opts.Alpha, core.NoLast, opts.MaxRunLength, 0)
+	counts := make([]int, task.NumTypes())
+	last := core.NoLast
+	for _, id := range executed {
+		counts[task.Blocks[id].Type]++
+	}
+	if len(executed) > 0 {
+		last = task.Blocks[executed[len(executed)-1]].Type
+	}
+	planTask := withOutages(task, world.DownSwitches(), world.DownCircuits()).WithDemands(obsSet.Clone())
+	if refit != nil {
+		planTask = planTask.WithForecast(*refit)
+	}
+	lb := core.CompletionLowerBound(planTask, counts, last, opts.Alpha, opts.MaxRunLength)
+	if lb <= 0 || inc > (1+thr)*lb {
+		return false
+	}
+	auditOpts := opts
+	auditOpts.InitialCounts = nil
+	auditOpts.InitialLast = core.NoLast
+	rep, err := core.AuditResumed(planTask, remaining, executed, auditOpts, false)
+	return err == nil && rep.Passed
 }
 
 // demandOverride redirects a replan away from the world's ground-truth

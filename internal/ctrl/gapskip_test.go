@@ -1,0 +1,93 @@
+package ctrl
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"klotski/internal/core"
+	"klotski/internal/sim"
+)
+
+// TestRunGapSkipAvoidsDriftReplans: the same organic-growth world that
+// forces drift replans in TestRunDriftReplansOnGrowth must, with the
+// certified-gap skip armed, keep executing the original plan instead —
+// its remaining cost sits on the completion lower bound (gap 0) and the
+// re-audit proves it still safe under the grown demands, so a replan can
+// buy nothing.
+func TestRunGapSkipAvoidsDriftReplans(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, nil, 1)
+	world.SetDemandGrowth(0.02)
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:            noSleep,
+		Seed:             1,
+		DriftThreshold:   0.03,
+		GapSkipThreshold: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("gap-skipping run should complete")
+	}
+	if out.GapSkips == 0 {
+		t.Fatal("drift above the threshold never exercised the gap-skip certificate")
+	}
+	if out.DriftReplans != 0 {
+		t.Fatalf("gap skip should have absorbed all drift replans, got %d", out.DriftReplans)
+	}
+	if out.BoundaryViolations != 0 {
+		t.Fatalf("skipped replans let %d unsafe boundary states onto the live network", out.BoundaryViolations)
+	}
+	if err := core.ValidateSequence(task, out.Executed, nil); err != nil {
+		t.Fatalf("executed order invalid: %v", err)
+	}
+}
+
+// TestRunGapSkipDisabledByDefault: with GapSkipThreshold unset the drift
+// loop's behavior is untouched — drift replans happen, no skips counted.
+func TestRunGapSkipDisabledByDefault(t *testing.T) {
+	task, _ := loopTask(t)
+	world := sim.NewWorld(task, nil, 1)
+	world.SetDemandGrowth(0.02)
+	out, err := Run(context.Background(), task, world, Options{
+		Sleep:          noSleep,
+		Seed:           1,
+		DriftThreshold: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GapSkips != 0 {
+		t.Fatalf("gap skip fired while disabled: %d", out.GapSkips)
+	}
+	if out.DriftReplans == 0 {
+		t.Fatal("baseline drift behavior changed: no drift replans")
+	}
+}
+
+// TestCampaignAggregatesGapSkips: campaign reports must roll gap skips up
+// and surface them in the one-line summary.
+func TestCampaignAggregatesGapSkips(t *testing.T) {
+	task, _ := loopTask(t)
+	rep, err := Campaign(context.Background(), task, CampaignOptions{
+		Seeds:    4,
+		Seed:     700,
+		Schedule: sim.ScheduleOptions{Faults: 3, Telemetry: true, SurgeSteps: 2},
+		Run: Options{
+			DriftThreshold:   0.05,
+			GapSkipThreshold: 0.05,
+			DemandMargin:     1.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BoundaryViolations != 0 {
+		t.Fatalf("campaign observed %d boundary violations", rep.BoundaryViolations)
+	}
+	if rep.GapSkips > 0 && !strings.Contains(rep.String(), "gap skips") {
+		t.Errorf("report should surface gap skips: %s", rep)
+	}
+}

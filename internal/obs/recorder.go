@@ -1,6 +1,10 @@
 package obs
 
-import "time"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
 
 // Instrument names published by Recorder into its registry. Exported so
 // snapshot consumers (the bench guard, tests, dashboards) can reference
@@ -29,6 +33,12 @@ const (
 	MetricWorkerChecks       = "planner.worker_checks"
 	MetricShardContention    = "planner.shard_contention"
 	MetricSpeculativeWaste   = "planner.speculative_waste"
+	MetricSpeculativeStates  = "planner.states_speculative"
+	MetricOptimalityGap      = "planner.optimality_gap"
+	MetricBoundCutsLearned   = "bound.cuts_learned"
+	MetricBoundCutHits       = "bound.cut_hits"
+	MetricBoundStatesPruned  = "bound.states_pruned"
+	MetricGapSkips           = "ctrl.gap_skips"
 	MetricAuditSteps         = "audit.steps_checked"
 	MetricAuditFailures      = "audit.failures"
 	MetricLanePanics         = "planner.lane_panics_degraded"
@@ -68,6 +78,12 @@ type Recorder struct {
 	workerChecks     *Counter
 	shardContention  *Counter
 	specWaste        *Gauge
+	specStates       *Gauge
+	boundCuts        *Counter
+	boundCutHits     *Counter
+	boundPruned      *Counter
+	gapSkips         *Counter
+	gapBits          atomic.Uint64 // float64 bits of the last certified gap
 	auditSteps       *Counter
 	auditFailures    *Counter
 	lanePanics       *Counter
@@ -108,6 +124,11 @@ func NewRecorder(reg *Registry) *Recorder {
 		workerChecks:     reg.Counter(MetricWorkerChecks),
 		shardContention:  reg.Counter(MetricShardContention),
 		specWaste:        reg.Gauge(MetricSpeculativeWaste),
+		specStates:       reg.Gauge(MetricSpeculativeStates),
+		boundCuts:        reg.Counter(MetricBoundCutsLearned),
+		boundCutHits:     reg.Counter(MetricBoundCutHits),
+		boundPruned:      reg.Counter(MetricBoundStatesPruned),
+		gapSkips:         reg.Counter(MetricGapSkips),
 		auditSteps:       reg.Counter(MetricAuditSteps),
 		auditFailures:    reg.Counter(MetricAuditFailures),
 		lanePanics:       reg.Counter(MetricLanePanics),
@@ -122,6 +143,10 @@ func NewRecorder(reg *Registry) *Recorder {
 			return 0
 		}
 		return float64(h) / float64(h+m)
+	})
+	gap := &r.gapBits
+	reg.Derived(MetricOptimalityGap, func() float64 {
+		return math.Float64frombits(gap.Load())
 	})
 	return r
 }
@@ -364,6 +389,63 @@ func (r *Recorder) SpeculativeWaste(n int) {
 		return
 	}
 	r.specWaste.Set(int64(n))
+}
+
+// StatesSpeculative records the current number of wavefront-valued DP
+// cells the serial recursion never evaluates (excluded from the
+// states-created/expanded counters). A gauge: re-flushed per leg.
+func (r *Recorder) StatesSpeculative(n int) {
+	if r == nil || n < 0 {
+		return
+	}
+	r.specStates.Set(int64(n))
+}
+
+// BoundCutsLearnedAdded counts n new infeasibility cuts recorded by the
+// lower-bound engine.
+func (r *Recorder) BoundCutsLearnedAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.boundCuts.Add(int64(n))
+}
+
+// BoundCutHitsAdded counts n lower-bound queries the cut set answered
+// affirmatively (a state proven dead or dominated).
+func (r *Recorder) BoundCutHitsAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.boundCutHits.Add(int64(n))
+}
+
+// BoundStatesPruned counts n search states skipped because the bound
+// engine proved they cannot lie on any optimal plan.
+func (r *Recorder) BoundStatesPruned(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.boundPruned.Add(int64(n))
+}
+
+// OptimalityGap records the latest certified relative optimality gap
+// (0 = provably optimal, 1 = nothing certified). Published as a derived
+// metric so float precision survives the snapshot.
+func (r *Recorder) OptimalityGap(gap float64) {
+	if r == nil || math.IsNaN(gap) {
+		return
+	}
+	r.gapBits.Store(math.Float64bits(gap))
+}
+
+// GapSkip counts one drift replan skipped because the executing plan's
+// remaining cost was already certified within the controller's gap
+// threshold of the lower bound.
+func (r *Recorder) GapSkip() {
+	if r == nil {
+		return
+	}
+	r.gapSkips.Inc()
 }
 
 // AuditSteps counts n boundary states checked by the independent plan

@@ -49,6 +49,7 @@ import (
 
 	"klotski/internal/audit"
 	"klotski/internal/baseline"
+	"klotski/internal/bound"
 	"klotski/internal/core"
 	"klotski/internal/ctrl"
 	"klotski/internal/demand"
@@ -169,6 +170,13 @@ type (
 	PlanRun = core.Run
 	// Metrics reports planner effort.
 	Metrics = core.Metrics
+	// BoundEngine is the reusable lower-bound engine: an admissible
+	// relaxation plus Benders-style no-good cuts learned from infeasible
+	// boundary checks, cached across planner invocations and drift replans
+	// over the same structure. Wire one via Options.Bound to enable
+	// bound-guided pruning (A* dead-state discards, DP dominance skips)
+	// and warm-started certified optimality gaps.
+	BoundEngine = bound.Engine
 )
 
 // Planning errors, matchable with errors.Is.
@@ -184,6 +192,27 @@ var (
 
 // NoLast marks "no action executed yet" in replanning options.
 const NoLast = core.NoLast
+
+// NewBoundEngine builds a lower-bound engine matched to the task's action
+// structure (per-type block totals, unit costs, α). Assign it to
+// Options.Bound; the same engine may be shared across successive planner
+// runs over the same structure — a drift replan with changed demands keeps
+// the structural cuts and re-proves the rest — and across planner kinds
+// (A* and DP runs feed the same cut store). Not safe for concurrent
+// planner runs.
+func NewBoundEngine(task *Task, opts Options) *BoundEngine {
+	return core.NewBoundEngine(task, opts)
+}
+
+// CompletionLowerBound returns an admissible lower bound on the cost to
+// finish the migration from the state described by per-type finished
+// counts: the capped-run relaxation of Eq. 1 that ignores safety
+// constraints. It never exceeds the true optimal completion cost, so it
+// anchors certified optimality gaps for external incumbents (e.g. the
+// control loop's remaining-suffix cost).
+func CompletionLowerBound(task *Task, counts []int, last ActionType, alpha float64, maxRun int) float64 {
+	return core.CompletionLowerBound(task, counts, last, alpha, maxRun)
+}
 
 // WorkersAdaptive, assigned to Options.Workers, selects the adaptive
 // worker policy: lane counts start at the runtime's parallelism and are

@@ -3,9 +3,10 @@
 # committed baseline (BENCH_planner.json at the repo root). Extra
 # arguments pass through to cmd/benchguard, e.g.:
 #
-#   scripts/benchguard.sh                  # compare (bootstraps if missing)
-#   scripts/benchguard.sh -update          # accept current performance
-#   scripts/benchguard.sh -max-slowdown 1  # loosen for a noisy machine
+#   scripts/benchguard.sh                       # compare (bootstraps if missing)
+#   scripts/benchguard.sh -update               # accept current performance
+#   scripts/benchguard.sh -max-slowdown 1       # loosen for a noisy machine
+#   scripts/benchguard.sh -min-prune-ratio 0.2  # require warm bound pruning
 #
 # BENCHTIME overrides the iteration count (default 30x: fixed iterations
 # rather than a time budget, so states/op is exactly reproducible; the
