@@ -5,8 +5,10 @@
 package klotski_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"klotski"
@@ -361,6 +363,95 @@ func BenchmarkPlannerGuardLarge(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFleetGuard is the fleet-throughput guard fixture: 8
+// PlannerGuard-sized fabrics planned to completion three ways, and the
+// ns/op of one full fleet is the makespan cmd/benchguard's
+// -max-fleet-excess relation holds against both alternatives:
+//
+//   - Sequential: one adaptive-parallel plan at a time — the pre-fleet
+//     deployment shape. The shared pool must beat it by overlapping the
+//     plans' serial phases.
+//   - Naive: all 8 plans at once, each spawning its own adaptive worker
+//     lanes — the oversubscribed shape the pool exists to replace.
+//   - Fleet: all 8 plans admitted to one shared work-stealing pool.
+//
+// Cut sharing is off so every member's search effort is deterministic
+// (cross-plan imports make states-expanded arrival-order dependent), and
+// the pool is built outside the timed region — it is process-lifetime
+// infrastructure, not per-fleet cost. ReportAllocs pins the scratch-pool
+// satellite: per-lane keyer/occupancy/memo buffers are recycled through
+// sync.Pool, so allocs/op in the baseline is where a scratch-pool
+// regression shows up.
+func BenchmarkFleetGuard(b *testing.B) {
+	const fleetSize = 8
+	tasks := make([]*klotski.Task, fleetSize)
+	for i := range tasks {
+		s, err := klotski.Suite("C", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks[i] = s.Task
+	}
+	opts := klotski.Options{Workers: klotski.WorkersAdaptive}
+
+	b.Run("Sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, task := range tasks {
+				if _, err := klotski.PlanAStar(task, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, fleetSize)
+			for j := range tasks {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					_, errs[j] = klotski.PlanAStar(tasks[j], opts)
+				}(j)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Fleet", func(b *testing.B) {
+		pool := klotski.NewWorkerPool(0, nil)
+		defer pool.Close()
+		members := make([]klotski.FleetMember, fleetSize)
+		for j := range tasks {
+			members[j] = klotski.FleetMember{
+				Name:    fmt.Sprintf("fabric-%d", j),
+				Task:    tasks[j],
+				Options: opts,
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := klotski.PlanFleet(context.Background(), members, klotski.FleetOptions{
+				Pool:         pool,
+				NoSharedCuts: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Failed != 0 {
+				b.Fatalf("fleet run failed: %s", rep)
+			}
+		}
+	})
 }
 
 // BenchmarkCheckIncremental isolates the incremental satisfiability engine

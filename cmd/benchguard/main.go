@@ -28,6 +28,12 @@
 //   - The audited defaults (AStar/DP) must not exceed their NoAudit twins
 //     by more than -max-audit-overhead: the incremental parallel audit
 //     engine keeps the safety replay a small fraction of planning.
+//   - The fleet guard fixture's shared-pool entry (FleetGuard/Fleet) must
+//     not exceed the same run's sequential-adaptive and naive-concurrent
+//     entries by more than -max-fleet-excess: the shared work-stealing
+//     scheduler has to beat planning the fleet one at a time AND
+//     oversubscribing the host with per-plan worker sets (on a single CPU
+//     all three shapes resolve to near-serial execution and tie).
 //   - With -min-prune-ratio r > 0, the bound-pruned entries
 //     (AStarBounded/DPBounded) must come in at least r below their
 //     unpruned twins in states/op — the lower-bound engine must actually
@@ -124,6 +130,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	maxSlowdown := fs.Float64("max-slowdown", 0.30, "maximum tolerated fractional growth per guarded metric")
 	maxParallelExcess := fs.Float64("max-parallel-excess", 0.10, "maximum tolerated ns/op excess of the large fixture's parallel entries over their serial twins")
 	maxAuditOverhead := fs.Float64("max-audit-overhead", 0.15, "maximum tolerated ns/op excess of the large fixture's audited entries over their NoAudit twins")
+	maxFleetExcess := fs.Float64("max-fleet-excess", 0.10, "maximum tolerated ns/op excess of the fleet fixture's shared-pool entry over the sequential and naive-concurrent entries")
 	minPruneRatio := fs.Float64("min-prune-ratio", 0, "minimum required fractional states/op reduction of the large fixture's Bounded entries vs their unpruned twins (0 = off; needs a warm engine, i.e. -benchtime well above 1x)")
 	update := fs.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
 	if err := fs.Parse(args); err != nil {
@@ -140,7 +147,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
-	relFailures := checkRelational(current, *maxParallelExcess, *maxAuditOverhead, *minPruneRatio, stdout)
+	relFailures := checkRelational(current, *maxParallelExcess, *maxAuditOverhead, *minPruneRatio, *maxFleetExcess, stdout)
 
 	base, err := readBaseline(*baselinePath)
 	if os.IsNotExist(err) && !*update {
@@ -219,7 +226,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 // disguise: the numerator must come in at least |limit| BELOW the
 // denominator, which is how the prune-ratio rule demands a minimum
 // states/op reduction instead of tolerating a maximum excess.
-func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverhead, minPruneRatio float64, stdout io.Writer) int {
+func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverhead, minPruneRatio, maxFleetExcess float64, stdout io.Writer) int {
 	type rule struct {
 		what     string
 		num, den string
@@ -231,6 +238,8 @@ func checkRelational(current map[string]Result, maxParallelExcess, maxAuditOverh
 		{"parallel-vs-serial", "PlannerGuardLarge/DPParallel", "PlannerGuardLarge/DP", "ns/op", maxParallelExcess},
 		{"audit-overhead", "PlannerGuardLarge/AStar", "PlannerGuardLarge/AStarNoAudit", "ns/op", maxAuditOverhead},
 		{"audit-overhead", "PlannerGuardLarge/DP", "PlannerGuardLarge/DPNoAudit", "ns/op", maxAuditOverhead},
+		{"fleet-vs-sequential", "FleetGuard/Fleet", "FleetGuard/Sequential", "ns/op", maxFleetExcess},
+		{"fleet-vs-naive", "FleetGuard/Fleet", "FleetGuard/Naive", "ns/op", maxFleetExcess},
 	}
 	if minPruneRatio > 0 {
 		rules = append(rules,

@@ -209,6 +209,41 @@ func TestRelationalSkippedWithoutLargeFixture(t *testing.T) {
 	}
 }
 
+const fleetBenchOutput = `goos: linux
+BenchmarkFleetGuard/Sequential-8 	      30	  62000000 ns/op
+BenchmarkFleetGuard/Naive-8      	      30	  90000000 ns/op
+BenchmarkFleetGuard/Fleet-8      	      30	  60000000 ns/op
+PASS
+ok  	klotski	9.1s
+`
+
+func TestRelationalFleetExcess(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	code, out := guard(t, fleetBenchOutput, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("fleet beating both alternatives should pass, got %d: %s", code, out)
+	}
+	if !strings.Contains(out, "fleet-vs-sequential") || !strings.Contains(out, "fleet-vs-naive") {
+		t.Errorf("fleet relational checks not reported: %s", out)
+	}
+
+	// Fleet at +21% over sequential blows the default +10% allowance
+	// (while staying inside the +30% absolute-baseline tolerance, so the
+	// failure is purely relational).
+	slow := strings.Replace(fleetBenchOutput, "60000000 ns/op", "75000000 ns/op", 1)
+	code, out = guard(t, slow, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("fleet losing to sequential should fail, got %d: %s", code, out)
+	}
+	if !strings.Contains(out, "FAIL fleet-vs-sequential") {
+		t.Errorf("failure should name the fleet rule: %s", out)
+	}
+	// A loosened allowance (single-core runner: the shapes tie) accepts it.
+	if code, out := guard(t, slow, "-baseline", base, "-max-fleet-excess", "0.5"); code != 0 {
+		t.Fatalf("loosened fleet allowance should pass: %s", out)
+	}
+}
+
 func TestEmptyInputIsAnError(t *testing.T) {
 	code, out := guard(t, "PASS\nok  \tklotski\t0.1s\n", "-baseline", filepath.Join(t.TempDir(), "b.json"))
 	if code != 2 {

@@ -11,6 +11,7 @@
 //	        [-stats-out stats.json] [-debug-addr localhost:6060]
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
 //	klotski -npd region.json -audit plan.json                 # verify offline
+//	klotski -fleet manifest.json [-fleet-workers 0] [-fleet-no-shared-cuts]
 //
 // The NPD document must carry a migration part; see cmd/topogen for
 // generating example documents. With -v the plan's runs and per-phase
@@ -60,6 +61,18 @@
 // snapshot (planner.optimality_gap) and in checkpoint envelopes, where
 // resuming restores and can only tighten it.
 //
+// With -fleet, instead of planning one NPD document, a manifest of fleet
+// members ({"members":[{"name","npd","planner","priority","min_share",
+// "max_share"}]}) is planned concurrently under one shared work-stealing
+// worker pool sized by -fleet-workers (0 = GOMAXPROCS). Higher-priority
+// members preempt lower-priority ones mid-search (the victim checkpoints
+// and later resumes, producing the identical plan); members planning the
+// same fabric structure share learned lower-bound cuts unless
+// -fleet-no-shared-cuts is set. The fleet report (per-member plan cost,
+// gap, preemptions, waits; aggregate makespan and cross-plan cut hits) is
+// written as JSON to -o, and the exit status is non-zero if any member
+// failed.
+//
 // Observability: -stats-out writes a JSON snapshot of the planner's
 // instruments (states created/expanded, check-latency histogram, cache
 // hit/miss counts and ratio, span timings, bound-engine cut counters)
@@ -71,6 +84,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -131,15 +145,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		gapSkip        = fs.Float64("gap-skip", 0, "skip drift replans when the remaining plan re-audits safe and its cost is certified within this relative gap of the completion lower bound (0 = off)")
 		demandMargin   = fs.Float64("demand-margin", 1.25, "degraded-mode demand envelope multiplier when telemetry is unusable")
 
+		fleetPath    = fs.String("fleet", "", "plan a fleet: JSON manifest of members ({\"members\":[{\"name\",\"npd\",\"planner\",\"priority\",\"min_share\",\"max_share\"}]}) planned concurrently under one shared worker pool")
+		fleetWorkers = fs.Int("fleet-workers", 0, "shared pool worker budget for -fleet (0 = GOMAXPROCS)")
+		fleetNoCuts  = fs.Bool("fleet-no-shared-cuts", false, "disable cross-member structural-cut sharing in -fleet runs")
+
 		statsOut  = fs.String("stats-out", "", "write a JSON observability snapshot (counters, gauges, histograms, spans) here on exit")
 		debugAddr = fs.String("debug-addr", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *npdPath == "" {
+	if *npdPath == "" && *fleetPath == "" {
 		fs.Usage()
-		return fmt.Errorf("-npd is required")
+		return fmt.Errorf("-npd (or -fleet) is required")
 	}
 
 	// Observability: the recorder is wired into the planners only when an
@@ -166,6 +184,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	cfgOpts := klotski.Options{
+		Theta: *theta, Alpha: *alpha, Timeout: *timeout, MaxRunLength: *maxRun,
+		Workers: *workers, AuditSerial: *auditSerial, Recorder: rec,
+	}
+	if *fleetPath != "" {
+		return runFleet(ctx, *fleetPath, *fleetWorkers, *fleetNoCuts, cfgOpts, *outPath, stdout, stderr, rec)
+	}
+
 	f, err := os.Open(*npdPath)
 	if err != nil {
 		return err
@@ -179,10 +205,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg := klotski.PipelineConfig{
 		Planner:       klotski.PlannerName(*planner),
 		CampaignSeeds: *simulate,
-		Options: klotski.Options{
-			Theta: *theta, Alpha: *alpha, Timeout: *timeout, MaxRunLength: *maxRun,
-			Workers: *workers, AuditSerial: *auditSerial, Recorder: rec,
-		},
+		Options:       cfgOpts,
 	}
 	if *growth > 0 {
 		cfg.Forecast = demand.Forecast{GrowthPerStep: *growth}
@@ -273,6 +296,165 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("certified optimality gap %.4f exceeds -gap-max %g (incumbent %g, lower bound %g)",
 				g, *gapMax, res.Plan.Metrics.IncumbentCost, res.Plan.Metrics.LowerBound)
 		}
+	}
+	return nil
+}
+
+// fleetManifest is the -fleet input: a set of NPD-backed members planned
+// concurrently under one shared worker pool.
+type fleetManifest struct {
+	Members []fleetManifestMember `json:"members"`
+}
+
+type fleetManifestMember struct {
+	Name     string `json:"name"`
+	NPD      string `json:"npd"`
+	Planner  string `json:"planner,omitempty"`  // astar (default) or dp
+	Priority int    `json:"priority,omitempty"` // higher preempts lower
+	MinShare int    `json:"min_share,omitempty"`
+	MaxShare int    `json:"max_share,omitempty"`
+}
+
+// fleetMemberOut is one member's row in the emitted fleet report.
+type fleetMemberOut struct {
+	Name        string  `json:"name"`
+	Completed   bool    `json:"completed"`
+	Actions     int     `json:"actions,omitempty"`
+	Cost        float64 `json:"cost,omitempty"`
+	Gap         float64 `json:"gap"`
+	Preemptions int     `json:"preemptions"`
+	WaitMS      int64   `json:"wait_ms"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// fleetOut is the emitted fleet report document.
+type fleetOut struct {
+	Members     []fleetMemberOut `json:"members"`
+	Completed   int              `json:"completed"`
+	Failed      int              `json:"failed"`
+	Admitted    int              `json:"admitted"`
+	Preemptions int              `json:"preemptions"`
+	CrossHits   int              `json:"cross_plan_cut_hits"`
+	TotalCost   float64          `json:"total_cost"`
+	MakespanMS  int64            `json:"makespan_ms"`
+}
+
+// runFleet loads every manifest member's NPD scenario, plans the fleet
+// concurrently under a shared pool, prints the one-line summary to
+// stderr, and writes the JSON fleet report to -o (default stdout). Any
+// member failure makes the exit status non-zero after the report is
+// written.
+func runFleet(ctx context.Context, manifestPath string, workers int, noSharedCuts bool, opts klotski.Options, outPath string, stdout, stderr io.Writer, rec *klotski.ObsRecorder) error {
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	var manifest fleetManifest
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		return fmt.Errorf("%s: %w", manifestPath, err)
+	}
+	if len(manifest.Members) == 0 {
+		return fmt.Errorf("%s: fleet manifest has no members", manifestPath)
+	}
+
+	members := make([]klotski.FleetMember, len(manifest.Members))
+	for i, m := range manifest.Members {
+		if m.NPD == "" {
+			return fmt.Errorf("%s: member %d (%q) has no npd path", manifestPath, i, m.Name)
+		}
+		f, err := os.Open(m.NPD)
+		if err != nil {
+			return err
+		}
+		doc, err := klotski.LoadNPD(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.NPD, err)
+		}
+		scenario, err := doc.Scenario()
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.NPD, err)
+		}
+		task := scenario.Task
+		if doc.Migration != nil && doc.Migration.BlockFactor > 0 && doc.Migration.BlockFactor != 1 {
+			if task, err = klotski.Reblock(task, doc.Migration.BlockFactor); err != nil {
+				return fmt.Errorf("%s: %w", m.NPD, err)
+			}
+		}
+		name := m.Name
+		if name == "" {
+			name = doc.Name
+		}
+		members[i] = klotski.FleetMember{
+			Name:     name,
+			Task:     task,
+			Planner:  klotski.FleetPlanner(m.Planner),
+			Options:  opts,
+			Priority: m.Priority,
+			MinShare: m.MinShare,
+			MaxShare: m.MaxShare,
+		}
+	}
+
+	pool := klotski.NewWorkerPool(workers, rec)
+	defer pool.Close()
+	rep, err := klotski.PlanFleet(ctx, members, klotski.FleetOptions{
+		Pool:         pool,
+		NoSharedCuts: noSharedCuts,
+		Recorder:     rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, rep)
+
+	out := fleetOut{
+		Completed:   rep.Completed,
+		Failed:      rep.Failed,
+		Admitted:    rep.Admitted,
+		Preemptions: rep.Preemptions,
+		CrossHits:   rep.CrossHits,
+		TotalCost:   rep.TotalCost,
+		MakespanMS:  rep.Makespan.Milliseconds(),
+	}
+	failed := 0
+	for i := range rep.Members {
+		m := &rep.Members[i]
+		row := fleetMemberOut{
+			Name:        m.Name,
+			Preemptions: m.Preemptions,
+			WaitMS:      m.Wait.Milliseconds(),
+			ElapsedMS:   m.Elapsed.Milliseconds(),
+		}
+		if m.Err != nil {
+			row.Error = m.Err.Error()
+			failed++
+		} else if m.Plan != nil {
+			row.Completed = true
+			row.Actions = len(m.Plan.Sequence)
+			row.Cost = m.Plan.Cost
+			row.Gap = m.Plan.Metrics.OptimalityGap
+		}
+		out.Members = append(out.Members, row)
+	}
+
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("fleet: %d of %d members failed", failed, len(rep.Members))
 	}
 	return nil
 }

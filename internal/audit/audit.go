@@ -94,6 +94,15 @@ type Config struct {
 	// worker count.
 	Workers int
 
+	// Runner, when non-nil, executes ModeIncremental's lane closures
+	// instead of one goroutine per lane — the hook through which a shared
+	// scheduler pool runs audit spans as stealable tasks. The closures
+	// write disjoint result segments and Runner must not return until all
+	// have run, so any execution order or interleaving yields the same
+	// Report. Kept a plain func type to preserve this package's
+	// import-free independence from the planner and scheduler.
+	Runner func(tasks []func())
+
 	// Recorder optionally streams audit counters (states checked,
 	// failures) into an observability registry; nil is a no-op.
 	Recorder *obs.Recorder

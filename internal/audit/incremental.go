@@ -149,21 +149,32 @@ func replayIncremental(task *migration.Task, seq []int, cfg *Config, rep *Report
 	} else {
 		// Contiguous segments, balanced to within one boundary. Each lane
 		// re-applies its prefix once and then replays deltas; results land
-		// in disjoint slices of the shared results array.
-		var wg sync.WaitGroup
+		// in disjoint slices of the shared results array, so the tasks are
+		// order-independent and safe to hand to any runner.
+		var tasks []func()
 		for w := 0; w < workers; w++ {
 			lo := w * len(bs) / workers
 			hi := (w + 1) * len(bs) / workers
 			if lo == hi {
 				continue
 			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
+			tasks = append(tasks, func() {
 				replayLane(task, seq, cfg, theta, bs[lo:hi], results[lo:hi])
-			}(lo, hi)
+			})
 		}
-		wg.Wait()
+		if cfg.Runner != nil {
+			cfg.Runner(tasks)
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(len(tasks))
+			for _, t := range tasks {
+				go func(t func()) {
+					defer wg.Done()
+					t()
+				}(t)
+			}
+			wg.Wait()
+		}
 	}
 
 	// Sequential assembly in ascending boundary order: exactly the serial

@@ -1,0 +1,85 @@
+package bound
+
+import "testing"
+
+// TestStoreCrossPlanImport pins the cross-plan cut-sharing semantics:
+// only structural cuts cross engines, only between engines bound to the
+// same structural signature, imports count as cross hits (and cuts) but
+// never as learned cuts, and demand-dependent cuts stay private.
+func TestStoreCrossPlanImport(t *testing.T) {
+	totals := []uint16{3, 3}
+	units := []float64{1, 1}
+	s := NewStore()
+
+	e1 := New(totals, units, 0)
+	e1.Attach(s)
+	e1.Bind(42, 1)
+	if !e1.Learn([]uint16{1, 2}, true) {
+		t.Fatal("first structural cut not new")
+	}
+	if !e1.Learn([]uint16{2, 2}, false) {
+		t.Fatal("first demand cut not new")
+	}
+	if e1.CrossHits() != 0 {
+		t.Fatalf("publisher counted %d cross hits for its own cuts", e1.CrossHits())
+	}
+
+	// Same structure, different demand signature: the structural cut
+	// crosses, the demand-dependent one does not.
+	e2 := New(totals, units, 0)
+	e2.Attach(s)
+	e2.Bind(42, 7)
+	if got := e2.CrossHits(); got != 1 {
+		t.Fatalf("cross hits = %d, want 1", got)
+	}
+	if e2.CutsLearned() != 0 {
+		t.Fatalf("imports counted as learned cuts: %d", e2.CutsLearned())
+	}
+	if e2.Learn([]uint16{1, 2}, true) {
+		t.Error("imported cut re-learned as new")
+	}
+	if !e2.Learn([]uint16{2, 2}, false) {
+		t.Error("demand-dependent cut leaked across plans")
+	}
+
+	// Different structure: nothing crosses.
+	e3 := New(totals, units, 0)
+	e3.Attach(s)
+	e3.Bind(99, 1)
+	if got := e3.CrossHits(); got != 0 {
+		t.Fatalf("cross hits across structures = %d, want 0", got)
+	}
+
+	// A later demand-only rebind imports cuts published since: e2 learned
+	// a fresh structural cut above? No — {2,2} was demand-only. Publish
+	// one more from e1 and rebind e2.
+	if !e1.Learn([]uint16{0, 3}, true) {
+		t.Fatal("second structural cut not new")
+	}
+	e2.Bind(42, 8)
+	if got := e2.CrossHits(); got != 2 {
+		t.Fatalf("cross hits after rebind = %d, want 2", got)
+	}
+}
+
+// TestStoreImportIsIdempotent re-binds an engine repeatedly and checks an
+// already-imported cut is never double counted.
+func TestStoreImportIsIdempotent(t *testing.T) {
+	totals := []uint16{2, 2}
+	units := []float64{1, 1}
+	s := NewStore()
+
+	e1 := New(totals, units, 0)
+	e1.Attach(s)
+	e1.Bind(5, 1)
+	e1.Learn([]uint16{1, 1}, true)
+
+	e2 := New(totals, units, 0)
+	e2.Attach(s)
+	for i := 0; i < 3; i++ {
+		e2.Bind(5, uint64(i+1))
+		if got := e2.CrossHits(); got != 1 {
+			t.Fatalf("rebind %d: cross hits = %d, want 1", i, got)
+		}
+	}
+}

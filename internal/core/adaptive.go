@@ -93,9 +93,18 @@ type adaptivePolicy struct {
 }
 
 // newAdaptivePolicy resolves the initial lane count from the runtime's
-// parallelism and traces the resolve as the first decision.
+// parallelism — or, when the run is attached to a shared scheduler pool,
+// from the client's pool share, so concurrent plans size themselves to
+// their slice of the global worker budget instead of each assuming the
+// whole machine — and traces the resolve as the first decision.
 func newAdaptivePolicy(sp *space) *adaptivePolicy {
-	ap := &adaptivePolicy{sp: sp, lanes: runtime.GOMAXPROCS(0)}
+	lanes := runtime.GOMAXPROCS(0)
+	if c := sp.opts.Sched; c != nil {
+		if s := c.Share(); s >= 1 {
+			lanes = s
+		}
+	}
+	ap := &adaptivePolicy{sp: sp, lanes: lanes}
 	ap.warming = ap.lanes >= 2
 	sp.metrics.AdaptiveDecisions++
 	sp.metrics.AdaptiveLanes = ap.lanes

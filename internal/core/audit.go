@@ -38,6 +38,17 @@ func auditConfig(opts *Options) audit.Config {
 		cfg.Workers = opts.Workers
 		if opts.Workers == WorkersAdaptive {
 			cfg.Workers = runtime.GOMAXPROCS(0)
+			if c := opts.Sched; c != nil {
+				if s := c.Share(); s >= 1 {
+					cfg.Workers = s
+				}
+			}
+		}
+		if c := opts.Sched; c != nil {
+			// Audit spans become stealable pool tasks; the client's Run
+			// joins its batch before returning, which is exactly the
+			// barrier the disjoint-segment protocol needs.
+			cfg.Runner = c.Run
 		}
 	}
 	if opts.InitialCounts != nil {
@@ -104,6 +115,10 @@ func AuditResumed(task *migration.Task, seq, executed []int, opts Options, freeO
 // nothing with the search that produced it; a failure turns the "success"
 // into ErrAudit — a wrong plan must never look like a right one.
 func (sp *space) finishPlan(p *Plan) (*Plan, error) {
+	// The run is over whichever way the audit goes: recycle the lanes'
+	// pooled scratch. (Interrupted runs never reach here, correctly — a
+	// checkpointed space keeps its lanes live for the resume leg.)
+	defer sp.releaseScratch()
 	sp.sealBound(p)
 	if sp.opts.SkipAudit {
 		return p, nil

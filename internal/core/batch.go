@@ -101,14 +101,13 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 	fw.ensureLanes()
 
 	var (
-		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicked bool
 	)
+	tasks := make([]func(), fw.workers)
 	for w := 0; w < fw.workers; w++ {
-		wg.Add(1)
-		go func(w int, ln *lane) {
-			defer wg.Done()
+		w, ln := w, fw.lanes[w]
+		tasks[w] = func() {
 			// Panic containment: the claim protocol releases the in-flight
 			// claim on unwind, the remaining items stay unknown for lazy
 			// serial rechecking, and the warmer retires itself below — one
@@ -126,9 +125,9 @@ func (fw *frontierWarmer) run(cur []uint16, vecIdx int32, pq *openHeap) {
 			for i := w; i < len(fw.items); i += fw.workers {
 				sp.feasibleOn(ln, fw.items[i])
 			}
-		}(w, fw.lanes[w])
+		}
 	}
-	wg.Wait()
+	sp.runTasks(tasks)
 
 	resolved := 0
 	for _, idx := range fw.items {

@@ -42,6 +42,7 @@ import (
 	"klotski/internal/migration"
 	"klotski/internal/obs"
 	"klotski/internal/routing"
+	"klotski/internal/sched"
 	"klotski/internal/topo"
 )
 
@@ -204,6 +205,19 @@ type Options struct {
 	// replans — that reuse is where the pruning power comes from — but it
 	// is not safe for concurrent planner runs.
 	Bound *bound.Engine
+
+	// Sched optionally attaches the run to a shared worker pool
+	// (internal/sched): the parallel phases — DP wavefront layers, A*
+	// frontier-warm batches, the incremental audit's replay spans —
+	// submit their task closures to the pool instead of spawning
+	// per-plan goroutines, so N concurrent plans share one worker
+	// budget instead of oversubscribing the host N-fold. Under
+	// WorkersAdaptive the adaptive policy seeds its lane count from the
+	// client's pool share instead of GOMAXPROCS. Plans stay
+	// byte-identical at any pool size, share, or steal interleaving —
+	// the pool only changes where closures execute, never which states
+	// the search commits. nil keeps the classic per-plan goroutines.
+	Sched *sched.Client
 }
 
 // validate rejects option combinations that would silently produce
@@ -291,6 +305,7 @@ type Metrics struct {
 	BoundCutsLearned  int // new infeasibility cuts learned during this run
 	BoundCutHits      int // queries answered from the cut set (dead/dominated)
 	BoundStatesPruned int // search states skipped as provably dead or dominated
+	BoundCrossHits    int // structural cuts imported from the shared cross-plan store
 
 	// Anytime optimality certificate. IncumbentCost is the cost of the
 	// best complete plan found (0 with OptimalityGap 1 when none yet);

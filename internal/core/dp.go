@@ -90,7 +90,10 @@ func planDP(ctx context.Context, task *migration.Task, opts Options) (*Plan, err
 // Workers ≤ 1), with all previously warmed caches honored.
 func (d *dpRun) plan() (*Plan, error) {
 	sp := d.sp
-	if sp.opts.Workers > 1 && !sp.degraded {
+	// Gate on the EFFECTIVE worker count so the adaptive policy
+	// (Workers == WorkersAdaptive, which is < 2) reaches the wavefront
+	// too; wavefront() re-checks the same condition with its own guards.
+	if sp.effectiveWorkers() > 1 && !sp.degraded {
 		if err := d.wavefront(); err != nil {
 			return nil, d.interrupt(err) // budget/cancel: checkpoint
 		}

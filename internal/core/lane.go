@@ -68,19 +68,25 @@ type lane struct {
 // is the per-check recorder, nil for worker lanes. useInc selects the
 // incremental-evaluation policy for this lane.
 func (sp *space) newLane(eval *routing.Evaluator, rec *obs.Recorder, useInc bool, m *Metrics) *lane {
+	// Scratch buffers come from the shape-keyed pool (see scratch.go);
+	// they are dirty on arrival, and every consumer fully overwrites
+	// before reading — the fresh lane's nil curVec forces the full
+	// CopyFrom rebuild of act, occupancyDense copies occBase, keyBytes
+	// rewrites its exactly-sized buffer.
+	scr := sp.acquireScratch()
 	ln := &lane{
 		sp:     sp,
 		eval:   eval,
 		view:   sp.task.Topo.NewView(),
 		rec:    rec,
-		key:    keyer{fits64: sp.key.fits64, shifts: sp.key.shifts},
+		key:    keyer{fits64: sp.key.fits64, shifts: sp.key.shifts, buf: scr.key},
 		useInc: useInc,
 		m:      m,
 	}
 	if sp.occDelta != nil {
-		ln.occ = make([]int32, len(sp.occBase))
+		ln.occ = scr.occ
 		if !sp.opts.DisableIncrementalView {
-			ln.act = routing.NewBitset(sp.task.Topo.NumSwitches())
+			ln.act = scr.act
 		}
 	}
 	return ln

@@ -232,6 +232,29 @@ func (d *dpRun) wavefront() error {
 	return nil
 }
 
+// runTasks executes a slice of independent closures and returns when all
+// have finished: on the shared scheduler pool when Options.Sched is
+// attached, else on one spawned goroutine per closure — the classic
+// per-plan shape. The two paths are interchangeable by construction: the
+// closures only write worker-private result slots or commit idempotent
+// verdicts through the claim protocol, so where they run never changes
+// what they compute.
+func (sp *space) runTasks(tasks []func()) {
+	if c := sp.opts.Sched; c != nil {
+		c.Run(tasks)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}
+
 // computeLayer values one layer's states on the worker pool. Workers read
 // the memo (frozen during the layer) and the shared satisfiability cache;
 // they write only their strided slots of res. A panic in any worker is
@@ -242,14 +265,11 @@ func (d *dpRun) wavefront() error {
 func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) (panicked bool) {
 	sp := d.sp
 	workers := len(lanes)
-	var (
-		wg      sync.WaitGroup
-		panicMu sync.Mutex
-	)
+	var panicMu sync.Mutex
+	tasks := make([]func(), workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int, ln *lane) {
-			defer wg.Done()
+		w, ln := w, lanes[w]
+		tasks[w] = func() {
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
@@ -287,9 +307,9 @@ func (d *dpRun) computeLayer(states []wfState, res []wfResult, lanes []*lane) (p
 				}
 				res[i] = wfResult{cost: cost, prev: prev, valid: true}
 			}
-		}(w, lanes[w])
+		}
 	}
-	wg.Wait()
+	sp.runTasks(tasks)
 	return panicked
 }
 

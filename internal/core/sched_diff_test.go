@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"klotski/internal/sched"
+)
+
+// These differential tests enforce the pool's core contract: routing a
+// plan's parallel phases (DP wavefront layers, A* frontier-warm batches)
+// through a shared sched.Pool — at any pool size, share, steal
+// interleaving, or preemption point — never changes the plan. The serial
+// planners are the reference; everything else must match them byte for
+// byte.
+
+// shuffleHooks installs seeded random delays into both per-plan worker
+// hooks so pool workers and submitters race through claim orders that
+// differ run to run; returns the uninstaller.
+func shuffleHooks(seed int64) func() {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	delay := func(int) {
+		mu.Lock()
+		d := time.Duration(rng.Intn(150)) * time.Microsecond
+		mu.Unlock()
+		time.Sleep(d)
+	}
+	parallelTestHook = delay
+	batchTestHook = delay
+	return func() { parallelTestHook = nil; batchTestHook = nil }
+}
+
+func samePlan(t *testing.T, label string, got, want *Plan) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil plan (got %v, want %v)", label, got, want)
+	}
+	if !reflect.DeepEqual(got.Sequence, want.Sequence) || got.Cost != want.Cost {
+		t.Fatalf("%s: plan diverged from serial reference:\n got %v (cost %.6f)\nwant %v (cost %.6f)",
+			label, got.Sequence, got.Cost, want.Sequence, want.Cost)
+	}
+}
+
+// TestSchedPoolByteIdentity races both planners through pools of size
+// {1,2,4,GOMAXPROCS} with static and adaptive lane policies under
+// shuffled interleavings, and demands the serial planner's exact output
+// every time.
+func TestSchedPoolByteIdentity(t *testing.T) {
+	task := bridgeTask(t, 4, 4, 100, 100, 150, 0)
+	opts := Options{Alpha: 0.2}
+
+	refA, err := PlanAStar(task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refD, err := PlanDP(task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer shuffleHooks(7)()
+	for _, pw := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		pool := sched.NewPool(pw, nil)
+		for _, lanes := range []int{2, WorkersAdaptive} {
+			client, err := pool.Register("diff", sched.ClientOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := opts
+			o.Workers = lanes
+			o.Sched = client
+
+			p, err := PlanAStarContext(context.Background(), task, o)
+			if err != nil {
+				t.Fatalf("pool=%d lanes=%d astar: %v", pw, lanes, err)
+			}
+			samePlan(t, "astar", p, refA)
+
+			p, err = PlanDPContext(context.Background(), task, o)
+			if err != nil {
+				t.Fatalf("pool=%d lanes=%d dp: %v", pw, lanes, err)
+			}
+			samePlan(t, "dp", p, refD)
+			client.Close()
+		}
+		pool.Close()
+	}
+}
+
+// TestSchedCheckpointResumeAcrossClients interrupts a pool-attached
+// search mid-run (budget exhaustion standing in for a preemption's
+// cooperative checkpoint), then resumes the checkpoint under a different
+// client on a different pool — exactly the fleet's preempt-readmit path —
+// and demands the undisturbed serial plan.
+func TestSchedCheckpointResumeAcrossClients(t *testing.T) {
+	task := bridgeTask(t, 4, 4, 100, 100, 150, 0)
+	opts := Options{Alpha: 0.2}
+	ref, err := PlanAStar(task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer shuffleHooks(11)()
+	pool1 := sched.NewPool(2, nil)
+	c1, err := pool1.Register("leg1", sched.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Workers = WorkersAdaptive
+	o.Sched = c1
+	o.MaxStates = 6
+	_, err = PlanAStarContext(context.Background(), task, o)
+	c1.Close()
+	pool1.Close()
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("want *Interrupted from the budgeted leg, got %v", err)
+	}
+
+	pool2 := sched.NewPool(4, nil)
+	defer pool2.Close()
+	c2, err := pool2.Register("leg2", sched.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ro := opts
+	ro.Workers = WorkersAdaptive
+	ro.Sched = c2
+	p, err := Resume(context.Background(), intr.Checkpoint, ro)
+	if err != nil {
+		t.Fatalf("resume under the second pool: %v", err)
+	}
+	samePlan(t, "resume", p, ref)
+	checkPlan(t, task, p, opts)
+}
+
+// TestSchedPreemptedClientStillPlans registers a plan, preempts its
+// client mid-setup, and verifies the plan completes byte-identically
+// anyway: a share of zero only moves the work onto the submitting
+// goroutine.
+func TestSchedPreemptedClientStillPlans(t *testing.T) {
+	task := bridgeTask(t, 3, 3, 100, 100, 150, 0)
+	opts := Options{Alpha: 0.2}
+	ref, err := PlanDP(task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := sched.NewPool(1, nil)
+	defer pool.Close()
+	victim, err := pool.Register("victim", sched.ClientOptions{Priority: 0, MinShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := pool.Register("hi", sched.ClientOptions{Priority: 1, MinShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hi.Close()
+	select {
+	case <-victim.Preempted():
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim never preempted")
+	}
+
+	o := opts
+	o.Workers = 2
+	o.Sched = victim
+	p, err := PlanDPContext(context.Background(), task, o)
+	if err != nil {
+		t.Fatalf("preempted plan failed instead of draining inline: %v", err)
+	}
+	samePlan(t, "preempted", p, ref)
+	victim.Close()
+}
+
+// TestLaneScratchShapes pins the scratch-pool plumbing: acquired buffers
+// carry exactly the shapes the lanes rebuild into, the same fabric shape
+// maps to the same sync.Pool, and release is idempotent.
+func TestLaneScratchShapes(t *testing.T) {
+	task := bridgeTask(t, 3, 3, 100, 100, 150, 0)
+	sp, err := newSpace(task, Options{Alpha: 0.2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := sp.scratchShape()
+	if shape.key != 2*sp.nTypes {
+		t.Fatalf("scratch key size = %d, want %d", shape.key, 2*sp.nTypes)
+	}
+	if scratchPoolFor(shape) != scratchPoolFor(shape) {
+		t.Fatal("same shape resolved to different pools")
+	}
+
+	base := len(sp.scratches) // newSpace's own lanes may already hold some
+	scr := sp.acquireScratch()
+	if len(scr.key) != shape.key {
+		t.Fatalf("acquired key buffer len %d, want %d", len(scr.key), shape.key)
+	}
+	if len(sp.scratches) != base+1 {
+		t.Fatalf("space tracks %d scratches, want %d", len(sp.scratches), base+1)
+	}
+	sp.releaseScratch()
+	if sp.scratches != nil {
+		t.Fatal("releaseScratch left the scratch list non-nil")
+	}
+	sp.releaseScratch() // double release must be harmless
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+
+	"klotski/internal/routing"
+)
+
+// Pooled per-lane scratch.
+//
+// Every lane owns three allocations that scale with the fabric shape: the
+// keyer's encode buffer (2 bytes per block type), the dense occupancy
+// scratch (one counter per datacenter), and the packed active-switch
+// bitset (one bit per switch). Under fleet planning the same fabric shape
+// is planned over and over — often concurrently — and each run builds one
+// coordinator lane plus a lane per worker, so these buffers dominate the
+// planner's steady-state allocation rate. A process-wide sync.Pool keyed
+// by the exact shape recycles them across runs.
+//
+// Recycled buffers are NOT zeroed, deliberately: every consumer fully
+// overwrites before reading. A fresh lane's first buildView takes the
+// full-rebuild path (curVec == nil) and CopyFroms the bitset from the
+// base; occupancyDense starts with copy(occ, occBase); keyBytes rewrites
+// the whole buffer on every call and never grows it (the shape sizes it
+// exactly). The pool therefore changes allocation behavior only — never
+// verdicts — which BenchmarkPlannerGuard's allocs/op and the differential
+// suites pin.
+
+// scratchShape identifies one pool: lanes with equal shapes have
+// interchangeable scratch. A zero field means the lane does not use that
+// buffer (e.g. occ == 0 when the task has no occupancy budget).
+type scratchShape struct {
+	switches int // activity-bitset width in switches; 0 = no bitset
+	occ      int // dense occupancy scratch length; 0 = no occupancy check
+	key      int // keyer encode buffer length (2 bytes per block type)
+}
+
+// laneScratch is one lane's recyclable buffer bundle.
+type laneScratch struct {
+	shape scratchShape
+	occ   []int32
+	act   routing.Bitset
+	key   []byte
+}
+
+// laneScratchPools maps scratchShape -> *sync.Pool of *laneScratch.
+var laneScratchPools sync.Map
+
+func scratchPoolFor(shape scratchShape) *sync.Pool {
+	if p, ok := laneScratchPools.Load(shape); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := laneScratchPools.LoadOrStore(shape, &sync.Pool{New: func() any {
+		s := &laneScratch{shape: shape, key: make([]byte, shape.key)}
+		if shape.occ > 0 {
+			s.occ = make([]int32, shape.occ)
+		}
+		if shape.switches > 0 {
+			s.act = routing.NewBitset(shape.switches)
+		}
+		return s
+	}})
+	return p.(*sync.Pool)
+}
+
+// scratchShape resolves the buffer shape this space's lanes need.
+func (sp *space) scratchShape() scratchShape {
+	shape := scratchShape{key: 2 * sp.nTypes}
+	if sp.occDelta != nil {
+		shape.occ = len(sp.occBase)
+		if !sp.opts.DisableIncrementalView {
+			shape.switches = sp.task.Topo.NumSwitches()
+		}
+	}
+	return shape
+}
+
+// acquireScratch takes a scratch bundle for one new lane and records it
+// for release at plan completion. Coordinator-only: lanes are always
+// built between parallel phases.
+func (sp *space) acquireScratch() *laneScratch {
+	scr := scratchPoolFor(sp.scratchShape()).Get().(*laneScratch)
+	sp.scratches = append(sp.scratches, scr)
+	return scr
+}
+
+// releaseScratch returns every acquired bundle to its pool. Called once
+// per completed run from finishPlan; checkpointed (interrupted) runs keep
+// their scratch — their lanes stay live for the resume leg.
+func (sp *space) releaseScratch() {
+	for _, scr := range sp.scratches {
+		scratchPoolFor(scr.shape).Put(scr)
+	}
+	sp.scratches = nil
+}

@@ -135,11 +135,19 @@ type space struct {
 	// carry the run's anytime optimality certificate; the *Base fields
 	// rebase the engine's lifetime counters onto this run's metrics so
 	// reuse across runs never double-counts.
-	bd         *bound.Engine
-	incumbent  float64
-	lowerBound float64
-	bdCutsBase int
-	bdHitsBase int
+	bd          *bound.Engine
+	incumbent   float64
+	lowerBound  float64
+	bdCutsBase  int
+	bdHitsBase  int
+	bdCrossBase int
+
+	// scratches tracks the pooled per-lane scratch bundles (keyer buffer,
+	// occupancy scratch, activity bitset) this space acquired, so
+	// finishPlan can return them to the shape-keyed pool when the run
+	// completes. Appended only by the planner goroutine (lanes are always
+	// built between parallel phases).
+	scratches []*laneScratch
 }
 
 // dcDelta is one block's occupancy change in one datacenter (index DC+1).
@@ -258,6 +266,10 @@ func newSpace(task *migration.Task, opts Options) (*space, error) {
 	if b := opts.Bound; b != nil && opts.FunnelFactor <= 1 && opts.MaxRunLength == 0 &&
 		b.Matches(sp.totals, sp.units, opts.Alpha) {
 		sp.bd = b
+		// Cross-plan import base BEFORE Bind: Bind pulls shared structural
+		// cuts from an attached store, and those imports belong to THIS
+		// run's metrics.
+		sp.bdCrossBase = b.CrossHits()
 		b.Bind(sp.boundStructSig(), sp.boundDemandSig())
 		last := opts.InitialLast
 		if opts.InitialCounts == nil {
@@ -676,8 +688,13 @@ func (sp *space) rebudget(ctx context.Context, opts Options) {
 	// under a parallel planner and vice versa, including switching the
 	// adaptive policy on or off. A policy that shut parallelism off during
 	// an earlier leg starts the new leg fresh: the counters it acted on
-	// described the old budget envelope.
+	// described the old budget envelope. The scheduler client is adopted
+	// for the same reason: a preempted leg resumes under a freshly
+	// registered client (the old one was closed to release its
+	// reservation), and pool attachment is as verdict-neutral as the
+	// worker count.
 	sp.opts.Workers = opts.Workers
+	sp.opts.Sched = opts.Sched
 	if opts.Workers == WorkersAdaptive {
 		sp.adaptive = newAdaptivePolicy(sp)
 	} else {
@@ -1021,10 +1038,13 @@ func (sp *space) elapsedMetrics() Metrics {
 	if sp.bd != nil {
 		cl := sp.bd.CutsLearned() - sp.bdCutsBase
 		ch := sp.bd.CutHits() - sp.bdHitsBase
+		cx := sp.bd.CrossHits() - sp.bdCrossBase
 		sp.rec.BoundCutsLearnedAdded(cl - sp.metrics.BoundCutsLearned)
 		sp.rec.BoundCutHitsAdded(ch - sp.metrics.BoundCutHits)
+		sp.rec.BoundCrossHitsAdded(cx - sp.metrics.BoundCrossHits)
 		sp.metrics.BoundCutsLearned = cl
 		sp.metrics.BoundCutHits = ch
+		sp.metrics.BoundCrossHits = cx
 	}
 	sp.metrics.IncumbentCost, sp.metrics.LowerBound, sp.metrics.OptimalityGap =
 		certGap(sp.incumbent, sp.lowerBound)

@@ -3,9 +3,11 @@ package ctrl
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"klotski/internal/migration"
+	"klotski/internal/sched"
 	"klotski/internal/sim"
 )
 
@@ -23,6 +25,15 @@ type CampaignOptions struct {
 	// not journal); Sleep defaults to a no-op so thousands of simulated
 	// retries do not wall-clock sleep.
 	Run Options
+
+	// Pool, when non-nil, runs the campaign's seeds concurrently under
+	// the shared scheduler pool: each seed registers a client (admission
+	// control throttles concurrency to the pool's worker budget) and its
+	// run's planners submit their parallel phases through it. Each seed's
+	// run is fully determined by its seed (own world, own rng, no-op
+	// sleeper) and outcomes are folded in ascending seed order, so the
+	// CampaignReport is byte-identical to the serial campaign's.
+	Pool *sched.Pool
 }
 
 // CampaignReport aggregates a chaos campaign. The paper's safety claim is
@@ -74,6 +85,49 @@ func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (
 	}
 
 	rep := &CampaignReport{Seeds: opts.Seeds, WorstSeed: opts.Seed}
+	if opts.Pool != nil {
+		// Concurrent mode: every seed's run is a pure function of its
+		// seed, so the runs may execute in any order and any interleaving;
+		// only the FOLD below must stay in ascending seed order to keep
+		// the report byte-identical to the serial campaign's (same sums,
+		// same FailedSeeds order, same strictly-greater WorstSeed rule).
+		outs := make([]*Outcome, opts.Seeds)
+		errs := make([]error, opts.Seeds)
+		var wg sync.WaitGroup
+		for s := 0; s < opts.Seeds; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				seed := opts.Seed + int64(s)
+				client, err := opts.Pool.Register(fmt.Sprintf("campaign-%d", seed), sched.ClientOptions{})
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				defer client.Close()
+				schedule := sim.RandomSchedule(task, seed, opts.Schedule)
+				world := sim.NewWorld(task, schedule, seed)
+				ro := runOpts
+				ro.Seed = seed
+				ro.Config.Options.Sched = client
+				outs[s], errs[s] = Run(ctx, task, world, ro)
+			}(s)
+		}
+		wg.Wait()
+		for s := 0; s < opts.Seeds; s++ {
+			if outs[s] == nil {
+				// Registration failed (pool closed) or the run never
+				// started: infrastructure, not campaign data.
+				return nil, fmt.Errorf("ctrl: campaign seed %d did not run: %w", opts.Seed+int64(s), errs[s])
+			}
+			if errs[s] != nil && ctx.Err() != nil {
+				return nil, errs[s]
+			}
+			rep.fold(opts.Seed+int64(s), outs[s])
+		}
+		rep.CompletionRate = float64(rep.Completed) / float64(rep.Seeds)
+		return rep, nil
+	}
 	for s := 0; s < opts.Seeds; s++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("ctrl: campaign cancelled after %d of %d runs: %w", s, opts.Seeds, err)
@@ -87,25 +141,31 @@ func Campaign(ctx context.Context, task *migration.Task, opts CampaignOptions) (
 		if err != nil && ctx.Err() != nil {
 			return nil, err
 		}
-		rep.TotalRetries += out.Retries
-		rep.TotalReplans += out.Replans
-		rep.DriftReplans += out.DriftReplans
-		rep.GapSkips += out.GapSkips
-		rep.TelemetryFaults += out.TelemetryFaults
-		rep.DegradedRuns += out.DegradedRuns
-		rep.BoundaryViolations += out.BoundaryViolations
-		if out.Completed {
-			rep.Completed++
-		} else {
-			rep.FailedSeeds = append(rep.FailedSeeds, seed)
-		}
-		if out.PeakUtil > rep.PeakUtil {
-			rep.PeakUtil = out.PeakUtil
-			rep.WorstSeed = seed
-		}
+		rep.fold(seed, out)
 	}
 	rep.CompletionRate = float64(rep.Completed) / float64(rep.Seeds)
 	return rep, nil
+}
+
+// fold merges one seed's outcome into the report, in ascending seed
+// order — the single accumulation path both campaign modes share.
+func (r *CampaignReport) fold(seed int64, out *Outcome) {
+	r.TotalRetries += out.Retries
+	r.TotalReplans += out.Replans
+	r.DriftReplans += out.DriftReplans
+	r.GapSkips += out.GapSkips
+	r.TelemetryFaults += out.TelemetryFaults
+	r.DegradedRuns += out.DegradedRuns
+	r.BoundaryViolations += out.BoundaryViolations
+	if out.Completed {
+		r.Completed++
+	} else {
+		r.FailedSeeds = append(r.FailedSeeds, seed)
+	}
+	if out.PeakUtil > r.PeakUtil {
+		r.PeakUtil = out.PeakUtil
+		r.WorstSeed = seed
+	}
 }
 
 // String renders a one-line campaign summary.

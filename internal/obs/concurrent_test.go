@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentPlans hammers one registry from many concurrent
+// "plans" — each with its own Recorder, as fleet planning does — and
+// checks the snapshot totals equal the per-plan sums exactly. Run under
+// -race this also proves the recorder paths the shared scheduler hits
+// from every pool worker are data-race free.
+func TestRegistryConcurrentPlans(t *testing.T) {
+	reg := NewRegistry()
+	const plans = 8
+	const each = 2000
+
+	var wg sync.WaitGroup
+	for i := 0; i < plans; i++ {
+		rec := NewRecorder(reg)
+		wg.Add(1)
+		go func(rec *Recorder) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				rec.SchedSteal()
+				rec.SchedPreemption()
+				rec.SchedQueueWait(3 * time.Nanosecond)
+				rec.FleetPlanAdmitted()
+				rec.BoundCrossHitsAdded(2)
+				rec.StateCreated()
+				rec.StateExpanded()
+				rec.CacheHit()
+			}
+		}(rec)
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	want := map[string]int64{
+		MetricSchedSteals:        plans * each,
+		MetricSchedPreemptions:   plans * each,
+		MetricSchedQueueWait:     plans * each * 3,
+		MetricFleetPlansAdmitted: plans * each,
+		MetricBoundCrossHits:     plans * each * 2,
+		MetricStatesCreated:      plans * each,
+		MetricStatesExpanded:     plans * each,
+		MetricCacheHits:          plans * each,
+	}
+	for name, w := range want {
+		if got := s.Counters[name]; got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+}

@@ -45,6 +45,11 @@ const (
 	MetricAdaptiveDecisions  = "planner.adaptive_decisions"
 	MetricAdaptiveLanes      = "planner.adaptive_lanes"
 	MetricAdaptiveWarmOffs   = "planner.adaptive_warm_offs"
+	MetricSchedSteals        = "sched.steals"
+	MetricSchedPreemptions   = "sched.preemptions"
+	MetricSchedQueueWait     = "sched.queue_wait_ns"
+	MetricFleetPlansAdmitted = "fleet.plans_admitted"
+	MetricBoundCrossHits     = "bound.cross_plan_cut_hits"
 	TraceName                = "planner"
 )
 
@@ -90,6 +95,11 @@ type Recorder struct {
 	adaptiveDecns    *Counter
 	adaptiveLanes    *Gauge
 	adaptiveWarmOffs *Counter
+	schedSteals      *Counter
+	schedPreemptions *Counter
+	schedQueueWait   *Counter
+	fleetAdmitted    *Counter
+	boundCrossHits   *Counter
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -135,6 +145,11 @@ func NewRecorder(reg *Registry) *Recorder {
 		adaptiveDecns:    reg.Counter(MetricAdaptiveDecisions),
 		adaptiveLanes:    reg.Gauge(MetricAdaptiveLanes),
 		adaptiveWarmOffs: reg.Counter(MetricAdaptiveWarmOffs),
+		schedSteals:      reg.Counter(MetricSchedSteals),
+		schedPreemptions: reg.Counter(MetricSchedPreemptions),
+		schedQueueWait:   reg.Counter(MetricSchedQueueWait),
+		fleetAdmitted:    reg.Counter(MetricFleetPlansAdmitted),
+		boundCrossHits:   reg.Counter(MetricBoundCrossHits),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -492,6 +507,52 @@ func (r *Recorder) AdaptiveWarmOff() {
 		return
 	}
 	r.adaptiveWarmOffs.Inc()
+}
+
+// SchedSteal counts one shared-pool worker claiming work from a plan it
+// was not previously serving (work stealing across concurrent plans).
+func (r *Recorder) SchedSteal() {
+	if r == nil {
+		return
+	}
+	r.schedSteals.Inc()
+}
+
+// SchedPreemption counts one lower-priority plan forced by the shared
+// pool to checkpoint so a higher-priority plan could claim its workers.
+func (r *Recorder) SchedPreemption() {
+	if r == nil {
+		return
+	}
+	r.schedPreemptions.Inc()
+}
+
+// SchedQueueWait accumulates the time one submitted task batch waited
+// before any pool worker first claimed from it (the submitter's own help
+// does not count — it starts immediately).
+func (r *Recorder) SchedQueueWait(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.schedQueueWait.Add(d.Nanoseconds())
+}
+
+// FleetPlanAdmitted counts one fleet member admitted to the shared pool
+// (re-admissions after a preemption count again).
+func (r *Recorder) FleetPlanAdmitted() {
+	if r == nil {
+		return
+	}
+	r.fleetAdmitted.Inc()
+}
+
+// BoundCrossHitsAdded counts n structural cuts a plan imported from the
+// shared cross-plan cut store (learned by a concurrent fleet member).
+func (r *Recorder) BoundCrossHitsAdded(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.boundCrossHits.Add(int64(n))
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

@@ -60,6 +60,7 @@ import (
 	"klotski/internal/pipeline"
 	"klotski/internal/report"
 	"klotski/internal/routing"
+	"klotski/internal/sched"
 	"klotski/internal/sim"
 	"klotski/internal/topo"
 )
@@ -672,10 +673,63 @@ func RunControlLoop(ctx context.Context, task *Task, world *World, opts ControlO
 
 // ChaosCampaign runs the control loop against many seeded random fault
 // schedules and aggregates completion rate, retries, replans, and
-// boundary-violation counts.
+// boundary-violation counts. Set ChaosCampaignOptions.Pool to run the
+// seeds concurrently under a shared worker pool; the report stays
+// byte-identical to the serial campaign's.
 func ChaosCampaign(ctx context.Context, task *Task, opts ChaosCampaignOptions) (*ChaosCampaignReport, error) {
 	return ctrl.Campaign(ctx, task, opts)
 }
+
+// Fleet-scale planning: a process-wide work-stealing worker pool shared
+// by concurrent plans, with admission control and priority preemption.
+type (
+	// WorkerPool is the shared pool. Plans attach via Options.Sched
+	// (a registered PoolClient); every plan stays byte-identical to its
+	// serial result at any pool size, share, or preemption point.
+	WorkerPool = sched.Pool
+	// PoolClient is one plan's handle on the pool.
+	PoolClient = sched.Client
+	// PoolClientOptions sets a registration's priority and share bounds.
+	PoolClientOptions = sched.ClientOptions
+	// FleetMember is one fabric's planning job in a fleet run.
+	FleetMember = ctrl.FleetMember
+	// FleetOptions parameterizes a fleet run.
+	FleetOptions = ctrl.FleetOptions
+	// FleetReport aggregates a fleet run.
+	FleetReport = ctrl.FleetReport
+	// FleetMemberReport is one fleet member's outcome.
+	FleetMemberReport = ctrl.FleetMemberReport
+	// FleetPlanner selects a fleet member's planning algorithm.
+	FleetPlanner = ctrl.Planner
+	// BoundStore shares structural lower-bound cuts across engines (and
+	// fleet members) planning the same fabric structure; see
+	// BoundEngine.Attach.
+	BoundStore = bound.Store
+)
+
+// Fleet planner names (the checkpoint-resumable core planners).
+const (
+	FleetPlannerAStar = ctrl.PlannerAStar
+	FleetPlannerDP    = ctrl.PlannerDP
+)
+
+// NewWorkerPool starts a shared planning worker pool (0 workers selects
+// GOMAXPROCS). Close it when the fleet is done.
+func NewWorkerPool(workers int, rec *ObsRecorder) *WorkerPool {
+	return sched.NewPool(workers, rec)
+}
+
+// PlanFleet plans every member concurrently under the shared pool with
+// admission control, cross-member structural-cut sharing, and priority
+// preemption (preempted members checkpoint and resume byte-identically).
+func PlanFleet(ctx context.Context, members []FleetMember, opts FleetOptions) (*FleetReport, error) {
+	return ctrl.Fleet(ctx, members, opts)
+}
+
+// NewBoundStore returns an empty cross-plan structural-cut store; attach
+// it to engines via BoundEngine.Attach (PlanFleet wires one automatically
+// unless FleetOptions.NoSharedCuts is set).
+func NewBoundStore() *BoundStore { return bound.NewStore() }
 
 // Observability: typed instruments, a process-wide registry with expvar
 // and JSON-snapshot export, ring-buffered span traces, and the nil-safe

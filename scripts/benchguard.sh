@@ -7,6 +7,7 @@
 #   scripts/benchguard.sh -update               # accept current performance
 #   scripts/benchguard.sh -max-slowdown 1       # loosen for a noisy machine
 #   scripts/benchguard.sh -min-prune-ratio 0.2  # require warm bound pruning
+#   scripts/benchguard.sh -max-fleet-excess 0.5 # loosen the fleet makespan rule
 #
 # BENCHTIME overrides the iteration count (default 30x: fixed iterations
 # rather than a time budget, so states/op is exactly reproducible; the
@@ -16,5 +17,5 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -bench 'BenchmarkPlannerGuard|BenchmarkCheckDemandDelta' -benchtime "${BENCHTIME:-30x}" . |
+go test -run '^$' -bench 'BenchmarkPlannerGuard|BenchmarkCheckDemandDelta|BenchmarkFleetGuard' -benchtime "${BENCHTIME:-30x}" . |
 	go run ./cmd/benchguard -baseline BENCH_planner.json "$@"
