@@ -12,6 +12,7 @@
 //	klotski -npd region.json -resume plan.json -executed 12   # replan the rest
 //	klotski -npd region.json -audit plan.json                 # verify offline
 //	klotski -fleet manifest.json [-fleet-workers 0] [-fleet-no-shared-cuts]
+//	        [-fleet-checkpoint-dir ckpts/]
 //
 // The NPD document must carry a migration part; see cmd/topogen for
 // generating example documents. With -v the plan's runs and per-phase
@@ -71,7 +72,12 @@
 // -fleet-no-shared-cuts is set. The fleet report (per-member plan cost,
 // gap, preemptions, waits; aggregate makespan and cross-plan cut hits) is
 // written as JSON to -o, and the exit status is non-zero if any member
-// failed.
+// failed. Fleet runs stop cleanly on SIGINT and SIGTERM: every member
+// halts at a planner checkpoint, the report is still written, and with
+// -fleet-checkpoint-dir each interrupted member's best safe partial
+// sequence is sealed into that directory as <member>.ckpt.json — the
+// same envelope -checkpoint writes for a single plan, resumable per
+// member via -resume/-executed.
 //
 // Observability: -stats-out writes a JSON snapshot of the planner's
 // instruments (states created/expanded, check-latency histogram, cache
@@ -94,6 +100,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"klotski"
@@ -103,7 +111,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "klotski:", err)
@@ -148,6 +156,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fleetPath    = fs.String("fleet", "", "plan a fleet: JSON manifest of members ({\"members\":[{\"name\",\"npd\",\"planner\",\"priority\",\"min_share\",\"max_share\"}]}) planned concurrently under one shared worker pool")
 		fleetWorkers = fs.Int("fleet-workers", 0, "shared pool worker budget for -fleet (0 = GOMAXPROCS)")
 		fleetNoCuts  = fs.Bool("fleet-no-shared-cuts", false, "disable cross-member structural-cut sharing in -fleet runs")
+		fleetCkptDir = fs.String("fleet-checkpoint-dir", "", "on interrupted fleet planning (SIGINT, SIGTERM, -timeout), seal every interrupted member's best safe partial sequence into this directory (<member>.ckpt.json)")
 
 		statsOut  = fs.String("stats-out", "", "write a JSON observability snapshot (counters, gauges, histograms, spans) here on exit")
 		debugAddr = fs.String("debug-addr", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
@@ -189,7 +198,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Workers: *workers, AuditSerial: *auditSerial, Recorder: rec,
 	}
 	if *fleetPath != "" {
-		return runFleet(ctx, *fleetPath, *fleetWorkers, *fleetNoCuts, cfgOpts, *outPath, stdout, stderr, rec)
+		return runFleet(ctx, *fleetPath, *fleetWorkers, *fleetNoCuts, *fleetCkptDir, cfgOpts, *outPath, stdout, stderr, rec)
 	}
 
 	f, err := os.Open(*npdPath)
@@ -344,8 +353,11 @@ type fleetOut struct {
 // concurrently under a shared pool, prints the one-line summary to
 // stderr, and writes the JSON fleet report to -o (default stdout). Any
 // member failure makes the exit status non-zero after the report is
-// written.
-func runFleet(ctx context.Context, manifestPath string, workers int, noSharedCuts bool, opts klotski.Options, outPath string, stdout, stderr io.Writer, rec *klotski.ObsRecorder) error {
+// written. An interrupted fleet (SIGINT/SIGTERM, -timeout) still writes
+// the report, and — with ckptDir set — first seals every interrupted
+// member's best safe partial sequence, so stopping a fleet run preserves
+// all members' work, not just one plan's.
+func runFleet(ctx context.Context, manifestPath string, workers int, noSharedCuts bool, ckptDir string, opts klotski.Options, outPath string, stdout, stderr io.Writer, rec *klotski.ObsRecorder) error {
 	data, err := os.ReadFile(manifestPath)
 	if err != nil {
 		return err
@@ -399,15 +411,20 @@ func runFleet(ctx context.Context, manifestPath string, workers int, noSharedCut
 
 	pool := klotski.NewWorkerPool(workers, rec)
 	defer pool.Close()
-	rep, err := klotski.PlanFleet(ctx, members, klotski.FleetOptions{
+	rep, fleetErr := klotski.PlanFleet(ctx, members, klotski.FleetOptions{
 		Pool:         pool,
 		NoSharedCuts: noSharedCuts,
 		Recorder:     rec,
 	})
-	if err != nil {
-		return err
+	if rep == nil {
+		return fleetErr
 	}
 	fmt.Fprintln(stderr, rep)
+	// A cancelled fleet (or a member that hit its own budget) stops every
+	// planner at a checkpoint instead of discarding its work; seal them
+	// all before reporting, so the -resume/-executed flow can pick each
+	// member back up.
+	checkpointFleetMembers(rep, ckptDir, opts, stderr)
 
 	out := fleetOut{
 		Completed:   rep.Completed,
@@ -453,10 +470,66 @@ func runFleet(ctx context.Context, manifestPath string, workers int, noSharedCut
 	if err := enc.Encode(out); err != nil {
 		return err
 	}
+	if fleetErr != nil {
+		return fleetErr
+	}
 	if failed > 0 {
 		return fmt.Errorf("fleet: %d of %d members failed", failed, len(rep.Members))
 	}
 	return nil
+}
+
+// checkpointFleetMembers seals the best safe partial sequence of every
+// interrupted fleet member into dir — one klotski/plan envelope per
+// member, named <member>.ckpt.json — mirroring what -checkpoint does for
+// a single plan. Members that failed for non-checkpoint reasons are
+// skipped; write failures are reported to stderr and do not mask the
+// interruption itself (the member's journal of record is the fleet
+// report). Returns how many envelopes were written.
+func checkpointFleetMembers(rep *klotski.FleetReport, dir string, opts klotski.Options, stderr io.Writer) int {
+	if dir == "" {
+		return 0
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(stderr, "klotski: creating -fleet-checkpoint-dir:", err)
+		return 0
+	}
+	written := 0
+	for i := range rep.Members {
+		m := &rep.Members[i]
+		var interrupted *klotski.Interrupted
+		if m.Err == nil || !errors.As(m.Err, &interrupted) {
+			continue
+		}
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("member-%d", i)
+		}
+		path := filepath.Join(dir, fleetCheckpointName(name))
+		n, werr := writeCheckpoint(path, interrupted, opts)
+		if werr != nil {
+			fmt.Fprintf(stderr, "klotski: checkpointing fleet member %q: %v\n", name, werr)
+			continue
+		}
+		fmt.Fprintf(stderr, "fleet member %q interrupted (%v); %d safe actions checkpointed to %s\n",
+			name, interrupted.Reason, n, path)
+		written++
+	}
+	return written
+}
+
+// fleetCheckpointName maps a manifest member name to its checkpoint file
+// name, flattening path separators so a creative member name cannot
+// escape the checkpoint directory.
+func fleetCheckpointName(name string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\':
+			return '_'
+		}
+		return r
+	}, name)
+	return clean + ".ckpt.json"
 }
 
 // writeStats dumps the registry's JSON snapshot to path.

@@ -442,3 +442,127 @@ func TestRunMaxRun(t *testing.T) {
 		}
 	}
 }
+
+func writeFleetManifest(t *testing.T, names ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	npdPath := filepath.Join(dir, "region.json")
+	if err := os.WriteFile(npdPath, []byte(testNPD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var manifest fleetManifest
+	for _, name := range names {
+		manifest.Members = append(manifest.Members, fleetManifestMember{Name: name, NPD: npdPath})
+	}
+	data, err := json.Marshal(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunFleet(t *testing.T) {
+	manifest := writeFleetManifest(t, "east", "west")
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-fleet", manifest, "-o", outPath}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleetOut
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("fleet report is not JSON: %v", err)
+	}
+	if rep.Completed != 2 || rep.Failed != 0 || len(rep.Members) != 2 {
+		t.Fatalf("fleet report: %+v", rep)
+	}
+	for _, m := range rep.Members {
+		if !m.Completed || m.Actions == 0 {
+			t.Errorf("member %q did not complete: %+v", m.Name, m)
+		}
+	}
+}
+
+// TestRunFleetCancelledCheckpointsAllMembers: SIGTERM/SIGINT surface as a
+// cancelled context; a fleet run must stop every member at a planner
+// checkpoint, seal ALL of them into -fleet-checkpoint-dir (not just one
+// plan's, which is all the single-plan -checkpoint flow covers), still
+// write the fleet report, and exit nonzero.
+func TestRunFleetCancelledCheckpointsAllMembers(t *testing.T) {
+	manifest := writeFleetManifest(t, "east", "west")
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpts")
+	outPath := filepath.Join(dir, "report.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	err := run(ctx, []string{
+		"-fleet", manifest, "-fleet-checkpoint-dir", ckptDir, "-o", outPath,
+	}, &out, &errBuf)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (stderr: %s)", err, errBuf.String())
+	}
+
+	// Every member's checkpoint is sealed under the expected name and
+	// opens as a klotski/plan envelope carrying the interruption details.
+	for _, name := range []string{"east", "west"} {
+		path := filepath.Join(ckptDir, name+".ckpt.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("member %q checkpoint: %v (stderr: %s)", name, err, errBuf.String())
+		}
+		payload, err := npd.OpenSealed(planFormat, data)
+		if err != nil {
+			t.Fatalf("member %q checkpoint envelope: %v", name, err)
+		}
+		var doc struct {
+			Task       string `json:"task"`
+			Checkpoint struct {
+				Planner string `json:"planner"`
+				Reason  string `json:"reason"`
+			} `json:"checkpoint"`
+		}
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			t.Fatalf("member %q checkpoint payload: %v", name, err)
+		}
+		if doc.Task != "cmd-test" || doc.Checkpoint.Planner == "" {
+			t.Errorf("member %q checkpoint document: %+v", name, doc)
+		}
+		if !strings.Contains(doc.Checkpoint.Reason, "context canceled") {
+			t.Errorf("member %q checkpoint reason %q, want context cancellation", name, doc.Checkpoint.Reason)
+		}
+	}
+	if got := strings.Count(errBuf.String(), "checkpointed to"); got != 2 {
+		t.Errorf("stderr reports %d member checkpoints, want 2:\n%s", got, errBuf.String())
+	}
+
+	// The fleet report is still written on the interrupted path.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("fleet report after cancellation: %v", err)
+	}
+	var rep fleetOut
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("fleet report is not JSON: %v", err)
+	}
+	if len(rep.Members) != 2 || rep.Completed != 0 {
+		t.Errorf("interrupted fleet report: %+v", rep)
+	}
+}
+
+// TestFleetCheckpointName: member names cannot escape the checkpoint dir.
+func TestFleetCheckpointName(t *testing.T) {
+	if got := fleetCheckpointName("../../etc/passwd"); strings.Contains(got, "/") || strings.Contains(got, "\\") {
+		t.Errorf("fleetCheckpointName left separators in %q", got)
+	}
+	if got := fleetCheckpointName("east"); got != "east.ckpt.json" {
+		t.Errorf("fleetCheckpointName(east) = %q", got)
+	}
+}

@@ -1,0 +1,354 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const testNPD = `{
+	"version": 1,
+	"name": "klotskid-test",
+	"fabric": [{"dc": 0, "pods": 2, "rswPerPod": 2, "planes": 4, "sswPerPlane": 2, "fswUplinks": 1}],
+	"hgrid": {"grids": 4, "faduPerGrid": 2, "fauuPerGrid": 1, "sswDownlinks": 1},
+	"eb": {"count": 2, "linkTbps": 40},
+	"dr": {"count": 1, "linkTbps": 80},
+	"bb": {"ebbs": 1},
+	"migration": {"kind": "hgrid-v1-v2"}
+}`
+
+// TestHelperProcess is not a test: it is the daemon main re-entered in a
+// child process, so the e2e tests below can SIGKILL and SIGTERM a real
+// klotskid and restart it over the same state directory.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("KLOTSKID_HELPER") != "1" {
+		t.Skip("not a helper invocation")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, args, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "klotskid:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// daemon is one running klotskid child process.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string // API base URL
+	opsURL string // ops base URL ("" unless -ops-addr was passed)
+	stderr *lockedBuffer
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var (
+	listenRe = regexp.MustCompile(`klotskid listening on (http://[^ ]+)`)
+	opsRe    = regexp.MustCompile(`klotskid ops on (http://[^ ]+)`)
+)
+
+// startDaemon launches klotskid as a child process over dir and waits
+// for its listen line(s).
+func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
+	t.Helper()
+	args := []string{"-test.run=TestHelperProcess", "--", "-addr", "127.0.0.1:0", "-dir", dir}
+	args = append(args, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "KLOTSKID_HELPER=1")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &lockedBuffer{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: buf}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	wantOps := false
+	for _, a := range extra {
+		if a == "-ops-addr" {
+			wantOps = true
+		}
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(io.TeeReader(stderrPipe, buf))
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				d.url = m[1]
+			}
+			if m := opsRe.FindStringSubmatch(line); m != nil {
+				d.opsURL = m[1]
+			}
+			if d.url != "" && (!wantOps || d.opsURL != "") {
+				select {
+				case <-ready:
+				default:
+					close(ready)
+				}
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never listened; stderr:\n%s", d.stderr.String())
+	}
+	return d
+}
+
+// submitJob posts a request with a small leg budget and returns the job ID.
+func submitJob(t *testing.T, baseURL string) string {
+	t.Helper()
+	body := fmt.Sprintf(`{"npd": %s, "leg_states": 8}`, testNPD)
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+type jobStatus struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Detail    string  `json:"detail"`
+	Legs      int     `json:"legs"`
+	Gap       float64 `json:"gap"`
+	Cost      float64 `json:"cost"`
+	Actions   int     `json:"actions"`
+	Recovered bool    `json:"recovered"`
+}
+
+func getStatus(t *testing.T, baseURL, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getPlan(t *testing.T, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan %s: %d %s", id, resp.StatusCode, data)
+	}
+	return data
+}
+
+// referencePlans runs two jobs on an undisturbed daemon and returns
+// their plans and gaps — the bytes every crash scenario must reproduce.
+func referencePlans(t *testing.T) (plans [][]byte, gaps []float64) {
+	t.Helper()
+	d := startDaemon(t, t.TempDir())
+	ids := []string{submitJob(t, d.url), submitJob(t, d.url)}
+	for _, id := range ids {
+		id := id
+		waitFor(t, "reference "+id, 2*time.Minute, func() bool {
+			return getStatus(t, d.url, id).State == "DONE"
+		})
+		st := getStatus(t, d.url, id)
+		plans = append(plans, getPlan(t, d.url, id))
+		gaps = append(gaps, st.Gap)
+	}
+	return plans, gaps
+}
+
+// TestSIGKILLMidPlanningRecovers is the cross-process robustness e2e:
+// two jobs are submitted, the daemon is SIGKILLed mid-planning, a fresh
+// process restarts over the same state directory, and both jobs must
+// recover and finish audited with plans byte-identical to an undisturbed
+// daemon's.
+func TestSIGKILLMidPlanningRecovers(t *testing.T) {
+	wantPlans, wantGaps := referencePlans(t)
+
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir, "-leg-pause", "40ms")
+	ids := []string{submitJob(t, d1.url), submitJob(t, d1.url)}
+	// Let both jobs journal at least one checkpoint leg, so the kill
+	// lands mid-planning with real search state on disk.
+	for _, id := range ids {
+		id := id
+		waitFor(t, id+" mid-planning", time.Minute, func() bool {
+			st := getStatus(t, d1.url, id)
+			return st.Legs >= 1 && st.State == "PLANNING"
+		})
+	}
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	d2 := startDaemon(t, dir)
+	for i, id := range ids {
+		id := id
+		waitFor(t, id+" recovery", 2*time.Minute, func() bool {
+			return getStatus(t, d2.url, id).State == "DONE"
+		})
+		st := getStatus(t, d2.url, id)
+		if !st.Recovered {
+			t.Errorf("job %s not flagged recovered", id)
+		}
+		if st.Gap != wantGaps[i] {
+			t.Errorf("job %s gap %v, undisturbed %v", id, st.Gap, wantGaps[i])
+		}
+		if got := getPlan(t, d2.url, id); !bytes.Equal(got, wantPlans[i]) {
+			t.Errorf("job %s plan differs from undisturbed run after SIGKILL recovery", id)
+		}
+	}
+}
+
+// TestSIGTERMDrainsGracefully sends SIGTERM mid-planning: the daemon
+// must checkpoint the job, exit 0, and a restart must finish the job
+// with the undisturbed plan.
+func TestSIGTERMDrainsGracefully(t *testing.T) {
+	wantPlans, _ := referencePlans(t)
+
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir, "-leg-pause", "40ms")
+	id := submitJob(t, d1.url)
+	waitFor(t, id+" mid-planning", time.Minute, func() bool {
+		st := getStatus(t, d1.url, id)
+		return st.Legs >= 1 && st.State == "PLANNING"
+	})
+	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v; stderr:\n%s", err, d1.stderr.String())
+	}
+	if !strings.Contains(d1.stderr.String(), "drained cleanly") {
+		t.Errorf("no clean drain message; stderr:\n%s", d1.stderr.String())
+	}
+
+	d2 := startDaemon(t, dir)
+	waitFor(t, id+" after drain", 2*time.Minute, func() bool {
+		return getStatus(t, d2.url, id).State == "DONE"
+	})
+	if got := getPlan(t, d2.url, id); !bytes.Equal(got, wantPlans[0]) {
+		t.Errorf("plan differs from undisturbed run after drain/restart")
+	}
+}
+
+// TestOpsStatsEndpoint checks the -stats-out-compatible /debug/stats
+// surface on the ops port.
+func TestOpsStatsEndpoint(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "-ops-addr", "127.0.0.1:0")
+	id := submitJob(t, d.url)
+	waitFor(t, id+" done", 2*time.Minute, func() bool {
+		return getStatus(t, d.url, id).State == "DONE"
+	})
+	resp, err := http.Get(d.opsURL + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]struct {
+			Value int64 `json:"value"`
+			Max   int64 `json:"max"`
+		} `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/debug/stats is not a stats snapshot: %v", err)
+	}
+	if snap.Counters["serve.jobs_submitted"] != 1 {
+		t.Errorf("serve.jobs_submitted = %d, want 1", snap.Counters["serve.jobs_submitted"])
+	}
+	if _, ok := snap.Gauges["serve.jobs_active"]; !ok {
+		t.Errorf("serve.jobs_active gauge missing from /debug/stats")
+	}
+	// expvar surface serves too.
+	vr, err := http.Get(d.opsURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr.Body.Close()
+	if vr.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars: %d", vr.StatusCode)
+	}
+}
+
+func TestRunRequiresDir(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "-dir is required") {
+		t.Fatalf("run without -dir: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package bound
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // TestStoreCrossPlanImport pins the cross-plan cut-sharing semantics:
 // only structural cuts cross engines, only between engines bound to the
@@ -81,5 +84,115 @@ func TestStoreImportIsIdempotent(t *testing.T) {
 		if got := e2.CrossHits(); got != 1 {
 			t.Fatalf("rebind %d: cross hits = %d, want 1", i, got)
 		}
+	}
+}
+
+// TestStoreConcurrentEngines hammers one store from many goroutines, each
+// owning its engine (the documented concurrency contract: engines are
+// single-goroutine, only the shard map is shared) and interleaving
+// Attach, Learn, and demand-only rebinds. The assertions are exact, not
+// "didn't crash": every worker learns a disjoint structural cut set, so a
+// fresh engine binding afterwards must import precisely the union, each
+// worker's learned-cut counter must count exactly its own cuts, and
+// demand-dependent cuts must never cross. Run under -race this also
+// proves publish/importInto never touch a foreign engine's state.
+func TestStoreConcurrentEngines(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 2
+		structSig = 77
+	)
+	totals := []uint16{4, 4} // 25-vector lattice
+	units := []float64{1, 1}
+
+	// Disjoint structural vectors: the 16 lattice points with both
+	// coordinates < 4, two per worker. Demand vectors live on the i==4 /
+	// j==4 rim, one per worker, so any demand cut that crossed engines
+	// would be visible as an inflated import count.
+	var structVecs [][]uint16
+	for i := uint16(0); i < 4; i++ {
+		for j := uint16(0); j < 4; j++ {
+			structVecs = append(structVecs, []uint16{i, j})
+		}
+	}
+	demandVecs := [][]uint16{
+		{4, 0}, {4, 1}, {4, 2}, {4, 3}, {4, 4}, {0, 4}, {1, 4}, {2, 4},
+	}
+
+	s := NewStore()
+	engines := make([]*Engine, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := New(totals, units, 0)
+			engines[w] = e
+			e.Attach(s)
+			e.Bind(structSig, uint64(100*w+1))
+
+			mine := structVecs[perWorker*w : perWorker*w+perWorker]
+			if !e.Learn(mine[0], true) {
+				t.Errorf("worker %d: own structural cut %v not new", w, mine[0])
+			}
+			if !e.Learn(demandVecs[w], false) {
+				t.Errorf("worker %d: own demand cut %v not new", w, demandVecs[w])
+			}
+			// Demand-only rebind mid-stream: keeps (and republishes
+			// nothing for) structural cuts, drops the demand cut, imports
+			// whatever the other workers have published so far.
+			e.Bind(structSig, uint64(100*w+2))
+			if !e.Learn(mine[1], true) {
+				t.Errorf("worker %d: own structural cut %v not new", w, mine[1])
+			}
+			if !e.Learn(demandVecs[w], false) {
+				t.Errorf("worker %d: demand cut %v survived a demand rebind", w, demandVecs[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	for w, e := range engines {
+		// Exactly the worker's own cuts count as learned: two structural,
+		// plus the demand cut learned once per demand binding.
+		if got := e.CutsLearned(); got != perWorker+2 {
+			t.Errorf("worker %d learned %d cuts, want %d", w, got, perWorker+2)
+		}
+		// Imports are bounded by what the other workers published.
+		if got := e.CrossHits(); got < 0 || got > total-perWorker {
+			t.Errorf("worker %d cross hits = %d, want 0..%d", w, got, total-perWorker)
+		}
+	}
+
+	// A fresh engine binding the structure imports the exact union of the
+	// disjoint structural sets — nothing lost, nothing duplicated, no
+	// demand cut leaked.
+	fresh := New(totals, units, 0)
+	fresh.Attach(s)
+	fresh.Bind(structSig, 999)
+	if got := fresh.CrossHits(); got != total {
+		t.Fatalf("fresh engine imported %d cuts, want exactly %d", got, total)
+	}
+	if got := fresh.CutsLearned(); got != 0 {
+		t.Fatalf("fresh engine counted %d imports as learned", got)
+	}
+	for w, vec := range demandVecs {
+		if !fresh.Learn(vec, false) {
+			t.Errorf("worker %d's demand cut %v leaked through the store", w, vec)
+		}
+	}
+	// Every imported structural cut is already known.
+	for _, vec := range structVecs {
+		if fresh.Learn(vec, true) {
+			t.Errorf("structural cut %v lost on import", vec)
+		}
+	}
+	// A different structure shares nothing.
+	other := New(totals, units, 0)
+	other.Attach(s)
+	other.Bind(structSig+1, 999)
+	if got := other.CrossHits(); got != 0 {
+		t.Errorf("foreign structure imported %d cuts", got)
 	}
 }

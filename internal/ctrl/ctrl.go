@@ -613,6 +613,15 @@ func driftScore(obs, assumed demand.Set, scale float64) float64 {
 	return num / den
 }
 
+// Backoff computes the capped exponential delay for a retry attempt with
+// full jitter in [d/2, d): herds of retrying controllers must not
+// synchronize against a recovering device. Exported so the serve layer's
+// job runners retry transient failures under the same policy the control
+// loop uses.
+func Backoff(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	return backoff(base, max, attempt, rng)
+}
+
 // backoff computes the capped exponential delay for a retry attempt with
 // full jitter in [d/2, d): herds of retrying controllers must not
 // synchronize against a recovering device.

@@ -148,6 +148,30 @@ func readJournal(path string) ([]Entry, int64, error) {
 // parseJournal decodes journal bytes, returning the recovered entries and
 // the byte length of the clean (undamaged) prefix.
 func parseJournal(data []byte) (entries []Entry, cleanLen int64, err error) {
+	cleanLen, err = ParseRecords(data, func(payload []byte) error {
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("unmarshaling record: %w", err)
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, cleanLen, nil
+}
+
+// ParseRecords walks a KJ1 record stream, calling decode with each
+// verified record payload and returning the byte length of the clean
+// (undamaged) prefix. A record that fails its envelope check, its
+// checksum, or decode is tolerated only as the final record — the torn
+// tail of a crash mid-append, which is silently dropped; damage anywhere
+// else fails with an error wrapping ErrCorrupt. Decoded records are
+// committed in order: decode is never called for a record after a damaged
+// one. This is the shared durable-record walker under the control
+// journal and the serve layer's job journals.
+func ParseRecords(data []byte, decode func(payload []byte) error) (cleanLen int64, err error) {
 	var (
 		pendingErr error
 		offset     int
@@ -165,9 +189,9 @@ func parseJournal(data []byte) (entries []Entry, cleanLen int64, err error) {
 		}
 		if pendingErr != nil {
 			// The damaged record was not the last one: real corruption.
-			return nil, 0, pendingErr
+			return 0, pendingErr
 		}
-		switch e, derr := decodeJournalLine(raw); {
+		switch payload, derr := decodeRecordLine(raw); {
 		case len(raw) == 0:
 			// Append emits exactly one non-empty line per record, so a
 			// blank line is damage: tolerated at the tail, fatal mid-file.
@@ -180,23 +204,27 @@ func parseJournal(data []byte) (entries []Entry, cleanLen int64, err error) {
 			// never durable. Treat it as the torn tail it is.
 			pendingErr = fmt.Errorf("%w: line %d: record missing trailing newline", ErrCorrupt, line)
 		default:
-			entries = append(entries, e)
+			if derr := decode(payload); derr != nil {
+				pendingErr = fmt.Errorf("%w: line %d: %v", ErrCorrupt, line, derr)
+				break
+			}
 			cleanLen = int64(next)
 		}
 		offset = next
 	}
 	// A single damaged final record is the torn tail of a crash
 	// mid-append: recover the clean prefix silently.
-	return entries, cleanLen, nil
+	return cleanLen, nil
 }
 
-// encodeJournalLine renders one record in the versioned envelope. The
-// output is a deterministic function of the entry, preserving the
-// byte-identical-journal determinism contract.
-func encodeJournalLine(e Entry) ([]byte, error) {
-	payload, err := json.Marshal(e)
-	if err != nil {
-		return nil, fmt.Errorf("ctrl: encoding journal entry: %w", err)
+// EncodeRecord wraps a payload (one JSON document, no raw newlines) in
+// the versioned KJ1 line envelope: magic, CRC32C over the payload bytes
+// exactly as given, payload, newline. The output is a deterministic
+// function of the payload, preserving the byte-identical-journal
+// determinism contract for every journal built on the envelope.
+func EncodeRecord(payload []byte) ([]byte, error) {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return nil, fmt.Errorf("ctrl: record payload contains a newline")
 	}
 	line := make([]byte, 0, len(journalMagic)+1+8+1+len(payload)+1)
 	line = append(line, journalMagic...)
@@ -208,29 +236,35 @@ func encodeJournalLine(e Entry) ([]byte, error) {
 	return line, nil
 }
 
-// decodeJournalLine parses and verifies one envelope line (without its
-// trailing newline).
-func decodeJournalLine(raw []byte) (Entry, error) {
-	var e Entry
+// encodeJournalLine renders one control-journal entry in the versioned
+// envelope.
+func encodeJournalLine(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: encoding journal entry: %w", err)
+	}
+	return EncodeRecord(payload)
+}
+
+// decodeRecordLine parses and verifies one envelope line (without its
+// trailing newline), returning the checksummed payload.
+func decodeRecordLine(raw []byte) ([]byte, error) {
 	rest, ok := bytes.CutPrefix(raw, []byte(journalMagic+" "))
 	if !ok {
-		return e, fmt.Errorf("record does not start with %q (unversioned or torn record)", journalMagic)
+		return nil, fmt.Errorf("record does not start with %q (unversioned or torn record)", journalMagic)
 	}
 	if len(rest) < 9 || rest[8] != ' ' {
-		return e, errors.New("record missing checksum field")
+		return nil, errors.New("record missing checksum field")
 	}
 	var want uint32
 	if _, err := fmt.Sscanf(string(rest[:8]), "%08x", &want); err != nil {
-		return e, fmt.Errorf("unparsable checksum %q", rest[:8])
+		return nil, fmt.Errorf("unparsable checksum %q", rest[:8])
 	}
 	payload := rest[9:]
 	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return e, fmt.Errorf("checksum mismatch: record says %08x, payload hashes to %08x", want, got)
+		return nil, fmt.Errorf("checksum mismatch: record says %08x, payload hashes to %08x", want, got)
 	}
-	if err := json.Unmarshal(payload, &e); err != nil {
-		return e, fmt.Errorf("unmarshaling record: %w", err)
-	}
-	return e, nil
+	return payload, nil
 }
 
 // Append writes one entry and syncs it to stable storage before returning.

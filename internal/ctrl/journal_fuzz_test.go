@@ -2,6 +2,7 @@ package ctrl
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"testing"
 )
@@ -56,8 +57,12 @@ func FuzzJournalDecode(f *testing.F) {
 			if err != nil {
 				t.Fatalf("recovered entry does not re-encode: %v", err)
 			}
-			back, err := decodeJournalLine(bytes.TrimSuffix(line, []byte{'\n'}))
-			if err != nil || back != e {
+			payload, err := decodeRecordLine(bytes.TrimSuffix(line, []byte{'\n'}))
+			if err != nil {
+				t.Fatalf("entry %d envelope round trip: %v", i, err)
+			}
+			var back Entry
+			if err := json.Unmarshal(payload, &back); err != nil || back != e {
 				t.Fatalf("entry %d round trip: %+v vs %+v (%v)", i, e, back, err)
 			}
 		}

@@ -32,13 +32,18 @@ func (r *Registry) PublishExpvar(name string) {
 }
 
 // DebugHandler returns an HTTP mux serving the standard debug surface:
-// /debug/vars (expvar, including anything published via PublishExpvar) and
-// /debug/pprof/* (profiles, traces, symbol lookup). The root path serves a
-// plain JSON snapshot of the registry for tools that want stats without
-// the expvar envelope.
+// /debug/vars (expvar, including anything published via PublishExpvar),
+// /debug/pprof/* (profiles, traces, symbol lookup), and /debug/stats —
+// the exact JSON document the CLI's -stats-out flag writes, so tooling
+// built on those snapshots reads a live daemon unchanged. The root path
+// serves the same snapshot for tools that want stats without a path.
 func (r *Registry) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -50,7 +50,16 @@ const (
 	MetricSchedQueueWait     = "sched.queue_wait_ns"
 	MetricFleetPlansAdmitted = "fleet.plans_admitted"
 	MetricBoundCrossHits     = "bound.cross_plan_cut_hits"
-	TraceName                = "planner"
+
+	// Planning-as-a-service daemon instruments (internal/serve).
+	MetricServeJobsActive       = "serve.jobs_active"
+	MetricServeJobsSubmitted    = "serve.jobs_submitted"
+	MetricServeJobsRecovered    = "serve.jobs_recovered"
+	MetricServeDrains           = "serve.drains"
+	MetricServeDeadlineExpiries = "serve.deadline_expiries"
+	MetricServeSerialDegrades   = "serve.serial_degrades"
+
+	TraceName = "planner"
 )
 
 // Recorder is the typed hot-path façade the planners and control loop
@@ -100,6 +109,13 @@ type Recorder struct {
 	schedQueueWait   *Counter
 	fleetAdmitted    *Counter
 	boundCrossHits   *Counter
+
+	serveActive     *Gauge
+	serveSubmitted  *Counter
+	serveRecovered  *Counter
+	serveDrains     *Counter
+	serveDeadlines  *Counter
+	serveSerialDegr *Counter
 }
 
 // NewRecorder returns a recorder publishing into reg (nil selects the
@@ -150,6 +166,12 @@ func NewRecorder(reg *Registry) *Recorder {
 		schedQueueWait:   reg.Counter(MetricSchedQueueWait),
 		fleetAdmitted:    reg.Counter(MetricFleetPlansAdmitted),
 		boundCrossHits:   reg.Counter(MetricBoundCrossHits),
+		serveActive:      reg.Gauge(MetricServeJobsActive),
+		serveSubmitted:   reg.Counter(MetricServeJobsSubmitted),
+		serveRecovered:   reg.Counter(MetricServeJobsRecovered),
+		serveDrains:      reg.Counter(MetricServeDrains),
+		serveDeadlines:   reg.Counter(MetricServeDeadlineExpiries),
+		serveSerialDegr:  reg.Counter(MetricServeSerialDegrades),
 	}
 	hits, misses := r.cacheHits, r.cacheMisses
 	reg.Derived(MetricCacheHitRate, func() float64 {
@@ -553,6 +575,60 @@ func (r *Recorder) BoundCrossHitsAdded(n int) {
 		return
 	}
 	r.boundCrossHits.Add(int64(n))
+}
+
+// JobsActive publishes the daemon's current in-flight job count (jobs
+// admitted or planning, not yet terminal).
+func (r *Recorder) JobsActive(n int) {
+	if r == nil {
+		return
+	}
+	r.serveActive.Set(int64(n))
+}
+
+// JobSubmitted counts one job accepted (journaled durable) by the daemon.
+func (r *Recorder) JobSubmitted() {
+	if r == nil {
+		return
+	}
+	r.serveSubmitted.Inc()
+}
+
+// JobRecovered counts one in-flight job rebuilt from its journal after a
+// daemon restart.
+func (r *Recorder) JobRecovered() {
+	if r == nil {
+		return
+	}
+	r.serveRecovered.Inc()
+}
+
+// ServeDrain counts one graceful daemon drain (checkpoint-all on
+// SIGTERM/SIGINT).
+func (r *Recorder) ServeDrain() {
+	if r == nil {
+		return
+	}
+	r.serveDrains.Inc()
+}
+
+// DeadlineExpiry counts one job failed because its request deadline
+// expired before planning finished.
+func (r *Recorder) DeadlineExpiry() {
+	if r == nil {
+		return
+	}
+	r.serveDeadlines.Inc()
+}
+
+// SerialDegrade counts one job planned serially because the shared pool's
+// reservations stayed exhausted past the admission wait — degraded, not
+// rejected.
+func (r *Recorder) SerialDegrade() {
+	if r == nil {
+		return
+	}
+	r.serveSerialDegr.Inc()
 }
 
 // Span starts a named timed region in the recorder's trace stream. On a

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"klotski/internal/ctrl"
+	"klotski/internal/obs"
+	"klotski/internal/sim"
+)
+
+// undisturbedRun plans one job to completion, closes the daemon, and
+// returns the job's journal bytes, final plan document, and certified
+// gap — the reference every crash-recovery scenario must reproduce.
+func undisturbedRun(t *testing.T) (journal []byte, plan []byte, gap float64) {
+	t.Helper()
+	dir := t.TempDir()
+	m := newManager(t, dir, nil)
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("reference job finished %s (%s)", st.State, st.Detail)
+	}
+	if st.Legs < 2 {
+		t.Fatalf("reference job checkpointed %d legs; need ≥ 2 for a meaningful kill sweep", st.Legs)
+	}
+	plan, err = j.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	journal, err = os.ReadFile(filepath.Join(dir, j.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return journal, plan, st.Gap
+}
+
+// recoverFromJournal writes journalBytes as job-000000's journal in a
+// fresh state dir, opens a daemon over it, and waits for every job to
+// quiesce. It returns the manager (caller closes).
+func recoverFromJournal(t *testing.T, journalBytes []byte) *Manager {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000000.journal"), journalBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return newManager(t, dir, nil)
+}
+
+// TestKillAtEveryRecordBoundary is the tentpole acceptance test: for
+// every prefix of the reference journal that ends on a record boundary —
+// every instant a SIGKILL could catch the daemon between appends — a
+// fresh daemon must recover to a consistent job table and finish the job
+// with a plan byte-identical to the undisturbed run, losing no job and
+// duplicating none.
+func TestKillAtEveryRecordBoundary(t *testing.T) {
+	journal, wantPlan, wantGap := undisturbedRun(t)
+	bounds := sim.RecordBoundaries(journal)
+	if len(bounds) < 6 {
+		t.Fatalf("reference journal has only %d record boundaries", len(bounds))
+	}
+	for i, n := range bounds {
+		t.Run(fmt.Sprintf("boundary-%02d", i), func(t *testing.T) {
+			prefix := sim.Tear(journal, n)
+			m := recoverFromJournal(t, prefix)
+			defer m.Close()
+			jobs := m.Jobs()
+			if n == 0 {
+				// Crash before the first durable record: the submitter was
+				// never acknowledged, so no job may exist.
+				if len(jobs) != 0 {
+					t.Fatalf("%d jobs materialized from an empty journal", len(jobs))
+				}
+				return
+			}
+			if len(jobs) != 1 {
+				t.Fatalf("%d jobs recovered, want exactly 1 (no loss, no duplication)", len(jobs))
+			}
+			j := jobs[0]
+			if j.ID != "job-000000" {
+				t.Fatalf("recovered job ID %s", j.ID)
+			}
+			st := waitTerminal(t, j)
+			if st.State != StateDone {
+				t.Fatalf("recovered job finished %s (%s), want DONE", st.State, st.Detail)
+			}
+			got, err := j.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(wantPlan) {
+				t.Errorf("recovered plan differs from the undisturbed run at boundary %d", i)
+			}
+			if st.Gap != wantGap {
+				t.Errorf("recovered gap %v, undisturbed %v", st.Gap, wantGap)
+			}
+		})
+	}
+}
+
+// TestKillMidRecord tears the journal inside its final record — a crash
+// mid-append — at several offsets; the torn tail must be dropped and the
+// job must still recover to the identical plan.
+func TestKillMidRecord(t *testing.T) {
+	journal, wantPlan, _ := undisturbedRun(t)
+	bounds := sim.RecordBoundaries(journal)
+	// Tear inside the record after a mid-planning boundary, at the
+	// first byte, a middle byte, and the last byte before the newline.
+	base := bounds[len(bounds)/2]
+	next := bounds[len(bounds)/2+1]
+	for _, cut := range []int64{base + 1, (base + next) / 2, next - 1} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			m := recoverFromJournal(t, sim.Tear(journal, cut))
+			defer m.Close()
+			jobs := m.Jobs()
+			if len(jobs) != 1 {
+				t.Fatalf("%d jobs recovered", len(jobs))
+			}
+			st := waitTerminal(t, jobs[0])
+			if st.State != StateDone {
+				t.Fatalf("finished %s (%s)", st.State, st.Detail)
+			}
+			got, err := jobs[0].Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(wantPlan) {
+				t.Errorf("plan differs after mid-record tear at %d", cut)
+			}
+		})
+	}
+}
+
+// TestCorruptJournalQuarantined flips a byte in the middle of the
+// journal — real corruption, not a torn tail — and expects the daemon to
+// quarantine the job as FAILED instead of trusting or crashing on it,
+// durably, so restarts converge.
+func TestCorruptJournalQuarantined(t *testing.T) {
+	journal, _, _ := undisturbedRun(t)
+	bounds := sim.RecordBoundaries(journal)
+	// Flip a payload byte of the second record: mid-file damage.
+	off := bounds[1] + 20
+	m := recoverFromJournal(t, sim.FlipByte(journal, off))
+	jobs := m.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs after corrupt journal, want 1 quarantined", len(jobs))
+	}
+	st := jobs[0].Status()
+	if st.State != StateFailed || !strings.Contains(st.Detail, "journal corrupt") {
+		t.Fatalf("quarantined job = %s (%q), want FAILED journal corrupt", st.State, st.Detail)
+	}
+	dir := m.cfg.Dir
+	if _, err := os.Stat(filepath.Join(dir, "job-000000.journal.corrupt")); err != nil {
+		t.Errorf("corrupt journal not preserved: %v", err)
+	}
+	m.Close()
+
+	// Restarting over the quarantined state converges to the same table.
+	m2 := newManager(t, dir, nil)
+	defer m2.Close()
+	jobs2 := m2.Jobs()
+	if len(jobs2) != 1 || jobs2[0].Status().State != StateFailed {
+		t.Fatalf("quarantine not durable across restart")
+	}
+}
+
+// TestTornCheckpointFileIgnored damages the sealed checkpoint envelope
+// in every way a crash can (truncation, bit flip, garbage) alongside a
+// mid-planning journal prefix: recovery must ignore the damaged envelope
+// and still replay to the identical plan.
+func TestTornCheckpointFileIgnored(t *testing.T) {
+	journal, wantPlan, _ := undisturbedRun(t)
+	bounds := sim.RecordBoundaries(journal)
+	prefix := sim.Tear(journal, bounds[len(bounds)/2]) // mid-planning
+
+	// A valid envelope to damage.
+	ckpt, err := writeValidCkpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string][]byte{
+		"truncated": ckpt[:len(ckpt)/2],
+		"bitflip":   sim.FlipByte(ckpt, int64(len(ckpt)/2)),
+		"garbage":   []byte("not json at all"),
+		"empty":     nil,
+	}
+	for name, data := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "job-000000.journal"), prefix, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "job-000000.ckpt"), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			m := newManager(t, dir, nil)
+			defer m.Close()
+			if _, err := m.CheckpointEnvelope("job-000000"); err == nil && name != "valid" {
+				t.Errorf("damaged checkpoint (%s) served as valid", name)
+			}
+			jobs := m.Jobs()
+			if len(jobs) != 1 {
+				t.Fatalf("%d jobs recovered", len(jobs))
+			}
+			st := waitTerminal(t, jobs[0])
+			if st.State != StateDone {
+				t.Fatalf("finished %s (%s)", st.State, st.Detail)
+			}
+			got, err := jobs[0].Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(wantPlan) {
+				t.Errorf("plan differs with damaged checkpoint file (%s)", name)
+			}
+		})
+	}
+}
+
+func writeValidCkpt() ([]byte, error) {
+	dir, err := os.MkdirTemp("", "serve-ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "x.ckpt")
+	if err := writeCheckpointFile(path, jobCheckpoint{Job: "job-000000", Planner: "astar", Leg: 1}); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// TestAuditedWithoutDone kills the daemon between the audited record and
+// the done record: the restarted daemon must complete the job from its
+// journaled plan without replanning.
+func TestAuditedWithoutDone(t *testing.T) {
+	journal, wantPlan, _ := undisturbedRun(t)
+	var recs []record
+	if _, err := ctrl.ParseRecords(journal, func(payload []byte) error {
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recs[len(recs)-1].State != recDone || recs[len(recs)-2].State != recAudited {
+		t.Fatalf("reference journal does not end audited→done: %s, %s",
+			recs[len(recs)-2].State, recs[len(recs)-1].State)
+	}
+	bounds := sim.RecordBoundaries(journal)
+	prefix := sim.Tear(journal, bounds[len(bounds)-2]) // drop only "done"
+
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000000.journal"), prefix, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newManager(t, dir, func(c *Config) {
+		c.Recorder = obs.NewRecorder(reg)
+		// Any replanning attempt would trip the hook and fail the test.
+	})
+	m.planHook = func(id string, leg int) error {
+		t.Errorf("job with a journaled audited plan replanned (leg %d)", leg)
+		return nil
+	}
+	defer m.Close()
+	jobs := m.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs recovered", len(jobs))
+	}
+	st := waitTerminal(t, jobs[0])
+	if st.State != StateDone {
+		t.Fatalf("finished %s (%s)", st.State, st.Detail)
+	}
+	got, err := jobs[0].Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantPlan) {
+		t.Errorf("plan served after audited-without-done recovery differs")
+	}
+	if reg.Snapshot().Counters[obs.MetricServeJobsRecovered] != 1 {
+		t.Errorf("jobs_recovered = %d, want 1", reg.Snapshot().Counters[obs.MetricServeJobsRecovered])
+	}
+}
+
+// TestRepeatedCrashes chains kills: recover from a mid-planning prefix,
+// drain mid-recovery (a second crash), recover again — the journal now
+// holds several admission cycles — and the final plan must still match.
+func TestRepeatedCrashes(t *testing.T) {
+	journal, wantPlan, _ := undisturbedRun(t)
+	bounds := sim.RecordBoundaries(journal)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000000.journal"), sim.Tear(journal, bounds[4]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery: drain as soon as the first checkpoint lands.
+	m1 := newManager(t, dir, func(c *Config) { c.Sleep = func(time.Duration) {} })
+	j1, err := m1.Job("job-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := j1.Status()
+		if st.State.Terminal() || st.Legs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint leg during first recovery; state %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m1.Drain()
+	m1.Close()
+
+	// Second recovery runs to completion.
+	m2 := newManager(t, dir, nil)
+	defer m2.Close()
+	j2, err := m2.Job("job-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j2)
+	if st.State != StateDone {
+		t.Fatalf("finished %s (%s) after repeated crashes", st.State, st.Detail)
+	}
+	got, err := j2.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantPlan) {
+		t.Errorf("plan differs after repeated crash/recover cycles")
+	}
+}

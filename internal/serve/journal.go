@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"klotski/internal/ctrl"
+	"klotski/internal/npd"
+)
+
+// record is one job-journal entry. State names the transition
+// ("submitted", "admitted", "planning", "checkpoint", "audited", "done",
+// "cancelled", "failed"); "checkpoint" is a planning-progress record, not
+// a distinct lifecycle state — it folds back to PLANNING. The submitted
+// record carries the full request so a restarted daemon can replan from
+// the journal alone; the audited record carries the final plan document
+// bytes so a job that reached AUDITED never replans.
+type record struct {
+	Seq    int    `json:"seq"`
+	State  string `json:"state"`
+	Detail string `json:"detail,omitempty"`
+
+	// submitted
+	Request json.RawMessage `json:"request,omitempty"`
+
+	// admitted
+	Serial bool `json:"serial,omitempty"`
+
+	// checkpoint
+	Leg            int     `json:"leg,omitempty"`
+	Incumbent      float64 `json:"incumbent,omitempty"`
+	LowerBound     float64 `json:"lower_bound,omitempty"`
+	Gap            float64 `json:"gap,omitempty"`
+	PartialActions int     `json:"partial_actions,omitempty"`
+
+	// audited
+	Plan    json.RawMessage `json:"plan,omitempty"`
+	Cost    float64         `json:"cost,omitempty"`
+	Actions int             `json:"actions,omitempty"`
+}
+
+// recordStates that map to lifecycle states (everything but "checkpoint").
+const (
+	recSubmitted  = "submitted"
+	recAdmitted   = "admitted"
+	recPlanning   = "planning"
+	recCheckpoint = "checkpoint"
+	recAudited    = "audited"
+	recDone       = "done"
+	recCancelled  = "cancelled"
+	recFailed     = "failed"
+)
+
+// jobJournal is one job's write-ahead log: KJ1 records (ctrl's versioned,
+// CRC32C-checksummed line envelope), fsynced per append, torn tail
+// dropped on open.
+type jobJournal struct {
+	path string
+	f    *os.File
+}
+
+// createJobJournal creates a fresh journal, refusing to clobber an
+// existing file — a job ID is allocated exactly once.
+func createJobJournal(path string) (*jobJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: creating job journal: %w", err)
+	}
+	return &jobJournal{path: path, f: f}, nil
+}
+
+// openJobJournal reads an existing journal's records (dropping a torn
+// final record) and opens it for further appends, truncated to the clean
+// prefix. Mid-file damage fails with an error wrapping ctrl.ErrCorrupt.
+func openJobJournal(path string) (*jobJournal, []record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reading job journal: %w", err)
+	}
+	var recs []record
+	cleanLen, err := ctrl.ParseRecords(data, func(payload []byte) error {
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("unmarshaling job record: %w", err)
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	if err := f.Truncate(cleanLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(cleanLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seeking job journal: %w", err)
+	}
+	return &jobJournal{path: path, f: f}, recs, nil
+}
+
+// append writes one record and syncs it to stable storage before
+// returning — the caller's in-memory transition must wait for it.
+func (j *jobJournal) append(r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("serve: encoding job record: %w", err)
+	}
+	line, err := ctrl.EncodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("serve: appending job record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing job journal: %w", err)
+	}
+	return nil
+}
+
+func (j *jobJournal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ckptFormat tags the sealed per-job checkpoint envelope.
+const ckptFormat = "klotski/job-checkpoint"
+
+// jobCheckpoint is the sealed checkpoint payload: the job's identity plus
+// the planner's advisory partial result and anytime certificate at the
+// last leg boundary. It is what the checkpoint endpoint serves, and it is
+// deliberately replayable — recovery never needs it, because replanning
+// the journaled request reproduces the same bytes.
+type jobCheckpoint struct {
+	Job            string  `json:"job"`
+	Planner        string  `json:"planner"`
+	Reason         string  `json:"reason"`
+	Leg            int     `json:"leg"`
+	Counts         []int   `json:"counts"`
+	Partial        []int   `json:"partial"`
+	Incumbent      float64 `json:"incumbent"`
+	LowerBound     float64 `json:"lower_bound"`
+	Gap            float64 `json:"gap"`
+	StatesCreated  int     `json:"states_created"`
+	StatesExpanded int     `json:"states_expanded"`
+}
+
+// writeCheckpointFile seals cp and writes it atomically (temp + fsync +
+// rename), so a crash mid-write leaves either the old checkpoint or the
+// new one, never a torn file.
+func writeCheckpointFile(path string, cp jobCheckpoint) error {
+	data, err := npd.SealValue(ckptFormat, cp)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// readCheckpointFile opens and verifies a sealed checkpoint file. Any
+// damage — missing file, torn write, checksum mismatch, wrong format —
+// returns an error; callers treat that as "no checkpoint" and replan.
+func readCheckpointFile(path string) (jobCheckpoint, error) {
+	var cp jobCheckpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cp, err
+	}
+	payload, err := npd.OpenSealed(ckptFormat, data)
+	if err != nil {
+		return cp, err
+	}
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return cp, fmt.Errorf("serve: decoding checkpoint payload: %w", err)
+	}
+	return cp, nil
+}
+
+// writeFileAtomic writes data via temp file + fsync + rename in path's
+// directory, so readers never observe a partial write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".serve-*")
+	if err != nil {
+		return fmt.Errorf("serve: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("serve: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("serve: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// removeIfEmptyJournal deletes a journal file that holds zero clean
+// records — the trace of a crash between journal creation and the first
+// durable append, before the submitter was ever acknowledged.
+func removeIfEmptyJournal(path string) bool {
+	info, err := os.Stat(path)
+	if err == nil && info.Size() == 0 {
+		os.Remove(path)
+		return true
+	}
+	return false
+}
+
+// isNotExist reports whether err is a missing-file error.
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,935 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"klotski/internal/bound"
+	"klotski/internal/core"
+	"klotski/internal/ctrl"
+	"klotski/internal/migration"
+	"klotski/internal/npd"
+	"klotski/internal/sched"
+	"klotski/internal/sim"
+)
+
+// Cancellation causes, distinguished via context.Cause so one planning
+// interruption path can fan out to the right terminal (or non-terminal)
+// state.
+var (
+	errDrainStop    = errors.New("serve: draining")
+	errUserCancel   = errors.New("serve: cancelled by client")
+	errManagerClose = errors.New("serve: manager closed")
+)
+
+// Job is one planning job: the durable record set on disk plus the live
+// in-memory run. All mutable fields are guarded by mu.
+type Job struct {
+	ID  string
+	Req Request
+
+	m *Manager
+
+	mu      sync.Mutex
+	seq     int // next journal record seq
+	journal *jobJournal
+	subs    map[chan Status]struct{}
+
+	state  State
+	detail string
+
+	legs           int
+	incumbent      float64
+	lowerBound     float64
+	gap            float64
+	partialActions int
+
+	planDoc []byte // final audited plan document (compact JSON)
+	cost    float64
+	actions int
+
+	recovered   bool
+	serial      bool
+	preemptions int
+
+	ctx       context.Context
+	cancelRun context.CancelCauseFunc
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
+	gap := j.gap
+	if j.legs == 0 && !j.state.Terminal() && j.planDoc == nil {
+		gap = 1 // nothing certified yet
+	}
+	return Status{
+		ID:             j.ID,
+		Name:           j.Req.Name,
+		State:          j.state,
+		Detail:         j.detail,
+		Legs:           j.legs,
+		Incumbent:      j.incumbent,
+		LowerBound:     j.lowerBound,
+		Gap:            gap,
+		PartialActions: j.partialActions,
+		Actions:        j.actions,
+		Cost:           j.cost,
+		Recovered:      j.recovered,
+		Serial:         j.serial,
+		Preemptions:    j.preemptions,
+	}
+}
+
+// Plan returns the job's final audited plan document bytes, or ErrNoPlan
+// until the job reaches AUDITED.
+func (j *Job) Plan() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.planDoc == nil {
+		return nil, ErrNoPlan
+	}
+	return append([]byte(nil), j.planDoc...), nil
+}
+
+// Subscribe registers a status stream: the current snapshot plus a
+// channel that receives one snapshot per transition or checkpoint and is
+// closed when the job reaches a terminal state. A slow consumer drops
+// intermediate snapshots rather than blocking the planner; the terminal
+// snapshot is always observable via the close + a final Status() read.
+func (j *Job) Subscribe() (<-chan Status, Status) {
+	ch := make(chan Status, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		close(ch)
+		return ch, j.statusLocked()
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan Status]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return ch, j.statusLocked()
+}
+
+// Unsubscribe removes a Subscribe channel (idempotent; terminal
+// transitions already removed it).
+func (j *Job) Unsubscribe(ch <-chan Status) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for c := range j.subs {
+		if c == ch {
+			delete(j.subs, c)
+			return
+		}
+	}
+}
+
+// publishLocked fans the current snapshot out to subscribers, closing
+// them on terminal states. Callers hold j.mu.
+func (j *Job) publishLocked() {
+	st := j.statusLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- st:
+		default: // slow consumer: drop, it will catch up on the next event
+		}
+	}
+	if st.State.Terminal() {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+}
+
+// appendLocked journals one record (write-ahead: callers apply the
+// in-memory effect only after it returns nil). Callers hold j.mu.
+func (j *Job) appendLocked(r record) error {
+	r.Seq = j.seq
+	if j.journal == nil {
+		return errors.New("serve: job journal closed")
+	}
+	if err := j.journal.append(r); err != nil {
+		return err
+	}
+	j.seq++
+	return nil
+}
+
+// transition journals a lifecycle record and applies it in memory,
+// publishing the new snapshot. A journal failure forces the job to
+// FAILED in memory (best effort: the disk is gone, so durability of the
+// failure itself is not available).
+func (j *Job) transition(st State, r record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if err := j.appendLocked(r); err != nil {
+		j.state = StateFailed
+		j.detail = fmt.Sprintf("journal write failed: %v", err)
+		j.publishLocked()
+		return
+	}
+	j.state = st
+	if r.Detail != "" {
+		j.detail = r.Detail
+	}
+	switch r.State {
+	case recAdmitted:
+		j.serial = r.Serial
+	case recAudited:
+		j.planDoc = r.Plan
+		j.cost = r.Cost
+		j.actions = r.Actions
+		j.incumbent = r.Incumbent
+		j.lowerBound = r.LowerBound
+		j.gap = r.Gap
+	}
+	j.publishLocked()
+}
+
+// checkpointTransition journals a checkpoint record (state stays
+// PLANNING) and applies the certificate.
+func (j *Job) checkpointTransition(r record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if err := j.appendLocked(r); err != nil {
+		j.state = StateFailed
+		j.detail = fmt.Sprintf("journal write failed: %v", err)
+		j.publishLocked()
+		return
+	}
+	j.legs = r.Leg
+	j.incumbent = r.Incumbent
+	j.lowerBound = r.LowerBound
+	j.gap = r.Gap
+	j.partialActions = r.PartialActions
+	j.detail = r.Detail
+	j.publishLocked()
+}
+
+// Manager owns the job table, the shared worker pool, and the state
+// directory. Open recovers every journaled job before returning.
+type Manager struct {
+	cfg   Config
+	pool  *sched.Pool
+	store *bound.Store
+
+	runCtx    context.Context
+	cancelRun context.CancelCauseFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup
+
+	// planHook, when non-nil, runs before every planning leg — the
+	// fault-injection seam: tests return sim.ErrTransient (retried with
+	// backoff) or hard errors from it.
+	planHook func(jobID string, leg int) error
+}
+
+// Open creates (or reopens) a manager over cfg.Dir, recovering every
+// journaled job: terminal jobs load into the table as-is, in-flight jobs
+// re-enter planning by deterministic replay, and jobs whose plan is
+// journaled but whose done record was lost to the crash are completed
+// without replanning.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("serve: Config.Dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	m := &Manager{
+		cfg:      cfg,
+		pool:     sched.NewPool(cfg.PoolWorkers, cfg.Recorder),
+		store:    bound.NewStore(),
+		jobs:     make(map[string]*Job),
+		planHook: cfg.LegHook,
+	}
+	m.runCtx, m.cancelRun = context.WithCancelCause(context.Background())
+	if err := m.recover(); err != nil {
+		m.pool.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// jobPaths returns the journal and checkpoint paths for a job ID.
+func (m *Manager) jobPaths(id string) (journal, ckpt string) {
+	return filepath.Join(m.cfg.Dir, id+".journal"), filepath.Join(m.cfg.Dir, id+".ckpt")
+}
+
+// Submit validates, journals, and schedules a new job. The submitted
+// record is durable before the job is acknowledged: a daemon killed
+// right after Submit returns still completes the job after restart.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid request: %w", err)
+	}
+	// Reject NPD documents that cannot even decode, so the submitter
+	// learns synchronously.
+	doc, err := npd.Decode(bytes.NewReader(req.NPD))
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid request: %w", err)
+	}
+	if req.Name == "" {
+		req.Name = doc.Name
+	}
+	reqJSON, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("job-%06d", m.nextID)
+	m.nextID++
+	jpath, _ := m.jobPaths(id)
+	journal, err := createJobJournal(jpath)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	j := &Job{ID: id, Req: req, m: m, journal: journal, state: StateSubmitted}
+	j.ctx, j.cancelRun = context.WithCancelCause(m.runCtx)
+	if err := func() error {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.appendLocked(record{State: recSubmitted, Request: reqJSON})
+	}(); err != nil {
+		journal.close()
+		os.Remove(jpath)
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.cfg.Recorder.JobSubmitted()
+	m.updateActive()
+	go m.runJob(j)
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs returns every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. The job transitions to
+// CANCELLED once its planner observes the cancellation (synchronously
+// for queued jobs).
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return fmt.Errorf("%w: %s", ErrTerminal, id)
+	}
+	j.cancelRun(errUserCancel)
+	return nil
+}
+
+// Draining reports whether the manager has begun draining.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain stops accepting submissions, interrupts every running job so it
+// journals a checkpoint (jobs stay PLANNING on disk — a restarted daemon
+// resumes them), and waits for all runners to quiesce.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	m.cfg.Recorder.ServeDrain()
+	m.cancelRun(errDrainStop)
+	m.wg.Wait()
+}
+
+// Close drains and releases the pool and every journal handle.
+func (m *Manager) Close() {
+	m.Drain()
+	m.pool.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.journal != nil {
+			j.journal.close()
+			j.journal = nil
+		}
+		j.mu.Unlock()
+	}
+}
+
+// updateActive recomputes the jobs_active gauge.
+func (m *Manager) updateActive() {
+	m.mu.Lock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	m.cfg.Recorder.JobsActive(n)
+}
+
+// prepare decodes the job's NPD into a migration task and builds its
+// planning options.
+func (m *Manager) prepare(j *Job) (*migration.Task, core.Options, error) {
+	doc, err := npd.Decode(bytes.NewReader(j.Req.NPD))
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	scenario, err := doc.Scenario()
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	task := scenario.Task
+	if doc.Migration != nil && doc.Migration.BlockFactor > 0 && doc.Migration.BlockFactor != 1 {
+		if task, err = migration.Reblock(task, doc.Migration.BlockFactor); err != nil {
+			return nil, core.Options{}, err
+		}
+	}
+	opts := m.cfg.Options
+	opts.MaxStates = 0
+	opts.Sched = nil
+	opts.Bound = nil
+	opts.Timeout = 0
+	if j.Req.Theta > 0 {
+		opts.Theta = j.Req.Theta
+	}
+	if j.Req.Alpha > 0 {
+		opts.Alpha = j.Req.Alpha
+	}
+	if j.Req.MaxRun > 0 {
+		opts.MaxRunLength = j.Req.MaxRun
+	}
+	opts.Recorder = m.cfg.Recorder
+	return task, opts, nil
+}
+
+// admit registers the job on the shared pool, waiting at most AdmitWait.
+// When admission cannot complete in time — the pool is exhausted by
+// same-or-higher-priority jobs — the job degrades to serial planning
+// instead of queueing indefinitely (the service's liveness contract:
+// admission control shapes capacity, it never wedges a job forever). A
+// registration that completes after the timeout is closed by a janitor.
+func (m *Manager) admit(ctx context.Context, j *Job) (client *sched.Client, serial bool) {
+	type res struct {
+		c   *sched.Client
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := m.pool.Register(j.ID, sched.ClientOptions{
+			Priority: j.Req.Priority,
+			MinShare: j.Req.MinShare,
+			MaxShare: j.Req.MaxShare,
+		})
+		ch <- res{c, err}
+	}()
+	var timer <-chan time.Time
+	if wait := m.cfg.admitWait(); wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, true // pool closed: plan serially
+		}
+		return r.c, false
+	case <-timer:
+		m.cfg.Recorder.SerialDegrade()
+	case <-ctx.Done():
+	}
+	go func() { // release a registration that lands after we stopped waiting
+		if r := <-ch; r.c != nil {
+			r.c.Close()
+		}
+	}()
+	return nil, true
+}
+
+// runJob is one job's planning loop, from admission to a terminal state
+// (or a drain checkpoint).
+func (m *Manager) runJob(j *Job) {
+	defer m.wg.Done()
+	defer m.updateActive()
+
+	task, opts, err := m.prepare(j)
+	if err != nil {
+		j.transition(StateFailed, record{State: recFailed, Detail: fmt.Sprintf("building scenario: %v", err)})
+		return
+	}
+
+	ctx := j.ctx
+	if j.Req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	client, serial := m.admit(ctx, j)
+	if ctx.Err() != nil {
+		if client != nil {
+			client.Close()
+		}
+		m.finish(j, nil, ctx)
+		return
+	}
+	j.transition(StateAdmitted, record{State: recAdmitted, Serial: serial})
+	j.transition(StatePlanning, record{State: recPlanning})
+
+	plan, err := m.planLegs(ctx, j, task, opts, client)
+	if err != nil {
+		m.finish(j, err, ctx)
+		return
+	}
+
+	// The planner's post-pass audited the plan (Options.SkipAudit is
+	// never set by the service); journal the audited document, then the
+	// terminal done record.
+	pd, err := npd.BuildPlanDocument(task, plan, opts)
+	if err != nil {
+		j.transition(StateFailed, record{State: recFailed, Detail: fmt.Sprintf("building plan document: %v", err)})
+		return
+	}
+	docBytes, err := json.Marshal(pd)
+	if err != nil {
+		j.transition(StateFailed, record{State: recFailed, Detail: fmt.Sprintf("encoding plan document: %v", err)})
+		return
+	}
+	j.transition(StateAudited, record{
+		State:      recAudited,
+		Plan:       docBytes,
+		Cost:       plan.Cost,
+		Actions:    len(plan.Sequence),
+		Incumbent:  plan.Metrics.IncumbentCost,
+		LowerBound: plan.Metrics.LowerBound,
+		Gap:        plan.Metrics.OptimalityGap,
+	})
+	j.transition(StateDone, record{State: recDone})
+}
+
+// finish maps a planning interruption or failure to the job's terminal
+// (or, for drains, non-terminal) state.
+func (m *Manager) finish(j *Job, planErr error, ctx context.Context) {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errDrainStop) || errors.Is(cause, errManagerClose):
+		// Checkpoint already journaled by planLegs; the job stays
+		// PLANNING on disk and a restarted daemon replays it.
+		return
+	case errors.Is(cause, errUserCancel):
+		j.transition(StateCancelled, record{State: recCancelled, Detail: "cancelled by client"})
+	case errors.Is(cause, context.DeadlineExceeded):
+		m.cfg.Recorder.DeadlineExpiry()
+		j.transition(StateFailed, record{State: recFailed, Detail: "deadline expired"})
+	case planErr != nil:
+		j.transition(StateFailed, record{State: recFailed, Detail: planErr.Error()})
+	default:
+		j.transition(StateFailed, record{State: recFailed, Detail: fmt.Sprintf("planning stopped: %v", cause)})
+	}
+}
+
+// planOnce dispatches the first leg to the requested planner.
+func planOnce(ctx context.Context, planner string, task *migration.Task, opts core.Options) (*core.Plan, error) {
+	switch planner {
+	case "", "astar":
+		return core.PlanAStarContext(ctx, task, opts)
+	case "dp":
+		return core.PlanDPContext(ctx, task, opts)
+	default:
+		return nil, fmt.Errorf("serve: unknown planner %q", planner)
+	}
+}
+
+// planLegs runs the job's search in legs of LegStates states each,
+// journaling a checkpoint (record + sealed envelope) at every leg
+// boundary, resuming across preemptions (re-admitting, possibly
+// degraded to serial), and retrying transient failures with the ctrl
+// backoff policy. It returns the completed, audited plan or the error
+// that stopped the search (with the last checkpoint already journaled
+// when one exists).
+func (m *Manager) planLegs(ctx context.Context, j *Job, task *migration.Task, opts core.Options, client *sched.Client) (*core.Plan, error) {
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+
+	legStates := m.cfg.legStates()
+	if j.Req.LegStates > 0 {
+		legStates = j.Req.LegStates
+	}
+	// One bound engine lives across all legs and replans of this job,
+	// attached to the manager-wide store so structural cuts flow
+	// between tenants (plan bytes are engine-independent by contract).
+	engine := core.NewBoundEngine(task, opts)
+	engine.Attach(m.store)
+
+	base, maxBo := m.cfg.backoffs()
+	rng := rand.New(rand.NewSource(1))
+	retries := 0
+	var cp *core.Checkpoint
+
+	for leg := 0; ; leg++ {
+		legOpts := opts
+		legOpts.MaxStates = legStates
+		legOpts.Bound = engine
+		if client != nil {
+			legOpts.Sched = client
+			legOpts.Workers = core.WorkersAdaptive
+		} else {
+			legOpts.Sched = nil
+			legOpts.Workers = 1
+		}
+
+		if m.planHook != nil {
+			if herr := m.planHook(j.ID, leg); herr != nil {
+				if errors.Is(herr, sim.ErrTransient) && retries < m.cfg.maxRetries() {
+					retries++
+					m.cfg.sleep(ctrl.Backoff(base, maxBo, retries, rng))
+					leg--
+					continue
+				}
+				return nil, herr
+			}
+		}
+
+		// A preemption cancels only this leg's context, so the planner
+		// checkpoints without tearing down the job.
+		legCtx := ctx
+		legDone := make(chan struct{})
+		var cancelLeg context.CancelFunc
+		if client != nil {
+			legCtx, cancelLeg = context.WithCancel(ctx)
+			go func(c *sched.Client) {
+				select {
+				case <-c.Preempted():
+					cancelLeg()
+				case <-legDone:
+				}
+			}(client)
+		}
+
+		var plan *core.Plan
+		var err error
+		if cp != nil {
+			plan, err = core.Resume(legCtx, cp, legOpts)
+		} else {
+			plan, err = planOnce(legCtx, j.Req.Planner, task, legOpts)
+		}
+		close(legDone)
+		if cancelLeg != nil {
+			cancelLeg()
+		}
+
+		if err == nil {
+			return plan, nil
+		}
+		var intr *core.Interrupted
+		if !errors.As(err, &intr) {
+			if errors.Is(err, sim.ErrTransient) && retries < m.cfg.maxRetries() {
+				retries++
+				m.cfg.sleep(ctrl.Backoff(base, maxBo, retries, rng))
+				leg--
+				continue
+			}
+			return nil, err
+		}
+		cp = intr.Checkpoint
+		m.journalCheckpoint(j, cp, intr.Reason)
+		if ctx.Err() != nil {
+			// Cancelled above the leg: drain, user cancel, or deadline.
+			return nil, err
+		}
+
+		preempted := false
+		if client != nil {
+			select {
+			case <-client.Preempted():
+				preempted = true
+			default:
+			}
+		}
+		if preempted {
+			j.mu.Lock()
+			j.preemptions++
+			j.mu.Unlock()
+			client.Close()
+			client, _ = m.admit(ctx, j)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		// Otherwise: plain leg-budget exhaustion — continue with the
+		// same client.
+	}
+}
+
+// journalCheckpoint seals the checkpoint envelope (atomic file) and
+// journals a checkpoint record carrying the anytime certificate.
+func (m *Manager) journalCheckpoint(j *Job, cp *core.Checkpoint, reason error) {
+	if cp == nil {
+		return
+	}
+	inc, lb, gap := cp.Gap()
+	j.mu.Lock()
+	leg := j.legs + 1
+	j.mu.Unlock()
+	_, ckptPath := m.jobPaths(j.ID)
+	if err := writeCheckpointFile(ckptPath, jobCheckpoint{
+		Job:            j.ID,
+		Planner:        cp.Planner,
+		Reason:         fmt.Sprint(reason),
+		Leg:            leg,
+		Counts:         cp.Counts,
+		Partial:        cp.Partial,
+		Incumbent:      inc,
+		LowerBound:     lb,
+		Gap:            gap,
+		StatesCreated:  cp.Metrics.StatesCreated,
+		StatesExpanded: cp.Metrics.StatesPopped,
+	}); err != nil {
+		// The journal record below is the durable truth; a failed
+		// envelope write only degrades the checkpoint endpoint, so the
+		// job plans on.
+		_ = err
+	}
+	j.checkpointTransition(record{
+		State:          recCheckpoint,
+		Leg:            leg,
+		Incumbent:      inc,
+		LowerBound:     lb,
+		Gap:            gap,
+		PartialActions: len(cp.Partial),
+		Detail:         fmt.Sprintf("checkpoint (%v)", reason),
+	})
+}
+
+// CheckpointEnvelope returns the job's latest sealed checkpoint envelope
+// bytes (the .ckpt file), or an error when none exists or it is damaged.
+func (m *Manager) CheckpointEnvelope(id string) ([]byte, error) {
+	if _, err := m.Job(id); err != nil {
+		return nil, err
+	}
+	_, ckptPath := m.jobPaths(id)
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := npd.OpenSealed(ckptFormat, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// recover folds every journal in the state directory back into the job
+// table. Terminal jobs load as-is; a job with an audited record but no
+// done record is completed from its journaled plan (no replanning); any
+// other in-flight job re-enters planning by deterministic replay. A
+// journal with mid-file corruption is quarantined (renamed *.corrupt)
+// and the job surfaces as FAILED. An empty journal — crash before the
+// first durable record, submitter never acknowledged — is removed.
+func (m *Manager) recover() error {
+	paths, err := filepath.Glob(filepath.Join(m.cfg.Dir, "job-*.journal"))
+	if err != nil {
+		return fmt.Errorf("serve: scanning state dir: %w", err)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		id := filepath.Base(path)
+		id = id[:len(id)-len(".journal")]
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+			continue // not ours
+		}
+		if n >= m.nextID {
+			m.nextID = n + 1
+		}
+		if removeIfEmptyJournal(path) {
+			continue
+		}
+		journal, recs, err := openJobJournal(path)
+		if err != nil {
+			if errors.Is(err, ctrl.ErrCorrupt) {
+				m.quarantine(id, path, err)
+				continue
+			}
+			return err
+		}
+		if len(recs) == 0 {
+			// Only a torn first record existed; the submitter was never
+			// acknowledged, so the job never existed.
+			journal.close()
+			os.Remove(path)
+			continue
+		}
+		j := m.foldJob(id, journal, recs)
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		switch {
+		case st.Terminal():
+			journal.close()
+			j.mu.Lock()
+			j.journal = nil
+			j.mu.Unlock()
+		case st == StateAudited:
+			// The plan is durable; only the done record was lost.
+			j.transition(StateDone, record{State: recDone})
+			j.mu.Lock()
+			j.journal.close()
+			j.journal = nil
+			j.mu.Unlock()
+			m.cfg.Recorder.JobRecovered()
+		default:
+			// In-flight: replay from the journaled request.
+			j.ctx, j.cancelRun = context.WithCancelCause(m.runCtx)
+			m.wg.Add(1)
+			go m.runJob(j)
+			m.cfg.Recorder.JobRecovered()
+		}
+	}
+	m.updateActive()
+	return nil
+}
+
+// quarantine renames a corrupt journal aside and registers the job as
+// FAILED with a fresh journal recording why, so restarts converge
+// instead of re-parsing the damage forever.
+func (m *Manager) quarantine(id, path string, cause error) {
+	os.Rename(path, path+".corrupt")
+	j := &Job{ID: id, m: m, state: StateFailed, detail: fmt.Sprintf("journal corrupt: %v", cause)}
+	if journal, err := createJobJournal(path); err == nil {
+		j.journal = journal
+		j.mu.Lock()
+		j.appendLocked(record{State: recFailed, Detail: j.detail})
+		j.mu.Unlock()
+		journal.close()
+		j.journal = nil
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+}
+
+// foldJob replays a journal's records into a Job. The journal may hold
+// several admission/planning cycles (one per recovery); the fold keeps
+// the latest values.
+func (m *Manager) foldJob(id string, journal *jobJournal, recs []record) *Job {
+	j := &Job{ID: id, m: m, journal: journal, state: StateSubmitted, recovered: true}
+	maxSeq := -1
+	for _, r := range recs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+		switch r.State {
+		case recSubmitted:
+			if len(r.Request) > 0 {
+				var req Request
+				if err := json.Unmarshal(r.Request, &req); err == nil {
+					j.Req = req
+				}
+			}
+			j.state = StateSubmitted
+		case recAdmitted:
+			j.state = StateAdmitted
+			j.serial = r.Serial
+		case recPlanning:
+			j.state = StatePlanning
+		case recCheckpoint:
+			j.state = StatePlanning
+			j.legs = r.Leg
+			j.incumbent = r.Incumbent
+			j.lowerBound = r.LowerBound
+			j.gap = r.Gap
+			j.partialActions = r.PartialActions
+		case recAudited:
+			j.state = StateAudited
+			j.planDoc = r.Plan
+			j.cost = r.Cost
+			j.actions = r.Actions
+			j.incumbent = r.Incumbent
+			j.lowerBound = r.LowerBound
+			j.gap = r.Gap
+		case recDone:
+			j.state = StateDone
+		case recCancelled:
+			j.state = StateCancelled
+			j.detail = r.Detail
+		case recFailed:
+			j.state = StateFailed
+			j.detail = r.Detail
+		}
+	}
+	j.seq = maxSeq + 1
+	return j
+}

@@ -1,0 +1,269 @@
+// Package serve turns the planner into planning-as-a-service: a
+// long-lived daemon that operators submit migration requests to (the
+// paper's §5 EDP-Lite production pipeline runs this way, not as a
+// one-shot CLI). A request carries an NPD document plus planning options;
+// the service answers with a job ID and plans in the background on the
+// shared internal/sched worker pool, with per-job priority, [min,max]
+// worker shares, admission control, and preemption through the planner's
+// checkpoint/resume machinery.
+//
+// # Durability model
+//
+// Every job owns a write-ahead journal of KJ1 records (the same
+// versioned, CRC32C-checksummed, fsync-per-append line envelope as the
+// control journal) in the daemon's state directory. A record is written
+// BEFORE the in-memory transition it describes takes effect, so the
+// journal prefix on disk always bounds the daemon's promises: kill the
+// process between any two records and the restarted daemon folds the
+// prefix back into a consistent job — submitted requests replan,
+// journaled final plans are served without replanning, terminal states
+// stay terminal. Alongside the journal, the latest planner checkpoint is
+// sealed (npd envelope) into a sibling .ckpt file via atomic rename; it
+// serves the anytime incumbent to clients and is advisory for recovery —
+// a torn or corrupt checkpoint file is ignored and the job replans from
+// its journaled request, which the planners' determinism contract
+// guarantees reproduces the same bytes.
+//
+// # Recovery = deterministic replay
+//
+// The planners' checkpoints resume through an in-memory closure, so a
+// restarted process cannot continue the literal search data structures.
+// It does not need to: plans are byte-identical at every worker count,
+// interruption pattern, and pool interleaving, so re-running the
+// journaled request IS resuming — the final plan and certified gap are
+// the ones the uninterrupted run would have produced. The journal makes
+// that replay exactly-once at the job level (no job lost, none
+// duplicated) and the sealed plan record makes the DONE state stable
+// (a job that reached AUDITED never replans).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"klotski/internal/core"
+	"klotski/internal/obs"
+)
+
+// State is a job's position in the lifecycle
+//
+//	SUBMITTED → ADMITTED → PLANNING → AUDITED → DONE
+//	                     ↘ CANCELLED / FAILED
+//
+// PLANNING may loop through checkpoint records (leg boundaries,
+// preemptions, daemon restarts) before reaching a terminal state.
+type State string
+
+const (
+	StateSubmitted State = "SUBMITTED"
+	StateAdmitted  State = "ADMITTED"
+	StatePlanning  State = "PLANNING"
+	StateAudited   State = "AUDITED"
+	StateDone      State = "DONE"
+	StateCancelled State = "CANCELLED"
+	StateFailed    State = "FAILED"
+)
+
+// Terminal reports whether the state is final: no further transitions,
+// no further journal records.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Service errors, matchable via errors.Is.
+var (
+	// ErrDraining means the daemon is shutting down and not accepting
+	// new submissions.
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+	// ErrUnknownJob means no job with the given ID exists.
+	ErrUnknownJob = errors.New("serve: unknown job")
+
+	// ErrTerminal means the operation (cancel) does not apply to a job
+	// that already reached a terminal state.
+	ErrTerminal = errors.New("serve: job already terminal")
+
+	// ErrNoPlan means the job has not produced its audited plan yet.
+	ErrNoPlan = errors.New("serve: no plan yet")
+)
+
+// Request is one planning submission. NPD carries the network-plus-demand
+// document verbatim (the same format the CLI reads); the remaining fields
+// select the planner and its scheduling envelope.
+type Request struct {
+	// Name optionally labels the job for humans; defaults to the NPD
+	// document's own name.
+	Name string `json:"name,omitempty"`
+
+	// NPD is the network-plus-demand document (required).
+	NPD json.RawMessage `json:"npd"`
+
+	// Planner selects the algorithm: "astar" (default) or "dp". The
+	// service only runs planners that checkpoint and certify gaps.
+	Planner string `json:"planner,omitempty"`
+
+	// Theta / Alpha / MaxRun override the daemon's default planning
+	// options when non-zero.
+	Theta  float64 `json:"theta,omitempty"`
+	Alpha  float64 `json:"alpha,omitempty"`
+	MaxRun int     `json:"max_run,omitempty"`
+
+	// Priority / MinShare / MaxShare parameterize the job's pool
+	// registration (see sched.ClientOptions): higher-priority
+	// submissions preempt lower-priority jobs, which checkpoint and
+	// re-admit.
+	Priority int `json:"priority,omitempty"`
+	MinShare int `json:"min_share,omitempty"`
+	MaxShare int `json:"max_share,omitempty"`
+
+	// DeadlineMS, when positive, bounds the job's total planning time
+	// in milliseconds; an expired deadline fails the job.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// LegStates, when positive, overrides the daemon's per-leg state
+	// budget: the planner checkpoints (journal record + sealed
+	// envelope) every LegStates states created.
+	LegStates int `json:"leg_states,omitempty"`
+}
+
+// validate rejects requests that could never plan, so the submitter gets
+// a 400 instead of a job that fails asynchronously.
+func (rq *Request) validate() error {
+	if len(rq.NPD) == 0 {
+		return errors.New("request has no npd document")
+	}
+	switch rq.Planner {
+	case "", "astar", "dp":
+	default:
+		return fmt.Errorf("unknown planner %q (service runs \"astar\" or \"dp\")", rq.Planner)
+	}
+	if rq.Theta < 0 || rq.Theta > 1 {
+		return fmt.Errorf("theta %v outside (0, 1]", rq.Theta)
+	}
+	if rq.Alpha < 0 || rq.Alpha > 1 {
+		return fmt.Errorf("alpha %v outside [0, 1]", rq.Alpha)
+	}
+	if rq.MaxRun < 0 || rq.LegStates < 0 || rq.DeadlineMS < 0 {
+		return errors.New("negative budget")
+	}
+	if rq.MinShare < 0 || rq.MaxShare < 0 {
+		return errors.New("negative share")
+	}
+	return nil
+}
+
+// Status is a point-in-time snapshot of a job, served by the status/list
+// endpoints and streamed (one snapshot per transition or checkpoint) by
+// the stream endpoint.
+type Status struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	State  State  `json:"state"`
+	Detail string `json:"detail,omitempty"`
+
+	// Anytime certificate: the best incumbent cost seen so far, the
+	// certified lower bound, and the relative gap between them (1 until
+	// something is certified, 0 when the plan is provably optimal).
+	Legs           int     `json:"legs"`
+	Incumbent      float64 `json:"incumbent"`
+	LowerBound     float64 `json:"lower_bound"`
+	Gap            float64 `json:"gap"`
+	PartialActions int     `json:"partial_actions"`
+
+	// Final plan summary, set once the job reaches AUDITED.
+	Actions int     `json:"actions,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+
+	Recovered   bool `json:"recovered,omitempty"`
+	Serial      bool `json:"serial,omitempty"`
+	Preemptions int  `json:"preemptions,omitempty"`
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Dir is the daemon's state directory: one journal and one sealed
+	// checkpoint file per job. Required; created if missing.
+	Dir string
+
+	// PoolWorkers sizes the shared planning pool (0 selects GOMAXPROCS).
+	PoolWorkers int
+
+	// LegStates is the default per-leg state budget: how often planning
+	// jobs checkpoint. 0 selects 50000.
+	LegStates int
+
+	// AdmitWait bounds how long a job waits for pool admission before
+	// degrading to serial planning instead of queueing indefinitely.
+	// 0 selects 2s; negative waits forever.
+	AdmitWait time.Duration
+
+	// MaxRetries bounds retries of transient planning failures
+	// (sim.ErrTransient), backed off with the ctrl policy. 0 selects 4.
+	MaxRetries int
+
+	// BaseBackoff / MaxBackoff shape the transient-retry backoff.
+	// Zero values select 50ms / 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Options seeds every job's planning options (theta, alpha, audit
+	// mode, …); per-request fields override it. Budget and scheduling
+	// fields (MaxStates, Workers, Sched, Bound) are managed per leg by
+	// the service and ignored here.
+	Options core.Options
+
+	// Recorder receives the serve.* instruments (nil-safe).
+	Recorder *obs.Recorder
+
+	// Sleep, when non-nil, replaces time.Sleep for retry backoff —
+	// tests inject a recording fake.
+	Sleep func(time.Duration)
+
+	// LegHook, when non-nil, runs before every planning leg of every
+	// job — the fault-injection and pacing seam. Returning an error
+	// wrapping sim.ErrTransient triggers the retry/backoff path; any
+	// other error fails the job; sleeping paces background planning.
+	LegHook func(jobID string, leg int) error
+}
+
+func (c *Config) legStates() int {
+	if c.LegStates <= 0 {
+		return 50000
+	}
+	return c.LegStates
+}
+
+func (c *Config) admitWait() time.Duration {
+	if c.AdmitWait == 0 {
+		return 2 * time.Second
+	}
+	return c.AdmitWait
+}
+
+func (c *Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Config) backoffs() (base, max time.Duration) {
+	base, max = c.BaseBackoff, c.MaxBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	return base, max
+}
+
+func (c *Config) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}

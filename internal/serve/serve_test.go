@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"klotski/internal/obs"
+	"klotski/internal/sim"
+)
+
+// testNPD is the small-but-real region document shared with the CLI
+// tests: two pods of HGRID fabric migrating v1→v2, enough blocks for the
+// planner to need several legs under a small per-leg budget.
+const testNPD = `{
+	"version": 1,
+	"name": "serve-test",
+	"fabric": [{"dc": 0, "pods": 2, "rswPerPod": 2, "planes": 4, "sswPerPlane": 2, "fswUplinks": 1}],
+	"hgrid": {"grids": 4, "faduPerGrid": 2, "fauuPerGrid": 1, "sswDownlinks": 1},
+	"eb": {"count": 2, "linkTbps": 40},
+	"dr": {"count": 1, "linkTbps": 80},
+	"bb": {"ebbs": 1},
+	"migration": {"kind": "hgrid-v1-v2"}
+}`
+
+func testRequest() Request {
+	return Request{NPD: json.RawMessage(testNPD)}
+}
+
+// newManager opens a manager over dir with small budgets: a tiny per-leg
+// state budget so even the test fabric checkpoints several times.
+func newManager(t *testing.T, dir string, mutate func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Dir:         dir,
+		PoolWorkers: 2,
+		LegStates:   8,
+		AdmitWait:   5 * time.Second,
+		Recorder:    obs.NewRecorder(obs.NewRegistry()),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, j *Job) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := j.Status()
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (%s)", st.ID, st.State, st.Detail)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m := newManager(t, dir, nil)
+	defer m.Close()
+
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s), want DONE", st.State, st.Detail)
+	}
+	if st.Gap != 0 {
+		t.Errorf("completed job gap = %v, want certified 0", st.Gap)
+	}
+	if st.Legs == 0 {
+		t.Errorf("job planned without a single checkpoint leg; LegStates too large for the fixture")
+	}
+	if st.Actions == 0 || st.Cost <= 0 {
+		t.Errorf("final plan summary empty: %+v", st)
+	}
+
+	doc, err := j.Plan()
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	var pd struct {
+		Task    string  `json:"task"`
+		Cost    float64 `json:"cost"`
+		Actions int     `json:"actions"`
+	}
+	if err := json.Unmarshal(doc, &pd); err != nil {
+		t.Fatalf("plan document does not parse: %v", err)
+	}
+	if pd.Task != "serve-test" || pd.Actions != st.Actions || pd.Cost != st.Cost {
+		t.Errorf("plan document %+v disagrees with status %+v", pd, st)
+	}
+
+	// The sealed checkpoint envelope from the last leg must verify.
+	if _, err := m.CheckpointEnvelope(j.ID); err != nil {
+		t.Errorf("CheckpointEnvelope: %v", err)
+	}
+
+	// The journal must fold back to DONE with the same plan.
+	m.Close()
+	m2 := newManager(t, dir, nil)
+	defer m2.Close()
+	j2, err := m2.Job(j.ID)
+	if err != nil {
+		t.Fatalf("job lost across restart: %v", err)
+	}
+	st2 := j2.Status()
+	if st2.State != StateDone || st2.Cost != st.Cost || st2.Actions != st.Actions {
+		t.Errorf("restarted status %+v, want %+v", st2, st)
+	}
+	doc2, err := j2.Plan()
+	if err != nil {
+		t.Fatalf("restarted Plan: %v", err)
+	}
+	if string(doc2) != string(doc) {
+		t.Errorf("plan document changed across restart")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	cases := []Request{
+		{},
+		{NPD: json.RawMessage(`{"version": 99}`)},
+		{NPD: json.RawMessage(testNPD), Planner: "mrc"},
+		{NPD: json.RawMessage(testNPD), Theta: 1.5},
+		{NPD: json.RawMessage(testNPD), DeadlineMS: -1},
+	}
+	for i, rq := range cases {
+		if _, err := m.Submit(rq); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+	if got := len(m.Jobs()); got != 0 {
+		t.Errorf("%d jobs exist after rejected submissions", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	dir := t.TempDir()
+	m := newManager(t, dir, nil)
+	defer m.Close()
+
+	// Slow the legs down so the cancel lands mid-planning.
+	started := make(chan struct{})
+	m.planHook = func(id string, leg int) error {
+		if leg == 1 {
+			close(started)
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	}
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateCancelled {
+		t.Fatalf("job finished %s, want CANCELLED", st.State)
+	}
+	if err := m.Cancel(j.ID); !errors.Is(err, ErrTerminal) {
+		t.Errorf("second cancel: %v, want ErrTerminal", err)
+	}
+
+	// Cancellation is durable.
+	m.Close()
+	m2 := newManager(t, dir, nil)
+	defer m2.Close()
+	j2, err := m2.Job(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Status().State; got != StateCancelled {
+		t.Errorf("restarted state %s, want CANCELLED", got)
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newManager(t, t.TempDir(), func(c *Config) {
+		c.Recorder = obs.NewRecorder(reg)
+	})
+	defer m.Close()
+
+	m.planHook = func(id string, leg int) error {
+		time.Sleep(30 * time.Millisecond)
+		return nil
+	}
+	rq := testRequest()
+	rq.DeadlineMS = 5
+	j, err := m.Submit(rq)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateFailed || st.Detail != "deadline expired" {
+		t.Fatalf("job finished %s (%q), want FAILED deadline expired", st.State, st.Detail)
+	}
+	if got := reg.Snapshot().Counters[obs.MetricServeDeadlineExpiries]; got != 1 {
+		t.Errorf("deadline_expiries = %d, want 1", got)
+	}
+}
+
+func TestTransientRetryBackoff(t *testing.T) {
+	var slept []time.Duration
+	m := newManager(t, t.TempDir(), func(c *Config) {
+		c.MaxRetries = 3
+		c.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	})
+	defer m.Close()
+
+	fails := 2
+	m.planHook = func(id string, leg int) error {
+		if leg == 0 && fails > 0 {
+			fails--
+			return fmt.Errorf("injected: %w", sim.ErrTransient)
+		}
+		return nil
+	}
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s), want DONE despite transient faults", st.State, st.Detail)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d <= 0 {
+			t.Errorf("backoff %d = %v, want positive", i, d)
+		}
+	}
+}
+
+func TestTransientRetryExhaustion(t *testing.T) {
+	m := newManager(t, t.TempDir(), func(c *Config) {
+		c.MaxRetries = 2
+		c.Sleep = func(time.Duration) {}
+	})
+	defer m.Close()
+
+	m.planHook = func(id string, leg int) error {
+		return fmt.Errorf("injected: %w", sim.ErrTransient)
+	}
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateFailed {
+		t.Fatalf("job finished %s, want FAILED after retry exhaustion", st.State)
+	}
+}
+
+func TestDrainCheckpointsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	m := newManager(t, dir, func(c *Config) { c.Recorder = obs.NewRecorder(reg) })
+
+	legged := make(chan struct{})
+	var once bool
+	m.planHook = func(id string, leg int) error {
+		if leg >= 1 && !once {
+			once = true
+			close(legged)
+		}
+		if leg >= 1 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-legged // at least one checkpoint is journaled
+	m.Drain()
+	if _, err := m.Submit(testRequest()); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit while draining: %v, want ErrDraining", err)
+	}
+	st := j.Status()
+	if st.State.Terminal() {
+		t.Fatalf("drained job reached %s; drain must leave it in-flight", st.State)
+	}
+	if st.Legs == 0 {
+		t.Fatalf("drained job has no checkpoint legs")
+	}
+	m.Close()
+	if got := reg.Snapshot().Counters[obs.MetricServeDrains]; got != 1 {
+		t.Errorf("drains = %d, want 1", got)
+	}
+
+	// Reopen: the job recovers and finishes audited.
+	reg2 := obs.NewRegistry()
+	m2 := newManager(t, dir, func(c *Config) { c.Recorder = obs.NewRecorder(reg2) })
+	defer m2.Close()
+	j2, err := m2.Job(j.ID)
+	if err != nil {
+		t.Fatalf("job lost across drain/restart: %v", err)
+	}
+	st2 := waitTerminal(t, j2)
+	if st2.State != StateDone {
+		t.Fatalf("recovered job finished %s (%s), want DONE", st2.State, st2.Detail)
+	}
+	if !st2.Recovered {
+		t.Errorf("recovered job not flagged as recovered")
+	}
+	if got := reg2.Snapshot().Counters[obs.MetricServeJobsRecovered]; got != 1 {
+		t.Errorf("jobs_recovered = %d, want 1", got)
+	}
+}
+
+// TestAdmissionFlood floods a two-worker pool with min-share-2 jobs:
+// only one can hold a reservation at a time, so the rest time out of
+// admission and degrade to serial planning instead of being rejected or
+// wedged. Every job must still finish DONE with the same plan.
+func TestAdmissionFlood(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newManager(t, t.TempDir(), func(c *Config) {
+		c.PoolWorkers = 2
+		c.AdmitWait = 10 * time.Millisecond
+		c.Recorder = obs.NewRecorder(reg)
+	})
+	defer m.Close()
+
+	const flood = 5
+	jobs := make([]*Job, flood)
+	for i := range jobs {
+		rq := testRequest()
+		rq.MinShare = 2
+		j, err := m.Submit(rq)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	var docs [][]byte
+	for i, j := range jobs {
+		st := waitTerminal(t, j)
+		if st.State != StateDone {
+			t.Fatalf("job %d finished %s (%s), want DONE", i, st.State, st.Detail)
+		}
+		doc, err := j.Plan()
+		if err != nil {
+			t.Fatalf("job %d plan: %v", i, err)
+		}
+		docs = append(docs, doc)
+	}
+	for i := 1; i < len(docs); i++ {
+		if string(docs[i]) != string(docs[0]) {
+			t.Errorf("job %d plan differs from job 0 under admission pressure", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MetricServeSerialDegrades] == 0 {
+		t.Errorf("no serial degrades under a flooded pool")
+	}
+	if got := snap.Counters[obs.MetricServeJobsSubmitted]; got != flood {
+		t.Errorf("jobs_submitted = %d, want %d", got, flood)
+	}
+}
+
+// TestPriorityPreemption runs a low-priority job on a saturated pool and
+// submits a high-priority one: the low job must be preempted, checkpoint,
+// and still finish with the identical plan after re-admission.
+func TestPriorityPreemption(t *testing.T) {
+	m := newManager(t, t.TempDir(), func(c *Config) {
+		c.PoolWorkers = 2
+		c.AdmitWait = 30 * time.Second // force preemption, not serial degrade
+	})
+	defer m.Close()
+
+	low := testRequest()
+	low.MinShare = 2
+	jLow, err := m.Submit(low)
+	if err != nil {
+		t.Fatalf("Submit low: %v", err)
+	}
+	// Wait for the low job to hold the pool.
+	for jLow.Status().State == StateSubmitted {
+		time.Sleep(time.Millisecond)
+	}
+	high := testRequest()
+	high.Priority = 10
+	high.MinShare = 2
+	jHigh, err := m.Submit(high)
+	if err != nil {
+		t.Fatalf("Submit high: %v", err)
+	}
+	stHigh := waitTerminal(t, jHigh)
+	stLow := waitTerminal(t, jLow)
+	if stHigh.State != StateDone || stLow.State != StateDone {
+		t.Fatalf("high %s / low %s, want DONE/DONE", stHigh.State, stLow.State)
+	}
+	dLow, _ := jLow.Plan()
+	dHigh, _ := jHigh.Plan()
+	if string(dLow) != string(dHigh) {
+		t.Errorf("preempted job's plan differs from the preemptor's for the same request")
+	}
+}
+
+func TestEmptyJournalRemoved(t *testing.T) {
+	dir := t.TempDir()
+	// A crash between journal creation and the first durable record:
+	// the submitter was never acknowledged, so the job must vanish.
+	if err := os.WriteFile(filepath.Join(dir, "job-000007.journal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newManager(t, dir, nil)
+	defer m.Close()
+	if got := len(m.Jobs()); got != 0 {
+		t.Fatalf("%d jobs recovered from an empty journal, want 0", got)
+	}
+	// The ID is still burned: the next submission must not collide.
+	j, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-000008" {
+		t.Errorf("next job ID %s, want job-000008 (IDs allocate past the removed journal)", j.ID)
+	}
+	waitTerminal(t, j)
+}
